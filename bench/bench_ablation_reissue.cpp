@@ -1,0 +1,73 @@
+// Ablation A1 — what drives the cost of Algorithm 1's switch: the re-issue
+// burst (lines 15-16) scales with the number of messages in flight at the
+// moment the change message is delivered, which grows with load.
+//
+// Sweep the offered load and report, per switch: messages re-issued, stale
+// deliveries discarded (line 18), the size of the latency spike and the
+// time to return to baseline.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+namespace dpu::bench {
+namespace {
+
+void run_sweep(std::size_t n, const std::vector<double>& loads) {
+  const Duration duration = full_mode() ? 16 * kSecond : 10 * kSecond;
+  std::vector<ExperimentConfig> configs;
+  for (double load : loads) {
+    ExperimentConfig c;
+    c.n = n;
+    c.seed = 41;
+    c.load_per_stack = load;
+    c.duration = duration;
+    c.mode = Mode::kRepl;
+    c.switches = {{duration / 2, "abcast.ct"}};
+    configs.push_back(c);
+  }
+  auto results = run_parallel(configs);
+
+  print_header("Reissue ablation, n=" + std::to_string(n) +
+               " (one CT->CT switch at varying load)");
+  print_row({"load[msg/s]", "reissued", "stale", "steady[us]", "during[us]",
+             "spike[x]", "recovery[ms]"});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const ExperimentConfig& cfg = configs[i];
+    const ExperimentResult& r = results[i];
+    const double steady = r.steady_latency_us(cfg);
+    const double during = r.switch_latency_us();
+    // Recovery time: first post-switch bucket whose mean returns to within
+    // 1.5x of the steady latency.
+    const auto [sw_start, sw_end] = r.switch_windows[0];
+    Duration recovery = 0;
+    const TimeSeries& series = r.collector->series();
+    for (std::size_t b = 0; b < series.bucket_count(); ++b) {
+      const TimePoint start = series.bucket_start(b);
+      if (start < sw_start) continue;
+      if (series.bucket(b).count() == 0) continue;
+      if (series.bucket(b).mean() <= 1.5 * steady) {
+        recovery = start + series.bucket_width() - sw_start;
+        break;
+      }
+      recovery = start + series.bucket_width() - sw_start;
+    }
+    print_row({fmt_fixed(loads[i] * static_cast<double>(n), 0),
+               std::to_string(r.reissued), std::to_string(r.stale_discarded),
+               fmt_fixed(steady, 1), fmt_fixed(during, 1),
+               fmt_fixed(during / steady, 2),
+               fmt_fixed(to_millis(recovery), 0)});
+  }
+}
+
+}  // namespace
+}  // namespace dpu::bench
+
+int main() {
+  using namespace dpu::bench;
+  std::printf("Ablation: Algorithm 1 re-issue burst vs offered load\n");
+  run_sweep(3, full_mode()
+                   ? std::vector<double>{50, 200, 500, 1000, 1500, 2000, 2500}
+                   : std::vector<double>{50, 500, 1500, 2500});
+  if (full_mode()) run_sweep(7, {25, 100, 200, 300, 400, 500});
+  return 0;
+}

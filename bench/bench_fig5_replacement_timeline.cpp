@@ -1,0 +1,76 @@
+// Figure 5 — average ABcast latency as a function of time, with one dynamic
+// replacement of the ABcast protocol in the middle of the run.
+//
+// Reproduces the paper's §6.2 experiment: n stacks apply a constant load;
+// mid-run one stack triggers changeABcast(CT -> CT), exercising every step
+// of Algorithm 1 (unbind, create, bind, re-issue).  Expected shape (paper
+// Fig. 5): a latency spike confined to roughly one second around the
+// switch, then return to the pre-switch baseline; "the cost of switching
+// between different protocols is negligible".
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+namespace dpu::bench {
+namespace {
+
+void run_timeline(std::size_t n, double load_per_stack) {
+  ExperimentConfig config;
+  config.n = n;
+  config.seed = 42;
+  config.load_per_stack = load_per_stack;
+  config.duration = 20 * kSecond;
+  config.mode = Mode::kRepl;
+  config.switches = {{10 * kSecond, "abcast.ct"}};
+
+  ExperimentResult result = run_experiment(config);
+
+  print_header("Figure 5: latency vs time, n=" + std::to_string(n) +
+               ", load=" + fmt_fixed(load_per_stack * n, 0) +
+               " msg/s total, CT->CT replacement at t=10s");
+  std::printf("replacement: requested t=%.3fs, completed on all stacks t=%.3fs "
+              "(duration %.1f ms)\n",
+              to_seconds(result.switch_windows[0].first),
+              to_seconds(result.switch_windows[0].second),
+              to_millis(result.switch_windows[0].second -
+                        result.switch_windows[0].first));
+  print_row({"time[s]", "avg-latency[us]", "samples"});
+  const TimeSeries& series = result.collector->series();
+  for (std::size_t b = 0; b < series.bucket_count(); ++b) {
+    const OnlineStats& stats = series.bucket(b);
+    if (stats.count() == 0) continue;
+    print_row({fmt_fixed(to_seconds(series.bucket_start(b)), 1),
+               fmt_fixed(stats.mean(), 1),
+               std::to_string(stats.count())});
+  }
+
+  const auto [sw_start, sw_end] = result.switch_windows[0];
+  const double before = result.mean_latency_us(2 * kSecond, sw_start);
+  const double during =
+      result.mean_latency_us(sw_start, sw_end + 200 * kMillisecond);
+  const double after =
+      result.mean_latency_us(sw_end + kSecond, config.duration);
+  std::printf("\nsummary: before=%.1fus during=%.1fus (x%.2f) after=%.1fus\n",
+              before, during, during / before, after);
+  std::printf("reissued=%llu stale-discarded=%llu sent=%llu delivered=%llu "
+              "(expected %llu)\n",
+              static_cast<unsigned long long>(result.reissued),
+              static_cast<unsigned long long>(result.stale_discarded),
+              static_cast<unsigned long long>(result.messages_sent),
+              static_cast<unsigned long long>(result.deliveries),
+              static_cast<unsigned long long>(result.messages_sent * n));
+}
+
+}  // namespace
+}  // namespace dpu::bench
+
+int main() {
+  using namespace dpu::bench;
+  std::printf("Fig. 5 reproduction — Rutti/Wojciechowski/Schiper, IPDPS'06\n");
+  // ~2/3 of the n=7 saturation throughput (see bench_fig6): high enough
+  // that the perturbation is "clearly visible" (§6.2), low enough that the
+  // system recovers quickly.
+  run_timeline(7, 450.0);
+  if (full_mode()) run_timeline(3, 1500.0);
+  return 0;
+}

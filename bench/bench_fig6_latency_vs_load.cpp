@@ -1,0 +1,87 @@
+// Figure 6 — average ABcast latency as a function of load, for n=3 and n=7
+// stacks, in three configurations:
+//   1. "normal, without replacement layer"  (protocol binds abcast directly)
+//   2. "normal, with replacement layer"     (Repl-ABcast interposed, idle)
+//   3. "during replacement"                 (same-protocol switches keep
+//                                            firing; latency measured for
+//                                            messages sent inside switch
+//                                            windows)
+//
+// Expected shape (paper Fig. 6 + §6.3): latency grows with load towards a
+// saturation knee; the replacement layer costs ~5%; the during-replacement
+// series sits above normal but by a modest factor; n=7 costs more than n=3.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+namespace dpu::bench {
+namespace {
+
+struct Point {
+  std::size_t n;
+  double load_per_stack;
+};
+
+void run_fig6(std::size_t n, const std::vector<double>& loads) {
+  // Build the experiment matrix: 3 configs per load point, run in parallel.
+  std::vector<ExperimentConfig> configs;
+  const Duration duration = full_mode() ? 20 * kSecond : 12 * kSecond;
+  for (double load : loads) {
+    ExperimentConfig base;
+    base.n = n;
+    base.seed = 7;
+    base.load_per_stack = load;
+    base.duration = duration;
+
+    ExperimentConfig no_layer = base;
+    no_layer.mode = Mode::kNoLayer;
+    configs.push_back(no_layer);
+
+    ExperimentConfig with_layer = base;
+    with_layer.mode = Mode::kRepl;
+    configs.push_back(with_layer);
+
+    ExperimentConfig during = base;
+    during.mode = Mode::kRepl;
+    for (TimePoint t = 2 * kSecond; t + kSecond < duration; t += 2 * kSecond) {
+      during.switches.push_back({t, "abcast.ct"});
+    }
+    configs.push_back(during);
+  }
+
+  std::vector<ExperimentResult> results = run_parallel(configs);
+
+  print_header("Figure 6: latency vs load, n=" + std::to_string(n));
+  print_row({"load[msg/s]", "no-layer[us]", "with-layer[us]", "overhead[%]",
+             "during-repl[us]", "vs-normal[x]"});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const ExperimentConfig& cfg = configs[3 * i];
+    const double no_layer = results[3 * i].steady_latency_us(cfg);
+    const double with_layer = results[3 * i + 1].steady_latency_us(cfg);
+    const double during = results[3 * i + 2].switch_latency_us();
+    print_row({fmt_fixed(loads[i] * static_cast<double>(n), 0),
+               fmt_fixed(no_layer, 1), fmt_fixed(with_layer, 1),
+               fmt_fixed(100.0 * (with_layer - no_layer) / no_layer, 1),
+               fmt_fixed(during, 1),
+               fmt_fixed(during / with_layer, 2)});
+  }
+}
+
+}  // namespace
+}  // namespace dpu::bench
+
+int main() {
+  using namespace dpu::bench;
+  std::printf("Fig. 6 reproduction — latency vs load, three configurations\n");
+  // Load grids reach ~75% of each size's saturation throughput (paper §6.2:
+  // "the solid graphs reach 75% of the maximal ABcast values"): the n=3
+  // world saturates around 9000 msg/s, the n=7 world around 4700 msg/s.
+  if (full_mode()) {
+    run_fig6(3, {100, 250, 500, 750, 1000, 1500, 2000, 2250});
+    run_fig6(7, {25, 50, 100, 200, 300, 400, 450, 500});
+  } else {
+    run_fig6(3, {100, 500, 1500, 2250});
+    run_fig6(7, {25, 100, 300, 500});
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks of the framework primitives (google-benchmark): the raw
+// CPU costs of the codec, the service dispatch path, the event engine and
+// the transport layers.  These numbers justify the calibration constants in
+// DESIGN.md §8 and document what the composition model itself costs.
+#include <benchmark/benchmark.h>
+
+#include "net/rbcast.hpp"
+#include "net/rp2p.hpp"
+#include "net/udp_module.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+void BM_CodecEncodeSmallHeader(benchmark::State& state) {
+  for (auto _ : state) {
+    BufWriter w(32);
+    w.put_u8(0);
+    w.put_varint(12345);
+    w.put_u32(7);
+    w.put_varint(999999);
+    benchmark::DoNotOptimize(w.take());
+  }
+}
+BENCHMARK(BM_CodecEncodeSmallHeader);
+
+void BM_CodecRoundTripPayload(benchmark::State& state) {
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    BufWriter w(payload.size() + 16);
+    w.put_varint(payload.size());
+    w.put_blob(payload);
+    Bytes wire = w.take();
+    BufReader r(wire);
+    benchmark::DoNotOptimize(r.get_varint());
+    benchmark::DoNotOptimize(r.get_blob());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CodecRoundTripPayload)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_VarintEncode(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    BufWriter w(10);
+    w.put_varint(v += 0x12345);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+}
+BENCHMARK(BM_VarintEncode);
+
+// ---------------------------------------------------------------------------
+// Event engine
+// ---------------------------------------------------------------------------
+
+void BM_SimTimerScheduleAndFire(benchmark::State& state) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    host.set_timer(kMicrosecond, [&fired]() { ++fired; });
+    world.run_for(2 * kMicrosecond);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_SimTimerScheduleAndFire);
+
+void BM_SimPacketRoundTrip(benchmark::State& state) {
+  SimConfig config{.num_stacks = 2, .seed = 1};
+  SimWorld world(config);
+  std::uint64_t received = 0;
+  world.stack(1).host().set_packet_handler(
+      [&received](NodeId, const Bytes&) { ++received; });
+  const Bytes payload(64, 0x11);
+  for (auto _ : state) {
+    world.stack(0).host().send_packet(1, payload);
+    world.run_for(100 * kMicrosecond);
+  }
+  benchmark::DoNotOptimize(received);
+}
+BENCHMARK(BM_SimPacketRoundTrip);
+
+// ---------------------------------------------------------------------------
+// Transport layers (full protocol work per message, CPU time)
+// ---------------------------------------------------------------------------
+
+void BM_Rp2pMessage(benchmark::State& state) {
+  SimWorld world(SimConfig{.num_stacks = 2, .seed = 1});
+  for (NodeId i = 0; i < 2; ++i) {
+    UdpModule::create(world.stack(i));
+    Rp2pModule::create(world.stack(i));
+    world.stack(i).start_all();
+  }
+  std::uint64_t received = 0;
+  auto* rp2p1 = dynamic_cast<Rp2pModule*>(world.stack(1).find_module("rp2p"));
+  rp2p1->rp2p_bind_channel(1, [&received](NodeId, const Bytes&) { ++received; });
+  auto* rp2p0 = dynamic_cast<Rp2pModule*>(world.stack(0).find_module("rp2p"));
+  const Bytes payload(64, 0x22);
+  for (auto _ : state) {
+    rp2p0->rp2p_send(1, 1, payload);
+    world.run_for(kMillisecond);
+  }
+  benchmark::DoNotOptimize(received);
+}
+BENCHMARK(BM_Rp2pMessage);
+
+void BM_RbcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SimWorld world(SimConfig{.num_stacks = n, .seed = 1});
+  std::uint64_t received = 0;
+  RbcastModule* rb0 = nullptr;
+  for (NodeId i = 0; i < n; ++i) {
+    UdpModule::create(world.stack(i));
+    Rp2pModule::create(world.stack(i));
+    auto* rb = RbcastModule::create(world.stack(i));
+    if (i == 0) rb0 = rb;
+    world.stack(i).start_all();
+    rb->rbcast_bind_channel(1, [&received](NodeId, const Bytes&) { ++received; });
+  }
+  const Bytes payload(64, 0x33);
+  for (auto _ : state) {
+    rb0->rbcast(1, payload);
+    world.run_for(kMillisecond);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  benchmark::DoNotOptimize(received);
+}
+BENCHMARK(BM_RbcastFanout)->Arg(3)->Arg(7);
+
+}  // namespace
+}  // namespace dpu
+
+BENCHMARK_MAIN();

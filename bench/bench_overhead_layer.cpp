@@ -1,0 +1,139 @@
+// §6.3 headline number — the cost of the replacement layer ("approximately
+// 5%") — measured two ways:
+//
+//  * micro (google-benchmark): the raw cost of one service call with and
+//    without the Repl indirection, plus the wrapper encode/decode — real
+//    CPU cycles, independent of the simulation's cost model;
+//  * macro: steady-state ABcast latency with and without the layer at the
+//    paper's operating point (n = 3/7, moderate load), from the calibrated
+//    simulator.
+#include <benchmark/benchmark.h>
+
+#include "common/harness.hpp"
+#include "repl/repl_abcast.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro: service-call indirection
+// ---------------------------------------------------------------------------
+
+struct CountingApi {
+  virtual ~CountingApi() = default;
+  virtual void poke(std::uint64_t v) = 0;
+};
+
+class CountingModule final : public Module, public CountingApi {
+ public:
+  using Module::Module;
+  void poke(std::uint64_t v) override { sum += v; }
+  std::uint64_t sum = 0;
+};
+
+/// Forwarding module: the structural shape of the Repl indirection (one
+/// extra bound service hop on the call path).
+class ForwardingModule final : public Module, public CountingApi {
+ public:
+  ForwardingModule(Stack& stack, std::string name)
+      : Module(stack, std::move(name)),
+        inner_(stack.require<CountingApi>("counting.inner")) {}
+  void poke(std::uint64_t v) override {
+    inner_.call([v](CountingApi& api) { api.poke(v); });
+  }
+
+ private:
+  ServiceRef<CountingApi> inner_;
+};
+
+void BM_ServiceCallDirect(benchmark::State& state) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  Stack& stack = world.stack(0);
+  auto* mod = stack.emplace_module<CountingModule>(stack, "counting");
+  stack.bind<CountingApi>("counting", mod, mod);
+  auto ref = stack.require<CountingApi>("counting");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ref.call([v = ++i](CountingApi& api) { api.poke(v); });
+  }
+  benchmark::DoNotOptimize(mod->sum);
+}
+BENCHMARK(BM_ServiceCallDirect);
+
+void BM_ServiceCallThroughIndirection(benchmark::State& state) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  Stack& stack = world.stack(0);
+  auto* inner = stack.emplace_module<CountingModule>(stack, "counting.inner");
+  stack.bind<CountingApi>("counting.inner", inner, inner);
+  auto* fwd = stack.emplace_module<ForwardingModule>(stack, "counting");
+  stack.bind<CountingApi>("counting", fwd, fwd);
+  auto ref = stack.require<CountingApi>("counting");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ref.call([v = ++i](CountingApi& api) { api.poke(v); });
+  }
+  benchmark::DoNotOptimize(inner->sum);
+}
+BENCHMARK(BM_ServiceCallThroughIndirection);
+
+void BM_ReplWrapperEncodeDecode(benchmark::State& state) {
+  const Bytes payload(64, 0x5A);
+  const MsgId id{3, 123456};
+  for (auto _ : state) {
+    BufWriter w(payload.size() + 24);
+    w.put_u8(0);
+    w.put_varint(7);
+    id.encode(w);
+    w.put_blob(payload);
+    Bytes wire = w.take();
+    BufReader r(wire);
+    benchmark::DoNotOptimize(r.get_u8());
+    benchmark::DoNotOptimize(r.get_varint());
+    benchmark::DoNotOptimize(MsgId::decode(r));
+    benchmark::DoNotOptimize(r.get_blob());
+  }
+}
+BENCHMARK(BM_ReplWrapperEncodeDecode);
+
+// ---------------------------------------------------------------------------
+// Macro: end-to-end latency overhead at the paper's operating point
+// ---------------------------------------------------------------------------
+
+void macro_overhead() {
+  print_header(
+      "Macro: replacement-layer latency overhead (paper <<approx 5%>>)");
+  print_row({"n", "load[msg/s]", "no-layer[us]", "with-layer[us]",
+             "overhead[%]"});
+  struct Point {
+    std::size_t n;
+    double load;
+  };
+  for (const Point p : {Point{3, 300.0}, Point{7, 150.0}}) {
+    ExperimentConfig base;
+    base.n = p.n;
+    base.seed = 11;
+    base.load_per_stack = p.load;
+    base.duration = full_mode() ? 20 * kSecond : 10 * kSecond;
+    ExperimentConfig no_layer = base;
+    no_layer.mode = Mode::kNoLayer;
+    ExperimentConfig with_layer = base;
+    with_layer.mode = Mode::kRepl;
+    auto results = run_parallel({no_layer, with_layer});
+    const double off = results[0].steady_latency_us(base);
+    const double on = results[1].steady_latency_us(base);
+    print_row({std::to_string(p.n), fmt_fixed(p.load * p.n, 0),
+               fmt_fixed(off, 1), fmt_fixed(on, 1),
+               fmt_fixed(100.0 * (on - off) / off, 1)});
+  }
+}
+
+}  // namespace
+}  // namespace dpu::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  dpu::bench::macro_overhead();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// §5.3 / §4.2 comparison, turned from prose into numbers: the paper's
+// Repl-ABcast versus the Maestro-style full-stack switch and the
+// Graceful-Adaptation-style barrier switch.
+//
+// Claims measured:
+//  * "the application on top of the stack is never blocked, which is not
+//    the case in the Maestro solution" — app-blocked/queueing time;
+//  * "it does not require additional mechanisms such as barrier
+//    synchronization" — switch duration (request -> all stacks done);
+//  * latency disturbance for messages sent during the switch window.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+namespace dpu::bench {
+namespace {
+
+void compare(std::size_t n, double load_per_stack) {
+  const Duration duration = full_mode() ? 16 * kSecond : 10 * kSecond;
+  std::vector<ExperimentConfig> configs;
+  for (Mode mode : {Mode::kRepl, Mode::kMaestro, Mode::kGraceful}) {
+    ExperimentConfig c;
+    c.n = n;
+    c.seed = 21;
+    c.load_per_stack = load_per_stack;
+    c.duration = duration;
+    c.mode = mode;
+    c.switches = {{duration / 2, "abcast.ct"}};
+    configs.push_back(c);
+  }
+  auto results = run_parallel(configs);
+
+  print_header("Switch mechanism comparison, n=" + std::to_string(n) +
+               ", load=" + fmt_fixed(load_per_stack * n, 0) +
+               " msg/s, one CT->CT switch");
+  print_row({"mechanism", "steady[us]", "during[us]", "spike[x]",
+             "switch[ms]", "blocked[ms]", "queued", "reissued"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const double steady = r.steady_latency_us(configs[i]);
+    const double during = r.switch_latency_us();
+    Duration switch_len = 0;
+    for (auto& [from, to] : r.switch_windows) {
+      switch_len = std::max(switch_len, to - from);
+    }
+    print_row({mode_name(configs[i].mode), fmt_fixed(steady, 1),
+               fmt_fixed(during, 1), fmt_fixed(during / steady, 2),
+               fmt_fixed(to_millis(switch_len), 2),
+               fmt_fixed(to_millis(r.app_blocked_total), 2),
+               std::to_string(r.calls_queued), std::to_string(r.reissued)});
+  }
+}
+
+}  // namespace
+}  // namespace dpu::bench
+
+int main() {
+  using namespace dpu::bench;
+  std::printf("Switch comparison: Repl-ABcast vs Maestro vs Graceful "
+              "(paper sections 4.2 and 5.3)\n");
+  compare(3, 500.0);
+  compare(7, 300.0);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A2 — heterogeneous switching between all three ABcast providers
+// (the purpose of the middleware: "switching on-the-fly between different
+// atomic broadcast protocols").
+//
+// For every ordered pair (from, to), runs a loaded world that switches
+// mid-run and reports the steady latency of each protocol plus the
+// perturbation of the switch.  SEQ and TOKEN have visibly different latency
+// profiles from CT, so the before/after columns also serve as a comparison
+// of the three ordering strategies.  Diagonal entries reproduce the paper's
+// same-protocol experiment for each provider.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+namespace dpu::bench {
+namespace {
+
+const char* kProtocols[] = {"abcast.ct", "abcast.seq", "abcast.token"};
+
+void run_matrix(std::size_t n, double load_per_stack) {
+  const Duration duration = full_mode() ? 16 * kSecond : 10 * kSecond;
+  std::vector<ExperimentConfig> configs;
+  for (const char* from : kProtocols) {
+    for (const char* to : kProtocols) {
+      ExperimentConfig c;
+      c.n = n;
+      c.seed = 31;
+      c.load_per_stack = load_per_stack;
+      c.duration = duration;
+      c.mode = Mode::kRepl;
+      c.abcast_protocol = from;
+      c.switches = {{duration / 2, to}};
+      configs.push_back(c);
+    }
+  }
+  auto results = run_parallel(configs);
+
+  print_header("Protocol switch matrix, n=" + std::to_string(n) + ", load=" +
+               fmt_fixed(load_per_stack * n, 0) + " msg/s");
+  print_row({"from->to", "before[us]", "during[us]", "after[us]", "spike[x]",
+             "reissued", "lost"});
+  std::size_t idx = 0;
+  for (const char* from : kProtocols) {
+    for (const char* to : kProtocols) {
+      const ExperimentConfig& cfg = configs[idx];
+      const ExperimentResult& r = results[idx];
+      ++idx;
+      const auto [sw_start, sw_end] = r.switch_windows[0];
+      const double before = r.mean_latency_us(cfg.warmup, sw_start);
+      const double during = r.switch_latency_us();
+      const double after = r.mean_latency_us(sw_end + kSecond, cfg.duration);
+      const auto expected = r.messages_sent * n;
+      print_row({std::string(from + 7) + "->" + (to + 7),
+                 fmt_fixed(before, 1), fmt_fixed(during, 1),
+                 fmt_fixed(after, 1), fmt_fixed(during / before, 2),
+                 std::to_string(r.reissued),
+                 std::to_string(expected - r.deliveries)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpu::bench
+
+int main() {
+  using namespace dpu::bench;
+  std::printf("ABcast protocol switch matrix (CT / SEQ / TOKEN)\n");
+  run_matrix(3, 300.0);
+  if (full_mode()) run_matrix(7, 150.0);
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "common/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "repl/repl_abcast.hpp"
+#include "util/log.hpp"
+
+namespace dpu::bench {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kNoLayer: return "no-layer";
+    case Mode::kRepl: return "repl";
+    case Mode::kMaestro: return "maestro";
+    case Mode::kGraceful: return "graceful";
+  }
+  return "?";
+}
+
+double ExperimentResult::switch_latency_us(Duration tail) const {
+  OnlineStats stats;
+  for (const auto& [from, to] : switch_windows) {
+    stats.merge(collector->window(from, to + tail));
+  }
+  return stats.mean();
+}
+
+namespace {
+
+/// Extracts [request, last-done] windows from the trace markers emitted by
+/// the replacement modules.
+std::vector<std::pair<TimePoint, TimePoint>> extract_switch_windows(
+    const std::vector<TraceEvent>& events, std::size_t n) {
+  std::vector<TimePoint> requests;
+  std::vector<std::vector<TimePoint>> done_times;  // per request, per stack
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceKind::kCustom) continue;
+    if (e.detail.rfind(ReplAbcastModule::kTraceChangeRequested, 0) == 0) {
+      requests.push_back(e.time);
+      done_times.emplace_back();
+    } else if (e.detail.rfind(ReplAbcastModule::kTraceSwitchDone, 0) == 0 ||
+               e.detail == MaestroSwitchModule::kTraceUnblocked ||
+               e.detail == GracefulSwitchModule::kTraceActivated) {
+      if (!done_times.empty()) done_times.back().push_back(e.time);
+    } else if (e.detail == MaestroSwitchModule::kTraceBlocked ||
+               e.detail == GracefulSwitchModule::kTraceDeactivated) {
+      // Baseline runs have no explicit request marker; open a window at the
+      // first per-switch event.
+      if (done_times.empty() || done_times.back().size() >= n) {
+        requests.push_back(e.time);
+        done_times.emplace_back();
+      }
+    }
+  }
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TimePoint end = requests[i];
+    for (TimePoint t : done_times[i]) end = std::max(end, t);
+    windows.emplace_back(requests[i], end);
+  }
+  return windows;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  StandardStackOptions options;
+  options.with_replacement_layer = config.mode == Mode::kRepl;
+  options.abcast_protocol = config.abcast_protocol;
+  options.with_gm = false;  // the latency benches measure the bare channel
+
+  ProtocolLibrary library = make_standard_library(options);
+  TraceRecorder trace;
+
+  SimConfig sim;
+  sim.num_stacks = config.n;
+  sim.seed = config.seed;
+  sim.stack_cost.service_hop_cost = config.hop_cost;
+  sim.stack_cost.module_create_cost = config.module_create_cost;
+  SimWorld world(sim, &library, &trace);
+
+  ExperimentResult result;
+  result.collector = std::make_unique<LatencyCollector>(config.bucket_width);
+
+  std::vector<StandardStack> stacks;
+  std::vector<MaestroSwitchModule*> maestro(config.n, nullptr);
+  std::vector<GracefulSwitchModule*> graceful(config.n, nullptr);
+  std::vector<ReplAbcastModule*> repl(config.n, nullptr);
+  std::vector<std::unique_ptr<LatencyProbe>> probes;
+  std::vector<WorkloadModule*> workloads;
+
+  for (NodeId i = 0; i < config.n; ++i) {
+    Stack& stack = world.stack(i);
+    if (config.mode == Mode::kMaestro) {
+      // Maestro composes its own protocol layer above the substrate.
+      UdpModule::create(stack);
+      Rp2pModule::create(stack, kRp2pService, options.rp2p);
+      RbcastModule::create(stack, kRbcastService, options.rbcast);
+      FdModule::create(stack, kFdService, options.fd);
+      MaestroSwitchModule::Config mc;
+      mc.initial_protocol = config.abcast_protocol;
+      maestro[i] = MaestroSwitchModule::create(stack, mc);
+      stack.start_all();
+    } else if (config.mode == Mode::kGraceful) {
+      UdpModule::create(stack);
+      Rp2pModule::create(stack, kRp2pService, options.rp2p);
+      RbcastModule::create(stack, kRbcastService, options.rbcast);
+      FdModule::create(stack, kFdService, options.fd);
+      CtConsensusModule::create(stack);
+      GracefulSwitchModule::Config gc;
+      gc.initial_protocol = config.abcast_protocol;
+      graceful[i] = GracefulSwitchModule::create(stack, gc);
+      stack.start_all();
+    } else {
+      stacks.push_back(build_standard_stack(stack, options));
+      repl[i] = stacks.back().repl;
+    }
+    probes.push_back(
+        std::make_unique<LatencyProbe>(*result.collector, stack.host()));
+    stack.listen<AbcastListener>(kAbcastService, probes.back().get(), nullptr);
+
+    WorkloadConfig wc;
+    wc.rate_per_second = config.load_per_stack;
+    wc.message_size = config.message_size;
+    wc.stop_after = config.duration;
+    // Poisson arrivals: identical fixed-rate senders phase-lock with the
+    // consensus instance cycle and settle into resonant steady states that
+    // make before/after comparisons meaningless.
+    wc.poisson = true;
+    workloads.push_back(WorkloadModule::create(stack, wc));
+    stack.start_all();
+  }
+
+  // Schedule switches.
+  for (const SwitchEvent& sw : config.switches) {
+    const NodeId initiator = 0;
+    world.at_node(sw.at, initiator, [&, sw]() {
+      switch (config.mode) {
+        case Mode::kRepl:
+          repl[initiator]->change_abcast(sw.protocol);
+          break;
+        case Mode::kMaestro:
+          maestro[initiator]->change_stack(sw.protocol);
+          break;
+        case Mode::kGraceful:
+          graceful[initiator]->change_adaptation(sw.protocol);
+          break;
+        case Mode::kNoLayer:
+          break;  // nothing can switch
+      }
+    });
+  }
+
+  // Run: the workload stops at `duration`; the drain phase lets in-flight
+  // messages finish.
+  world.run_until(config.duration + 5 * kSecond);
+  result.total_virtual_time = world.now();
+
+  for (NodeId i = 0; i < config.n; ++i) {
+    result.messages_sent += workloads[i]->sent();
+    result.deliveries += probes[i]->deliveries();
+    if (repl[i] != nullptr) {
+      result.reissued += repl[i]->reissued_total();
+      result.stale_discarded += repl[i]->stale_discarded();
+    }
+    if (maestro[i] != nullptr) {
+      result.app_blocked_total += maestro[i]->total_blocked_time();
+      result.calls_queued += maestro[i]->calls_queued_while_blocked();
+    }
+    if (graceful[i] != nullptr) {
+      result.app_blocked_total += graceful[i]->total_queueing_window();
+      result.calls_queued += graceful[i]->calls_queued_during_switch();
+    }
+  }
+  result.trace = trace.events();
+  result.switch_windows = extract_switch_windows(result.trace, config.n);
+  return result;
+}
+
+std::vector<ExperimentResult> run_parallel(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentResult> results(configs.size());
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < std::min(workers, configs.size()); ++w) {
+    pool.emplace_back([&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= configs.size()) return;
+        results[i] = run_experiment(configs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+bool full_mode() {
+  const char* v = std::getenv("DPU_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+void print_row(const std::vector<std::string>& cells, int width) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace dpu::bench

@@ -1,0 +1,111 @@
+// Shared benchmark harness: composes a calibrated world (DESIGN.md §8 cost
+// model), drives a constant workload, schedules protocol switches, and
+// collects the paper's latency metric plus switch-window timings.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/probe.hpp"
+#include "app/stack_builder.hpp"
+#include "app/workload.hpp"
+#include "core/trace.hpp"
+#include "repl/baseline_graceful.hpp"
+#include "repl/baseline_maestro.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu::bench {
+
+/// Which replacement machinery (if any) sits between the application and
+/// the ABcast protocol.
+enum class Mode {
+  kNoLayer,   ///< protocol binds "abcast" directly (Fig. 6 control series)
+  kRepl,      ///< the paper's Repl-ABcast (Algorithm 1)
+  kMaestro,   ///< full-stack switch baseline
+  kGraceful,  ///< barrier-switch baseline
+};
+
+[[nodiscard]] const char* mode_name(Mode mode);
+
+struct SwitchEvent {
+  TimePoint at = 0;
+  std::string protocol;  // target (library name)
+};
+
+struct ExperimentConfig {
+  std::size_t n = 3;
+  std::uint64_t seed = 1;
+  /// Messages per second issued by EACH stack ("constant load by all
+  /// machines", §6.2).
+  double load_per_stack = 100.0;
+  std::size_t message_size = 64;
+  Duration duration = 10 * kSecond;
+  /// Samples sent before this offset are excluded from summary statistics
+  /// (protocol warm-up).
+  Duration warmup = kSecond;
+  Mode mode = Mode::kRepl;
+  std::string abcast_protocol = "abcast.ct";
+  std::vector<SwitchEvent> switches;
+  /// DESIGN.md §8: per-service-call CPU cost; the replacement layer's
+  /// overhead emerges from the extra hops it adds.
+  Duration hop_cost = 8 * kMicrosecond;
+  /// CPU cost of instantiating one module (class loading + wiring in the
+  /// paper's Java runtime); what spreads a switch's perturbation over a
+  /// visible window.
+  Duration module_create_cost = 20 * kMillisecond;
+  Duration bucket_width = 100 * kMillisecond;
+};
+
+struct ExperimentResult {
+  std::unique_ptr<LatencyCollector> collector;
+  std::vector<TraceEvent> trace;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t deliveries = 0;
+  /// Per requested switch: [request time, time the last stack finished].
+  std::vector<std::pair<TimePoint, TimePoint>> switch_windows;
+  std::uint64_t reissued = 0;
+  std::uint64_t stale_discarded = 0;
+  Duration app_blocked_total = 0;   // maestro
+  std::uint64_t calls_queued = 0;   // maestro/graceful
+  Duration total_virtual_time = 0;
+
+  /// Mean latency (µs) of messages sent in [from, to).
+  [[nodiscard]] double mean_latency_us(TimePoint from, TimePoint to) const {
+    return collector->window(from, to).mean();
+  }
+
+  /// Mean latency (µs) over the whole measured run (post-warmup).
+  [[nodiscard]] double steady_latency_us(const ExperimentConfig& config) const {
+    return mean_latency_us(config.warmup, config.duration);
+  }
+
+  /// Mean latency (µs) of messages sent inside switch windows (+tail).
+  [[nodiscard]] double switch_latency_us(Duration tail = 500 * kMillisecond) const;
+};
+
+/// Runs one experiment on the deterministic simulator.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs a batch of experiments, in parallel across hardware threads (each
+/// simulation is single-threaded and independent).
+[[nodiscard]] std::vector<ExperimentResult> run_parallel(
+    const std::vector<ExperimentConfig>& configs);
+
+// ---------------------------------------------------------------------------
+// Output helpers
+// ---------------------------------------------------------------------------
+
+/// True when DPU_BENCH_FULL=1: run the full parameter sweeps (several
+/// minutes); default is a quick profile suitable for CI.
+[[nodiscard]] bool full_mode();
+
+/// Prints an aligned table row; columns padded to `width`.
+void print_row(const std::vector<std::string>& cells, int width = 14);
+
+/// Prints a section header.
+void print_header(const std::string& title);
+
+}  // namespace dpu::bench

@@ -1,0 +1,85 @@
+// Quickstart — the smallest complete DPU program.
+//
+// Builds a 3-stack world running the paper's group-communication stack
+// (Figure 4), broadcasts a few totally-ordered messages, hot-swaps the
+// atomic broadcast protocol from Chandra-Toueg to the sequencer protocol
+// *while messages are flowing*, and shows that every stack delivered the
+// same sequence.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "app/stack_builder.hpp"
+#include "sim/sim_world.hpp"
+
+using namespace dpu;
+
+int main() {
+  // 1. A protocol library tells Algorithm 1 how to create modules for every
+  //    protocol that can be switched in.
+  StandardStackOptions options;
+  ProtocolLibrary library = make_standard_library(options);
+
+  // 2. Three simulated stacks with the standard composition:
+  //    UDP / RP2P / FD / RBcast / consensus / Repl-ABcast / topics / GM.
+  SimWorld world(SimConfig{.num_stacks = 3, .seed = 2026}, &library);
+  std::vector<StandardStack> stacks;
+  for (NodeId i = 0; i < world.size(); ++i) {
+    stacks.push_back(build_standard_stack(world.stack(i), options));
+  }
+
+  // 3. Record deliveries on every stack through the abcast facade.
+  struct Recorder final : AbcastListener {
+    NodeId node;
+    std::vector<std::string>* log;
+    void adeliver(NodeId sender, const Bytes& payload) override {
+      log->push_back("s" + std::to_string(sender) + ":" + to_string(payload));
+    }
+  };
+  std::vector<std::vector<std::string>> logs(world.size());
+  std::vector<Recorder> recorders(world.size());
+  for (NodeId i = 0; i < world.size(); ++i) {
+    recorders[i].node = i;
+    recorders[i].log = &logs[i];
+    world.stack(i).listen<AbcastListener>(kAbcastService, &recorders[i],
+                                          nullptr);
+  }
+
+  auto send = [&](TimePoint at, NodeId from, const std::string& text) {
+    world.at_node(at, from, [&world, from, text]() {
+      world.stack(from).require<AbcastApi>(kAbcastService)
+          .call([&text](AbcastApi& api) { api.abcast(to_bytes(text)); });
+    });
+  };
+
+  // 4. Messages before, during and after a live protocol switch.
+  send(10 * kMillisecond, 0, "hello");
+  send(20 * kMillisecond, 1, "from");
+  send(30 * kMillisecond, 2, "three stacks");
+  world.at_node(40 * kMillisecond, 0, [&]() {
+    std::printf("--> stack 0 requests changeABcast(abcast.seq)\n");
+    stacks[0].repl->change_abcast("abcast.seq");
+  });
+  send(41 * kMillisecond, 1, "switching");       // in flight during the switch
+  send(60 * kMillisecond, 2, "now on the");
+  send(80 * kMillisecond, 0, "sequencer protocol");
+
+  world.run_for(5 * kSecond);
+
+  // 5. Show the identical delivery sequences.
+  std::printf("\ndelivery order (identical on every stack):\n");
+  for (std::size_t k = 0; k < logs[0].size(); ++k) {
+    std::printf("  %2zu. %s\n", k + 1, logs[0][k].c_str());
+  }
+  bool identical = true;
+  for (NodeId i = 1; i < world.size(); ++i) {
+    if (logs[i] != logs[0]) identical = false;
+  }
+  std::printf("\nall stacks delivered the same sequence: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  std::printf("protocol after switch: %s (seqNumber=%llu)\n",
+              stacks[0].repl->current_protocol().c_str(),
+              static_cast<unsigned long long>(stacks[0].repl->seq_number()));
+  return identical ? 0 : 1;
+}

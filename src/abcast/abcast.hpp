@@ -1,0 +1,43 @@
+// Atomic broadcast service interface (paper §5.1).
+//
+// Properties (Hadzilacos & Toueg [7], as quoted in the paper):
+//  * Validity — if a correct process ABcasts m, it eventually Adelivers m.
+//  * Uniform agreement — if a process Adelivers m, all correct processes
+//    eventually Adeliver m.
+//  * Uniform integrity — every process Adelivers m at most once, and only
+//    if m was previously ABcast.
+//  * Uniform total order — if some process Adelivers m before m', every
+//    process Adelivers m' only after it has Adelivered m.
+//
+// Three providers implement this service (DESIGN.md §3): the consensus-based
+// CT-ABcast (the paper's protocol), a fixed-sequencer ABcast and a
+// token-ring ABcast.  They are interchangeable behind the service name —
+// which is exactly what the replacement module exploits.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace dpu {
+
+inline constexpr char kAbcastService[] = "abcast";
+
+/// The service name the replacement module re-binds the real provider to
+/// (paper Figure 3: modules call `r-p` provided by Repl-P, which requires
+/// the inner `p`).
+inline constexpr char kAbcastInnerService[] = "abcast.inner";
+
+struct AbcastApi {
+  virtual ~AbcastApi() = default;
+  /// Broadcasts `payload` to all stacks with uniform total order.
+  virtual void abcast(const Bytes& payload) = 0;
+};
+
+struct AbcastListener {
+  virtual ~AbcastListener() = default;
+  /// Upcall: `payload` is delivered in the global total order; `sender` is
+  /// the stack whose abcast() produced it.
+  virtual void adeliver(NodeId sender, const Bytes& payload) = 0;
+};
+
+}  // namespace dpu

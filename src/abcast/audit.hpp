@@ -1,0 +1,66 @@
+// AbcastAudit — run-time checker for the four atomic-broadcast properties
+// of paper §5.1, evaluated over recorded send/delivery logs.
+//
+// The audit identifies messages by payload bytes, so test workloads must use
+// globally unique payloads.  It is the tool used both for single-protocol
+// tests and for the §5.2 proof obligations: the properties must hold *across
+// a protocol replacement*, with message logs spanning multiple ABcast
+// protocol versions.
+//
+// Thread-safe: the real-time engine records from many stack threads.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "abcast/abcast.hpp"
+#include "core/properties.hpp"
+
+namespace dpu {
+
+class AbcastAudit {
+ public:
+  /// Records that `sender` invoked abcast(payload).
+  void record_sent(NodeId sender, const Bytes& payload);
+
+  /// Records that `stack` adelivered `payload`.
+  void record_delivery(NodeId stack, const Bytes& payload);
+
+  /// Verifies, for `world_size` stacks of which `crashed` stopped early:
+  ///  * Validity: every message sent by a correct stack is delivered there.
+  ///  * Uniform agreement: a message delivered anywhere (even on a stack
+  ///    that crashed later) is delivered on every correct stack.
+  ///  * Uniform integrity: no duplicates; nothing delivered that was not
+  ///    sent.
+  ///  * Uniform total order: all delivery sequences are mutually consistent
+  ///    (a crashed stack's sequence embeds order-preserving into a correct
+  ///    stack's sequence).
+  [[nodiscard]] PropertyReport check(std::size_t world_size,
+                                     const std::set<NodeId>& crashed = {}) const;
+
+  [[nodiscard]] std::size_t deliveries_at(NodeId stack) const;
+  [[nodiscard]] std::size_t total_sent() const;
+
+  /// A ready-made listener that feeds deliveries for one stack.
+  class Listener final : public AbcastListener {
+   public:
+    Listener(AbcastAudit& audit, NodeId stack) : audit_(&audit), stack_(stack) {}
+    void adeliver(NodeId /*sender*/, const Bytes& payload) override {
+      audit_->record_delivery(stack_, payload);
+    }
+
+   private:
+    AbcastAudit* audit_;
+    NodeId stack_;
+  };
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<NodeId, std::vector<std::string>> deliveries_;
+  std::map<NodeId, std::set<std::string>> sent_;
+};
+
+}  // namespace dpu

@@ -1,0 +1,145 @@
+#include "abcast/ct_abcast.hpp"
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+CtAbcastModule* CtAbcastModule::create(Stack& stack, const std::string& service,
+                                       Config config,
+                                       const std::string& instance_name) {
+  const std::string instance = instance_name.empty() ? service : instance_name;
+  auto* m = stack.emplace_module<CtAbcastModule>(stack, instance, service, config);
+  stack.bind<AbcastApi>(service, m, m);
+  return m;
+}
+
+void CtAbcastModule::register_protocol(ProtocolLibrary& library,
+                                       Config config) {
+  library.register_protocol(ProtocolInfo{
+      .protocol = kProtocolName,
+      .default_service = kAbcastService,
+      .requires_services = {kConsensusService, kRbcastService},
+      .factory = [config](Stack& stack, const std::string& provide_as,
+                          const ModuleParams& params) -> Module* {
+        Config c = config;
+        c.batch_max = static_cast<std::size_t>(
+            params.get_int("batch_max", static_cast<std::int64_t>(c.batch_max)));
+        return create(stack, provide_as, c, params.get("instance"));
+      }});
+}
+
+CtAbcastModule::CtAbcastModule(Stack& stack, std::string instance_name,
+                               std::string service, Config config)
+    : Module(stack, std::move(instance_name)),
+      config_(config),
+      consensus_(stack.require<ConsensusApi>(kConsensusService)),
+      rbcast_(stack.require<RbcastApi>(kRbcastService)),
+      up_(stack.upcalls<AbcastListener>(service)),
+      stream_(fnv1a64(Module::instance_name() + "/stream")),
+      data_channel_(fnv1a64(Module::instance_name() + "/data")) {}
+
+void CtAbcastModule::start() {
+  rbcast_.call([this](RbcastApi& rbcast) {
+    rbcast.rbcast_bind_channel(data_channel_,
+                               [this](NodeId origin, const Bytes& data) {
+                                 on_data(origin, data);
+                               });
+  });
+  consensus_.call([this](ConsensusApi& consensus) {
+    consensus.consensus_bind_stream(
+        stream_, [this](InstanceId instance, const Bytes& batch) {
+          on_decision(instance, batch);
+        });
+  });
+}
+
+void CtAbcastModule::stop() {
+  rbcast_.call(
+      [this](RbcastApi& rbcast) { rbcast.rbcast_release_channel(data_channel_); });
+  consensus_.call([this](ConsensusApi& consensus) {
+    consensus.consensus_release_stream(stream_);
+  });
+}
+
+void CtAbcastModule::abcast(const Bytes& payload) {
+  const MsgId id{env().node_id(), next_local_seq_++};
+  BufWriter w(payload.size() + 16);
+  id.encode(w);
+  w.put_blob(payload);
+  rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
+    rbcast.rbcast(data_channel_, bytes);
+  });
+}
+
+void CtAbcastModule::on_data(NodeId /*origin*/, const Bytes& data) {
+  MsgId id;
+  Bytes payload;
+  try {
+    BufReader r(data);
+    id = MsgId::decode(r);
+    payload = r.get_blob();
+    r.expect_done();
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "ct-abcast") << "s" << env().node_id()
+                                << " malformed data: " << e.what();
+    return;
+  }
+  if (delivered_.count(id) != 0) return;  // already settled by a decision
+  pending_.emplace(id, std::move(payload));
+  try_start_instance();
+}
+
+void CtAbcastModule::try_start_instance() {
+  if (proposed_current_ || pending_.empty()) return;
+  proposed_current_ = true;
+  BufWriter w;
+  const std::size_t count = std::min(pending_.size(), config_.batch_max);
+  w.put_varint(count);
+  std::size_t added = 0;
+  for (const auto& [id, payload] : pending_) {
+    if (added == count) break;
+    id.encode(w);
+    w.put_blob(payload);
+    ++added;
+  }
+  consensus_.call([this, batch = w.take()](ConsensusApi& consensus) {
+    consensus.propose(stream_, next_apply_, batch);
+  });
+}
+
+void CtAbcastModule::on_decision(InstanceId instance, const Bytes& batch) {
+  decision_buffer_[instance] = batch;
+  while (true) {
+    auto it = decision_buffer_.find(next_apply_);
+    if (it == decision_buffer_.end()) break;
+    const Bytes current = std::move(it->second);
+    decision_buffer_.erase(it);
+    apply_batch(current);
+    ++next_apply_;
+    proposed_current_ = false;
+  }
+  try_start_instance();
+}
+
+void CtAbcastModule::apply_batch(const Bytes& batch) {
+  try {
+    BufReader r(batch);
+    const std::uint64_t count = r.get_varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const MsgId id = MsgId::decode(r);
+      Bytes payload = r.get_blob();
+      if (!delivered_.insert(id).second) continue;  // integrity: once only
+      pending_.erase(id);
+      ++deliveries_;
+      up_.notify([&](AbcastListener& l) { l.adeliver(id.origin, payload); });
+    }
+    r.expect_done();
+  } catch (const CodecError& e) {
+    // A malformed decided batch would be a bug in a proposer, not the
+    // network (consensus ships it reliably); surface loudly.
+    DPU_LOG(kError, "ct-abcast") << "s" << env().node_id()
+                                 << " malformed decided batch: " << e.what();
+  }
+}
+
+}  // namespace dpu

@@ -1,0 +1,85 @@
+// TOKEN-ABcast — moving-sequencer (token ring) atomic broadcast.
+//
+// A token carrying the next global sequence number circulates on the ring
+// 0 -> 1 -> ... -> n-1 -> 0.  The holder stamps its queued messages with
+// consecutive sequence numbers, reliable-broadcasts them, and passes the
+// token on.  All stacks deliver in sequence-number order.
+//
+// Trade-offs versus the other providers (measured in bench_switch_matrix):
+//  + sender fairness and high throughput under symmetric load (ordering
+//    work rotates; no single hot spot);
+//  - latency at low load is bounded below by the token rotation time;
+//  - like SEQ-ABcast this demo protocol is failure-free only: a holder
+//    crash stalls the ring (the adaptive answer is to switch protocols).
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "abcast/abcast.hpp"
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "net/services.hpp"
+
+namespace dpu {
+
+struct TokenAbcastConfig {
+  /// How long an idle holder keeps the token before passing it on.  Bounds
+  /// the idle rotation rate (and thus the idle background traffic).
+  Duration idle_hold = kMillisecond;
+  /// Max messages stamped per token visit (fairness bound).
+  std::size_t batch_max = 64;
+};
+
+class TokenAbcastModule final : public Module, public AbcastApi {
+ public:
+  using Config = TokenAbcastConfig;
+
+  static constexpr char kProtocolName[] = "abcast.token";
+
+  static TokenAbcastModule* create(Stack& stack,
+                                   const std::string& service = kAbcastService,
+                                   Config config = Config{},
+                                   const std::string& instance_name = "");
+
+  /// Registers "abcast.token": requires rp2p + rbcast; ModuleParams:
+  /// "idle_hold_us", "batch_max", "instance".
+  static void register_protocol(ProtocolLibrary& library,
+                                Config config = Config{});
+
+  TokenAbcastModule(Stack& stack, std::string instance_name,
+                    std::string service, Config config);
+
+  void start() override;
+  void stop() override;
+
+  // AbcastApi
+  void abcast(const Bytes& payload) override;
+
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t token_visits() const { return token_visits_; }
+
+ private:
+  void on_token(NodeId from, const Bytes& data);
+  void on_ordered(NodeId origin, const Bytes& data);
+  void use_and_pass_token(std::uint64_t next_gseq);
+  void pass_token(std::uint64_t next_gseq);
+
+  Config config_;
+  ServiceRef<Rp2pApi> rp2p_;
+  ServiceRef<RbcastApi> rbcast_;
+  UpcallRef<AbcastListener> up_;
+  ChannelId token_channel_;
+  ChannelId order_channel_;
+
+  std::deque<Bytes> queue_;      // locally abcast, not yet stamped
+  bool holding_token_ = false;
+  std::uint64_t held_gseq_ = 0;  // next gseq while holding
+  TimerSlot idle_timer_;
+  std::uint64_t next_deliver_ = 1;
+  std::map<std::uint64_t, std::pair<NodeId, Bytes>> reorder_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t token_visits_ = 0;
+};
+
+}  // namespace dpu

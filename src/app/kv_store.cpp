@@ -1,0 +1,82 @@
+#include "app/kv_store.hpp"
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+KvStoreModule* KvStoreModule::create(Stack& stack, const std::string& service) {
+  auto* m = stack.emplace_module<KvStoreModule>(stack, service);
+  stack.bind<KvApi>(service, m, m);
+  return m;
+}
+
+KvStoreModule::KvStoreModule(Stack& stack, std::string instance_name)
+    : Module(stack, std::move(instance_name)),
+      topics_(stack.require<TopicsApi>(kTopicsService)) {}
+
+void KvStoreModule::start() {
+  topics_.call([this](TopicsApi& topics) {
+    topics.subscribe(kTopic, [this](NodeId sender, const Bytes& payload) {
+      on_op(sender, payload);
+    });
+  });
+}
+
+void KvStoreModule::stop() {
+  topics_.call([](TopicsApi& topics) { topics.unsubscribe(kTopic); });
+}
+
+void KvStoreModule::kv_put(const std::string& key, const std::string& value) {
+  BufWriter w(key.size() + value.size() + 4);
+  w.put_u8(kPut);
+  w.put_string(key);
+  w.put_string(value);
+  topics_.call([bytes = w.take()](TopicsApi& topics) {
+    topics.publish(kTopic, bytes);
+  });
+}
+
+void KvStoreModule::kv_del(const std::string& key) {
+  BufWriter w(key.size() + 4);
+  w.put_u8(kDel);
+  w.put_string(key);
+  topics_.call([bytes = w.take()](TopicsApi& topics) {
+    topics.publish(kTopic, bytes);
+  });
+}
+
+std::optional<std::string> KvStoreModule::kv_get(const std::string& key) const {
+  auto it = state_.find(key);
+  if (it == state_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStoreModule::on_op(NodeId sender, const Bytes& payload) {
+  (void)sender;
+  try {
+    BufReader r(payload);
+    const Op op = static_cast<Op>(r.get_u8());
+    const std::string key = r.get_string();
+    std::string value;
+    if (op == kPut) value = r.get_string();
+    r.expect_done();
+
+    if (op == kPut) {
+      state_[key] = value;
+    } else {
+      state_.erase(key);
+    }
+    ++ops_applied_;
+    // Order-sensitive rolling digest (fnv1a over op bytes + counter).
+    fingerprint_ ^= fnv1a64(key) + 0x9E3779B97F4A7C15ULL +
+                    (fingerprint_ << 6) + (fingerprint_ >> 2);
+    fingerprint_ ^= fnv1a64(value) ^ (static_cast<std::uint64_t>(op) << 40) ^
+                    ops_applied_;
+    fingerprint_ *= 1099511628211ULL;
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "kv") << "s" << env().node_id() << " malformed op: "
+                         << e.what();
+  }
+}
+
+}  // namespace dpu

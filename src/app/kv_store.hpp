@@ -1,0 +1,69 @@
+// Replicated key-value store — the reference application of the examples.
+//
+// State-machine replication over the totally-ordered channel: every PUT/DEL
+// is published on the "kv" topic and applied in delivery order on every
+// stack, so all replicas walk through identical state sequences.  The
+// fingerprint() digest lets examples and tests assert replica consistency
+// with one comparison — including across a live protocol upgrade.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "app/topics.hpp"
+#include "core/module.hpp"
+#include "core/stack.hpp"
+
+namespace dpu {
+
+inline constexpr char kKvService[] = "kv";
+
+struct KvApi {
+  virtual ~KvApi() = default;
+  /// Replicated write (asynchronous: applied when totally ordered).
+  virtual void kv_put(const std::string& key, const std::string& value) = 0;
+  /// Replicated delete.
+  virtual void kv_del(const std::string& key) = 0;
+  /// Local read of the replicated state.
+  [[nodiscard]] virtual std::optional<std::string> kv_get(
+      const std::string& key) const = 0;
+};
+
+class KvStoreModule final : public Module, public KvApi {
+ public:
+  static constexpr char kTopic[] = "kv";
+
+  static KvStoreModule* create(Stack& stack,
+                               const std::string& service = kKvService);
+
+  KvStoreModule(Stack& stack, std::string instance_name);
+
+  void start() override;
+  void stop() override;
+
+  // KvApi
+  void kv_put(const std::string& key, const std::string& value) override;
+  void kv_del(const std::string& key) override;
+  [[nodiscard]] std::optional<std::string> kv_get(
+      const std::string& key) const override;
+
+  [[nodiscard]] std::size_t size() const { return state_.size(); }
+  [[nodiscard]] std::uint64_t ops_applied() const { return ops_applied_; }
+
+  /// Order-sensitive digest of the applied-operation history; equal
+  /// fingerprints across replicas certify identical state sequences.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  enum Op : std::uint8_t { kPut = 0, kDel = 1 };
+
+  void on_op(NodeId sender, const Bytes& payload);
+
+  ServiceRef<TopicsApi> topics_;
+  std::map<std::string, std::string> state_;
+  std::uint64_t ops_applied_ = 0;
+  std::uint64_t fingerprint_ = 1469598103934665603ULL;
+};
+
+}  // namespace dpu

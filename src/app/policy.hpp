@@ -1,0 +1,104 @@
+// FailoverPolicy — automatic protocol adaptation driven by the failure
+// detector.
+//
+// The paper's motivation is *adaptive* middleware: "systems that can be
+// reconfigured and adapted to new environments or changing user
+// requirements".  This module closes the loop: when the failure detector
+// suspects the critical node of a non-fault-tolerant ABcast protocol (the
+// sequencer of SEQ-ABcast, the ring of TOKEN-ABcast), it triggers
+// changeABcast() to a fault-tolerant fallback.
+//
+// Two practical notes, both consequences of the paper's design:
+//  * Algorithm 1 coordinates the switch *through the protocol being
+//    replaced*, so the switch completes only while that protocol still
+//    satisfies its specification.  The policy therefore fires on
+//    *suspicion* (degradation), before the protocol is irrecoverably dead —
+//    the same stance as context-adaptation systems like [15].  If the
+//    critical node is already permanently crashed, the change message can
+//    never be ordered and the switch stalls (documented limitation).
+//  * Every stack hosts the policy; to avoid a thundering herd of change
+//    requests, only the lowest-id stack that does not suspect itself fires
+//    (duplicates would be harmless — totally ordered — but wasteful).
+#pragma once
+
+#include <string>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "fd/fd.hpp"
+#include "repl/repl_abcast.hpp"
+#include "util/log.hpp"
+
+namespace dpu {
+
+struct FailoverPolicyConfig {
+  /// Protocol under watch (e.g. "abcast.seq").
+  std::string watched_protocol = "abcast.seq";
+  /// The node whose failure breaks the watched protocol.
+  NodeId critical_node = 0;
+  /// Fault-tolerant protocol to switch to.
+  std::string fallback_protocol = "abcast.ct";
+  ModuleParams fallback_params;
+};
+
+class FailoverPolicyModule final : public Module, public FdListener {
+ public:
+  using Config = FailoverPolicyConfig;
+
+  static FailoverPolicyModule* create(Stack& stack, ReplAbcastModule& repl,
+                                      Config config) {
+    auto* m = stack.emplace_module<FailoverPolicyModule>(stack, "policy", repl,
+                                                         config);
+    return m;
+  }
+
+  FailoverPolicyModule(Stack& stack, std::string instance_name,
+                       ReplAbcastModule& repl, Config config)
+      : Module(stack, std::move(instance_name)),
+        repl_(&repl),
+        config_(std::move(config)) {}
+
+  void start() override {
+    stack().listen<FdListener>(kFdService, this, this);
+  }
+
+  void stop() override { stack().unlisten<FdListener>(kFdService, this); }
+
+  // FdListener
+  void on_suspect(NodeId node) override {
+    if (node != config_.critical_node) return;
+    if (repl_->current_protocol() != config_.watched_protocol) return;
+    if (fired_for_sn_ == repl_->seq_number() + 1) return;  // already requested
+    if (!i_am_responsible()) return;
+    DPU_LOG(kInfo, "policy") << "s" << env().node_id()
+                             << " failing over from "
+                             << config_.watched_protocol << " to "
+                             << config_.fallback_protocol
+                             << " (suspect s" << node << ")";
+    fired_for_sn_ = repl_->seq_number() + 1;
+    ++triggers_;
+    repl_->change_abcast(config_.fallback_protocol, config_.fallback_params);
+  }
+
+  void on_trust(NodeId /*node*/) override {}
+
+  [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
+
+ private:
+  /// Leader election among the non-suspected stacks: lowest id wins.
+  [[nodiscard]] bool i_am_responsible() const {
+    FdApi* fd = stack().slot(kFdService).try_get<FdApi>();
+    if (fd == nullptr) return env().node_id() == 0;
+    for (NodeId i = 0; i < env().node_id(); ++i) {
+      if (!fd->fd_suspects(i)) return false;  // a lower live stack exists
+    }
+    return true;
+  }
+
+  ReplAbcastModule* repl_;
+  Config config_;
+  std::uint64_t fired_for_sn_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,29 @@
+#include "app/probe.hpp"
+
+namespace dpu {
+
+Bytes ProbePayload::make(TimePoint now, NodeId sender, std::uint64_t seq,
+                         std::size_t size) {
+  BufWriter w(size);
+  w.put_i64(now);
+  w.put_u32(sender);
+  w.put_varint(seq);
+  if (w.size() < size) {
+    // Deterministic filler up to the requested wire size (the paper's
+    // workload uses fixed-size messages).
+    Bytes filler(size - w.size(), 0x5A);
+    w.put_raw(std::span<const std::uint8_t>(filler.data(), filler.size()));
+  }
+  return w.take();
+}
+
+ProbePayload ProbePayload::parse(const Bytes& payload) {
+  BufReader r(payload);
+  ProbePayload p;
+  p.send_time = r.get_i64();
+  p.sender = r.get_u32();
+  p.seq = r.get_varint();
+  return p;  // filler ignored
+}
+
+}  // namespace dpu

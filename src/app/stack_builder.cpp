@@ -1,0 +1,80 @@
+#include "app/stack_builder.hpp"
+
+#include <stdexcept>
+
+namespace dpu {
+
+ProtocolLibrary make_standard_library(const StandardStackOptions& options) {
+  ProtocolLibrary lib;
+  UdpModule::register_protocol(lib);
+  Rp2pModule::register_protocol(lib, options.rp2p);
+  RbcastModule::register_protocol(lib, options.rbcast);
+  FdModule::register_protocol(lib, options.fd);
+  CtConsensusModule::register_protocol(lib, options.ct_consensus);
+  MrConsensusModule::register_protocol(lib, options.mr_consensus);
+  CtAbcastModule::register_protocol(lib, options.ct_abcast);
+  SeqAbcastModule::register_protocol(lib, options.seq_abcast);
+  TokenAbcastModule::register_protocol(lib, options.token_abcast);
+  TopicMuxModule::register_protocol(lib, options.topics);
+  GmModule::register_protocol(lib);
+  // The configured consensus provider answers recursive creation of the
+  // "consensus" service.
+  lib.set_default_provider(kConsensusService, options.consensus_protocol);
+  return lib;
+}
+
+StandardStack build_standard_stack(Stack& stack,
+                                   const StandardStackOptions& options) {
+  StandardStack out;
+  out.udp = UdpModule::create(stack);
+  out.rp2p = Rp2pModule::create(stack, kRp2pService, options.rp2p);
+  out.rbcast = RbcastModule::create(stack, kRbcastService, options.rbcast);
+  out.fd = FdModule::create(stack, kFdService, options.fd);
+
+  const bool needs_consensus =
+      options.abcast_protocol == CtAbcastModule::kProtocolName;
+  if (options.eager_consensus || needs_consensus) {
+    if (options.consensus_protocol == CtConsensusModule::kProtocolName) {
+      out.consensus =
+          CtConsensusModule::create(stack, kConsensusService,
+                                    options.ct_consensus);
+    } else if (options.consensus_protocol ==
+               MrConsensusModule::kProtocolName) {
+      out.consensus =
+          MrConsensusModule::create(stack, kConsensusService,
+                                    options.mr_consensus);
+    } else {
+      throw std::logic_error("unknown consensus protocol '" +
+                             options.consensus_protocol + "'");
+    }
+  }
+
+  if (options.with_replacement_layer) {
+    ReplAbcastModule::Config cfg;
+    cfg.initial_protocol = options.abcast_protocol;
+    cfg.initial_params = options.abcast_params;
+    cfg.retire_after = options.retire_after;
+    out.repl = ReplAbcastModule::create(stack, cfg);
+  } else {
+    // Control configuration: the real protocol provides "abcast" directly.
+    if (options.abcast_protocol == CtAbcastModule::kProtocolName) {
+      CtAbcastModule::create(stack, kAbcastService, options.ct_abcast);
+    } else if (options.abcast_protocol == SeqAbcastModule::kProtocolName) {
+      SeqAbcastModule::create(stack, kAbcastService, options.seq_abcast);
+    } else if (options.abcast_protocol == TokenAbcastModule::kProtocolName) {
+      TokenAbcastModule::create(stack, kAbcastService, options.token_abcast);
+    } else {
+      throw std::logic_error("unknown abcast protocol '" +
+                             options.abcast_protocol + "'");
+    }
+  }
+
+  if (options.with_gm) {
+    out.topics = TopicMuxModule::create(stack, kTopicsService, options.topics);
+    out.gm = GmModule::create(stack);
+  }
+  stack.start_all();
+  return out;
+}
+
+}  // namespace dpu

@@ -1,0 +1,91 @@
+// Stack builder — the public composition API.
+//
+// Assembles the paper's Figure-4 group-communication stack on one Stack:
+//
+//     GM                     (group membership, optional)
+//     TopicMux               (topic multiplexing of the ordered channel)
+//     [Repl-ABcast]          (the replacement layer — the paper's subject)
+//     ABcast (ct|seq|token)
+//     Consensus (ct|mr)      (created for consensus-based ABcast)
+//     RBcast / FD
+//     RP2P
+//     UDP
+//
+// `with_replacement_layer=false` builds the control configuration used by
+// the Figure-6 series "normal, without replacement layer": the ABcast
+// protocol binds the facade service directly and nothing can be replaced.
+#pragma once
+
+#include <string>
+
+#include "abcast/ct_abcast.hpp"
+#include "abcast/seq_abcast.hpp"
+#include "abcast/token_abcast.hpp"
+#include "app/topics.hpp"
+#include "consensus/ct_consensus.hpp"
+#include "consensus/mr_consensus.hpp"
+#include "core/stack.hpp"
+#include "fd/fd.hpp"
+#include "gm/gm.hpp"
+#include "net/rbcast.hpp"
+#include "net/rp2p.hpp"
+#include "net/udp_module.hpp"
+#include "repl/repl_abcast.hpp"
+
+namespace dpu {
+
+struct StandardStackOptions {
+  /// Insert the Repl-ABcast indirection layer (paper §4).  When false, the
+  /// ABcast protocol binds the "abcast" service directly.
+  bool with_replacement_layer = true;
+  /// Initial ABcast provider: "abcast.ct", "abcast.seq" or "abcast.token".
+  std::string abcast_protocol = CtAbcastModule::kProtocolName;
+  /// Consensus provider backing CT-ABcast: "consensus.ct" or "consensus.mr".
+  std::string consensus_protocol = CtConsensusModule::kProtocolName;
+  /// Create the consensus module eagerly even for non-consensus ABcast
+  /// (false exercises Algorithm 1's recursive creation on a later switch).
+  bool eager_consensus = true;
+  /// Compose TopicMux + GM on top (Figure 4's dependent protocol).
+  bool with_gm = true;
+  /// Passed to Repl-ABcast: destroy replaced modules after this delay
+  /// (0 = keep them, as in the paper).
+  Duration retire_after = 0;
+  ModuleParams abcast_params;
+
+  // Substrate tuning.
+  Rp2pConfig rp2p;
+  RbcastConfig rbcast;
+  FdConfig fd;
+  CtConsensusConfig ct_consensus;
+  MrConsensusConfig mr_consensus;
+  CtAbcastConfig ct_abcast;
+  SeqAbcastConfig seq_abcast;
+  TokenAbcastConfig token_abcast;
+  TopicMuxConfig topics;
+};
+
+/// Handles to the modules of one composed stack (non-owning; the Stack owns
+/// them).  `repl` is null when built without the replacement layer.
+struct StandardStack {
+  UdpModule* udp = nullptr;
+  Rp2pModule* rp2p = nullptr;
+  RbcastModule* rbcast = nullptr;
+  FdModule* fd = nullptr;
+  ConsensusBase* consensus = nullptr;
+  ReplAbcastModule* repl = nullptr;
+  TopicMuxModule* topics = nullptr;
+  GmModule* gm = nullptr;
+};
+
+/// Builds the protocol library matching `options` (used by Algorithm 1's
+/// create_module for dynamically created providers).  The returned library
+/// must outlive every Stack that uses it.
+[[nodiscard]] ProtocolLibrary make_standard_library(
+    const StandardStackOptions& options = StandardStackOptions{});
+
+/// Composes the standard stack on `stack` and starts all modules.
+StandardStack build_standard_stack(Stack& stack,
+                                   const StandardStackOptions& options =
+                                       StandardStackOptions{});
+
+}  // namespace dpu

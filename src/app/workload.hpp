@@ -1,0 +1,91 @@
+// Workload generator module: drives the abcast facade at a configured rate.
+//
+// A module (not a test-driver loop) so that the same workload runs on both
+// engines.  The paper's benchmark applies "a constant load by all machines
+// (stacks)"; `poisson=true` alternatively draws exponential gaps for
+// open-loop Poisson arrivals.
+#pragma once
+
+#include "abcast/abcast.hpp"
+#include "app/probe.hpp"
+#include "core/module.hpp"
+#include "core/stack.hpp"
+
+namespace dpu {
+
+struct WorkloadConfig {
+  /// Messages per second issued by this stack.
+  double rate_per_second = 100.0;
+  /// Total wire size of each message (the probe header plus filler).
+  std::size_t message_size = 64;
+  /// Exponential inter-send gaps instead of a fixed period.
+  bool poisson = false;
+  /// First send at `start_after`; stop issuing after `stop_after` (0 = run
+  /// forever).
+  Duration start_after = 0;
+  Duration stop_after = 0;
+};
+
+class WorkloadModule final : public Module {
+ public:
+  using Config = WorkloadConfig;
+
+  static WorkloadModule* create(Stack& stack, Config config) {
+    auto* m = stack.emplace_module<WorkloadModule>(stack, "workload", config);
+    return m;
+  }
+
+  WorkloadModule(Stack& stack, std::string instance_name, Config config)
+      : Module(stack, std::move(instance_name)),
+        config_(config),
+        abcast_(stack.require<AbcastApi>(kAbcastService)),
+        timer_(stack.host()) {}
+
+  void start() override {
+    start_time_ = env().now();
+    next_intended_ = start_time_ + config_.start_after + gap();
+    schedule_fire();
+  }
+
+  void stop() override { timer_.cancel(); }
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  [[nodiscard]] Duration gap() {
+    const double mean_gap_s = 1.0 / config_.rate_per_second;
+    const double gap_s = config_.poisson
+                             ? env().rng().exponential(mean_gap_s)
+                             : mean_gap_s;
+    return static_cast<Duration>(gap_s * static_cast<double>(kSecond));
+  }
+
+  void schedule_fire() {
+    timer_.schedule(std::max<Duration>(next_intended_ - env().now(), 0),
+                    [this]() { fire(); });
+  }
+
+  void fire() {
+    if (config_.stop_after > 0 &&
+        next_intended_ - start_time_ > config_.stop_after) {
+      return;  // workload window over (boundary instant inclusive)
+    }
+    // Open-loop load: the payload carries the *intended* send time, so a
+    // sender stalled by a busy stack accrues that stall as latency instead
+    // of silently skipping it (no coordinated omission).
+    const Bytes payload = ProbePayload::make(next_intended_, env().node_id(),
+                                             ++sent_, config_.message_size);
+    abcast_.call([payload](AbcastApi& api) { api.abcast(payload); });
+    next_intended_ += gap();
+    schedule_fire();
+  }
+
+  Config config_;
+  ServiceRef<AbcastApi> abcast_;
+  TimerSlot timer_;
+  TimePoint start_time_ = 0;
+  TimePoint next_intended_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,113 @@
+#include "consensus/consensus.hpp"
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+ConsensusBase::ConsensusBase(Stack& stack, std::string instance_name)
+    : Module(stack, std::move(instance_name)),
+      rp2p_(stack.require<Rp2pApi>(kRp2pService)),
+      rbcast_(stack.require<RbcastApi>(kRbcastService)),
+      fd_(stack.require<FdApi>(kFdService)),
+      peer_channel_(fnv1a64(Module::instance_name() + "/msg")),
+      decide_channel_(fnv1a64(Module::instance_name() + "/dec")) {}
+
+void ConsensusBase::start() {
+  rp2p_.call([this](Rp2pApi& rp2p) {
+    rp2p.rp2p_bind_channel(peer_channel_,
+                           [this](NodeId from, const Bytes& data) {
+                             on_peer_message(from, data);
+                           });
+  });
+  rbcast_.call([this](RbcastApi& rbcast) {
+    rbcast.rbcast_bind_channel(decide_channel_,
+                               [this](NodeId origin, const Bytes& data) {
+                                 on_decide_message(origin, data);
+                               });
+  });
+}
+
+void ConsensusBase::stop() {
+  rp2p_.call([this](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(peer_channel_); });
+  rbcast_.call(
+      [this](RbcastApi& rbcast) { rbcast.rbcast_release_channel(decide_channel_); });
+  streams_.clear();
+  pending_decisions_.clear();
+}
+
+void ConsensusBase::propose(StreamId stream, InstanceId instance,
+                            const Bytes& value) {
+  const Key key{stream, instance};
+  auto it = decided_.find(key);
+  if (it != decided_.end()) {
+    // Late proposal for a settled instance: the proposer already received
+    // (or will receive) the decision via the decide channel; nothing to do.
+    return;
+  }
+  algo_propose(key, value);
+}
+
+void ConsensusBase::consensus_bind_stream(StreamId stream,
+                                          DecisionHandler handler) {
+  streams_[stream] = std::move(handler);
+  auto it = pending_decisions_.find(stream);
+  if (it == pending_decisions_.end()) return;
+  auto queued = std::move(it->second);
+  pending_decisions_.erase(it);
+  for (auto& [instance, value] : queued) {
+    ++decisions_delivered_;
+    streams_[stream](instance, value);
+  }
+}
+
+void ConsensusBase::consensus_release_stream(StreamId stream) {
+  streams_.erase(stream);
+}
+
+void ConsensusBase::broadcast_decide(const Key& key, const Bytes& value) {
+  BufWriter w(value.size() + 24);
+  w.put_varint(key.stream);
+  w.put_varint(key.instance);
+  w.put_blob(value);
+  rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
+    rbcast.rbcast(decide_channel_, bytes);
+  });
+}
+
+void ConsensusBase::send_peer(NodeId dst, const Bytes& data) {
+  rp2p_.call([this, dst, data](Rp2pApi& rp2p) {
+    rp2p.rp2p_send(dst, peer_channel_, data);
+  });
+}
+
+void ConsensusBase::on_decide_message(NodeId origin, const Bytes& data) {
+  (void)origin;
+  Key key{};
+  Bytes value;
+  try {
+    BufReader r(data);
+    key.stream = r.get_varint();
+    key.instance = r.get_varint();
+    value = r.get_blob();
+    r.expect_done();
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "consensus") << "s" << env().node_id()
+                                << " malformed decide: " << e.what();
+    return;
+  }
+  if (!decided_.emplace(key, value).second) return;  // duplicate decide
+  algo_on_decided(key);
+  deliver_decision(key, value);
+}
+
+void ConsensusBase::deliver_decision(const Key& key, const Bytes& value) {
+  auto it = streams_.find(key.stream);
+  if (it == streams_.end()) {
+    pending_decisions_[key.stream].emplace_back(key.instance, value);
+    return;
+  }
+  ++decisions_delivered_;
+  it->second(key.instance, value);
+}
+
+}  // namespace dpu

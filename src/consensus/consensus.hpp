@@ -1,0 +1,128 @@
+// Consensus service interface and the shared machinery of its providers.
+//
+// The consensus service is multi-stream and multi-instance:
+//  * a *stream* isolates one client protocol instance (each dynamically
+//    created ABcast module derives a fresh stream id from its instance
+//    name, so two ABcast versions coexisting during a replacement never
+//    collide in instance numbering);
+//  * an *instance* is one consensus execution; clients use them sequentially
+//    (instance k+1 proposed only after k decided), which the replacement
+//    algorithms rely on.
+//
+// Decisions are disseminated with reliable broadcast, so a decision reached
+// anywhere reaches every correct stack, including stacks that never proposed
+// (uniform agreement of the service).  Decisions for streams with no
+// registered handler are buffered and released when the handler binds —
+// the same late-module mechanism as RP2P pending channels.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "fd/fd.hpp"
+#include "net/services.hpp"
+
+namespace dpu {
+
+inline constexpr char kConsensusService[] = "consensus";
+
+using StreamId = std::uint64_t;
+using InstanceId = std::uint64_t;
+using DecisionHandler =
+    std::function<void(InstanceId instance, const Bytes& value)>;
+
+/// Call interface of the consensus service.
+///
+/// Properties (assuming a majority of stacks stay correct):
+///  * Validity — a decided value was proposed by some stack.
+///  * Uniform agreement — no two stacks decide differently for the same
+///    (stream, instance).
+///  * Uniform integrity — at most one decision per (stream, instance).
+///  * Termination — if a correct stack proposes, every correct stack
+///    eventually decides (given the <>S failure-detector behaviour).
+struct ConsensusApi {
+  virtual ~ConsensusApi() = default;
+  virtual void propose(StreamId stream, InstanceId instance,
+                       const Bytes& value) = 0;
+  virtual void consensus_bind_stream(StreamId stream,
+                                     DecisionHandler handler) = 0;
+  virtual void consensus_release_stream(StreamId stream) = 0;
+};
+
+/// Shared plumbing of consensus providers: stream handler registry, decided
+/// cache, decision dissemination (via rbcast) and exactly-once delivery.
+/// Subclasses implement the per-instance agreement algorithm.
+class ConsensusBase : public Module, public ConsensusApi {
+ public:
+  ConsensusBase(Stack& stack, std::string instance_name);
+
+  void start() override;
+  void stop() override;
+
+  // ConsensusApi
+  void propose(StreamId stream, InstanceId instance,
+               const Bytes& value) final;
+  void consensus_bind_stream(StreamId stream, DecisionHandler handler) final;
+  void consensus_release_stream(StreamId stream) final;
+
+  [[nodiscard]] std::uint64_t decisions_delivered() const {
+    return decisions_delivered_;
+  }
+
+ protected:
+  struct Key {
+    StreamId stream;
+    InstanceId instance;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  /// Subclass algorithm entry: run consensus for `key` with initial value
+  /// `value`.  Called at most once per key, never after a decision.
+  virtual void algo_propose(const Key& key, const Bytes& value) = 0;
+
+  /// Subclass cleanup hook, called once when `key` reaches a decision.
+  virtual void algo_on_decided(const Key& key) = 0;
+
+  /// Subclass call: a coordinator concluded `value` for `key`.  Disseminates
+  /// via reliable broadcast; every stack (self included) learns the decision
+  /// through on_decide_message.
+  void broadcast_decide(const Key& key, const Bytes& value);
+
+  [[nodiscard]] bool is_decided(const Key& key) const {
+    return decided_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::size_t majority() const {
+    return env().world_size() / 2 + 1;
+  }
+
+  /// Peer channel for algorithm messages, unique per module instance.
+  [[nodiscard]] ChannelId peer_channel() const { return peer_channel_; }
+
+  /// Subclass receive hook for algorithm messages on peer_channel().
+  virtual void on_peer_message(NodeId from, const Bytes& data) = 0;
+
+  /// Sends an algorithm message to one stack (self included; self-sends go
+  /// through the same transport path).
+  void send_peer(NodeId dst, const Bytes& data);
+
+  ServiceRef<Rp2pApi> rp2p_;
+  ServiceRef<RbcastApi> rbcast_;
+  ServiceRef<FdApi> fd_;
+
+ private:
+  void on_decide_message(NodeId origin, const Bytes& data);
+  void deliver_decision(const Key& key, const Bytes& value);
+
+  ChannelId peer_channel_;
+  ChannelId decide_channel_;
+  std::map<StreamId, DecisionHandler> streams_;
+  std::map<Key, Bytes> decided_;
+  std::map<StreamId, std::vector<std::pair<InstanceId, Bytes>>>
+      pending_decisions_;
+  std::uint64_t decisions_delivered_ = 0;
+};
+
+}  // namespace dpu

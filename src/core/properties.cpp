@@ -1,0 +1,82 @@
+#include "core/properties.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace dpu {
+
+std::string PropertyReport::summary() const {
+  if (ok) return "OK";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+PropertyReport check_weak_stack_well_formedness(
+    const std::vector<TraceEvent>& events) {
+  PropertyReport report;
+  // queued - flushed per (node, service); must be zero at end of trace.
+  std::map<std::pair<NodeId, std::string>, long> outstanding;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceKind::kCallQueued) {
+      ++outstanding[{e.node, e.service}];
+    } else if (e.kind == TraceKind::kCallFlushed) {
+      --outstanding[{e.node, e.service}];
+    }
+  }
+  for (const auto& [key, count] : outstanding) {
+    if (count > 0) {
+      report.fail("stack " + std::to_string(key.first) + ": " +
+                  std::to_string(count) + " call(s) on service '" +
+                  key.second + "' still blocked at end of run");
+    } else if (count < 0) {
+      report.fail("stack " + std::to_string(key.first) +
+                  ": more flushes than queues on service '" + key.second +
+                  "' (trace instrumentation bug)");
+    }
+  }
+  return report;
+}
+
+PropertyReport check_strong_stack_well_formedness(
+    const std::vector<TraceEvent>& events) {
+  PropertyReport report;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceKind::kCallQueued) {
+      report.fail("stack " + std::to_string(e.node) + ": call on service '" +
+                  e.service + "' at t=" + std::to_string(e.time) +
+                  " found the service unbound");
+    }
+  }
+  return report;
+}
+
+PropertyReport check_protocol_operationability(
+    const std::vector<TraceEvent>& events, std::size_t world_size,
+    const std::set<NodeId>& crashed) {
+  PropertyReport report;
+  // Global protocol instances are identified by '@' in the instance name.
+  std::set<std::string> bound_somewhere;
+  std::map<std::string, std::set<NodeId>> created_on;
+  for (const TraceEvent& e : events) {
+    if (e.module.find('@') == std::string::npos) continue;
+    if (e.kind == TraceKind::kServiceBound) bound_somewhere.insert(e.module);
+    if (e.kind == TraceKind::kModuleCreated) created_on[e.module].insert(e.node);
+  }
+  for (const std::string& name : bound_somewhere) {
+    const auto& nodes = created_on[name];
+    for (NodeId j = 0; j < world_size; ++j) {
+      if (crashed.count(j) != 0) continue;
+      if (nodes.count(j) == 0) {
+        report.fail("protocol instance '" + name +
+                    "' was bound on some stack but never created on "
+                    "non-crashed stack " +
+                    std::to_string(j));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dpu

@@ -1,0 +1,54 @@
+// Checkers for the paper's generic DPU correctness properties (§3).
+//
+// Both properties are trace properties: they are evaluated over the
+// TraceEvent stream recorded during a run (plus knowledge of which stacks
+// the fault injector crashed).  Tests run a scenario to quiescence and then
+// assert these reports are clean.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace dpu {
+
+struct PropertyReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string why) {
+    ok = false;
+    violations.push_back(std::move(why));
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Weak stack-well-formedness: "whenever a module calls a service, the
+/// service is *eventually* bound to one module."  In trace terms: every
+/// kCallQueued on (node, service) is matched by a later kCallFlushed, i.e.
+/// no call is still blocked at the end of the run.
+[[nodiscard]] PropertyReport check_weak_stack_well_formedness(
+    const std::vector<TraceEvent>& events);
+
+/// Strong stack-well-formedness: "whenever a module calls a service, the
+/// service *is* bound" — no call is ever queued at all.
+[[nodiscard]] PropertyReport check_strong_stack_well_formedness(
+    const std::vector<TraceEvent>& events);
+
+/// Weak protocol-operationability for dynamically created protocol
+/// instances: "whenever a module P_i is bound in some stack i, all
+/// non-crashed stacks j eventually contain a module P_j."
+///
+/// Module instances that belong to one distributed protocol carry the same
+/// instance name on every stack (convention: names containing '@', e.g.
+/// "abcast.ct@2" created by the replacement algorithm).  For every such name
+/// bound on at least one stack, every non-crashed stack must have created a
+/// module with that name by the end of the trace.
+[[nodiscard]] PropertyReport check_protocol_operationability(
+    const std::vector<TraceEvent>& events, std::size_t world_size,
+    const std::set<NodeId>& crashed = {});
+
+}  // namespace dpu

@@ -1,0 +1,118 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/stack.hpp"
+
+namespace dpu {
+
+ServiceSlot::ServiceSlot(Stack& stack, std::string name)
+    : stack_(&stack), name_(std::move(name)) {}
+
+void ServiceSlot::unbind() {
+  if (provider_ == nullptr) return;
+  const std::string module_name =
+      provider_module_ != nullptr ? provider_module_->instance_name() : "";
+  provider_ = nullptr;
+  provider_module_ = nullptr;
+  stack_->trace(TraceKind::kServiceUnbound, name_, module_name);
+}
+
+void ServiceSlot::flush_pending() {
+  if (flushing_) return;  // a queued call re-bound the service; outer loop continues
+  flushing_ = true;
+  // Queued calls may enqueue further calls or unbind the provider; loop on
+  // the live deque and stop as soon as the service is unbound again.
+  while (!pending_.empty() && provider_ != nullptr) {
+    auto fn = std::move(pending_.front());
+    pending_.pop_front();
+    fn();
+  }
+  flushing_ = false;
+}
+
+void ServiceSlot::throw_if_already_bound() const {
+  if (provider_ != nullptr) {
+    throw std::logic_error(
+        "service '" + name_ + "' is already bound to module '" +
+        (provider_module_ != nullptr ? provider_module_->instance_name()
+                                     : std::string("?")) +
+        "' (at most one module may be bound to a service at a time)");
+  }
+}
+
+void ServiceSlot::set_provider_type(std::type_index t) {
+  if (provider_type_ == std::type_index(typeid(void))) {
+    provider_type_ = t;
+    return;
+  }
+  if (provider_type_ != t) {
+    throw std::logic_error("service '" + name_ +
+                           "' bound with mismatched interface type");
+  }
+}
+
+void ServiceSlot::verify_provider_type(std::type_index t) const {
+  if (provider_type_ != t) {
+    throw std::logic_error("service '" + name_ +
+                           "' called with mismatched interface type");
+  }
+}
+
+void ServiceSlot::set_listener_type(std::type_index t) {
+  if (listener_type_ == std::type_index(typeid(void))) {
+    listener_type_ = t;
+    return;
+  }
+  if (listener_type_ != t) {
+    throw std::logic_error("service '" + name_ +
+                           "' listener type mismatch");
+  }
+}
+
+void ServiceSlot::verify_listener_type(std::type_index t) const {
+  if (listener_type_ != t) {
+    throw std::logic_error("service '" + name_ +
+                           "' notified with mismatched listener type");
+  }
+}
+
+bool ServiceSlot::still_registered(void* p) const {
+  return std::any_of(listeners_.begin(), listeners_.end(),
+                     [p](const ListenerEntry& e) { return e.ptr == p; });
+}
+
+void ServiceSlot::remove_listener_erased(void* p) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [p](const ListenerEntry& e) { return e.ptr == p; }),
+      listeners_.end());
+}
+
+void ServiceSlot::remove_listeners_owned_by(Module* owner) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [owner](const ListenerEntry& e) {
+                       return e.owner != nullptr && e.owner == owner;
+                     }),
+      listeners_.end());
+}
+
+void ServiceSlot::note_bound() {
+  stack_->trace(TraceKind::kServiceBound, name_,
+                provider_module_ != nullptr ? provider_module_->instance_name()
+                                            : "");
+}
+
+void ServiceSlot::note_queued() {
+  stack_->trace(TraceKind::kCallQueued, name_, "");
+}
+
+void ServiceSlot::note_flushed() {
+  stack_->trace(TraceKind::kCallFlushed, name_, "");
+}
+
+void ServiceSlot::charge_hop() { stack_->charge_hop(); }
+
+}  // namespace dpu

@@ -1,0 +1,229 @@
+// Services, dynamic binding, and the pending-call queue.
+//
+// This implements the composition model of the paper's Section 2:
+//
+//  * A *service* is a name ("abcast", "rp2p", ...) with a typed call
+//    interface (the `Iface` template parameter below) and a typed response
+//    interface (the `Up` listener parameter).
+//  * A *module* may be dynamically bound to a service it provides, and later
+//    unbound; unbinding does not remove the module from the stack.
+//  * At most one module is bound to a service at a time.
+//  * A service call executes the bound module.  If no module is bound, the
+//    call "blocks" — in this event-driven implementation it is queued and
+//    re-dispatched when a module binds.  Weak stack-well-formedness (§3)
+//    states exactly that every such queued call is eventually released.
+//  * Responses flow to *listeners* registered on the service.  Listeners
+//    survive rebinding, and an unbound module may still issue responses
+//    ("a module Q_i can respond to a service call even if Q_i has been
+//    unbound") — both facts are what the Repl module relies on.
+//
+// A ServiceSlot is deliberately type-erased so the Stack can manage all
+// services uniformly; the typed templates check interface identity with
+// std::type_index at bind/call/listen time.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+namespace dpu {
+
+class Module;
+class Stack;
+
+/// One named service inside one stack.
+class ServiceSlot {
+ public:
+  ServiceSlot(Stack& stack, std::string name);
+  ServiceSlot(const ServiceSlot&) = delete;
+  ServiceSlot& operator=(const ServiceSlot&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool bound() const { return provider_ != nullptr; }
+  [[nodiscard]] Module* provider_module() const { return provider_module_; }
+  [[nodiscard]] std::size_t pending_calls() const { return pending_.size(); }
+
+  /// Number of times a module has been bound to this service; used by tests
+  /// and by modules that must detect epochs across rebinds.
+  [[nodiscard]] std::uint64_t bind_epoch() const { return bind_epoch_; }
+
+  /// Binds `impl` (owned by `owner`) to this service.  Precondition: the
+  /// service is unbound (at most one bound module, §2) — violating it throws.
+  /// Queued calls are released synchronously, in order.
+  template <class Iface>
+  void bind(Iface* impl, Module* owner) {
+    throw_if_already_bound();
+    set_provider_type(std::type_index(typeid(Iface)));
+    provider_ = static_cast<void*>(impl);
+    provider_module_ = owner;
+    ++bind_epoch_;
+    note_bound();
+    flush_pending();
+  }
+
+  /// Unbinds the current module.  The module stays in the stack, may still
+  /// respond, and may be re-bound later.  No-op if already unbound.
+  void unbind();
+
+  /// Makes a service call.  Runs `fn` on the bound provider now, or queues
+  /// the call until some provider binds (paper §2: "the service call is
+  /// blocked until some module is bound to the service").
+  template <class Iface>
+  void call(std::function<void(Iface&)> fn) {
+    call_impl<Iface>(std::move(fn), /*was_queued=*/false);
+  }
+
+  /// Query access for synchronous request/response interfaces (e.g. the
+  /// failure detector's is_suspected).  Returns nullptr while unbound;
+  /// callers must handle that instead of relying on queueing.
+  template <class Iface>
+  [[nodiscard]] Iface* try_get() const {
+    if (provider_ == nullptr) return nullptr;
+    verify_provider_type(std::type_index(typeid(Iface)));
+    return static_cast<Iface*>(provider_);
+  }
+
+  /// Registers a response listener owned by `owner` (nullptr for listeners
+  /// owned by the application/test harness).
+  template <class Up>
+  void add_listener(Up* listener, Module* owner) {
+    set_listener_type(std::type_index(typeid(Up)));
+    listeners_.push_back(
+        ListenerEntry{static_cast<void*>(listener), owner});
+  }
+
+  template <class Up>
+  void remove_listener(Up* listener) {
+    remove_listener_erased(static_cast<void*>(listener));
+  }
+
+  /// Delivers a response to every registered listener.  Listeners may add
+  /// or remove listeners (including themselves) during the callback; the
+  /// iteration works over a snapshot and re-validates each entry.
+  template <class Up, class Fn>
+  void notify(Fn&& fn) {
+    if (listeners_.empty()) return;
+    verify_listener_type(std::type_index(typeid(Up)));
+    charge_hop();
+    // Snapshot: listeners registered during delivery see only later events;
+    // listeners removed during delivery are skipped.
+    std::vector<void*> snapshot;
+    snapshot.reserve(listeners_.size());
+    for (const auto& e : listeners_) snapshot.push_back(e.ptr);
+    for (void* p : snapshot) {
+      if (!still_registered(p)) continue;
+      fn(*static_cast<Up*>(p));
+    }
+  }
+
+  [[nodiscard]] std::size_t listener_count() const {
+    return listeners_.size();
+  }
+
+ private:
+  friend class Stack;
+
+  struct ListenerEntry {
+    void* ptr;
+    Module* owner;
+  };
+
+  template <class Iface>
+  void call_impl(std::function<void(Iface&)> fn, bool was_queued) {
+    if (provider_ != nullptr) {
+      verify_provider_type(std::type_index(typeid(Iface)));
+      if (was_queued) note_flushed();
+      charge_hop();
+      fn(*static_cast<Iface*>(provider_));
+    } else {
+      if (!was_queued) note_queued();
+      pending_.push_back([this, fn = std::move(fn)]() mutable {
+        this->call_impl<Iface>(std::move(fn), /*was_queued=*/true);
+      });
+    }
+  }
+
+  /// Runs queued calls in FIFO order.  Executes synchronously inside bind:
+  /// this preserves call order with respect to calls made right after bind
+  /// returns.  If the provider unbinds mid-flush, the remainder stays queued.
+  void flush_pending();
+
+  void throw_if_already_bound() const;
+  void set_provider_type(std::type_index t);
+  void verify_provider_type(std::type_index t) const;
+  void set_listener_type(std::type_index t);
+  void verify_listener_type(std::type_index t) const;
+  [[nodiscard]] bool still_registered(void* p) const;
+  void remove_listener_erased(void* p);
+  void remove_listeners_owned_by(Module* owner);
+
+  // Trace/cost hooks, implemented in service.cpp against the Stack.
+  void note_bound();
+  void note_queued();
+  void note_flushed();
+  void charge_hop();
+
+  Stack* stack_;
+  std::string name_;
+  void* provider_ = nullptr;
+  Module* provider_module_ = nullptr;
+  std::type_index provider_type_{typeid(void)};
+  std::type_index listener_type_{typeid(void)};
+  std::uint64_t bind_epoch_ = 0;
+  std::deque<std::function<void()>> pending_;
+  std::vector<ListenerEntry> listeners_;
+  bool flushing_ = false;
+};
+
+/// Typed handle for making calls on a service.  Cheap to copy; valid for the
+/// stack's lifetime (slots are never deallocated while the stack lives).
+template <class Iface>
+class ServiceRef {
+ public:
+  ServiceRef() = default;
+  explicit ServiceRef(ServiceSlot* slot) : slot_(slot) {}
+
+  void call(std::function<void(Iface&)> fn) const {
+    assert(slot_ != nullptr);
+    slot_->call<Iface>(std::move(fn));
+  }
+
+  [[nodiscard]] Iface* try_get() const {
+    assert(slot_ != nullptr);
+    return slot_->try_get<Iface>();
+  }
+
+  [[nodiscard]] bool bound() const { return slot_ != nullptr && slot_->bound(); }
+  [[nodiscard]] ServiceSlot* slot() const { return slot_; }
+  [[nodiscard]] bool valid() const { return slot_ != nullptr; }
+
+ private:
+  ServiceSlot* slot_ = nullptr;
+};
+
+/// Typed handle for issuing responses (upcalls) on a service a module
+/// provides.  Works whether or not the module is currently bound.
+template <class Up>
+class UpcallRef {
+ public:
+  UpcallRef() = default;
+  explicit UpcallRef(ServiceSlot* slot) : slot_(slot) {}
+
+  template <class Fn>
+  void notify(Fn&& fn) const {
+    assert(slot_ != nullptr);
+    slot_->notify<Up>(std::forward<Fn>(fn));
+  }
+
+  [[nodiscard]] bool valid() const { return slot_ != nullptr; }
+  [[nodiscard]] ServiceSlot* slot() const { return slot_; }
+
+ private:
+  ServiceSlot* slot_ = nullptr;
+};
+
+}  // namespace dpu

@@ -1,0 +1,80 @@
+#include "core/stack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+Stack::~Stack() {
+  // Stop in reverse creation order (dependents before substrates), then let
+  // unique_ptr destruction free everything.
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    if ((*it)->started()) (*it)->stop();
+  }
+}
+
+void Stack::destroy_module(Module* m) {
+  assert(m != nullptr);
+  if (m->started()) m->stop();
+  // Remove every binding and listener that points into the module.
+  for (auto& [name, s] : slots_) {
+    if (s->provider_module() == m) s->unbind();
+    s->remove_listeners_owned_by(m);
+  }
+  trace(TraceKind::kModuleStopped, "", m->instance_name());
+  // Defer the delete: the caller may be executing inside one of m's own
+  // handlers (e.g. a module retiring itself after a switch).
+  host_->post([this, m]() {
+    auto it = std::find_if(
+        modules_.begin(), modules_.end(),
+        [m](const std::unique_ptr<Module>& owned) { return owned.get() == m; });
+    if (it == modules_.end()) return;  // already destroyed
+    trace(TraceKind::kModuleDestroyed, "", m->instance_name());
+    modules_.erase(it);
+  });
+}
+
+Module* Stack::create_module(const std::string& protocol,
+                             const std::string& provide_as,
+                             const ModuleParams& params) {
+  if (library_ == nullptr) {
+    throw std::logic_error("create_module without a protocol library");
+  }
+  const ProtocolInfo* info = library_->find(protocol);
+  if (info == nullptr) {
+    throw std::logic_error("unknown protocol '" + protocol + "'");
+  }
+
+  // Guard against dependency cycles: while we are creating the provider of
+  // `provide_as`, a recursive requirement on the same service is satisfied
+  // by the creation already in flight.
+  creating_.insert(provide_as);
+
+  // Line 23-24: create p; bind p.  The factory performs the typed bind.
+  Module* m = info->factory(*this, provide_as, params);
+  assert(m != nullptr);
+
+  // Lines 25-28: for all services s required by p, if no module is bound to
+  // s, find the default provider q and create_module(q).
+  for (const std::string& s : info->requires_services) {
+    if (slot(s).bound() || creating_.count(s) != 0) continue;
+    const ProtocolInfo* dep = library_->default_provider(s);
+    if (dep == nullptr) {
+      creating_.erase(provide_as);
+      throw std::logic_error("no provider registered for required service '" +
+                             s + "' (needed by " + protocol + ")");
+    }
+    DPU_LOG(kDebug, "stack") << "s" << node() << " create_module recursion: "
+                             << protocol << " needs " << s << " -> "
+                             << dep->protocol;
+    create_module(dep->protocol, s);
+  }
+
+  creating_.erase(provide_as);
+  m->start_once();
+  return m;
+}
+
+}  // namespace dpu

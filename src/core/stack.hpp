@@ -1,0 +1,284 @@
+// Stack: the set of modules on one machine, plus the module factory registry
+// used by Algorithm 1's create_module.
+//
+// The Stack owns all modules and all service slots of one machine.  It also
+// implements the `create_module(p)` procedure of the paper's Algorithm 1
+// (lines 22–28): create the module, bind it, then recursively create a
+// provider for every required service that has no bound module.  That
+// recursion is what lets a *new* protocol version require services the old
+// version never used (the flexibility advantage over Graceful Adaptation
+// discussed in §4.2).
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/service.hpp"
+#include "core/trace.hpp"
+#include "runtime/host.hpp"
+
+namespace dpu {
+
+/// String key/value parameters handed to module factories (timeouts, batch
+/// sizes, protocol-specific knobs).  Kept as strings so parameters can ride
+/// inside replacement messages unchanged.
+class ModuleParams {
+ public:
+  ModuleParams() = default;
+
+  ModuleParams& set(const std::string& key, std::string value) {
+    kv_[key] = std::move(value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.count(key) != 0;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return kv_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+class Stack;
+
+/// Registry entry describing one protocol implementation.
+struct ProtocolInfo {
+  /// Registry key, e.g. "abcast.ct", "consensus.mr".
+  std::string protocol;
+  /// Service this protocol provides when no explicit name is given.
+  std::string default_service;
+  /// Public names of the services this protocol requires (paper Fig. 1:
+  /// the gray trapezoids).  Used by create_module's recursion.
+  std::vector<std::string> requires_services;
+  /// Creates the module inside `stack`, binds it to `provide_as`, and
+  /// returns it (non-owning; the stack owns it).
+  std::function<Module*(Stack& stack, const std::string& provide_as,
+                        const ModuleParams& params)>
+      factory;
+};
+
+/// Immutable (after setup) registry shared by all stacks of a world.  Maps
+/// protocol names to factories and services to their default provider — the
+/// "find a module q providing service s" step of Algorithm 1 line 27.
+class ProtocolLibrary {
+ public:
+  void register_protocol(ProtocolInfo info) {
+    assert(!info.protocol.empty());
+    const std::string service = info.default_service;
+    auto [it, inserted] = protocols_.emplace(info.protocol, std::move(info));
+    assert(inserted && "duplicate protocol registration");
+    (void)inserted;
+    // First registered provider becomes the service default.
+    if (!service.empty() && default_provider_.count(service) == 0) {
+      default_provider_[service] = it->second.protocol;
+    }
+  }
+
+  /// Overrides which protocol create_module picks for a required service.
+  void set_default_provider(const std::string& service,
+                            const std::string& protocol) {
+    assert(protocols_.count(protocol) != 0);
+    default_provider_[service] = protocol;
+  }
+
+  [[nodiscard]] const ProtocolInfo* find(const std::string& protocol) const {
+    auto it = protocols_.find(protocol);
+    return it == protocols_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const ProtocolInfo* default_provider(
+      const std::string& service) const {
+    auto it = default_provider_.find(service);
+    return it == default_provider_.end() ? nullptr : find(it->second);
+  }
+
+ private:
+  std::map<std::string, ProtocolInfo> protocols_;
+  std::map<std::string, std::string> default_provider_;
+};
+
+/// Per-call cost model (see DESIGN.md §8).  The simulator charges
+/// `service_hop_cost` of stack CPU time for every service call and every
+/// response delivery, which is how the indirection cost of the replacement
+/// layer becomes measurable instead of hard-coded.  `module_create_cost`
+/// models dynamic module instantiation (the paper's SAMOA/Java runtime paid
+/// class-loading and wiring costs there); it is what makes a replacement
+/// perturb latency for a visible window.
+struct StackCostModel {
+  Duration service_hop_cost = 0;
+  Duration module_create_cost = 0;
+};
+
+class Stack {
+ public:
+  explicit Stack(HostEnv& host, const ProtocolLibrary* library = nullptr,
+                 TraceSink* trace = nullptr)
+      : host_(&host), library_(library), trace_(trace) {}
+
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  [[nodiscard]] HostEnv& host() const { return *host_; }
+  [[nodiscard]] NodeId node() const { return host_->node_id(); }
+  [[nodiscard]] const ProtocolLibrary* library() const { return library_; }
+
+  void set_cost_model(const StackCostModel& m) { cost_ = m; }
+  [[nodiscard]] const StackCostModel& cost_model() const { return cost_; }
+
+  // ---- Module management -------------------------------------------------
+
+  /// Constructs a module in place; the stack takes ownership.  The module is
+  /// NOT started; call start_all() (static composition) or rely on
+  /// create_module (dynamic composition).
+  template <class M, class... Args>
+  M* emplace_module(Args&&... args) {
+    auto owned = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = owned.get();
+    modules_.push_back(std::move(owned));
+    if (cost_.module_create_cost > 0) host_->charge(cost_.module_create_cost);
+    trace(TraceKind::kModuleCreated, "", raw->instance_name());
+    return raw;
+  }
+
+  /// Starts every not-yet-started module, in creation order.
+  void start_all() {
+    // Index loop: start() may legitimately create more modules.
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      modules_[i]->start_once();
+    }
+  }
+
+  /// Stops a module, removes its bindings and owned listeners, and destroys
+  /// it after the current event completes (deferred via post, so a module
+  /// may destroy itself from one of its own handlers).
+  void destroy_module(Module* m);
+
+  [[nodiscard]] Module* find_module(const std::string& instance_name) const {
+    for (const auto& m : modules_) {
+      if (m->instance_name() == instance_name) return m.get();
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+
+  // ---- Services ----------------------------------------------------------
+
+  /// Returns the slot for `service`, creating it on first use.  Slot
+  /// addresses are stable for the stack's lifetime.
+  ServiceSlot& slot(const std::string& service) {
+    auto it = slots_.find(service);
+    if (it == slots_.end()) {
+      it = slots_
+               .emplace(service,
+                        std::make_unique<ServiceSlot>(*this, service))
+               .first;
+    }
+    return *it->second;
+  }
+
+  template <class Iface>
+  void bind(const std::string& service, Iface* impl, Module* owner) {
+    slot(service).bind<Iface>(impl, owner);
+  }
+
+  void unbind(const std::string& service) { slot(service).unbind(); }
+
+  template <class Iface>
+  [[nodiscard]] ServiceRef<Iface> require(const std::string& service) {
+    return ServiceRef<Iface>(&slot(service));
+  }
+
+  template <class Up>
+  void listen(const std::string& service, Up* listener, Module* owner) {
+    slot(service).add_listener<Up>(listener, owner);
+  }
+
+  template <class Up>
+  void unlisten(const std::string& service, Up* listener) {
+    slot(service).remove_listener<Up>(listener);
+  }
+
+  template <class Up>
+  [[nodiscard]] UpcallRef<Up> upcalls(const std::string& service) {
+    return UpcallRef<Up>(&slot(service));
+  }
+
+  /// Total queued (blocked) service calls across all slots; zero at the end
+  /// of a run is the weak stack-well-formedness check.
+  [[nodiscard]] std::size_t pending_call_count() const {
+    std::size_t n = 0;
+    for (const auto& [name, s] : slots_) n += s->pending_calls();
+    return n;
+  }
+
+  // ---- Dynamic creation (Algorithm 1, lines 22–28) ------------------------
+
+  /// create_module(p): create the module for `protocol`, bind it to
+  /// `provide_as`, then for every service it requires that has no bound
+  /// module, create the library's default provider recursively.  Returns the
+  /// created module (started).
+  Module* create_module(const std::string& protocol,
+                        const std::string& provide_as,
+                        const ModuleParams& params = ModuleParams());
+
+  // ---- Trace & cost hooks -------------------------------------------------
+
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  void trace(TraceKind kind, const std::string& service,
+             const std::string& module, const std::string& detail = "") {
+    if (trace_ == nullptr) return;
+    TraceEvent e;
+    e.time = host_->now();
+    e.node = host_->node_id();
+    e.kind = kind;
+    e.service = service;
+    e.module = module;
+    e.detail = detail;
+    trace_->on_trace(e);
+  }
+
+  void charge_hop() {
+    if (cost_.service_hop_cost > 0) host_->charge(cost_.service_hop_cost);
+  }
+
+ private:
+  HostEnv* host_;
+  const ProtocolLibrary* library_;
+  TraceSink* trace_;
+  StackCostModel cost_;
+  // std::map keeps ServiceSlot addresses stable; unique_ptr additionally
+  // protects against future container changes.
+  std::map<std::string, std::unique_ptr<ServiceSlot>> slots_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::set<std::string> creating_;  // create_module cycle guard
+};
+
+inline HostEnv& Module::env() const { return stack_->host(); }
+
+}  // namespace dpu

@@ -1,0 +1,31 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+namespace dpu {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kModuleCreated: return "module-created";
+    case TraceKind::kModuleStopped: return "module-stopped";
+    case TraceKind::kModuleDestroyed: return "module-destroyed";
+    case TraceKind::kServiceBound: return "service-bound";
+    case TraceKind::kServiceUnbound: return "service-unbound";
+    case TraceKind::kCallQueued: return "call-queued";
+    case TraceKind::kCallFlushed: return "call-flushed";
+    case TraceKind::kStackCrashed: return "stack-crashed";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string TraceEvent::str() const {
+  std::ostringstream os;
+  os << "t=" << time << " s" << node << " " << trace_kind_name(kind);
+  if (!service.empty()) os << " service=" << service;
+  if (!module.empty()) os << " module=" << module;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+}  // namespace dpu

@@ -1,0 +1,79 @@
+// Structured trace of framework-level events.
+//
+// The generic DPU correctness properties of the paper (§3: stack-well-
+// formedness, protocol-operationability) are statements about *sequences of
+// framework events* — binds, unbinds, queued calls, module creations.  The
+// stack emits those events to an optional TraceSink, and the property
+// checkers in core/properties.hpp evaluate recorded traces.  With no sink
+// attached, tracing costs one pointer test.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/time.hpp"
+#include "util/ids.hpp"
+
+namespace dpu {
+
+enum class TraceKind {
+  kModuleCreated,
+  kModuleStopped,
+  kModuleDestroyed,
+  kServiceBound,
+  kServiceUnbound,
+  kCallQueued,    // service call made while the service was unbound (§2:
+                  // "the service call is blocked until some module is bound")
+  kCallFlushed,   // a previously queued call executed after a bind
+  kStackCrashed,  // fault injection marker (engines emit this)
+  kCustom,        // module-defined markers (e.g. "switch-started")
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  TimePoint time = 0;
+  NodeId node = kNoNode;
+  TraceKind kind = TraceKind::kCustom;
+  std::string service;  // service name, when applicable
+  std::string module;   // module instance name, when applicable
+  std::string detail;   // free-form annotation
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Receives every framework event.  Implementations must tolerate calls from
+/// multiple threads when used with the real-time engine.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_trace(const TraceEvent& event) = 0;
+};
+
+/// Records events in memory for post-hoc property checking (tests) and
+/// experiment reports (benches).  Thread-safe.
+class TraceRecorder final : public TraceSink {
+ public:
+  void on_trace(const TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  /// Snapshot of all recorded events so far.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dpu

@@ -1,0 +1,88 @@
+// FD — heartbeat failure detector (paper Figure 4: "the FD module
+// implements a failure detector; we assume that it ensures the properties of
+// the <>S failure detector").
+//
+// Every stack broadcasts heartbeats over UDP; a peer silent for longer than
+// its current timeout is suspected.  A heartbeat from a suspected peer
+// rescinds the suspicion and *increases* that peer's timeout, so in a run
+// that eventually stops losing/delaying messages every false suspicion
+// raises the bar until false suspicions cease — the standard way an
+// eventually-strong (<>S-style) detector is approximated in practice.
+#pragma once
+
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "net/services.hpp"
+
+namespace dpu {
+
+inline constexpr char kFdService[] = "fd";
+
+/// Query interface of the failure-detector service.
+struct FdApi {
+  virtual ~FdApi() = default;
+  [[nodiscard]] virtual bool fd_suspects(NodeId node) const = 0;
+  [[nodiscard]] virtual std::vector<NodeId> fd_suspected() const = 0;
+};
+
+/// Response interface: edge-triggered suspicion changes.
+struct FdListener {
+  virtual ~FdListener() = default;
+  virtual void on_suspect(NodeId node) = 0;
+  virtual void on_trust(NodeId node) = 0;
+};
+
+struct FdConfig {
+  Duration heartbeat_interval = 50 * kMillisecond;
+  Duration initial_timeout = 200 * kMillisecond;
+  /// Added to a peer's timeout after each false suspicion.
+  Duration timeout_increment = 100 * kMillisecond;
+};
+
+class FdModule final : public Module, public FdApi {
+ public:
+  using Config = FdConfig;
+
+  static constexpr char kProtocolName[] = "fd.heartbeat";
+
+  static FdModule* create(Stack& stack, const std::string& service = kFdService,
+                          Config config = Config{});
+
+  /// Registers "fd.heartbeat": requires udp.
+  static void register_protocol(ProtocolLibrary& library,
+                                Config config = Config{});
+
+  FdModule(Stack& stack, std::string instance_name, Config config);
+
+  void start() override;
+  void stop() override;
+
+  // FdApi
+  [[nodiscard]] bool fd_suspects(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> fd_suspected() const override;
+
+  [[nodiscard]] std::uint64_t false_suspicions() const {
+    return false_suspicions_;
+  }
+
+ private:
+  struct PeerState {
+    TimePoint last_heartbeat = 0;
+    Duration timeout = 0;
+    bool suspected = false;
+  };
+
+  void on_heartbeat(NodeId src, const Bytes& data);
+  void on_tick();
+
+  Config config_;
+  ServiceRef<UdpApi> udp_;
+  UpcallRef<FdListener> up_;
+  std::vector<PeerState> peers_;
+  TimerSlot tick_timer_;
+  std::uint64_t false_suspicions_ = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,109 @@
+#include "gm/gm.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+std::string View::str() const {
+  std::ostringstream os;
+  os << "v" << id << "{";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i != 0) os << ",";
+    os << members[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+GmModule* GmModule::create(Stack& stack, const std::string& service) {
+  auto* m = stack.emplace_module<GmModule>(stack, service, service);
+  stack.bind<GmApi>(service, m, m);
+  return m;
+}
+
+void GmModule::register_protocol(ProtocolLibrary& library) {
+  library.register_protocol(ProtocolInfo{
+      .protocol = kProtocolName,
+      .default_service = kGmService,
+      .requires_services = {kTopicsService},
+      .factory = [](Stack& stack, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        return create(stack, provide_as);
+      }});
+}
+
+GmModule::GmModule(Stack& stack, std::string instance_name, std::string service)
+    : Module(stack, std::move(instance_name)),
+      topics_(stack.require<TopicsApi>(kTopicsService)),
+      up_(stack.upcalls<GmListener>(service)) {}
+
+void GmModule::start() {
+  // Initial view: the full static world (paper model: one module per
+  // machine); GM layers dynamic logical membership on top.
+  view_.id = 0;
+  view_.members.clear();
+  for (NodeId i = 0; i < env().world_size(); ++i) view_.members.push_back(i);
+  history_.push_back(view_);
+
+  topics_.call([this](TopicsApi& topics) {
+    topics.subscribe(kTopic, [this](NodeId sender, const Bytes& payload) {
+      on_op(sender, payload);
+    });
+  });
+}
+
+void GmModule::stop() {
+  topics_.call([](TopicsApi& topics) { topics.unsubscribe(kTopic); });
+}
+
+void GmModule::gm_join(NodeId node) { publish_op(kJoin, node); }
+void GmModule::gm_leave(NodeId node) { publish_op(kLeave, node); }
+void GmModule::gm_exclude(NodeId node) { publish_op(kExclude, node); }
+
+void GmModule::publish_op(Op op, NodeId node) {
+  BufWriter w(8);
+  w.put_u8(op);
+  w.put_u32(node);
+  topics_.call([bytes = w.take()](TopicsApi& topics) {
+    topics.publish(kTopic, bytes);
+  });
+}
+
+void GmModule::on_op(NodeId sender, const Bytes& payload) {
+  (void)sender;
+  Op op{};
+  NodeId node = kNoNode;
+  try {
+    BufReader r(payload);
+    op = static_cast<Op>(r.get_u8());
+    node = r.get_u32();
+    r.expect_done();
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "gm") << "s" << env().node_id() << " malformed op: "
+                         << e.what();
+    return;
+  }
+  // Apply deterministically; no-op operations do not create a view, so all
+  // stacks agree on the view sequence (same total order, same state).
+  View next = view_;
+  if (op == kJoin) {
+    if (next.contains(node)) return;
+    next.members.insert(
+        std::lower_bound(next.members.begin(), next.members.end(), node),
+        node);
+  } else {
+    if (!next.contains(node)) return;
+    next.members.erase(
+        std::lower_bound(next.members.begin(), next.members.end(), node));
+  }
+  next.id = view_.id + 1;
+  view_ = std::move(next);
+  history_.push_back(view_);
+  DPU_LOG(kInfo, "gm") << "s" << env().node_id() << " installs "
+                       << view_.str();
+  up_.notify([this](GmListener& l) { l.on_view(view_); });
+}
+
+}  // namespace dpu

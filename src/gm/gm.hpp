@@ -1,0 +1,93 @@
+// GM — group membership on top of atomic broadcast (paper Figure 4: "the GM
+// module provides a group membership service that maintains consistent
+// membership among all group members; the module requires the atomic
+// broadcast service").
+//
+// Membership operations (join/leave/exclude) are published on the
+// totally-ordered channel; every stack applies them in delivery order, so
+// all stacks step through the same sequence of views.  GM is the canonical
+// *dependent* protocol of the evaluation: it keeps providing its service —
+// unmodified and unaware — while the ABcast protocol underneath it is being
+// replaced (paper abstract: "all middleware protocols, including those that
+// depend on the updated protocols, provide service correctly ... while the
+// global update takes place").
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "app/topics.hpp"
+#include "core/module.hpp"
+#include "core/stack.hpp"
+
+namespace dpu {
+
+inline constexpr char kGmService[] = "gm";
+
+/// A membership view: identical sequence of views on every stack.
+struct View {
+  std::uint64_t id = 0;
+  std::vector<NodeId> members;  // sorted
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return std::binary_search(members.begin(), members.end(), node);
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+struct GmApi {
+  virtual ~GmApi() = default;
+  /// Requests `node` be added to the group (totally ordered, applied
+  /// everywhere).
+  virtual void gm_join(NodeId node) = 0;
+  /// Requests `node` be removed voluntarily.
+  virtual void gm_leave(NodeId node) = 0;
+  /// Requests `node` be removed forcibly (e.g. after suspicion).
+  virtual void gm_exclude(NodeId node) = 0;
+  /// Current view (synchronous query).
+  [[nodiscard]] virtual const View& gm_view() const = 0;
+};
+
+struct GmListener {
+  virtual ~GmListener() = default;
+  virtual void on_view(const View& view) = 0;
+};
+
+class GmModule final : public Module, public GmApi {
+ public:
+  static constexpr char kProtocolName[] = "gm.abcast";
+  static constexpr char kTopic[] = "gm";
+
+  static GmModule* create(Stack& stack, const std::string& service = kGmService);
+
+  /// Registers "gm.abcast": requires topics.
+  static void register_protocol(ProtocolLibrary& library);
+
+  GmModule(Stack& stack, std::string instance_name, std::string service);
+
+  void start() override;
+  void stop() override;
+
+  // GmApi
+  void gm_join(NodeId node) override;
+  void gm_leave(NodeId node) override;
+  void gm_exclude(NodeId node) override;
+  [[nodiscard]] const View& gm_view() const override { return view_; }
+
+  /// All views installed so far, in order (for consistency checks).
+  [[nodiscard]] const std::vector<View>& history() const { return history_; }
+
+ private:
+  enum Op : std::uint8_t { kJoin = 0, kLeave = 1, kExclude = 2 };
+
+  void publish_op(Op op, NodeId node);
+  void on_op(NodeId sender, const Bytes& payload);
+
+  ServiceRef<TopicsApi> topics_;
+  UpcallRef<GmListener> up_;
+  View view_;
+  std::vector<View> history_;
+};
+
+}  // namespace dpu

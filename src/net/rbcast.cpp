@@ -1,0 +1,134 @@
+#include "net/rbcast.hpp"
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+RbcastModule* RbcastModule::create(Stack& stack, const std::string& service,
+                                   Config config) {
+  auto* m = stack.emplace_module<RbcastModule>(stack, service, config);
+  stack.bind<RbcastApi>(service, m, m);
+  return m;
+}
+
+void RbcastModule::register_protocol(ProtocolLibrary& library, Config config) {
+  library.register_protocol(ProtocolInfo{
+      .protocol = kProtocolName,
+      .default_service = kRbcastService,
+      .requires_services = {kRp2pService},
+      .factory = [config](Stack& stack, const std::string& provide_as,
+                          const ModuleParams&) -> Module* {
+        return create(stack, provide_as, config);
+      }});
+}
+
+RbcastModule::RbcastModule(Stack& stack, std::string instance_name,
+                           Config config)
+    : Module(stack, std::move(instance_name)),
+      config_(config),
+      rp2p_(stack.require<Rp2pApi>(kRp2pService)) {}
+
+void RbcastModule::start() {
+  rp2p_.call([this](Rp2pApi& rp2p) {
+    rp2p.rp2p_bind_channel(kRbcastChannel,
+                           [this](NodeId from, const Bytes& data) {
+                             on_message(from, data);
+                           });
+  });
+}
+
+void RbcastModule::stop() {
+  rp2p_.call([](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(kRbcastChannel); });
+  channels_.clear();
+  pending_channel_.clear();
+}
+
+void RbcastModule::rbcast(ChannelId channel, const Bytes& payload) {
+  const MsgId id{env().node_id(), next_seq_++};
+  BufWriter w(payload.size() + 32);
+  id.encode(w);
+  w.put_u64(channel);
+  w.put_blob(payload);
+  const Bytes wire = w.take();
+  ++sent_;
+  // Send to everyone, self included: self-delivery takes the same code path
+  // (and the same latency/cost accounting) as remote delivery.
+  for (NodeId dst = 0; dst < env().world_size(); ++dst) {
+    send_to(dst, wire);
+  }
+}
+
+void RbcastModule::rbcast_bind_channel(ChannelId channel,
+                                       BroadcastHandler handler) {
+  channels_[channel] = std::move(handler);
+  auto it = pending_channel_.find(channel);
+  if (it == pending_channel_.end()) return;
+  auto queued = std::move(it->second);
+  pending_channel_.erase(it);
+  for (auto& [origin, payload] : queued) {
+    ++delivered_;
+    channels_[channel](origin, payload);
+  }
+}
+
+void RbcastModule::rbcast_release_channel(ChannelId channel) {
+  channels_.erase(channel);
+}
+
+void RbcastModule::send_to(NodeId dst, const Bytes& wire) {
+  rp2p_.call([dst, wire](Rp2pApi& rp2p) {
+    rp2p.rp2p_send(dst, kRbcastChannel, wire);
+  });
+}
+
+void RbcastModule::on_message(NodeId from, const Bytes& data) {
+  MsgId id;
+  ChannelId channel = 0;
+  Bytes payload;
+  try {
+    BufReader r(data);
+    id = MsgId::decode(r);
+    channel = r.get_u64();
+    payload = r.get_blob();
+    r.expect_done();
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "rbcast") << "s" << env().node_id()
+                             << " malformed message from s" << from << ": "
+                             << e.what();
+    return;
+  }
+  if (!seen_.insert(id).second) return;  // duplicate (relay echo)
+
+  if (config_.relay && id.origin != env().node_id()) {
+    // Relay on first receipt — unconditionally, not only when the message
+    // came straight from the origin.  With chained crashes (origin crashes
+    // mid-broadcast, then the stack it reached crashes mid-relay) a weaker
+    // rule would let one stack deliver while another never hears of m.
+    ++relays_;
+    for (NodeId dst = 0; dst < env().world_size(); ++dst) {
+      if (dst == env().node_id() || dst == id.origin || dst == from) continue;
+      send_to(dst, data);
+    }
+  }
+  deliver(channel, id.origin, payload);
+}
+
+void RbcastModule::deliver(ChannelId channel, NodeId origin,
+                           const Bytes& payload) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    auto& queue = pending_channel_[channel];
+    if (queue.size() >= config_.max_pending_per_channel) {
+      DPU_LOG(kWarn, "rbcast") << "s" << env().node_id()
+                               << " pending buffer overflow on channel "
+                               << channel;
+      return;
+    }
+    queue.emplace_back(origin, payload);
+    return;
+  }
+  ++delivered_;
+  it->second(origin, payload);
+}
+
+}  // namespace dpu

@@ -1,0 +1,76 @@
+// RBcast — eager reliable broadcast over RP2P.
+//
+// Algorithm (classic eager/"Lamport" reliable broadcast): the origin sends
+// (origin, seq, payload) to every stack including itself; on the *first*
+// receipt of a given (origin, seq), a stack relays the message to all other
+// stacks and delivers it.  The relay guarantees: if any stack delivers m,
+// every correct stack eventually delivers m, even if the origin crashed
+// mid-broadcast — the agreement property consensus (DECIDE dissemination)
+// and the ABcast protocols build on.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "net/services.hpp"
+
+namespace dpu {
+
+struct RbcastConfig {
+  /// Relay on first receipt.  Disabling reduces the message complexity
+  /// from O(n^2) to O(n) but forfeits agreement when the origin crashes
+  /// mid-broadcast; the ablation bench measures the difference.
+  bool relay = true;
+  std::size_t max_pending_per_channel = 100'000;
+};
+
+class RbcastModule final : public Module, public RbcastApi {
+ public:
+  using Config = RbcastConfig;
+
+  static constexpr char kProtocolName[] = "net.rbcast";
+
+  static RbcastModule* create(Stack& stack,
+                              const std::string& service = kRbcastService,
+                              Config config = Config{});
+
+  /// Registers "net.rbcast": requires rp2p.
+  static void register_protocol(ProtocolLibrary& library,
+                                Config config = Config{});
+
+  RbcastModule(Stack& stack, std::string instance_name, Config config);
+
+  void start() override;
+  void stop() override;
+
+  // RbcastApi
+  void rbcast(ChannelId channel, const Bytes& payload) override;
+  void rbcast_bind_channel(ChannelId channel, BroadcastHandler handler) override;
+  void rbcast_release_channel(ChannelId channel) override;
+
+  [[nodiscard]] std::uint64_t broadcasts_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return delivered_; }
+  [[nodiscard]] std::uint64_t relays() const { return relays_; }
+
+ private:
+  void on_message(NodeId from, const Bytes& data);
+  void deliver(ChannelId channel, NodeId origin, const Bytes& payload);
+  void send_to(NodeId dst, const Bytes& wire);
+
+  Config config_;
+  ServiceRef<Rp2pApi> rp2p_;
+  std::uint64_t next_seq_ = 1;
+  /// Delivered (origin, seq) pairs, for duplicate suppression.
+  std::unordered_set<MsgId, MsgIdHash> seen_;
+  std::unordered_map<ChannelId, BroadcastHandler> channels_;
+  std::unordered_map<ChannelId, std::deque<std::pair<NodeId, Bytes>>>
+      pending_channel_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t relays_ = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,182 @@
+#include "net/rp2p.hpp"
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+Rp2pModule* Rp2pModule::create(Stack& stack, const std::string& service,
+                               Config config) {
+  auto* m = stack.emplace_module<Rp2pModule>(stack, service, config);
+  stack.bind<Rp2pApi>(service, m, m);
+  return m;
+}
+
+void Rp2pModule::register_protocol(ProtocolLibrary& library, Config config) {
+  library.register_protocol(ProtocolInfo{
+      .protocol = kProtocolName,
+      .default_service = kRp2pService,
+      .requires_services = {kUdpService},
+      .factory = [config](Stack& stack, const std::string& provide_as,
+                          const ModuleParams&) -> Module* {
+        return create(stack, provide_as, config);
+      }});
+}
+
+Rp2pModule::Rp2pModule(Stack& stack, std::string instance_name, Config config)
+    : Module(stack, std::move(instance_name)),
+      config_(config),
+      udp_(stack.require<UdpApi>(kUdpService)),
+      retransmit_timer_(stack.host()) {}
+
+void Rp2pModule::start() {
+  udp_.call([this](UdpApi& udp) {
+    udp.udp_bind_port(kRp2pPort, [this](NodeId src, const Bytes& data) {
+      on_datagram(src, data);
+    });
+  });
+  on_retransmit_tick();  // arms the periodic retransmission timer
+}
+
+void Rp2pModule::stop() {
+  retransmit_timer_.cancel();
+  udp_.call([](UdpApi& udp) { udp.udp_release_port(kRp2pPort); });
+  channels_.clear();
+  pending_channel_.clear();
+}
+
+void Rp2pModule::rp2p_send(NodeId dst, ChannelId channel,
+                           const Bytes& payload) {
+  PeerOut& peer = out_[dst];
+  const std::uint64_t seq = peer.next_seq++;
+  auto [it, inserted] =
+      peer.unacked.emplace(seq, OutPacket{channel, payload});
+  assert(inserted);
+  (void)inserted;
+  transmit(dst, seq, it->second);
+}
+
+void Rp2pModule::rp2p_bind_channel(ChannelId channel, DatagramHandler handler) {
+  channels_[channel] = std::move(handler);
+  // Release deliveries that arrived before this protocol instance existed.
+  auto it = pending_channel_.find(channel);
+  if (it == pending_channel_.end()) return;
+  auto queued = std::move(it->second);
+  pending_channel_.erase(it);
+  DPU_LOG(kDebug, "rp2p") << "s" << env().node_id() << " channel " << channel
+                          << " bound; releasing " << queued.size()
+                          << " buffered message(s)";
+  for (auto& [src, payload] : queued) {
+    ++delivered_;
+    channels_[channel](src, payload);
+  }
+}
+
+void Rp2pModule::rp2p_release_channel(ChannelId channel) {
+  channels_.erase(channel);
+}
+
+std::size_t Rp2pModule::unacked_total() const {
+  std::size_t n = 0;
+  for (const auto& [dst, peer] : out_) n += peer.unacked.size();
+  return n;
+}
+
+void Rp2pModule::transmit(NodeId dst, std::uint64_t seq, OutPacket& pkt) {
+  pkt.last_sent = env().now();
+  BufWriter w(pkt.payload.size() + 24);
+  w.put_u8(kData);
+  w.put_varint(seq);
+  w.put_u64(pkt.channel);
+  w.put_blob(pkt.payload);
+  udp_.call([dst, bytes = w.take()](UdpApi& udp) {
+    udp.udp_send(dst, kRp2pPort, bytes);
+  });
+}
+
+void Rp2pModule::send_ack(NodeId dst, std::uint64_t cumulative) {
+  BufWriter w(12);
+  w.put_u8(kAck);
+  w.put_varint(cumulative);
+  udp_.call([dst, bytes = w.take()](UdpApi& udp) {
+    udp.udp_send(dst, kRp2pPort, bytes);
+  });
+}
+
+void Rp2pModule::deliver(NodeId src, ChannelId channel, const Bytes& payload) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    auto& queue = pending_channel_[channel];
+    if (queue.size() >= config_.max_pending_per_channel) {
+      DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
+                             << " pending buffer overflow on channel "
+                             << channel << "; dropping";
+      return;
+    }
+    queue.emplace_back(src, payload);
+    return;
+  }
+  ++delivered_;
+  it->second(src, payload);
+}
+
+void Rp2pModule::on_datagram(NodeId src, const Bytes& data) {
+  try {
+    BufReader r(data);
+    const auto type = static_cast<MsgType>(r.get_u8());
+    if (type == kAck) {
+      const std::uint64_t cumulative = r.get_varint();
+      r.expect_done();
+      PeerOut& peer = out_[src];
+      peer.unacked.erase(peer.unacked.begin(),
+                         peer.unacked.lower_bound(cumulative));
+      return;
+    }
+    if (type != kData) throw CodecError("unknown rp2p message type");
+    const std::uint64_t seq = r.get_varint();
+    const ChannelId channel = r.get_u64();
+    Bytes payload = r.get_blob();
+    r.expect_done();
+
+    PeerIn& peer = in_[src];
+    if (seq < peer.next_expected) {
+      // Duplicate of an already-delivered packet: our ack was lost; re-ack.
+      send_ack(src, peer.next_expected);
+      return;
+    }
+    if (seq > peer.next_expected) {
+      // Out of order: hold for reassembly (duplicates overwrite harmlessly).
+      peer.reorder.emplace(seq, std::make_pair(channel, std::move(payload)));
+      send_ack(src, peer.next_expected);
+      return;
+    }
+    // In-order: deliver, then drain the reorder buffer.
+    ++peer.next_expected;
+    deliver(src, channel, payload);
+    while (!peer.reorder.empty() &&
+           peer.reorder.begin()->first == peer.next_expected) {
+      auto node = peer.reorder.extract(peer.reorder.begin());
+      ++peer.next_expected;
+      deliver(src, node.mapped().first, node.mapped().second);
+    }
+    send_ack(src, peer.next_expected);
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
+                           << " malformed packet from s" << src << ": "
+                           << e.what();
+  }
+}
+
+void Rp2pModule::on_retransmit_tick() {
+  const TimePoint cutoff = env().now() - config_.retransmit_interval;
+  for (auto& [dst, peer] : out_) {
+    for (auto& [seq, pkt] : peer.unacked) {
+      if (pkt.last_sent > cutoff) continue;  // too fresh; ack may be en route
+      ++retransmissions_;
+      transmit(dst, seq, pkt);
+    }
+  }
+  retransmit_timer_.schedule(config_.retransmit_interval,
+                             [this]() { on_retransmit_tick(); });
+}
+
+}  // namespace dpu

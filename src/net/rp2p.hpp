@@ -1,0 +1,101 @@
+// RP2P — reliable FIFO point-to-point channels over UDP (paper Figure 4:
+// "the RP2P module implements reliable point-to-point communication").
+//
+// Classic positive-ack protocol: per-destination sequence numbers, cumulative
+// acknowledgements, periodic retransmission, receive-side reordering buffer
+// and duplicate suppression.  FIFO order holds per (src,dst) pair across all
+// channels; channels only demultiplex payloads to client modules.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "net/services.hpp"
+
+namespace dpu {
+
+struct Rp2pConfig {
+  Duration retransmit_interval = 20 * kMillisecond;
+  /// Max buffered deliveries for a channel nobody has bound yet.
+  std::size_t max_pending_per_channel = 100'000;
+};
+
+class Rp2pModule final : public Module, public Rp2pApi {
+ public:
+  using Config = Rp2pConfig;
+
+  static constexpr char kProtocolName[] = "net.rp2p";
+
+  /// Creates the module, binds it to `service`, wires it to the "udp"
+  /// service.
+  static Rp2pModule* create(Stack& stack,
+                            const std::string& service = kRp2pService,
+                            Config config = Config{});
+
+  /// Registers "net.rp2p": requires udp.
+  static void register_protocol(ProtocolLibrary& library,
+                                Config config = Config{});
+
+  Rp2pModule(Stack& stack, std::string instance_name, Config config);
+
+  void start() override;
+  void stop() override;
+
+  // Rp2pApi
+  void rp2p_send(NodeId dst, ChannelId channel, const Bytes& payload) override;
+  void rp2p_bind_channel(ChannelId channel, DatagramHandler handler) override;
+  void rp2p_release_channel(ChannelId channel) override;
+
+  // Introspection for tests/benches.
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::size_t unacked_total() const;
+  [[nodiscard]] std::size_t pending_channel_buffered() const {
+    std::size_t n = 0;
+    for (const auto& [ch, q] : pending_channel_) n += q.size();
+    return n;
+  }
+
+ private:
+  enum MsgType : std::uint8_t { kData = 0, kAck = 1 };
+
+  struct OutPacket {
+    ChannelId channel;
+    Bytes payload;
+    TimePoint last_sent = 0;
+  };
+
+  struct PeerOut {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, OutPacket> unacked;  // seq -> packet
+  };
+
+  struct PeerIn {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, std::pair<ChannelId, Bytes>> reorder;  // seq -> msg
+  };
+
+  void on_datagram(NodeId src, const Bytes& data);
+  void transmit(NodeId dst, std::uint64_t seq, OutPacket& pkt);
+  void send_ack(NodeId dst, std::uint64_t cumulative);
+  void deliver(NodeId src, ChannelId channel, const Bytes& payload);
+  void on_retransmit_tick();
+
+  Config config_;
+  ServiceRef<UdpApi> udp_;
+  std::unordered_map<NodeId, PeerOut> out_;
+  std::unordered_map<NodeId, PeerIn> in_;
+  std::unordered_map<ChannelId, DatagramHandler> channels_;
+  /// Deliveries waiting for a channel handler (protocol instance not yet
+  /// created on this stack, DESIGN.md §3 / weak protocol-operationability).
+  std::unordered_map<ChannelId, std::deque<std::pair<NodeId, Bytes>>>
+      pending_channel_;
+  TimerSlot retransmit_timer_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,92 @@
+// Service interfaces of the communication substrate (paper Figure 4, lower
+// layers): unreliable datagrams (UDP), reliable point-to-point channels
+// (RP2P) and reliable broadcast (RBcast).
+//
+// Multiplexing model: several modules share one transport module, addressed
+// by port (UDP) or channel (RP2P/RBcast).  Dynamically created protocol
+// instances derive their channel ids from their instance name via fnv1a64,
+// so the two versions of a protocol coexisting during a replacement never
+// share a channel.
+//
+// RP2P and RBcast buffer deliveries for channels that have no handler *yet*:
+// during a dynamic protocol update, stack i may start sending on the new
+// protocol's channel before stack j has created the new module.  The paper's
+// model calls this a response completed "when P_j is added to stack j"; the
+// pending-channel buffer is the mechanism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace dpu {
+
+// ---------------------------------------------------------------------------
+// UDP — unreliable, unordered datagrams (service "udp")
+// ---------------------------------------------------------------------------
+
+inline constexpr char kUdpService[] = "udp";
+
+/// Well-known UDP ports of the singleton substrate modules.
+using PortId = std::uint32_t;
+inline constexpr PortId kRp2pPort = 1;
+inline constexpr PortId kFdPort = 2;
+
+using DatagramHandler = std::function<void(NodeId src, const Bytes& payload)>;
+
+/// Call interface of the UDP service.  Datagrams may be lost, duplicated or
+/// reordered; packets for ports with no registered handler are dropped.
+struct UdpApi {
+  virtual ~UdpApi() = default;
+  virtual void udp_send(NodeId dst, PortId port, const Bytes& payload) = 0;
+  virtual void udp_bind_port(PortId port, DatagramHandler handler) = 0;
+  virtual void udp_release_port(PortId port) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RP2P — reliable FIFO point-to-point channels (service "rp2p")
+// ---------------------------------------------------------------------------
+
+inline constexpr char kRp2pService[] = "rp2p";
+
+/// Channel ids partition RP2P traffic between client modules.  Fixed ids for
+/// singletons; instance-name hashes for dynamic protocol instances.
+using ChannelId = std::uint64_t;
+inline constexpr ChannelId kRbcastChannel = 0x7262636173740001ULL;
+inline constexpr ChannelId kConsensusChannel = 0x636f6e7300000001ULL;
+
+/// Reliable FIFO per (src,dst) pair: every message sent to a correct
+/// destination is eventually delivered exactly once, in send order (across
+/// all channels of that pair).
+struct Rp2pApi {
+  virtual ~Rp2pApi() = default;
+  virtual void rp2p_send(NodeId dst, ChannelId channel, const Bytes& payload) = 0;
+  virtual void rp2p_bind_channel(ChannelId channel, DatagramHandler handler) = 0;
+  virtual void rp2p_release_channel(ChannelId channel) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RBcast — (uniform) reliable broadcast (service "rbcast")
+// ---------------------------------------------------------------------------
+
+inline constexpr char kRbcastService[] = "rbcast";
+
+using BroadcastHandler =
+    std::function<void(NodeId origin, const Bytes& payload)>;
+
+/// Eager reliable broadcast: if any stack delivers a payload, every correct
+/// stack eventually delivers it (relay-on-first-receipt); no duplication, no
+/// ordering guarantee.  Used by consensus to disseminate decisions and by
+/// the ABcast protocols to disseminate message payloads.
+struct RbcastApi {
+  virtual ~RbcastApi() = default;
+  virtual void rbcast(ChannelId channel, const Bytes& payload) = 0;
+  virtual void rbcast_bind_channel(ChannelId channel,
+                                   BroadcastHandler handler) = 0;
+  virtual void rbcast_release_channel(ChannelId channel) = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,75 @@
+#include "net/udp_module.hpp"
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+UdpModule* UdpModule::create(Stack& stack, const std::string& service) {
+  auto* m = stack.emplace_module<UdpModule>(stack, service);
+  stack.bind<UdpApi>(service, m, m);
+  return m;
+}
+
+void UdpModule::register_protocol(ProtocolLibrary& library) {
+  library.register_protocol(ProtocolInfo{
+      .protocol = kProtocolName,
+      .default_service = kUdpService,
+      .requires_services = {},
+      .factory = [](Stack& stack, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        return create(stack, provide_as);
+      }});
+}
+
+UdpModule::UdpModule(Stack& stack, std::string instance_name)
+    : Module(stack, std::move(instance_name)) {}
+
+void UdpModule::start() {
+  env().set_packet_handler(
+      [this](NodeId src, const Bytes& data) { on_packet(src, data); });
+}
+
+void UdpModule::stop() {
+  env().set_packet_handler(nullptr);
+  ports_.clear();
+}
+
+void UdpModule::udp_send(NodeId dst, PortId port, const Bytes& payload) {
+  BufWriter w(payload.size() + 4);
+  w.put_u32(port);
+  w.put_raw(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  ++sent_;
+  env().send_packet(dst, w.take());
+}
+
+void UdpModule::udp_bind_port(PortId port, DatagramHandler handler) {
+  ports_[port] = std::move(handler);
+}
+
+void UdpModule::udp_release_port(PortId port) { ports_.erase(port); }
+
+void UdpModule::on_packet(NodeId src, const Bytes& data) {
+  PortId port = 0;
+  Bytes payload;
+  try {
+    BufReader r(data);
+    port = r.get_u32();
+    auto raw = r.get_raw(r.remaining());
+    payload.assign(raw.begin(), raw.end());
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "udp") << "s" << env().node_id()
+                          << " malformed datagram from s" << src << ": "
+                          << e.what();
+    return;
+  }
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    // UDP semantics: no listener, packet vanishes.
+    ++dropped_no_port_;
+    return;
+  }
+  ++received_;
+  it->second(src, payload);
+}
+
+}  // namespace dpu

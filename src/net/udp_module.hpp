@@ -1,0 +1,50 @@
+// UDP module — adapts the engine's raw packet port into the composable
+// "udp" service (paper Figure 4: "the UDP module provides an interface to
+// the UDP (unreliable) protocol").
+#pragma once
+
+#include <unordered_map>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "net/services.hpp"
+
+namespace dpu {
+
+class UdpModule final : public Module, public UdpApi {
+ public:
+  static constexpr char kProtocolName[] = "net.udp";
+
+  /// Creates the module and binds it to `service` (default "udp").
+  static UdpModule* create(Stack& stack, const std::string& service = kUdpService);
+
+  /// Registers "net.udp" (no requirements — it sits on the engine port).
+  static void register_protocol(ProtocolLibrary& library);
+
+  UdpModule(Stack& stack, std::string instance_name);
+
+  void start() override;
+  void stop() override;
+
+  // UdpApi
+  void udp_send(NodeId dst, PortId port, const Bytes& payload) override;
+  void udp_bind_port(PortId port, DatagramHandler handler) override;
+  void udp_release_port(PortId port) override;
+
+  // Counters for tests and benches.
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return received_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped_no_port() const {
+    return dropped_no_port_;
+  }
+
+ private:
+  void on_packet(NodeId src, const Bytes& data);
+
+  std::unordered_map<PortId, DatagramHandler> ports_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t dropped_no_port_ = 0;
+};
+
+}  // namespace dpu

@@ -1,0 +1,130 @@
+// Repl-ABcast — the paper's replacement module for atomic broadcast
+// (Section 4 structure, Section 5 Algorithm 1).
+//
+// Structure (Figure 3): this module provides the *facade* abcast service
+// that applications and dependent protocols (e.g. GM) call, and requires the
+// *inner* abcast service that the real protocol binds to.  It intercepts
+// both directions:
+//   * calls     — facade abcast()  -> wrap -> inner abcast()
+//   * responses — inner adeliver() -> filter/unwrap -> facade adeliver()
+// The inner protocol modules are completely unaware that replacement exists;
+// only the abcast *specification* (§5.1) is assumed — the paper's modularity
+// claim versus Maestro and Graceful Adaptation.
+//
+// Algorithm 1 (code of stack i), mapped onto this class:
+//   1-4   state:            undelivered_, cur (the bound inner module),
+//                            seq_number_
+//   5-6   changeABcast(p):  change_abcast()   -> inner ABcast(newABcast,sn,p)
+//   7-9   rABcast(m):       abcast(m)         -> undelivered_ += m;
+//                                                inner ABcast(nil,sn,m)
+//   10-16 Adeliver(newABcast,sn,prot):
+//                            adeliver(tag=kNewAbcast): ++seq_number_;
+//                            unbind old; create_module(prot) (recursively
+//                            creating providers for missing services,
+//                            lines 22-28 live in Stack::create_module);
+//                            bind new; re-ABcast all undelivered_
+//   17-21 Adeliver(nil,sn,m):
+//                            adeliver(tag=kNil): discard if sn stale;
+//                            undelivered_ -= m; facade rAdeliver(m)
+//
+// The old module stays in the stack after unbinding (it may still deliver
+// responses, which line 18 discards); `retire_after` optionally destroys it
+// once it can no longer matter — an extension over the paper, off by
+// default.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "abcast/abcast.hpp"
+#include "core/module.hpp"
+#include "core/stack.hpp"
+
+namespace dpu {
+
+struct ReplAbcastConfig {
+  /// Service name applications call (paper: the interface r-p).
+  std::string facade_service = kAbcastService;
+  /// Service name the real protocol binds to (paper: p).
+  std::string inner_service = kAbcastInnerService;
+  /// Protocol (library name, e.g. "abcast.ct") installed at start.
+  std::string initial_protocol = "abcast.ct";
+  ModuleParams initial_params;
+  /// If > 0, destroy a replaced module this long after the switch
+  /// (extension; 0 keeps old modules in the stack forever, like the paper).
+  Duration retire_after = 0;
+};
+
+class ReplAbcastModule final : public Module,
+                               public AbcastApi,
+                               public AbcastListener {
+ public:
+  using Config = ReplAbcastConfig;
+
+  static ReplAbcastModule* create(Stack& stack, Config config = Config{});
+
+  ReplAbcastModule(Stack& stack, std::string instance_name, Config config);
+
+  void start() override;
+  void stop() override;
+
+  // ---- Facade AbcastApi (Algorithm 1 lines 7-9: rABcast) ----
+  void abcast(const Bytes& payload) override;
+
+  // ---- Inner-service listener (Algorithm 1 lines 10-21: Adeliver) ----
+  void adeliver(NodeId sender, const Bytes& inner_payload) override;
+
+  /// Algorithm 1 lines 5-6: requests a global, totally-ordered switch of the
+  /// inner ABcast protocol to `protocol` (a library name).  Any stack may
+  /// call this; every stack performs the switch at the same point of the
+  /// ABcast delivery order.
+  void change_abcast(const std::string& protocol,
+                     const ModuleParams& params = ModuleParams());
+
+  // ---- Introspection --------------------------------------------------------
+  [[nodiscard]] std::uint64_t seq_number() const { return seq_number_; }
+  [[nodiscard]] const std::string& current_protocol() const {
+    return cur_protocol_;
+  }
+  [[nodiscard]] std::size_t undelivered_count() const {
+    return undelivered_.size();
+  }
+  [[nodiscard]] std::uint64_t switches_completed() const {
+    return switches_completed_;
+  }
+  [[nodiscard]] std::uint64_t stale_discarded() const {
+    return stale_discarded_;
+  }
+  [[nodiscard]] std::uint64_t reissued_total() const { return reissued_total_; }
+
+  /// Trace detail strings emitted as TraceKind::kCustom markers; benches
+  /// locate switch windows by scanning for these.
+  static constexpr char kTraceChangeRequested[] = "repl-change-requested";
+  static constexpr char kTraceSwitchDone[] = "repl-switch-done";
+
+ private:
+  enum Tag : std::uint8_t { kNil = 0, kNewAbcast = 1 };
+
+  void inner_abcast(const Bytes& wrapped);
+  void perform_switch(const std::string& protocol, const ModuleParams& params);
+  [[nodiscard]] std::string versioned_instance(const std::string& protocol,
+                                               std::uint64_t sn) const;
+
+  Config config_;
+  ServiceRef<AbcastApi> inner_;
+  UpcallRef<AbcastListener> up_;
+
+  std::uint64_t seq_number_ = 0;  // Algorithm 1 line 4
+  std::uint64_t next_local_ = 1;  // id generator for this stack's messages
+  /// Algorithm 1 line 2: this stack's messages not yet rAdelivered locally.
+  std::map<MsgId, Bytes> undelivered_;
+  std::string cur_protocol_;
+  Module* cur_module_ = nullptr;
+
+  std::uint64_t switches_completed_ = 0;
+  std::uint64_t stale_discarded_ = 0;
+  std::uint64_t reissued_total_ = 0;
+  std::vector<std::unique_ptr<TimerSlot>> retire_timers_;
+};
+
+}  // namespace dpu

@@ -1,0 +1,332 @@
+#include "rt/rt_world.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RtHost — HostEnv implementation: one thread, one event queue, one timer
+// heap, optionally one UDP socket.
+// ---------------------------------------------------------------------------
+
+class RtWorld::RtHost final : public HostEnv {
+ public:
+  RtHost(RtWorld& world, NodeId node, std::uint64_t seed)
+      : world_(&world),
+        node_(node),
+        rng_(Rng::substream(seed, node)),
+        epoch_(SteadyClock::now()) {}
+
+  ~RtHost() override { stop_and_join(); }
+
+  // ---- HostEnv --------------------------------------------------------------
+
+  [[nodiscard]] NodeId node_id() const override { return node_; }
+  [[nodiscard]] std::size_t world_size() const override {
+    return world_->hosts_.size();
+  }
+
+  [[nodiscard]] TimePoint now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               SteadyClock::now() - epoch_)
+        .count();
+  }
+
+  TimerId set_timer(Duration after, std::function<void()> cb) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const TimerId id = ++next_timer_id_;
+    timers_.emplace(now() + std::max<Duration>(after, 0),
+                    TimerEntry{id, std::move(cb)});
+    live_timers_.insert(id);
+    cv_.notify_all();
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    live_timers_.erase(id);
+  }
+
+  void send_packet(NodeId dst, Bytes data) override {
+    world_->route_packet(node_, dst, std::move(data));
+  }
+
+  void post(std::function<void()> fn) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  void charge(Duration /*cost*/) override {
+    // Real cycles are already spent; nothing to model.
+  }
+
+  [[nodiscard]] bool crashed() const override {
+    return crashed_.load(std::memory_order_relaxed);
+  }
+
+  void set_packet_handler(
+      std::function<void(NodeId, const Bytes&)> handler) override {
+    // Called from this stack's thread (module start/stop); handler is only
+    // read from this thread as well.
+    packet_handler_ = std::move(handler);
+  }
+
+  // ---- Engine side -----------------------------------------------------------
+
+  void set_epoch(SteadyClock::time_point epoch) { epoch_ = epoch; }
+
+  void enqueue_packet(NodeId src, Bytes data) {
+    if (crashed()) return;
+    post([this, src, payload = std::move(data)]() {
+      if (packet_handler_) packet_handler_(src, payload);
+    });
+  }
+
+  void open_socket(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) throw std::runtime_error("rt: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw std::runtime_error("rt: bind() failed on port " +
+                               std::to_string(port));
+    }
+    // Receive timeout so the receiver thread can observe shutdown.
+    timeval tv{0, 50'000};  // 50ms
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  void socket_send(std::uint16_t dst_port, const Bytes& data) const {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(dst_port);
+    ::sendto(fd_, data.data(), data.size(), 0,
+             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+
+  void start_threads(bool with_receiver, std::uint16_t base_port) {
+    running_.store(true);
+    loop_thread_ = std::thread([this]() { run_loop(); });
+    if (with_receiver) {
+      receiver_thread_ = std::thread([this, base_port]() {
+        run_receiver(base_port);
+      });
+    }
+  }
+
+  void stop_and_join() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_.exchange(false)) return;
+      cv_.notify_all();
+    }
+    if (loop_thread_.joinable()) loop_thread_.join();
+    if (receiver_thread_.joinable()) receiver_thread_.join();
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void mark_crashed() {
+    crashed_.store(true, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_all();
+  }
+
+ private:
+  struct TimerEntry {
+    TimerId id;
+    std::function<void()> cb;
+  };
+
+  void run_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (running_.load() && !crashed()) {
+      // Fire due timers.
+      const TimePoint t = now();
+      while (!timers_.empty() && timers_.begin()->first <= t) {
+        auto node = timers_.extract(timers_.begin());
+        TimerEntry& entry = node.mapped();
+        const bool live = live_timers_.erase(entry.id) > 0;
+        if (!live) continue;
+        lock.unlock();
+        entry.cb();
+        lock.lock();
+      }
+      // Drain posted events.
+      while (!queue_.empty()) {
+        auto fn = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        fn();
+        lock.lock();
+        if (!running_.load() || crashed()) return;
+      }
+      if (!running_.load() || crashed()) return;
+      // Sleep until the next timer or a new event.
+      if (timers_.empty()) {
+        cv_.wait(lock);
+      } else {
+        const Duration until = timers_.begin()->first - now();
+        if (until > 0) {
+          cv_.wait_for(lock, std::chrono::nanoseconds(until));
+        }
+      }
+    }
+  }
+
+  void run_receiver(std::uint16_t /*base_port*/) {
+    std::vector<std::uint8_t> buf(65536);
+    while (running_.load() && !crashed()) {
+      sockaddr_in from{};
+      socklen_t from_len = sizeof(from);
+      const ssize_t n =
+          ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                     reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n < 0) continue;  // timeout; recheck running flag
+      if (n < 4) continue;  // below the src-id header
+      // First 4 bytes: source node id (see RtWorld::route_packet).
+      const NodeId src = (static_cast<NodeId>(buf[0]) << 24) |
+                         (static_cast<NodeId>(buf[1]) << 16) |
+                         (static_cast<NodeId>(buf[2]) << 8) |
+                         static_cast<NodeId>(buf[3]);
+      Bytes payload(buf.begin() + 4, buf.begin() + n);
+      enqueue_packet(src, std::move(payload));
+    }
+  }
+
+  RtWorld* world_;
+  NodeId node_;
+  Rng rng_;
+  SteadyClock::time_point epoch_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::multimap<TimePoint, TimerEntry> timers_;
+  std::unordered_set<TimerId> live_timers_;
+  TimerId next_timer_id_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> crashed_{false};
+  std::thread loop_thread_;
+  std::thread receiver_thread_;
+  std::function<void(NodeId, const Bytes&)> packet_handler_;
+  int fd_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// RtWorld
+// ---------------------------------------------------------------------------
+
+RtWorld::RtWorld(RtConfig config, const ProtocolLibrary* library,
+                 TraceSink* trace)
+    : config_(config) {
+  const auto epoch = SteadyClock::now();
+  for (NodeId i = 0; i < config_.num_stacks; ++i) {
+    hosts_.push_back(std::make_unique<RtHost>(*this, i, config_.seed));
+    hosts_.back()->set_epoch(epoch);
+    stacks_.push_back(std::make_unique<Stack>(*hosts_.back(), library, trace));
+  }
+  if (config_.transport == RtTransport::kUdpSockets) {
+    for (NodeId i = 0; i < config_.num_stacks; ++i) {
+      hosts_[i]->open_socket(
+          static_cast<std::uint16_t>(config_.udp_base_port + i));
+    }
+  }
+}
+
+RtWorld::~RtWorld() { stop(); }
+
+void RtWorld::start() {
+  if (started_) return;
+  started_ = true;
+  const bool with_receiver = config_.transport == RtTransport::kUdpSockets;
+  for (auto& host : hosts_) {
+    host->start_threads(with_receiver, config_.udp_base_port);
+  }
+}
+
+void RtWorld::stop() {
+  for (auto& host : hosts_) host->stop_and_join();
+  started_ = false;
+}
+
+void RtWorld::post_to(NodeId node, std::function<void()> fn) {
+  hosts_[node]->post(std::move(fn));
+}
+
+void RtWorld::call_on(NodeId node, std::function<void()> fn) {
+  std::promise<void> done;
+  auto fut = done.get_future();
+  hosts_[node]->post([&fn, &done]() {
+    fn();
+    done.set_value();
+  });
+  fut.wait();
+}
+
+void RtWorld::crash(NodeId node) {
+  hosts_[node]->mark_crashed();
+  stacks_[node]->trace(TraceKind::kStackCrashed, "", "");
+}
+
+bool RtWorld::crashed(NodeId node) const {
+  return hosts_[node]->crashed();
+}
+
+std::set<NodeId> RtWorld::crashed_set() const {
+  std::set<NodeId> out;
+  for (NodeId i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->crashed()) out.insert(i);
+  }
+  return out;
+}
+
+void RtWorld::route_packet(NodeId src, NodeId dst, Bytes data) {
+  if (dst >= hosts_.size()) return;
+  if (config_.transport == RtTransport::kUdpSockets) {
+    // Prefix the datagram with the source node id (real sockets do not know
+    // our logical ids).
+    Bytes framed;
+    framed.reserve(data.size() + 4);
+    framed.push_back(static_cast<std::uint8_t>(src >> 24));
+    framed.push_back(static_cast<std::uint8_t>(src >> 16));
+    framed.push_back(static_cast<std::uint8_t>(src >> 8));
+    framed.push_back(static_cast<std::uint8_t>(src));
+    framed.insert(framed.end(), data.begin(), data.end());
+    hosts_[src]->socket_send(
+        static_cast<std::uint16_t>(config_.udp_base_port + dst), framed);
+    return;
+  }
+  // In-proc transport with optional loss injection.
+  if (config_.drop_probability > 0.0) {
+    // Drop decisions need their own synchronized stream: many sender
+    // threads route concurrently.
+    static thread_local Rng drop_rng(0xD0D0'CAFE ^ config_.seed);
+    if (drop_rng.chance(config_.drop_probability)) return;
+  }
+  hosts_[dst]->enqueue_packet(src, std::move(data));
+}
+
+}  // namespace dpu

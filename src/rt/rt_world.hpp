@@ -1,0 +1,89 @@
+// Real-time engine: one OS thread per protocol stack.
+//
+// The same protocol modules that run deterministically in dpu::sim run here
+// under real concurrency (DESIGN.md §2): each stack owns a thread, an event
+// queue and a timer heap; packets travel either through lock-protected
+// in-process queues or through real POSIX UDP sockets on the loopback
+// device (the paper's transport).
+//
+// Concurrency contract (Core Guidelines CP.2/CP.3): all interaction with a
+// stack's modules happens on that stack's thread.  External drivers use
+// post_to()/call_on() to marshal closures onto it; cross-thread state
+// (queues, the crash flag, counters) is mutex- or atomic-protected, and
+// protocol code itself stays lock-free exactly as in the simulator.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "core/trace.hpp"
+#include "runtime/host.hpp"
+
+namespace dpu {
+
+enum class RtTransport {
+  kInproc,      ///< lock-protected queues between threads
+  kUdpSockets,  ///< real UDP datagrams over 127.0.0.1
+};
+
+struct RtConfig {
+  std::size_t num_stacks = 3;
+  std::uint64_t seed = 1;
+  RtTransport transport = RtTransport::kInproc;
+  /// First UDP port for transport kUdpSockets (stack i uses base+i).
+  std::uint16_t udp_base_port = 37900;
+  /// In-proc transport fault injection (0 = reliable).
+  double drop_probability = 0.0;
+};
+
+class RtWorld {
+ public:
+  explicit RtWorld(RtConfig config, const ProtocolLibrary* library = nullptr,
+                   TraceSink* trace = nullptr);
+  ~RtWorld();
+
+  RtWorld(const RtWorld&) = delete;
+  RtWorld& operator=(const RtWorld&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] Stack& stack(NodeId node) { return *stacks_[node]; }
+
+  /// Starts every stack thread.  Composition (module creation) must happen
+  /// either before start() or via post_to()/call_on() afterwards.
+  void start();
+
+  /// Stops and joins all threads.  Idempotent; called by the destructor.
+  void stop();
+
+  /// Schedules `fn` on `node`'s thread (fire and forget).
+  void post_to(NodeId node, std::function<void()> fn);
+
+  /// Runs `fn` on `node`'s thread and waits for completion.
+  void call_on(NodeId node, std::function<void()> fn);
+
+  /// Crash-stop fault injection: the stack's thread stops processing and
+  /// packets to it are dropped.
+  void crash(NodeId node);
+  [[nodiscard]] bool crashed(NodeId node) const;
+  [[nodiscard]] std::set<NodeId> crashed_set() const;
+
+ private:
+  class RtHost;
+  friend class RtHost;
+
+  void route_packet(NodeId src, NodeId dst, Bytes data);
+
+  RtConfig config_;
+  std::vector<std::unique_ptr<RtHost>> hosts_;
+  std::vector<std::unique_ptr<Stack>> stacks_;
+  bool started_ = false;
+};
+
+}  // namespace dpu

@@ -1,0 +1,91 @@
+// HostEnv — the boundary between a protocol stack and its execution engine.
+//
+// Every protocol module in this repository is written against this interface
+// only; the discrete-event simulator (src/sim) and the real-thread engine
+// (src/rt) both implement it, so the same protocol binaries run deterministic
+// experiments and real multi-threaded deployments (DESIGN.md §2).
+//
+// Threading model: a stack is a single-threaded event processor.  The engine
+// guarantees that timer callbacks, packet deliveries and post()ed closures
+// for one stack never run concurrently, so modules need no locks (Core
+// Guidelines CP.3: minimize explicit sharing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/time.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dpu {
+
+/// Handle for a pending timer; 0 is never a valid id.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+/// Engine services available to one stack.
+class HostEnv {
+ public:
+  virtual ~HostEnv() = default;
+
+  /// This stack's node id (0..world_size-1).
+  [[nodiscard]] virtual NodeId node_id() const = 0;
+
+  /// Number of stacks in the world.  Static membership; the GM protocol
+  /// layers dynamic views on top.
+  [[nodiscard]] virtual std::size_t world_size() const = 0;
+
+  /// Current time.  Virtual in the simulator, monotonic clock in rt.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Current time *including* CPU work charged during the running event.
+  /// The simulator returns max(now, busy-until); the real-time engine
+  /// returns now() (real cycles already advanced the clock).  Latency
+  /// probes use this so that processing costs on the delivery path count.
+  [[nodiscard]] virtual TimePoint busy_now() const { return now(); }
+
+  /// One-shot timer; the callback runs on this stack's executor.  Returns a
+  /// handle usable with cancel_timer.  `after` is clamped to >= 0.
+  virtual TimerId set_timer(Duration after, std::function<void()> cb) = 0;
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Sends an unreliable datagram to `dst` (may be dropped, duplicated or
+  /// reordered by the network).  Sending to self is delivered like any other
+  /// packet.  This is the engine half of the paper's `Net` service; the UDP
+  /// module adapts it into a composable service.
+  virtual void send_packet(NodeId dst, Bytes data) = 0;
+
+  /// Schedules a closure on this stack's executor, after currently queued
+  /// work.  Used to break call cycles and defer work out of upcalls.
+  virtual void post(std::function<void()> fn) = 0;
+
+  /// Per-stack deterministic RNG stream (seeded from the world seed).
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  /// Accounts `cost` of CPU work to this stack.  The simulator advances the
+  /// stack's busy-time (creating queueing under load, DESIGN.md §8); the
+  /// real-time engine ignores it because real cycles are already spent.
+  virtual void charge(Duration cost) = 0;
+
+  /// True once the engine has crashed this stack (fault injection).  Modules
+  /// don't normally consult this; the engine stops delivering events to
+  /// crashed stacks.
+  [[nodiscard]] virtual bool crashed() const = 0;
+
+  /// Registers the single ingress handler for packets addressed to this
+  /// stack (the UDP module).  Replacing the handler is allowed (Maestro-style
+  /// full-stack rebuilds re-register); packets arriving while no handler is
+  /// installed are dropped, matching UDP semantics.
+  virtual void set_packet_handler(
+      std::function<void(NodeId src, const Bytes& data)> handler) = 0;
+};
+
+/// Engine-side hook for delivering received packets into a stack.  The UDP
+/// module registers itself here.
+using PacketHandler = std::function<void(NodeId src, const Bytes& data)>;
+
+}  // namespace dpu

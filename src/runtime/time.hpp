@@ -1,0 +1,35 @@
+// Time representation shared by the simulated and real-time engines.
+//
+// Both engines express time as signed 64-bit nanoseconds from an arbitrary
+// epoch (world start).  Using a plain integer instead of std::chrono keeps
+// virtual timestamps trivially serializable and arithmetic explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace dpu {
+
+/// Nanoseconds since world start.
+using TimePoint = std::int64_t;
+
+/// Nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+[[nodiscard]] constexpr double to_micros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+[[nodiscard]] constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace dpu

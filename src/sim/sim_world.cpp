@@ -1,0 +1,225 @@
+#include "sim/sim_world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+// ---------------------------------------------------------------------------
+// SimHost: the HostEnv implementation handed to each stack.
+// ---------------------------------------------------------------------------
+
+class SimWorld::SimHost final : public HostEnv {
+ public:
+  SimHost(SimWorld& world, NodeId node, std::uint64_t seed)
+      : world_(&world), node_(node), rng_(Rng::substream(seed, node)) {}
+
+  [[nodiscard]] NodeId node_id() const override { return node_; }
+  [[nodiscard]] std::size_t world_size() const override {
+    return world_->hosts_.size();
+  }
+  [[nodiscard]] TimePoint now() const override { return world_->now_; }
+  [[nodiscard]] TimePoint busy_now() const override {
+    return std::max(world_->now_, world_->busy_until_[node_]);
+  }
+
+  TimerId set_timer(Duration after, std::function<void()> cb) override {
+    const TimerId id = ++next_timer_id_;
+    auto alive = std::make_shared<bool>(true);
+    timers_[id] = alive;
+    world_->push_event(world_->now_ + std::max<Duration>(after, 0), node_,
+                       [this, id, alive, cb = std::move(cb)]() {
+                         if (!*alive) return;
+                         timers_.erase(id);
+                         cb();
+                       });
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) return;
+    *it->second = false;
+    timers_.erase(it);
+  }
+
+  void send_packet(NodeId dst, Bytes data) override {
+    world_->do_send_packet(node_, dst, std::move(data));
+  }
+
+  void post(std::function<void()> fn) override {
+    world_->push_event(world_->now_, node_, std::move(fn));
+  }
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  void charge(Duration cost) override { world_->do_charge(node_, cost); }
+
+  [[nodiscard]] bool crashed() const override {
+    return world_->crashed_[node_];
+  }
+
+  void set_packet_handler(
+      std::function<void(NodeId, const Bytes&)> handler) override {
+    packet_handler_ = std::move(handler);
+  }
+
+  void deliver(NodeId src, const Bytes& data) {
+    if (packet_handler_) packet_handler_(src, data);
+  }
+
+ private:
+  SimWorld* world_;
+  NodeId node_;
+  Rng rng_;
+  TimerId next_timer_id_ = 0;
+  std::unordered_map<TimerId, std::shared_ptr<bool>> timers_;
+  std::function<void(NodeId, const Bytes&)> packet_handler_;
+};
+
+// ---------------------------------------------------------------------------
+// SimWorld
+// ---------------------------------------------------------------------------
+
+SimWorld::SimWorld(SimConfig config, const ProtocolLibrary* library,
+                   TraceSink* trace)
+    : config_(config) {
+  const std::size_t n = config_.num_stacks;
+  assert(n > 0);
+  hosts_.reserve(n);
+  stacks_.reserve(n);
+  busy_until_.assign(n, 0);
+  crashed_.assign(n, false);
+  link_rngs_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    link_rngs_.push_back(Rng::substream(config_.seed, 1'000'000 + i));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    hosts_.push_back(std::make_unique<SimHost>(*this, i, config_.seed));
+    stacks_.push_back(std::make_unique<Stack>(*hosts_.back(), library, trace));
+    stacks_.back()->set_cost_model(config_.stack_cost);
+  }
+}
+
+SimWorld::~SimWorld() {
+  // Destroy stacks while the engine state (busy_until_, link_rngs_, heap_)
+  // is still alive: module stop() handlers send packets and charge CPU
+  // costs through their host on the way down.
+  stacks_.clear();
+  hosts_.clear();
+}
+
+void SimWorld::push_event(TimePoint t, NodeId node, std::function<void()> fn) {
+  heap_.push_back(Event{t, next_seq_++, node, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+void SimWorld::at(TimePoint t, std::function<void()> fn) {
+  assert(t >= now_);
+  push_event(t, kNoNode, std::move(fn));
+}
+
+void SimWorld::at_node(TimePoint t, NodeId node, std::function<void()> fn) {
+  assert(t >= now_);
+  assert(node < hosts_.size());
+  push_event(t, node, std::move(fn));
+}
+
+void SimWorld::crash(NodeId node) {
+  assert(node < hosts_.size());
+  if (crashed_[node]) return;
+  crashed_[node] = true;
+  stacks_[node]->trace(TraceKind::kStackCrashed, "", "");
+  DPU_LOG(kInfo, "sim") << "crash s" << node << " at t=" << now_;
+}
+
+std::set<NodeId> SimWorld::crashed_set() const {
+  std::set<NodeId> out;
+  for (NodeId i = 0; i < crashed_.size(); ++i) {
+    if (crashed_[i]) out.insert(i);
+  }
+  return out;
+}
+
+void SimWorld::do_send_packet(NodeId src, NodeId dst, Bytes data) {
+  assert(dst < hosts_.size());
+  ++packets_sent_;
+  const auto& net = config_.net;
+  // Sender-side CPU cost (serialization + syscall era-equivalent).
+  do_charge(src, net.send_cost_fixed +
+                     net.send_cost_per_byte *
+                         static_cast<Duration>(data.size()));
+  if (crashed_[dst]) {
+    ++packets_dropped_;
+    return;
+  }
+  if (link_filter_ && !link_filter_(src, dst)) {
+    ++packets_dropped_;
+    return;
+  }
+  Rng& rng = link_rng(src, dst);
+  if (rng.chance(net.drop_probability)) {
+    ++packets_dropped_;
+    return;
+  }
+  const int copies = rng.chance(net.duplicate_probability) ? 2 : 1;
+  // The datagram leaves once the sender's CPU has finished the work charged
+  // so far in this event (store-and-forward processor model): CPU costs on
+  // the send path are part of the message's latency, not just of later
+  // events' queueing.
+  const TimePoint departure = std::max(now_, busy_until_[src]);
+  for (int c = 0; c < copies; ++c) {
+    const Duration latency =
+        net.min_latency +
+        static_cast<Duration>(rng.uniform_u64(static_cast<std::uint64_t>(
+            net.max_latency - net.min_latency + 1)));
+    // Copy the payload per copy; delivery owns its bytes.
+    Bytes payload = (c == copies - 1) ? std::move(data) : data;
+    push_event(departure + latency, dst,
+               [this, src, dst, payload = std::move(payload)]() {
+                 const auto& cfg = config_.net;
+                 do_charge(dst, cfg.recv_cost_fixed +
+                                    cfg.recv_cost_per_byte *
+                                        static_cast<Duration>(payload.size()));
+                 hosts_[dst]->deliver(src, payload);
+               });
+  }
+}
+
+void SimWorld::do_charge(NodeId node, Duration cost) {
+  if (node == kNoNode || cost <= 0) return;
+  busy_until_[node] = std::max(busy_until_[node], now_) + cost;
+}
+
+bool SimWorld::run_until(TimePoint t_end, std::uint64_t max_events) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (top.time > t_end) break;
+    if (processed_ >= max_events) {
+      DPU_LOG(kError, "sim") << "event budget exhausted at t=" << now_;
+      return false;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+
+    if (ev.node != kNoNode) {
+      if (crashed_[ev.node]) continue;  // events of crashed stacks vanish
+      // Processor model: a busy stack defers its events.
+      if (busy_until_[ev.node] > ev.time) {
+        push_event(busy_until_[ev.node], ev.node, std::move(ev.fn));
+        continue;
+      }
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  now_ = std::max(now_, t_end);
+  return true;
+}
+
+}  // namespace dpu

@@ -1,0 +1,154 @@
+// Deterministic discrete-event simulation engine.
+//
+// SimWorld hosts N protocol stacks in one address space with a shared
+// virtual clock.  It provides, per DESIGN.md §2/§8:
+//
+//  * an event heap ordered by (virtual time, insertion sequence) — fully
+//    deterministic given the world seed;
+//  * a network model: per-link latency drawn uniformly from a configured
+//    range, optional loss and duplication, and a pluggable link filter for
+//    partitions;
+//  * a processor model: every stack has a "busy-until" horizon; event
+//    handlers charge CPU costs (service hops, per-byte serialization) that
+//    push the horizon forward, so queueing delay — and therefore the
+//    latency-vs-load saturation the paper's Figure 6 shows — emerges from
+//    the model instead of being scripted;
+//  * fault injection: crash(node) and link filters (partitions).
+//
+// The engine runs on a single OS thread; all determinism derives from seeded
+// substreams (util/rng.hpp).  The same protocol code also runs on the
+// multi-threaded real-time engine in src/rt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "core/trace.hpp"
+#include "runtime/host.hpp"
+#include "runtime/time.hpp"
+#include "util/rng.hpp"
+
+namespace dpu {
+
+/// Network and CPU-cost model (DESIGN.md §8 calibration).
+struct NetModelConfig {
+  Duration min_latency = 45 * kMicrosecond;  ///< one-way link latency, lower bound
+  Duration max_latency = 75 * kMicrosecond;  ///< one-way link latency, upper bound
+  double drop_probability = 0.0;       ///< per-packet loss
+  double duplicate_probability = 0.0;  ///< per-packet duplication
+  Duration send_cost_fixed = 2 * kMicrosecond;  ///< sender CPU per packet
+  Duration send_cost_per_byte = 6;              ///< sender CPU per byte (ns)
+  Duration recv_cost_fixed = 2 * kMicrosecond;  ///< receiver CPU per packet
+  Duration recv_cost_per_byte = 6;              ///< receiver CPU per byte (ns)
+};
+
+struct SimConfig {
+  std::size_t num_stacks = 3;
+  std::uint64_t seed = 1;
+  NetModelConfig net;
+  StackCostModel stack_cost;  ///< applied to every stack (service hop cost)
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(SimConfig config, const ProtocolLibrary* library = nullptr,
+                    TraceSink* trace = nullptr);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] Stack& stack(NodeId node) { return *stacks_[node]; }
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  // ---- Driver hooks --------------------------------------------------------
+
+  /// Schedules a driver closure at absolute virtual time `t` (no CPU
+  /// accounting; use for test/bench orchestration).
+  void at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules a closure on `node`'s executor at time `t`; runs with that
+  /// stack's busy-time accounting, as if triggered by a local event.
+  void at_node(TimePoint t, NodeId node, std::function<void()> fn);
+
+  // ---- Fault injection ------------------------------------------------------
+
+  /// Crashes a stack: all of its pending and future events are discarded and
+  /// packets addressed to it vanish.  Crash-stop, no recovery.
+  void crash(NodeId node);
+
+  [[nodiscard]] bool crashed(NodeId node) const { return crashed_[node]; }
+  [[nodiscard]] std::set<NodeId> crashed_set() const;
+
+  /// Installs a link filter: packets with filter(src,dst)==false are dropped.
+  /// Used for partitions; pass nullptr to heal.
+  void set_link_filter(std::function<bool(NodeId, NodeId)> deliverable) {
+    link_filter_ = std::move(deliverable);
+  }
+
+  // ---- Execution ------------------------------------------------------------
+
+  /// Processes events with time <= t_end; returns false if `max_events` was
+  /// exhausted first (runaway guard for tests).
+  bool run_until(TimePoint t_end,
+                 std::uint64_t max_events = 500'000'000ULL);
+
+  bool run_for(Duration d, std::uint64_t max_events = 500'000'000ULL) {
+    return run_until(now_ + d, max_events);
+  }
+
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return packets_dropped_;
+  }
+
+ private:
+  class SimHost;
+  friend class SimHost;
+
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;   // insertion order; total-order tiebreaker
+    NodeId node;         // kNoNode => driver event (no busy accounting)
+    std::function<void()> fn;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      // std::*_heap builds a max-heap; invert to pop the earliest event.
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(TimePoint t, NodeId node, std::function<void()> fn);
+  void do_send_packet(NodeId src, NodeId dst, Bytes data);
+  void do_charge(NodeId node, Duration cost);
+  Rng& link_rng(NodeId src, NodeId dst) {
+    return link_rngs_[static_cast<std::size_t>(src) * hosts_.size() + dst];
+  }
+
+  SimConfig config_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::vector<Event> heap_;
+
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::vector<std::unique_ptr<Stack>> stacks_;
+  std::vector<TimePoint> busy_until_;
+  std::vector<bool> crashed_;
+  std::vector<Rng> link_rngs_;
+  std::function<bool(NodeId, NodeId)> link_filter_;
+};
+
+}  // namespace dpu

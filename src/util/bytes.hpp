@@ -1,0 +1,231 @@
+// Byte-buffer primitives and a bounds-checked binary codec.
+//
+// Every protocol module in this repository talks to its peers through real
+// serialized packets (even on the in-process engines), so the codec is the
+// lowest layer of the wire format.  Encoding is explicit big-endian for fixed
+// width integers plus LEB128-style varints for counts; there is no implicit
+// padding, which keeps packets identical across engines and platforms.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpu {
+
+/// Raw wire bytes.  A plain vector keeps ownership semantics obvious and
+/// copy/move behaviour standard (Core Guidelines: prefer simple, regular
+/// types at interfaces).
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by BufReader when a packet is truncated or malformed.  Protocol
+/// modules catch this at their ingress boundary and drop the packet; it must
+/// never escape a stack's event handler.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only encoder.  All integers are written big-endian; varints use
+/// little-endian base-128 groups (LEB128).  The writer owns its buffer and
+/// releases it via take().
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_u32(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  /// LEB128 unsigned varint (1 byte for values < 128).
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix (caller knows the length from context).
+  void put_raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed byte string (varint length + bytes).
+  void put_blob(std::span<const std::uint8_t> data) {
+    put_varint(data.size());
+    put_raw(data);
+  }
+
+  void put_blob(const Bytes& data) {
+    put_blob(std::span<const std::uint8_t>(data.data(), data.size()));
+  }
+
+  /// Length-prefixed UTF-8 string.
+  void put_string(std::string_view s) {
+    put_varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  /// Transfers ownership of the encoded buffer out of the writer.
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte span.  Throws CodecError on
+/// any overrun or malformed varint; never reads past the span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit BufReader(const Bytes& data)
+      : data_(std::span<const std::uint8_t>(data.data(), data.size())) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t get_u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+
+  [[nodiscard]] std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      need(1);
+      const std::uint8_t b = data_[pos_++];
+      if (shift == 63 && (b & 0x7E) != 0) {
+        throw CodecError("varint overflows 64 bits");
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) throw CodecError("varint too long");
+    }
+  }
+
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+
+  /// Borrow `n` raw bytes (no copy); valid while the underlying span lives.
+  [[nodiscard]] std::span<const std::uint8_t> get_raw(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed byte string, copied out.
+  [[nodiscard]] Bytes get_blob() {
+    const std::uint64_t n = get_varint();
+    if (n > remaining()) throw CodecError("blob length exceeds packet");
+    auto raw = get_raw(static_cast<std::size_t>(n));
+    return Bytes(raw.begin(), raw.end());
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const std::uint64_t n = get_varint();
+    if (n > remaining()) throw CodecError("string length exceeds packet");
+    auto raw = get_raw(static_cast<std::size_t>(n));
+    return std::string(raw.begin(), raw.end());
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  /// Asserts the whole packet was consumed; protocols call this after
+  /// decoding to reject trailing garbage.
+  void expect_done() const {
+    if (!done()) throw CodecError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw CodecError("packet truncated");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Builds a Bytes value from a string literal / string payload (examples and
+/// tests use this to make application payloads).
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Inverse of to_bytes for displaying payloads.
+[[nodiscard]] inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Hex dump used by log messages and test diagnostics ("de:ad:be:ef").
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> data,
+                                   std::size_t max_bytes = 32);
+
+/// FNV-1a 64-bit hash; used to derive stable channel ids from instance names.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace dpu

@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace dpu {
+namespace log_detail {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void emit(LogLevel level, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
+}
+
+}  // namespace log_detail
+
+void set_log_level_from_string(const std::string& name) {
+  if (name == "trace") set_log_level(LogLevel::kTrace);
+  else if (name == "debug") set_log_level(LogLevel::kDebug);
+  else if (name == "info") set_log_level(LogLevel::kInfo);
+  else if (name == "warn") set_log_level(LogLevel::kWarn);
+  else if (name == "error") set_log_level(LogLevel::kError);
+  else if (name == "off") set_log_level(LogLevel::kOff);
+}
+
+LogLine::~LogLine() {
+  if (!log_enabled(level_)) return;
+  log_detail::emit(level_, tag_ + ": " + os_.str());
+}
+
+}  // namespace dpu

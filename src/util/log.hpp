@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// Protocol modules log through a per-stack tag ("s3/rp2p") so interleaved
+// output from simulated stacks stays readable.  The logger is thread-safe
+// (the real-time engine logs from many threads) and costs a single relaxed
+// atomic load when the level is disabled, so it can stay in hot paths.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace dpu {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace log_detail {
+/// Global minimum level; default Warn keeps tests and benches quiet.
+extern std::atomic<int> g_level;
+/// Sink for a fully formatted line (terminated, without trailing newline).
+void emit(LogLevel level, const std::string& line);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) {
+  log_detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         log_detail::g_level.load(std::memory_order_relaxed);
+}
+
+/// Parses "trace|debug|info|warn|error|off"; anything else leaves the level
+/// unchanged.  Benches call this with the DPU_LOG environment variable.
+void set_log_level_from_string(const std::string& name);
+
+/// Builds one log line; emitted on destruction.  Usage:
+///   DPU_LOG(kDebug, "s" << node << "/rp2p") << "retransmit seq=" << s;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+
+}  // namespace dpu
+
+/// Log macro: evaluates the stream expression only when the level is active.
+#define DPU_LOG(level, tag)                              \
+  if (!::dpu::log_enabled(::dpu::LogLevel::level)) {     \
+  } else                                                 \
+    ::dpu::LogLine(::dpu::LogLevel::level, (tag))

@@ -1,0 +1,13 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+
+namespace dpu {
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace dpu

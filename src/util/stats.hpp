@@ -1,0 +1,142 @@
+// Statistics helpers for benchmarks and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dpu {
+
+/// Streaming mean/variance/min/max (Welford).  Cheap enough to keep per
+/// time-bucket in the latency harness.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(other.n_);
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile sample set.  The evaluation workloads produce at most a
+/// few hundred thousand samples per series, so storing them outright is
+/// simpler and more accurate than a sketch.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double stddev() const { return stats_.stddev(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
+
+  /// Percentile in [0,100]; linear interpolation between closest ranks.
+  [[nodiscard]] double percentile(double p) {
+    if (values_.empty()) return 0.0;
+    sort_once();
+    const double rank =
+        (p / 100.0) * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void sort_once() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> values_;
+  OnlineStats stats_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width time-bucketed series: maps a timestamp to a bucket and
+/// accumulates per-bucket statistics.  Used to regenerate Figure 5 (latency
+/// as a function of time around a replacement).
+class TimeSeries {
+ public:
+  /// `bucket_width` and timestamps share a unit (the sim uses nanoseconds).
+  explicit TimeSeries(std::int64_t bucket_width) : width_(bucket_width) {}
+
+  void add(std::int64_t t, double value) {
+    const std::int64_t idx = t / width_;
+    if (buckets_.size() <= static_cast<std::size_t>(idx)) {
+      buckets_.resize(static_cast<std::size_t>(idx) + 1);
+    }
+    buckets_[static_cast<std::size_t>(idx)].add(value);
+  }
+
+  [[nodiscard]] std::int64_t bucket_width() const { return width_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] const OnlineStats& bucket(std::size_t i) const {
+    return buckets_[i];
+  }
+  [[nodiscard]] std::int64_t bucket_start(std::size_t i) const {
+    return static_cast<std::int64_t>(i) * width_;
+  }
+
+ private:
+  std::int64_t width_;
+  std::vector<OnlineStats> buckets_;
+};
+
+/// Formats a double with fixed decimals (benchmark tables).
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+
+}  // namespace dpu

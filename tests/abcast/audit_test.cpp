@@ -1,0 +1,126 @@
+// Unit tests for the AbcastAudit checker itself: it must flag violations of
+// each of the four properties (a checker that cannot fail is no checker).
+#include "abcast/audit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpu {
+namespace {
+
+TEST(AbcastAudit, CleanRunPasses) {
+  AbcastAudit audit;
+  for (NodeId n = 0; n < 3; ++n) {
+    audit.record_sent(n, to_bytes("m" + std::to_string(n)));
+  }
+  for (NodeId n = 0; n < 3; ++n) {
+    audit.record_delivery(n, to_bytes("m0"));
+    audit.record_delivery(n, to_bytes("m1"));
+    audit.record_delivery(n, to_bytes("m2"));
+  }
+  EXPECT_TRUE(audit.check(3).ok);
+}
+
+TEST(AbcastAudit, DetectsDuplicateDelivery) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("m"));
+  audit.record_delivery(0, to_bytes("m"));
+  audit.record_delivery(0, to_bytes("m"));
+  audit.record_delivery(1, to_bytes("m"));
+  auto report = audit.check(2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("integrity"), std::string::npos);
+}
+
+TEST(AbcastAudit, DetectsDeliveryOfUnsentMessage) {
+  AbcastAudit audit;
+  audit.record_delivery(0, to_bytes("ghost"));
+  audit.record_delivery(1, to_bytes("ghost"));
+  auto report = audit.check(2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("never abcast"), std::string::npos);
+}
+
+TEST(AbcastAudit, DetectsValidityViolation) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("m"));
+  // Nobody delivers it; sender 0 is correct.
+  auto report = audit.check(2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("validity"), std::string::npos);
+}
+
+TEST(AbcastAudit, CrashedSenderExcusedFromValidity) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("m"));
+  EXPECT_TRUE(audit.check(2, {0}).ok);
+}
+
+TEST(AbcastAudit, DetectsAgreementViolation) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("m"));
+  audit.record_delivery(0, to_bytes("m"));
+  // Stack 1 (correct) never delivers it.
+  auto report = audit.check(2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("agreement"), std::string::npos);
+}
+
+TEST(AbcastAudit, AgreementAppliesToCrashedStackDeliveries) {
+  // Uniform agreement: even a delivery made by a stack that later crashed
+  // obligates all correct stacks.
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("m"));
+  audit.record_delivery(2, to_bytes("m"));  // stack 2 delivered, then crashed
+  auto report = audit.check(3, {2});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("agreement"), std::string::npos);
+}
+
+TEST(AbcastAudit, DetectsTotalOrderViolation) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("a"));
+  audit.record_sent(0, to_bytes("b"));
+  audit.record_delivery(0, to_bytes("a"));
+  audit.record_delivery(0, to_bytes("b"));
+  audit.record_delivery(1, to_bytes("b"));
+  audit.record_delivery(1, to_bytes("a"));
+  auto report = audit.check(2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("total order"), std::string::npos);
+}
+
+TEST(AbcastAudit, CrashedStackPrefixOrderChecked) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("a"));
+  audit.record_sent(0, to_bytes("b"));
+  audit.record_sent(0, to_bytes("c"));
+  for (NodeId n = 0; n < 2; ++n) {
+    audit.record_delivery(n, to_bytes("a"));
+    audit.record_delivery(n, to_bytes("b"));
+    audit.record_delivery(n, to_bytes("c"));
+  }
+  // Crashed stack delivered a subset in consistent order: fine.
+  audit.record_delivery(2, to_bytes("a"));
+  audit.record_delivery(2, to_bytes("c"));
+  EXPECT_TRUE(audit.check(3, {2}).ok);
+
+  // A second crashed stack delivered out of order: flagged.
+  audit.record_delivery(3, to_bytes("b"));
+  audit.record_delivery(3, to_bytes("a"));
+  auto report = audit.check(4, {2, 3});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("total order"), std::string::npos);
+}
+
+TEST(AbcastAudit, CountersWork) {
+  AbcastAudit audit;
+  audit.record_sent(0, to_bytes("x"));
+  audit.record_sent(1, to_bytes("y"));
+  audit.record_delivery(0, to_bytes("x"));
+  EXPECT_EQ(audit.total_sent(), 2u);
+  EXPECT_EQ(audit.deliveries_at(0), 1u);
+  EXPECT_EQ(audit.deliveries_at(1), 0u);
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,155 @@
+// Unit tests for the application toolkit: workload generator, latency
+// probe/collector, stack builder options.
+#include <gtest/gtest.h>
+
+#include "app/probe.hpp"
+#include "app/stack_builder.hpp"
+#include "app/workload.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+TEST(ProbePayload, RoundTripAndSize) {
+  const Bytes payload = ProbePayload::make(123456789, 3, 42, 64);
+  EXPECT_EQ(payload.size(), 64u);
+  const ProbePayload p = ProbePayload::parse(payload);
+  EXPECT_EQ(p.send_time, 123456789);
+  EXPECT_EQ(p.sender, 3u);
+  EXPECT_EQ(p.seq, 42u);
+}
+
+TEST(ProbePayload, MinimumSizeWithoutFiller) {
+  // Requesting a size below the header yields just the header.
+  const Bytes payload = ProbePayload::make(1, 1, 1, 0);
+  EXPECT_GE(payload.size(), 13u);
+  EXPECT_NO_THROW((void)ProbePayload::parse(payload));
+}
+
+TEST(LatencyCollector, WindowSelectsBuckets) {
+  LatencyCollector collector(100);  // 100ns-wide send-time buckets
+  collector.add(50, 10 * kMicrosecond);    // bucket [0,100)
+  collector.add(150, 20 * kMicrosecond);   // bucket [100,200)
+  collector.add(250, 30 * kMicrosecond);   // bucket [200,300)
+  // Latencies are recorded in microseconds.
+  EXPECT_DOUBLE_EQ(collector.window(0, 300).mean(), 20.0);
+  EXPECT_DOUBLE_EQ(collector.window(100, 200).mean(), 20.0);
+  // Partially overlapping buckets are included (bucket granularity).
+  EXPECT_DOUBLE_EQ(collector.window(140, 160).mean(), 20.0);
+  EXPECT_EQ(collector.window(1000, 2000).count(), 0u);
+}
+
+TEST(Workload, FixedRateSendsExpectedCount) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  Stack& stack = world.stack(0);
+
+  struct Sink final : AbcastApi {
+    std::uint64_t count = 0;
+    std::vector<TimePoint> stamps;
+    void abcast(const Bytes& payload) override {
+      ++count;
+      stamps.push_back(ProbePayload::parse(payload).send_time);
+    }
+  };
+  Sink sink;
+  struct SinkModule final : Module {
+    using Module::Module;
+  };
+  auto* holder = stack.emplace_module<SinkModule>(stack, "sink");
+  stack.bind<AbcastApi>(kAbcastService, &sink, holder);
+
+  WorkloadConfig wc;
+  wc.rate_per_second = 100.0;
+  wc.stop_after = 2 * kSecond;
+  WorkloadModule::create(stack, wc);
+  stack.start_all();
+  world.run_for(5 * kSecond);
+
+  EXPECT_EQ(sink.count, 200u);  // exactly rate * window at fixed rate
+  // Intended timestamps are strictly increasing with the configured gap.
+  for (std::size_t i = 1; i < sink.stamps.size(); ++i) {
+    EXPECT_EQ(sink.stamps[i] - sink.stamps[i - 1], 10 * kMillisecond);
+  }
+}
+
+TEST(Workload, PoissonRateApproximatesTarget) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 9});
+  Stack& stack = world.stack(0);
+  struct Sink final : AbcastApi {
+    std::uint64_t count = 0;
+    void abcast(const Bytes&) override { ++count; }
+  };
+  Sink sink;
+  struct SinkModule final : Module {
+    using Module::Module;
+  };
+  auto* holder = stack.emplace_module<SinkModule>(stack, "sink");
+  stack.bind<AbcastApi>(kAbcastService, &sink, holder);
+
+  WorkloadConfig wc;
+  wc.rate_per_second = 500.0;
+  wc.poisson = true;
+  wc.stop_after = 10 * kSecond;
+  WorkloadModule::create(stack, wc);
+  stack.start_all();
+  world.run_for(15 * kSecond);
+
+  EXPECT_NEAR(static_cast<double>(sink.count), 5000.0, 300.0);  // ~4 sigma
+}
+
+TEST(StackBuilder, WithAndWithoutReplacementLayer) {
+  StandardStackOptions with;
+  ProtocolLibrary lib_with = make_standard_library(with);
+  SimWorld world_with(SimConfig{.num_stacks = 1, .seed = 1}, &lib_with);
+  StandardStack s1 = build_standard_stack(world_with.stack(0), with);
+  EXPECT_NE(s1.repl, nullptr);
+  EXPECT_TRUE(world_with.stack(0).slot(kAbcastService).bound());
+  EXPECT_TRUE(world_with.stack(0).slot(kAbcastInnerService).bound());
+
+  StandardStackOptions without;
+  without.with_replacement_layer = false;
+  ProtocolLibrary lib_without = make_standard_library(without);
+  SimWorld world_without(SimConfig{.num_stacks = 1, .seed = 1}, &lib_without);
+  StandardStack s2 = build_standard_stack(world_without.stack(0), without);
+  EXPECT_EQ(s2.repl, nullptr);
+  EXPECT_TRUE(world_without.stack(0).slot(kAbcastService).bound());
+  EXPECT_FALSE(world_without.stack(0).slot(kAbcastInnerService).bound());
+}
+
+TEST(StackBuilder, ConsensusProviderSelectable) {
+  StandardStackOptions options;
+  options.consensus_protocol = "consensus.mr";
+  ProtocolLibrary lib = make_standard_library(options);
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  StandardStack s = build_standard_stack(world.stack(0), options);
+  EXPECT_NE(dynamic_cast<MrConsensusModule*>(s.consensus), nullptr);
+}
+
+TEST(StackBuilder, UnknownProtocolsRejected) {
+  StandardStackOptions bad;
+  bad.abcast_protocol = "abcast.bogus";
+  ProtocolLibrary lib = make_standard_library(StandardStackOptions{});
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  bad.with_replacement_layer = false;
+  EXPECT_THROW(build_standard_stack(world.stack(0), bad), std::logic_error);
+
+  StandardStackOptions bad_consensus;
+  bad_consensus.consensus_protocol = "consensus.bogus";
+  SimWorld world2(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  EXPECT_THROW(build_standard_stack(world2.stack(0), bad_consensus),
+               std::logic_error);
+}
+
+TEST(StackBuilder, GmOptional) {
+  StandardStackOptions no_gm;
+  no_gm.with_gm = false;
+  ProtocolLibrary lib = make_standard_library(no_gm);
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  StandardStack s = build_standard_stack(world.stack(0), no_gm);
+  EXPECT_EQ(s.gm, nullptr);
+  EXPECT_EQ(s.topics, nullptr);
+  EXPECT_FALSE(world.stack(0).slot(kGmService).bound());
+}
+
+}  // namespace
+}  // namespace dpu

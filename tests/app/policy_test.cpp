@@ -1,0 +1,117 @@
+// Unit tests for the failure-driven adaptation policy: trigger conditions,
+// responsibility election, and debouncing.
+#include "app/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/stack_builder.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+StandardStackOptions seq_options() {
+  StandardStackOptions options;
+  options.abcast_protocol = "abcast.seq";
+  options.fd.heartbeat_interval = 20 * kMillisecond;
+  options.fd.initial_timeout = 100 * kMillisecond;
+  options.with_gm = false;
+  return options;
+}
+
+struct Rig {
+  explicit Rig(std::uint64_t seed, std::size_t n = 3,
+               StandardStackOptions options = seq_options())
+      : library(make_standard_library(options)),
+        world(SimConfig{.num_stacks = n, .seed = seed}, &library) {
+    for (NodeId i = 0; i < n; ++i) {
+      stacks.push_back(build_standard_stack(world.stack(i), options));
+      FailoverPolicyConfig pc;
+      pc.watched_protocol = "abcast.seq";
+      pc.critical_node = 0;
+      pc.fallback_protocol = "abcast.ct";
+      policies.push_back(FailoverPolicyModule::create(world.stack(i),
+                                                      *stacks[i].repl, pc));
+      world.stack(i).start_all();
+    }
+  }
+
+  ProtocolLibrary library;
+  SimWorld world;
+  std::vector<StandardStack> stacks;
+  std::vector<FailoverPolicyModule*> policies;
+};
+
+TEST(Policy, NoTriggerOnHealthyGroup) {
+  Rig rig(1);
+  rig.world.run_for(5 * kSecond);
+  for (auto* p : rig.policies) EXPECT_EQ(p->triggers(), 0u);
+  EXPECT_EQ(rig.stacks[0].repl->current_protocol(), "abcast.seq");
+}
+
+TEST(Policy, NonCriticalSuspicionIgnored) {
+  Rig rig(2);
+  // Stack 2 (not the sequencer) degrades; the policy watches node 0 only.
+  rig.world.at(kSecond, [&]() {
+    rig.world.set_link_filter(
+        [](NodeId src, NodeId dst) { return src != 2 && dst != 2; });
+  });
+  rig.world.run_for(3 * kSecond);
+  EXPECT_EQ(rig.policies[0]->triggers(), 0u);
+  EXPECT_EQ(rig.policies[1]->triggers(), 0u);
+  EXPECT_EQ(rig.stacks[0].repl->current_protocol(), "abcast.seq");
+}
+
+TEST(Policy, NoTriggerWhenWatchedProtocolNotActive) {
+  // Start on CT (watched protocol is SEQ): even if node 0 is suspected the
+  // policy must not fire.
+  StandardStackOptions options = seq_options();
+  options.abcast_protocol = "abcast.ct";
+  Rig rig(3, 3, options);
+  rig.world.at(kSecond, [&]() { rig.world.crash(0); });
+  rig.world.run_for(4 * kSecond);
+  for (auto* p : rig.policies) EXPECT_EQ(p->triggers(), 0u);
+}
+
+TEST(Policy, LowestLiveStackIsResponsible) {
+  // Degrade the sequencer's links (alive but suspected): only the lowest
+  // live non-sequencer stack (stack 1) should fire.
+  Rig rig(4, 4);
+  rig.world.at(500 * kMillisecond, [&]() {
+    rig.world.set_link_filter([&rig](NodeId src, NodeId dst) {
+      if (src != 0 && dst != 0) return true;
+      return rig.world.stack(1).host().rng().chance(0.1);
+    });
+  });
+  rig.world.at(4 * kSecond, [&]() { rig.world.set_link_filter(nullptr); });
+  rig.world.run_for(60 * kSecond);
+
+  EXPECT_GE(rig.policies[1]->triggers(), 1u);
+  EXPECT_EQ(rig.policies[2]->triggers(), 0u);
+  EXPECT_EQ(rig.policies[3]->triggers(), 0u);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(rig.stacks[i].repl->current_protocol(), "abcast.ct")
+        << "stack " << i;
+  }
+}
+
+TEST(Policy, DebounceFiresOncePerSwitch) {
+  Rig rig(5, 3);
+  // Repeated suspicion flaps of the sequencer must not produce repeated
+  // switch requests once the first fired.
+  rig.world.at(500 * kMillisecond, [&]() {
+    rig.world.set_link_filter([&rig](NodeId src, NodeId dst) {
+      if (src != 0 && dst != 0) return true;
+      return rig.world.stack(1).host().rng().chance(0.1);
+    });
+  });
+  rig.world.at(5 * kSecond, [&]() { rig.world.set_link_filter(nullptr); });
+  rig.world.run_for(60 * kSecond);
+  std::uint64_t total = 0;
+  for (auto* p : rig.policies) total += p->triggers();
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(rig.stacks[0].repl->seq_number(), 1u);
+}
+
+}  // namespace
+}  // namespace dpu

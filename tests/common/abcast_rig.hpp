@@ -1,0 +1,74 @@
+// Shared ABcast test rig: substrate + consensus + one ABcast provider per
+// stack + the property audit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abcast/audit.hpp"
+#include "abcast/ct_abcast.hpp"
+#include "abcast/seq_abcast.hpp"
+#include "abcast/token_abcast.hpp"
+#include "common/consensus_rig.hpp"
+#include "common/test_world.hpp"
+#include "consensus/ct_consensus.hpp"
+
+namespace dpu::testing {
+
+enum class AbcastKind { kCt, kSeq, kToken };
+
+inline const char* abcast_kind_name(AbcastKind kind) {
+  switch (kind) {
+    case AbcastKind::kCt: return "ct";
+    case AbcastKind::kSeq: return "seq";
+    case AbcastKind::kToken: return "token";
+  }
+  return "?";
+}
+
+struct AbcastRig {
+  AbcastRig(SimConfig config, AbcastKind kind) : world(config) {
+    Rp2pModule::Config rc;
+    rc.retransmit_interval = 5 * kMillisecond;
+    handles = install_substrate(world, true, true, true,
+                                ConsensusRig::FastFd(), rc);
+    for (NodeId i = 0; i < world.size(); ++i) {
+      Stack& stack = world.stack(i);
+      CtConsensusModule::create(stack);  // harmless for seq/token
+      switch (kind) {
+        case AbcastKind::kCt:
+          CtAbcastModule::create(stack);
+          break;
+        case AbcastKind::kSeq:
+          SeqAbcastModule::create(stack);
+          break;
+        case AbcastKind::kToken:
+          TokenAbcastModule::create(stack);
+          break;
+      }
+      listeners.push_back(
+          std::make_unique<AbcastAudit::Listener>(audit, i));
+      stack.listen<AbcastListener>(kAbcastService, listeners.back().get(),
+                                   nullptr);
+      stack.start_all();
+    }
+  }
+
+  /// Schedules stack `node` to abcast a uniquely tagged payload at time `t`.
+  void send_at(TimePoint t, NodeId node, const std::string& tag) {
+    world.at_node(t, node, [this, node, tag]() {
+      if (world.crashed(node)) return;
+      const Bytes payload = to_bytes(tag);
+      audit.record_sent(node, payload);
+      world.stack(node).require<AbcastApi>(kAbcastService)
+          .call([payload](AbcastApi& api) { api.abcast(payload); });
+    });
+  }
+
+  SimWorld world;
+  std::vector<SubstrateHandles> handles;
+  std::vector<std::unique_ptr<AbcastAudit::Listener>> listeners;
+  AbcastAudit audit;
+};
+
+}  // namespace dpu::testing

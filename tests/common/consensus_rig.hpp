@@ -1,0 +1,88 @@
+// Shared consensus test rig: full substrate + one consensus provider per
+// stack, decision recording, and safety checkers reused by the CT and MR
+// test suites.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/test_world.hpp"
+#include "consensus/consensus.hpp"
+
+namespace dpu::testing {
+
+constexpr StreamId kStream = 1;
+
+struct ConsensusRig {
+  using ProviderFactory =
+      std::function<ConsensusBase*(Stack&, const std::string&)>;
+
+  ConsensusRig(SimConfig config, const ProviderFactory& factory,
+               FdConfig fd_config = FastFd())
+      : world(config) {
+    Rp2pModule::Config rc;
+    rc.retransmit_interval = 5 * kMillisecond;
+    handles = install_substrate(world, true, true, true, fd_config, rc);
+    decisions.resize(world.size());
+    for (NodeId i = 0; i < world.size(); ++i) {
+      providers.push_back(factory(world.stack(i), kConsensusService));
+      world.stack(i).start_all();
+      providers[i]->consensus_bind_stream(
+          kStream, [this, i](InstanceId instance, const Bytes& value) {
+            decisions[i][instance].push_back(to_string(value));
+          });
+    }
+  }
+
+  static FdConfig FastFd() {
+    FdConfig fc;
+    fc.heartbeat_interval = 20 * kMillisecond;
+    fc.initial_timeout = 100 * kMillisecond;
+    fc.timeout_increment = 100 * kMillisecond;
+    return fc;
+  }
+
+  void propose(NodeId node, InstanceId instance, const std::string& value) {
+    world.at_node(world.now(), node, [this, node, instance, value]() {
+      providers[node]->propose(kStream, instance, to_bytes(value));
+    });
+  }
+
+  /// Asserts uniform agreement + integrity + validity for `instance` across
+  /// non-crashed stacks; returns the decided value.
+  std::string check_decided(InstanceId instance,
+                            const std::set<std::string>& proposed) {
+    std::string value;
+    for (NodeId i = 0; i < world.size(); ++i) {
+      if (world.crashed(i)) continue;
+      auto it = decisions[i].find(instance);
+      EXPECT_TRUE(it != decisions[i].end())
+          << "stack " << i << " never decided instance " << instance;
+      if (it == decisions[i].end()) continue;
+      // Integrity: exactly one decision per instance.
+      EXPECT_EQ(it->second.size(), 1u) << "stack " << i;
+      if (value.empty()) {
+        value = it->second[0];
+      } else {
+        // Agreement.
+        EXPECT_EQ(it->second[0], value) << "stack " << i;
+      }
+    }
+    // Validity.
+    EXPECT_TRUE(proposed.count(value) != 0)
+        << "decided value '" << value << "' was never proposed";
+    return value;
+  }
+
+  SimWorld world;
+  std::vector<SubstrateHandles> handles;
+  std::vector<ConsensusBase*> providers;
+  /// decisions[node][instance] -> list of decided values (should be size 1).
+  std::vector<std::map<InstanceId, std::vector<std::string>>> decisions;
+};
+
+}  // namespace dpu::testing

@@ -1,0 +1,45 @@
+// Shared test helpers: composing the communication substrate on every stack
+// of a SimWorld.
+#pragma once
+
+#include <vector>
+
+#include "fd/fd.hpp"
+#include "net/rbcast.hpp"
+#include "net/rp2p.hpp"
+#include "net/udp_module.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu::testing {
+
+/// Handles to the substrate modules of one stack.
+struct SubstrateHandles {
+  UdpModule* udp = nullptr;
+  Rp2pModule* rp2p = nullptr;
+  RbcastModule* rbcast = nullptr;
+  FdModule* fd = nullptr;
+};
+
+/// Installs udp (+rp2p (+rbcast (+fd))) on every stack and starts them.
+inline std::vector<SubstrateHandles> install_substrate(
+    SimWorld& world, bool with_rp2p = true, bool with_rbcast = true,
+    bool with_fd = true,
+    FdModule::Config fd_config = FdModule::Config{},
+    Rp2pModule::Config rp2p_config = Rp2pModule::Config{},
+    RbcastModule::Config rbcast_config = RbcastModule::Config{}) {
+  std::vector<SubstrateHandles> handles(world.size());
+  for (NodeId i = 0; i < world.size(); ++i) {
+    Stack& stack = world.stack(i);
+    handles[i].udp = UdpModule::create(stack);
+    if (with_rp2p) handles[i].rp2p = Rp2pModule::create(stack, kRp2pService, rp2p_config);
+    if (with_rbcast) {
+      handles[i].rbcast =
+          RbcastModule::create(stack, kRbcastService, rbcast_config);
+    }
+    if (with_fd) handles[i].fd = FdModule::create(stack, kFdService, fd_config);
+    stack.start_all();
+  }
+  return handles;
+}
+
+}  // namespace dpu::testing

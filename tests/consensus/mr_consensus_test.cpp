@@ -1,0 +1,132 @@
+// Tests for the Mostéfaoui-Raynal-style consensus module — the alternate
+// provider behind the consensus-replacement extension.
+#include "consensus/mr_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/consensus_rig.hpp"
+
+namespace dpu {
+namespace {
+
+using testing::ConsensusRig;
+using testing::kStream;
+
+ConsensusRig::ProviderFactory mr_factory(
+    MrConsensusConfig config = MrConsensusConfig{}) {
+  return [config](Stack& stack, const std::string& service) -> ConsensusBase* {
+    return MrConsensusModule::create(stack, service, config);
+  };
+}
+
+TEST(MrConsensus, FailureFreeDecides) {
+  ConsensusRig rig(SimConfig{.num_stacks = 3, .seed = 1}, mr_factory());
+  rig.propose(0, 1, "a");
+  rig.propose(1, 1, "b");
+  rig.propose(2, 1, "c");
+  rig.world.run_for(500 * kMillisecond);
+  rig.check_decided(1, {"a", "b", "c"});
+  // One round suffices without failures.
+  for (auto* p : rig.providers) {
+    EXPECT_LE(static_cast<MrConsensusModule*>(p)->rounds_completed(), 2u);
+  }
+}
+
+TEST(MrConsensus, SevenStacksDecide) {
+  ConsensusRig rig(SimConfig{.num_stacks = 7, .seed = 2}, mr_factory());
+  for (NodeId i = 0; i < 7; ++i) {
+    rig.propose(i, 1, "v" + std::to_string(i));
+  }
+  rig.world.run_for(kSecond);
+  rig.check_decided(1, {"v0", "v1", "v2", "v3", "v4", "v5", "v6"});
+}
+
+TEST(MrConsensus, SequentialInstances) {
+  ConsensusRig rig(SimConfig{.num_stacks = 3, .seed = 3}, mr_factory());
+  for (InstanceId k = 1; k <= 15; ++k) {
+    for (NodeId i = 0; i < 3; ++i) {
+      rig.propose(i, k, "k" + std::to_string(k) + "-" + std::to_string(i));
+    }
+    rig.world.run_for(100 * kMillisecond);
+  }
+  rig.world.run_for(kSecond);
+  for (InstanceId k = 1; k <= 15; ++k) {
+    std::set<std::string> proposed;
+    for (NodeId i = 0; i < 3; ++i) {
+      proposed.insert("k" + std::to_string(k) + "-" + std::to_string(i));
+    }
+    rig.check_decided(k, proposed);
+  }
+}
+
+TEST(MrConsensus, CoordinatorCrashBeforeEstStillDecides) {
+  ConsensusRig rig(SimConfig{.num_stacks = 3, .seed = 4}, mr_factory());
+  rig.world.at(10 * kMillisecond, [&]() { rig.world.crash(0); });
+  rig.world.at(50 * kMillisecond, [&]() {
+    for (NodeId i = 1; i < 3; ++i) {
+      rig.providers[i]->propose(kStream, 1, to_bytes("v" + std::to_string(i)));
+    }
+  });
+  rig.world.run_for(5 * kSecond);
+  rig.check_decided(1, {"v1", "v2"});
+}
+
+TEST(MrConsensus, PassiveStackCatchesUpThroughStoredVotes) {
+  // Stack 0 is partitioned away while 1 and 2 run the instance; when the
+  // partition heals, rp2p re-delivers the round traffic and stack 0 must
+  // converge on the same decision.
+  ConsensusRig rig(SimConfig{.num_stacks = 3, .seed = 5}, mr_factory());
+  rig.world.set_link_filter(
+      [](NodeId src, NodeId dst) { return src != 0 && dst != 0; });
+  rig.propose(1, 1, "b");
+  rig.propose(2, 1, "c");
+  rig.world.run_for(2 * kSecond);
+  rig.world.set_link_filter(nullptr);
+  rig.world.run_for(3 * kSecond);
+  rig.check_decided(1, {"b", "c"});
+}
+
+TEST(MrConsensus, LateProposerGetsSettledDecision) {
+  ConsensusRig rig(SimConfig{.num_stacks = 3, .seed = 6}, mr_factory());
+  rig.propose(0, 1, "early");
+  rig.propose(1, 1, "early2");
+  rig.world.run_for(kSecond);
+  rig.propose(2, 1, "late");
+  rig.world.run_for(kSecond);
+  const std::string v = rig.check_decided(1, {"early", "early2"});
+  EXPECT_NE(v, "late");
+}
+
+class MrConsensusChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MrConsensusChaosTest, SafeUnderLossAndCrash) {
+  SimConfig config{.num_stacks = 5, .seed = GetParam()};
+  config.net.drop_probability = 0.10;
+  ConsensusRig rig(config, mr_factory());
+  const NodeId victim = static_cast<NodeId>(GetParam() % 5);
+  rig.world.at(300 * kMillisecond, [&]() { rig.world.crash(victim); });
+
+  for (InstanceId k = 1; k <= 10; ++k) {
+    for (NodeId i = 0; i < 5; ++i) {
+      if (!rig.world.crashed(i)) {
+        rig.propose(i, k, "k" + std::to_string(k) + "n" + std::to_string(i));
+      }
+    }
+    rig.world.run_for(150 * kMillisecond);
+  }
+  rig.world.run_for(20 * kSecond);
+
+  for (InstanceId k = 1; k <= 10; ++k) {
+    std::set<std::string> proposed;
+    for (NodeId i = 0; i < 5; ++i) {
+      proposed.insert("k" + std::to_string(k) + "n" + std::to_string(i));
+    }
+    rig.check_decided(k, proposed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrConsensusChaosTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,171 @@
+// Tests for the generic DPU property checkers (paper §3) over both
+// synthetic traces and real framework runs.
+#include "core/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+TraceEvent ev(TimePoint t, NodeId node, TraceKind kind,
+              const std::string& service = "", const std::string& module = "") {
+  TraceEvent e;
+  e.time = t;
+  e.node = node;
+  e.kind = kind;
+  e.service = service;
+  e.module = module;
+  return e;
+}
+
+TEST(WeakSwf, CleanTracePasses) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kCallQueued, "abcast"),
+      ev(2, 0, TraceKind::kServiceBound, "abcast", "m"),
+      ev(2, 0, TraceKind::kCallFlushed, "abcast"),
+  };
+  EXPECT_TRUE(check_weak_stack_well_formedness(events).ok);
+}
+
+TEST(WeakSwf, BlockedCallFails) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kCallQueued, "abcast"),
+      ev(1, 1, TraceKind::kCallQueued, "abcast"),
+      ev(2, 1, TraceKind::kCallFlushed, "abcast"),
+  };
+  auto report = check_weak_stack_well_formedness(events);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find("stack 0"), std::string::npos);
+}
+
+TEST(WeakSwf, PerServiceAccounting) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kCallQueued, "a"),
+      ev(2, 0, TraceKind::kCallFlushed, "a"),
+      ev(3, 0, TraceKind::kCallQueued, "b"),
+  };
+  auto report = check_weak_stack_well_formedness(events);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violations[0].find("'b'"), std::string::npos);
+}
+
+TEST(StrongSwf, AnyQueueFails) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kCallQueued, "abcast"),
+      ev(2, 0, TraceKind::kCallFlushed, "abcast"),
+  };
+  EXPECT_TRUE(check_weak_stack_well_formedness(events).ok);
+  EXPECT_FALSE(check_strong_stack_well_formedness(events).ok);
+}
+
+TEST(StrongSwf, NoQueuePasses) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kServiceBound, "abcast", "m"),
+  };
+  EXPECT_TRUE(check_strong_stack_well_formedness(events).ok);
+}
+
+TEST(Operationability, AllStacksCreatedPasses) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+      ev(1, 0, TraceKind::kServiceBound, "abcast.inner", "abcast.ct@1"),
+      ev(2, 1, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+      ev(3, 2, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+  };
+  EXPECT_TRUE(check_protocol_operationability(events, 3).ok);
+}
+
+TEST(Operationability, MissingStackFails) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+      ev(1, 0, TraceKind::kServiceBound, "abcast.inner", "abcast.ct@1"),
+      ev(2, 1, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+  };
+  auto report = check_protocol_operationability(events, 3);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violations[0].find("stack 2"), std::string::npos);
+}
+
+TEST(Operationability, CrashedStackExcused) {
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+      ev(1, 0, TraceKind::kServiceBound, "abcast.inner", "abcast.ct@1"),
+      ev(2, 1, TraceKind::kModuleCreated, "", "abcast.ct@1"),
+  };
+  EXPECT_TRUE(check_protocol_operationability(events, 3, {2}).ok);
+}
+
+TEST(Operationability, NonVersionedModulesIgnored) {
+  // Plain local modules (no '@' in the name) are not distributed protocol
+  // instances; their presence on a single stack is fine.
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kModuleCreated, "", "udp"),
+      ev(1, 0, TraceKind::kServiceBound, "udp", "udp"),
+  };
+  EXPECT_TRUE(check_protocol_operationability(events, 3).ok);
+}
+
+TEST(Operationability, NeverBoundInstanceNotRequired) {
+  // An instance created somewhere but never bound imposes no obligation.
+  std::vector<TraceEvent> events{
+      ev(1, 0, TraceKind::kModuleCreated, "", "abcast.ct@9"),
+  };
+  EXPECT_TRUE(check_protocol_operationability(events, 3).ok);
+}
+
+TEST(PropertyReport, SummaryFormats) {
+  PropertyReport report;
+  EXPECT_EQ(report.summary(), "OK");
+  report.fail("first");
+  report.fail("second");
+  EXPECT_NE(report.summary().find("2 violation(s)"), std::string::npos);
+  EXPECT_NE(report.summary().find("first"), std::string::npos);
+}
+
+// End-to-end: a real run in which a call is made before the provider binds
+// satisfies weak but not strong stack-well-formedness.
+struct PingApi {
+  virtual ~PingApi() = default;
+  virtual void ping() = 0;
+};
+
+class PingModule final : public Module, public PingApi {
+ public:
+  using Module::Module;
+  void ping() override { ++pings; }
+  int pings = 0;
+};
+
+TEST(PropertiesIntegration, LateBindIsWeakButNotStrongWellFormed) {
+  TraceRecorder recorder;
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, nullptr, &recorder);
+  Stack& stack = world.stack(0);
+
+  stack.require<PingApi>("ping").call([](PingApi& api) { api.ping(); });
+  auto* mod = stack.emplace_module<PingModule>(stack, "ping-mod");
+  stack.bind<PingApi>("ping", mod, mod);
+
+  EXPECT_EQ(mod->pings, 1);
+  auto events = recorder.events();
+  EXPECT_TRUE(check_weak_stack_well_formedness(events).ok);
+  EXPECT_FALSE(check_strong_stack_well_formedness(events).ok);
+}
+
+TEST(PropertiesIntegration, AlwaysBoundIsStronglyWellFormed) {
+  TraceRecorder recorder;
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, nullptr, &recorder);
+  Stack& stack = world.stack(0);
+
+  auto* mod = stack.emplace_module<PingModule>(stack, "ping-mod");
+  stack.bind<PingApi>("ping", mod, mod);
+  stack.require<PingApi>("ping").call([](PingApi& api) { api.ping(); });
+
+  EXPECT_TRUE(check_strong_stack_well_formedness(recorder.events()).ok);
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,249 @@
+// Tests for the service model of paper §2: bind/unbind, blocked-call
+// queueing, response listeners, and the invariants the Repl module relies on
+// (listeners survive rebinds; unbound modules can still respond).
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+// A trivial service: callers push ints; the provider records them and may
+// respond on the same service.
+struct EchoApi {
+  virtual ~EchoApi() = default;
+  virtual void echo(int value) = 0;
+};
+
+struct EchoListener {
+  virtual ~EchoListener() = default;
+  virtual void on_echo(int value) = 0;
+};
+
+// A second, incompatible interface to exercise type checking.
+struct OtherApi {
+  virtual ~OtherApi() = default;
+  virtual void other() = 0;
+};
+
+class EchoModule final : public Module, public EchoApi {
+ public:
+  EchoModule(Stack& stack, std::string name)
+      : Module(stack, std::move(name)),
+        up_(stack.upcalls<EchoListener>("echo")) {}
+
+  void echo(int value) override {
+    received.push_back(value);
+    up_.notify([&](EchoListener& l) { l.on_echo(value); });
+  }
+
+  std::vector<int> received;
+
+ private:
+  UpcallRef<EchoListener> up_;
+};
+
+class RecordingListener final : public EchoListener {
+ public:
+  void on_echo(int value) override { heard.push_back(value); }
+  std::vector<int> heard;
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : world_(SimConfig{.num_stacks = 1, .seed = 1}) {}
+
+  Stack& stack() { return world_.stack(0); }
+
+  SimWorld world_;
+};
+
+TEST_F(ServiceTest, CallDispatchesToBoundModule) {
+  auto* mod = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", mod, mod);
+
+  auto ref = stack().require<EchoApi>("echo");
+  ref.call([](EchoApi& api) { api.echo(7); });
+
+  ASSERT_EQ(mod->received.size(), 1u);
+  EXPECT_EQ(mod->received[0], 7);
+}
+
+TEST_F(ServiceTest, CallWhileUnboundQueuesAndFlushesInOrder) {
+  auto ref = stack().require<EchoApi>("echo");
+  ref.call([](EchoApi& api) { api.echo(1); });
+  ref.call([](EchoApi& api) { api.echo(2); });
+  ref.call([](EchoApi& api) { api.echo(3); });
+  EXPECT_EQ(stack().slot("echo").pending_calls(), 3u);
+
+  auto* mod = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", mod, mod);
+
+  EXPECT_EQ(stack().slot("echo").pending_calls(), 0u);
+  EXPECT_EQ(mod->received, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(ServiceTest, CallAfterBindRunsAfterFlushedCalls) {
+  auto ref = stack().require<EchoApi>("echo");
+  ref.call([](EchoApi& api) { api.echo(1); });
+
+  auto* mod = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", mod, mod);
+  ref.call([](EchoApi& api) { api.echo(2); });
+
+  EXPECT_EQ(mod->received, (std::vector<int>{1, 2}));
+}
+
+TEST_F(ServiceTest, UnbindKeepsModuleAndAllowsRebind) {
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  auto* b = stack().emplace_module<EchoModule>(stack(), "echo-b");
+  stack().bind<EchoApi>("echo", a, a);
+  stack().unbind("echo");
+  EXPECT_NE(stack().find_module("echo-a"), nullptr);  // unbind != remove (§2)
+  stack().bind<EchoApi>("echo", b, b);
+
+  auto ref = stack().require<EchoApi>("echo");
+  ref.call([](EchoApi& api) { api.echo(9); });
+  EXPECT_TRUE(a->received.empty());
+  EXPECT_EQ(b->received, (std::vector<int>{9}));
+  EXPECT_EQ(stack().slot("echo").bind_epoch(), 2u);
+}
+
+TEST_F(ServiceTest, DoubleBindThrows) {
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  auto* b = stack().emplace_module<EchoModule>(stack(), "echo-b");
+  stack().bind<EchoApi>("echo", a, a);
+  EXPECT_THROW(stack().bind<EchoApi>("echo", b, b), std::logic_error);
+}
+
+TEST_F(ServiceTest, InterfaceTypeMismatchThrows) {
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  auto wrong = stack().require<OtherApi>("echo");
+  EXPECT_THROW(wrong.call([](OtherApi& api) { api.other(); }),
+               std::logic_error);
+  EXPECT_THROW((void)wrong.try_get(), std::logic_error);
+}
+
+TEST_F(ServiceTest, TryGetReturnsNullWhileUnbound) {
+  auto ref = stack().require<EchoApi>("echo");
+  EXPECT_EQ(ref.try_get(), nullptr);
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  EXPECT_EQ(ref.try_get(), a);
+  stack().unbind("echo");
+  EXPECT_EQ(ref.try_get(), nullptr);
+}
+
+TEST_F(ServiceTest, ListenersReceiveResponses) {
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  RecordingListener l1, l2;
+  stack().listen<EchoListener>("echo", &l1, nullptr);
+  stack().listen<EchoListener>("echo", &l2, nullptr);
+
+  stack().require<EchoApi>("echo").call([](EchoApi& api) { api.echo(5); });
+  EXPECT_EQ(l1.heard, (std::vector<int>{5}));
+  EXPECT_EQ(l2.heard, (std::vector<int>{5}));
+}
+
+TEST_F(ServiceTest, ListenersSurviveRebind) {
+  // The structural property the Repl module depends on: when the provider is
+  // swapped, response listeners registered on the service keep working.
+  RecordingListener l;
+  stack().listen<EchoListener>("echo", &l, nullptr);
+
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  stack().require<EchoApi>("echo").call([](EchoApi& api) { api.echo(1); });
+
+  stack().unbind("echo");
+  auto* b = stack().emplace_module<EchoModule>(stack(), "echo-b");
+  stack().bind<EchoApi>("echo", b, b);
+  stack().require<EchoApi>("echo").call([](EchoApi& api) { api.echo(2); });
+
+  EXPECT_EQ(l.heard, (std::vector<int>{1, 2}));
+}
+
+TEST_F(ServiceTest, UnboundModuleCanStillRespond) {
+  // Paper §2: "a module Q_i can respond to a service call even if Q_i has
+  // been unbound."
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  RecordingListener l;
+  stack().listen<EchoListener>("echo", &l, nullptr);
+  stack().unbind("echo");
+
+  // Module a issues a late response after being unbound.
+  a->echo(77);
+  EXPECT_EQ(l.heard, (std::vector<int>{77}));
+}
+
+TEST_F(ServiceTest, ListenerRemovedDuringNotifyIsSkipped) {
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+
+  struct SelfRemovingListener final : EchoListener {
+    Stack* stack = nullptr;
+    RecordingListener* victim = nullptr;
+    int calls = 0;
+    void on_echo(int) override {
+      ++calls;
+      stack->unlisten<EchoListener>("echo", victim);
+    }
+  };
+
+  SelfRemovingListener first;
+  RecordingListener second;
+  first.stack = &stack();
+  first.victim = &second;
+  stack().listen<EchoListener>("echo", &first, nullptr);
+  stack().listen<EchoListener>("echo", &second, nullptr);
+
+  stack().require<EchoApi>("echo").call([](EchoApi& api) { api.echo(1); });
+  EXPECT_EQ(first.calls, 1);
+  EXPECT_TRUE(second.heard.empty());  // removed before its turn
+}
+
+TEST_F(ServiceTest, UnbindDuringFlushKeepsRemainderQueued) {
+  // A queued call that unbinds the service must stop the flush; the rest of
+  // the queue is released on the next bind.
+  auto ref = stack().require<EchoApi>("echo");
+  ref.call([this](EchoApi& api) {
+    api.echo(1);
+    stack().unbind("echo");
+  });
+  ref.call([](EchoApi& api) { api.echo(2); });
+
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  EXPECT_EQ(a->received, (std::vector<int>{1}));
+  EXPECT_EQ(stack().slot("echo").pending_calls(), 1u);
+
+  auto* b = stack().emplace_module<EchoModule>(stack(), "echo-b");
+  stack().bind<EchoApi>("echo", b, b);
+  EXPECT_EQ(b->received, (std::vector<int>{2}));
+  EXPECT_EQ(stack().pending_call_count(), 0u);
+}
+
+TEST_F(ServiceTest, PendingCallCountAggregatesServices) {
+  stack().require<EchoApi>("echo").call([](EchoApi& api) { api.echo(1); });
+  stack().require<OtherApi>("other").call([](OtherApi& api) { api.other(); });
+  EXPECT_EQ(stack().pending_call_count(), 2u);
+}
+
+TEST_F(ServiceTest, NotifyWithoutListenersIsNoop) {
+  auto* a = stack().emplace_module<EchoModule>(stack(), "echo-a");
+  stack().bind<EchoApi>("echo", a, a);
+  EXPECT_NO_THROW(
+      stack().require<EchoApi>("echo").call([](EchoApi& api) { api.echo(1); }));
+}
+
+}  // namespace
+}  // namespace dpu

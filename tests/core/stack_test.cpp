@@ -1,0 +1,261 @@
+// Tests for Stack: module lifecycle and the create_module recursion of
+// Algorithm 1 lines 22-28.
+#include "core/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+// Minimal three-layer service chain used to exercise recursive creation:
+// "top" requires "mid", "mid" requires "low".
+struct TopApi {
+  virtual ~TopApi() = default;
+  virtual void poke() = 0;
+};
+struct MidApi {
+  virtual ~MidApi() = default;
+  virtual void poke() = 0;
+};
+struct LowApi {
+  virtual ~LowApi() = default;
+  virtual void poke() = 0;
+};
+
+std::vector<std::string>* g_start_order = nullptr;
+
+template <class Iface, class DownIface>
+class ChainModule final : public Module, public Iface {
+ public:
+  ChainModule(Stack& stack, std::string name, std::string down_service)
+      : Module(stack, std::move(name)), down_service_(std::move(down_service)) {}
+
+  void start() override {
+    if (g_start_order != nullptr) g_start_order->push_back(instance_name());
+  }
+
+  void poke() override {
+    pokes++;
+    if (!down_service_.empty()) {
+      stack().require<DownIface>(down_service_).call(
+          [](DownIface& api) { api.poke(); });
+    }
+  }
+
+  int pokes = 0;
+
+ private:
+  std::string down_service_;
+};
+
+struct Unpokable {};  // placeholder down-interface for the lowest layer
+
+using TopModule = ChainModule<TopApi, MidApi>;
+using MidModule = ChainModule<MidApi, LowApi>;
+using LowModule = ChainModule<LowApi, LowApi>;
+
+ProtocolLibrary make_chain_library(const std::string& param_probe = "") {
+  ProtocolLibrary lib;
+  lib.register_protocol(ProtocolInfo{
+      .protocol = "top.v1",
+      .default_service = "top",
+      .requires_services = {"mid"},
+      .factory = [param_probe](Stack& s, const std::string& provide_as,
+                               const ModuleParams& params) -> Module* {
+        auto* m = s.emplace_module<TopModule>(s, "top.v1@" + provide_as, "mid");
+        if (!param_probe.empty()) {
+          EXPECT_EQ(params.get("probe"), param_probe);
+        }
+        s.bind<TopApi>(provide_as, m, m);
+        return m;
+      }});
+  lib.register_protocol(ProtocolInfo{
+      .protocol = "mid.v1",
+      .default_service = "mid",
+      .requires_services = {"low"},
+      .factory = [](Stack& s, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        auto* m = s.emplace_module<MidModule>(s, "mid.v1@" + provide_as, "low");
+        s.bind<MidApi>(provide_as, m, m);
+        return m;
+      }});
+  lib.register_protocol(ProtocolInfo{
+      .protocol = "low.v1",
+      .default_service = "low",
+      .requires_services = {},
+      .factory = [](Stack& s, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        auto* m = s.emplace_module<LowModule>(s, "low.v1@" + provide_as, "");
+        s.bind<LowApi>(provide_as, m, m);
+        return m;
+      }});
+  return lib;
+}
+
+TEST(StackTest, CreateModuleRecursivelyCreatesRequiredServices) {
+  ProtocolLibrary lib = make_chain_library();
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  Stack& stack = world.stack(0);
+
+  std::vector<std::string> start_order;
+  g_start_order = &start_order;
+  Module* top = stack.create_module("top.v1", "top");
+  g_start_order = nullptr;
+
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(stack.slot("top").bound());
+  EXPECT_TRUE(stack.slot("mid").bound());
+  EXPECT_TRUE(stack.slot("low").bound());
+  EXPECT_EQ(stack.module_count(), 3u);
+
+  // Calls flow through the whole dynamically created chain.
+  stack.require<TopApi>("top").call([](TopApi& api) { api.poke(); });
+  auto* low = dynamic_cast<LowModule*>(stack.find_module("low.v1@low"));
+  ASSERT_NE(low, nullptr);
+  EXPECT_EQ(low->pokes, 1);
+}
+
+TEST(StackTest, CreateModuleSkipsAlreadyBoundServices) {
+  ProtocolLibrary lib = make_chain_library();
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  Stack& stack = world.stack(0);
+
+  stack.create_module("low.v1", "low");
+  EXPECT_EQ(stack.module_count(), 1u);
+  stack.create_module("top.v1", "top");
+  // "low" was already bound: only top + mid added.
+  EXPECT_EQ(stack.module_count(), 3u);
+}
+
+TEST(StackTest, CreateModuleUnknownProtocolThrows) {
+  ProtocolLibrary lib = make_chain_library();
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  EXPECT_THROW(world.stack(0).create_module("nope.v9", "top"),
+               std::logic_error);
+}
+
+TEST(StackTest, CreateModuleMissingProviderThrows) {
+  // A library where "top" requires "mid" but nothing provides "mid".
+  ProtocolLibrary lib;
+  lib.register_protocol(ProtocolInfo{
+      .protocol = "top.v1",
+      .default_service = "top",
+      .requires_services = {"mid"},
+      .factory = [](Stack& s, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        auto* m = s.emplace_module<TopModule>(s, "top.v1@" + provide_as, "mid");
+        s.bind<TopApi>(provide_as, m, m);
+        return m;
+      }});
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  EXPECT_THROW(world.stack(0).create_module("top.v1", "top"),
+               std::logic_error);
+}
+
+TEST(StackTest, CreateModuleSurvivesDependencyCycles) {
+  // "a" requires "b", "b" requires "a": the in-flight creation of "a" must
+  // satisfy b's requirement instead of recursing forever.
+  ProtocolLibrary lib;
+  lib.register_protocol(ProtocolInfo{
+      .protocol = "a.v1",
+      .default_service = "a",
+      .requires_services = {"b"},
+      .factory = [](Stack& s, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        auto* m = s.emplace_module<ChainModule<TopApi, MidApi>>(
+            s, "a.v1@" + provide_as, "");
+        s.bind<TopApi>(provide_as, m, m);
+        return m;
+      }});
+  lib.register_protocol(ProtocolInfo{
+      .protocol = "b.v1",
+      .default_service = "b",
+      .requires_services = {"a"},
+      .factory = [](Stack& s, const std::string& provide_as,
+                    const ModuleParams&) -> Module* {
+        auto* m = s.emplace_module<ChainModule<MidApi, LowApi>>(
+            s, "b.v1@" + provide_as, "");
+        s.bind<MidApi>(provide_as, m, m);
+        return m;
+      }});
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  Stack& stack = world.stack(0);
+  EXPECT_NO_THROW(stack.create_module("a.v1", "a"));
+  EXPECT_EQ(stack.module_count(), 2u);
+  EXPECT_TRUE(stack.slot("a").bound());
+  EXPECT_TRUE(stack.slot("b").bound());
+}
+
+TEST(StackTest, CreateModulePassesParams) {
+  ProtocolLibrary lib = make_chain_library("xyzzy");
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  ModuleParams params;
+  params.set("probe", "xyzzy");
+  world.stack(0).create_module("top.v1", "top", params);
+}
+
+TEST(StackTest, DestroyModuleUnbindsAndRemovesListeners) {
+  ProtocolLibrary lib = make_chain_library();
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib);
+  Stack& stack = world.stack(0);
+  Module* top = stack.create_module("top.v1", "top");
+
+  stack.destroy_module(top);
+  EXPECT_FALSE(stack.slot("top").bound());
+  EXPECT_TRUE(stack.slot("mid").bound());  // dependency untouched
+
+  // Deletion is deferred until the event loop turns.
+  EXPECT_NE(stack.find_module("top.v1@top"), nullptr);
+  world.run_for(1);
+  EXPECT_EQ(stack.find_module("top.v1@top"), nullptr);
+  EXPECT_EQ(stack.module_count(), 2u);
+}
+
+TEST(StackTest, StartAllIsIdempotent) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  Stack& stack = world.stack(0);
+  std::vector<std::string> start_order;
+  g_start_order = &start_order;
+  auto* a = stack.emplace_module<LowModule>(stack, "low-a", "");
+  auto* b = stack.emplace_module<LowModule>(stack, "low-b", "");
+  (void)a;
+  (void)b;
+  stack.start_all();
+  stack.start_all();
+  g_start_order = nullptr;
+  EXPECT_EQ(start_order, (std::vector<std::string>{"low-a", "low-b"}));
+}
+
+TEST(StackTest, ModuleParamsAccessors) {
+  ModuleParams p;
+  p.set("k", "v").set("n", "42");
+  EXPECT_EQ(p.get("k"), "v");
+  EXPECT_EQ(p.get("missing", "d"), "d");
+  EXPECT_EQ(p.get_int("n", 0), 42);
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_TRUE(p.has("k"));
+  EXPECT_FALSE(p.has("missing"));
+}
+
+TEST(StackTest, TracesModuleAndBindEvents) {
+  ProtocolLibrary lib = make_chain_library();
+  TraceRecorder recorder;
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1}, &lib, &recorder);
+  world.stack(0).create_module("top.v1", "top");
+
+  int created = 0, bound = 0;
+  for (const auto& e : recorder.events()) {
+    if (e.kind == TraceKind::kModuleCreated) ++created;
+    if (e.kind == TraceKind::kServiceBound) ++bound;
+  }
+  EXPECT_EQ(created, 3);
+  EXPECT_EQ(bound, 3);
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,95 @@
+// Unit tests for the trace subsystem: event formatting, recorder snapshot
+// semantics, and kind names.
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dpu {
+namespace {
+
+TEST(Trace, KindNamesComplete) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kModuleCreated), "module-created");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kModuleStopped), "module-stopped");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kModuleDestroyed),
+               "module-destroyed");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kServiceBound), "service-bound");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kServiceUnbound), "service-unbound");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCallQueued), "call-queued");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCallFlushed), "call-flushed");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kStackCrashed), "stack-crashed");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCustom), "custom");
+}
+
+TEST(Trace, EventFormatting) {
+  TraceEvent e;
+  e.time = 1234;
+  e.node = 2;
+  e.kind = TraceKind::kServiceBound;
+  e.service = "abcast";
+  e.module = "abcast.ct@1";
+  e.detail = "note";
+  const std::string s = e.str();
+  EXPECT_NE(s.find("t=1234"), std::string::npos);
+  EXPECT_NE(s.find("s2"), std::string::npos);
+  EXPECT_NE(s.find("service-bound"), std::string::npos);
+  EXPECT_NE(s.find("service=abcast"), std::string::npos);
+  EXPECT_NE(s.find("module=abcast.ct@1"), std::string::npos);
+  EXPECT_NE(s.find("(note)"), std::string::npos);
+}
+
+TEST(Trace, EventFormattingOmitsEmptyFields) {
+  TraceEvent e;
+  e.kind = TraceKind::kCallQueued;
+  const std::string s = e.str();
+  EXPECT_EQ(s.find("service="), std::string::npos);
+  EXPECT_EQ(s.find("module="), std::string::npos);
+  EXPECT_EQ(s.find("("), std::string::npos);
+}
+
+TEST(Trace, RecorderSnapshotAndClear) {
+  TraceRecorder recorder;
+  TraceEvent e;
+  e.kind = TraceKind::kCustom;
+  e.detail = "one";
+  recorder.on_trace(e);
+  e.detail = "two";
+  recorder.on_trace(e);
+
+  auto snapshot = recorder.events();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].detail, "one");
+  EXPECT_EQ(snapshot[1].detail, "two");
+
+  // The snapshot is a copy: later events do not mutate it.
+  e.detail = "three";
+  recorder.on_trace(e);
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(recorder.events().size(), 3u);
+
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(Trace, RecorderIsThreadSafe) {
+  TraceRecorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t]() {
+      TraceEvent e;
+      e.kind = TraceKind::kCustom;
+      e.node = static_cast<NodeId>(t);
+      for (int i = 0; i < kPerThread; ++i) recorder.on_trace(e);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.events().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,124 @@
+// Tests for the heartbeat failure detector: completeness (crashed nodes get
+// suspected), eventual accuracy (false suspicions rescinded, timeouts grow),
+// and listener notifications.
+#include "fd/fd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_world.hpp"
+
+namespace dpu {
+namespace {
+
+struct Rig {
+  explicit Rig(SimConfig config) : world(config) {
+    FdModule::Config fc;
+    fc.heartbeat_interval = 20 * kMillisecond;
+    fc.initial_timeout = 100 * kMillisecond;
+    fc.timeout_increment = 100 * kMillisecond;
+    handles = testing::install_substrate(world, /*with_rp2p=*/false,
+                                         /*with_rbcast=*/false,
+                                         /*with_fd=*/true, fc);
+  }
+
+  SimWorld world;
+  std::vector<testing::SubstrateHandles> handles;
+};
+
+class RecordingFdListener final : public FdListener {
+ public:
+  void on_suspect(NodeId node) override { suspects.push_back(node); }
+  void on_trust(NodeId node) override { trusts.push_back(node); }
+  std::vector<NodeId> suspects, trusts;
+};
+
+TEST(Fd, NoFalseSuspicionsOnHealthyNetwork) {
+  Rig rig(SimConfig{.num_stacks = 4, .seed = 1});
+  rig.world.run_for(5 * kSecond);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(rig.handles[i].fd->fd_suspected().empty()) << "stack " << i;
+    EXPECT_EQ(rig.handles[i].fd->false_suspicions(), 0u);
+  }
+}
+
+TEST(Fd, CrashedNodeEventuallySuspectedByAll) {
+  Rig rig(SimConfig{.num_stacks = 4, .seed = 2});
+  rig.world.at(kSecond, [&]() { rig.world.crash(2); });
+  rig.world.run_for(3 * kSecond);
+  for (NodeId i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_TRUE(rig.handles[i].fd->fd_suspects(2)) << "stack " << i;
+    EXPECT_EQ(rig.handles[i].fd->fd_suspected(), std::vector<NodeId>{2});
+  }
+}
+
+TEST(Fd, ListenerNotifiedOnSuspect) {
+  Rig rig(SimConfig{.num_stacks = 3, .seed = 3});
+  RecordingFdListener listener;
+  rig.world.stack(0).listen<FdListener>(kFdService, &listener, nullptr);
+  rig.world.at(kSecond, [&]() { rig.world.crash(1); });
+  rig.world.run_for(3 * kSecond);
+  ASSERT_EQ(listener.suspects.size(), 1u);
+  EXPECT_EQ(listener.suspects[0], 1u);
+  EXPECT_TRUE(listener.trusts.empty());
+}
+
+TEST(Fd, PartitionHealRescindsSuspicionAndRaisesTimeout) {
+  Rig rig(SimConfig{.num_stacks = 2, .seed = 4});
+  RecordingFdListener listener;
+  rig.world.stack(0).listen<FdListener>(kFdService, &listener, nullptr);
+
+  // Cut the link both ways for 500ms — long enough to trip the 100ms
+  // timeout — then heal.
+  rig.world.at(kSecond, [&]() {
+    rig.world.set_link_filter([](NodeId, NodeId) { return false; });
+  });
+  rig.world.at(1500 * kMillisecond,
+               [&]() { rig.world.set_link_filter(nullptr); });
+  rig.world.run_for(3 * kSecond);
+
+  EXPECT_FALSE(rig.handles[0].fd->fd_suspects(1));
+  ASSERT_EQ(listener.suspects.size(), 1u);
+  ASSERT_EQ(listener.trusts.size(), 1u);
+  EXPECT_EQ(rig.handles[0].fd->false_suspicions(), 1u);
+}
+
+TEST(Fd, EventuallyStopsFalselySuspectingFlakyLink) {
+  // With the adaptive timeout, repeated short outages must eventually stop
+  // producing suspicions: each false suspicion raises the bar by 100ms.
+  Rig rig(SimConfig{.num_stacks = 2, .seed = 5});
+  // Outage pattern: 150ms blackout at the start of every second for 6s.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    rig.world.at(cycle * kSecond, [&]() {
+      rig.world.set_link_filter([](NodeId, NodeId) { return false; });
+    });
+    rig.world.at(cycle * kSecond + 150 * kMillisecond,
+                 [&]() { rig.world.set_link_filter(nullptr); });
+  }
+  rig.world.run_for(7 * kSecond);
+  // 100ms initial timeout trips on a 150ms outage once or twice; after the
+  // increment(s), the 150ms outages are below the bar.
+  EXPECT_LE(rig.handles[0].fd->false_suspicions(), 2u);
+  EXPECT_FALSE(rig.handles[0].fd->fd_suspects(1));
+
+  // And the final state stays quiet through more outages.
+  const auto before = rig.handles[0].fd->false_suspicions();
+  for (int cycle = 7; cycle < 10; ++cycle) {
+    rig.world.at(cycle * kSecond, [&]() {
+      rig.world.set_link_filter([](NodeId, NodeId) { return false; });
+    });
+    rig.world.at(cycle * kSecond + 150 * kMillisecond,
+                 [&]() { rig.world.set_link_filter(nullptr); });
+  }
+  rig.world.run_for(4 * kSecond);
+  EXPECT_EQ(rig.handles[0].fd->false_suspicions(), before);
+}
+
+TEST(Fd, SuspectsQueryBoundsChecked) {
+  Rig rig(SimConfig{.num_stacks = 2, .seed = 6});
+  rig.world.run_for(kSecond);
+  EXPECT_FALSE(rig.handles[0].fd->fd_suspects(99));  // out of range: false
+}
+
+}  // namespace
+}  // namespace dpu

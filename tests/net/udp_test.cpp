@@ -1,0 +1,107 @@
+// Unit tests for the UDP module: port multiplexing and UDP semantics.
+#include "net/udp_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+class UdpTest : public ::testing::Test {
+ protected:
+  UdpTest() : world_(SimConfig{.num_stacks = 2, .seed = 11}) {
+    for (NodeId i = 0; i < 2; ++i) {
+      udp_[i] = UdpModule::create(world_.stack(i));
+      world_.stack(i).start_all();
+    }
+  }
+
+  SimWorld world_;
+  UdpModule* udp_[2] = {nullptr, nullptr};
+};
+
+TEST_F(UdpTest, PortDemultiplexing) {
+  std::vector<std::pair<PortId, std::string>> got;
+  udp_[1]->udp_bind_port(10, [&](NodeId src, const Bytes& p) {
+    EXPECT_EQ(src, 0u);
+    got.emplace_back(10, to_string(p));
+  });
+  udp_[1]->udp_bind_port(20, [&](NodeId, const Bytes& p) {
+    got.emplace_back(20, to_string(p));
+  });
+
+  world_.at_node(0, 0, [&]() {
+    udp_[0]->udp_send(1, 10, to_bytes("ten"));
+    udp_[0]->udp_send(1, 20, to_bytes("twenty"));
+    udp_[0]->udp_send(1, 10, to_bytes("ten2"));
+  });
+  world_.run_for(kSecond);
+
+  ASSERT_EQ(got.size(), 3u);
+  int tens = 0, twenties = 0;
+  for (auto& [port, payload] : got) {
+    if (port == 10) ++tens;
+    if (port == 20) ++twenties;
+  }
+  EXPECT_EQ(tens, 2);
+  EXPECT_EQ(twenties, 1);
+  EXPECT_EQ(udp_[0]->datagrams_sent(), 3u);
+  EXPECT_EQ(udp_[1]->datagrams_received(), 3u);
+}
+
+TEST_F(UdpTest, UnknownPortDropsSilently) {
+  world_.at_node(0, 0,
+                 [&]() { udp_[0]->udp_send(1, 99, to_bytes("lost")); });
+  world_.run_for(kSecond);
+  EXPECT_EQ(udp_[1]->datagrams_received(), 0u);
+  EXPECT_EQ(udp_[1]->datagrams_dropped_no_port(), 1u);
+}
+
+TEST_F(UdpTest, ReleasedPortDrops) {
+  int got = 0;
+  udp_[1]->udp_bind_port(10, [&](NodeId, const Bytes&) { ++got; });
+  world_.at_node(0, 0, [&]() { udp_[0]->udp_send(1, 10, to_bytes("a")); });
+  world_.run_for(10 * kMillisecond);
+  EXPECT_EQ(got, 1);
+
+  udp_[1]->udp_release_port(10);
+  world_.at_node(world_.now(), 0,
+                 [&]() { udp_[0]->udp_send(1, 10, to_bytes("b")); });
+  world_.run_for(10 * kMillisecond);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(UdpTest, EmptyPayloadDelivered) {
+  int got = -1;
+  udp_[1]->udp_bind_port(5, [&](NodeId, const Bytes& p) {
+    got = static_cast<int>(p.size());
+  });
+  world_.at_node(0, 0, [&]() { udp_[0]->udp_send(1, 5, Bytes{}); });
+  world_.run_for(kSecond);
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(UdpTest, MalformedDatagramIgnored) {
+  // A raw 2-byte packet cannot contain the 4-byte port header.
+  udp_[1]->udp_bind_port(0, [&](NodeId, const Bytes&) {
+    FAIL() << "malformed packet must not reach a handler";
+  });
+  world_.at_node(0, 0, [&]() {
+    world_.stack(0).host().send_packet(1, Bytes{0xAA, 0xBB});
+  });
+  EXPECT_NO_THROW(world_.run_for(kSecond));
+}
+
+TEST_F(UdpTest, RebindReplacesHandler) {
+  int first = 0, second = 0;
+  udp_[1]->udp_bind_port(7, [&](NodeId, const Bytes&) { ++first; });
+  udp_[1]->udp_bind_port(7, [&](NodeId, const Bytes&) { ++second; });
+  world_.at_node(0, 0, [&]() { udp_[0]->udp_send(1, 7, to_bytes("x")); });
+  world_.run_for(kSecond);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace dpu

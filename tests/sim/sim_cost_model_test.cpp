@@ -1,0 +1,155 @@
+// Tests pinning the simulator's processor/cost-model semantics that the
+// benchmark calibration (DESIGN.md §8) depends on: busy-time accounting,
+// store-and-forward packet departure, busy_now(), and module-creation cost.
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+TEST(SimCostModel, PacketDepartsAfterChargedWork) {
+  // A handler charges 10ms of CPU and then sends: the packet must leave
+  // after the charged work, so its arrival reflects the sender's CPU time.
+  SimConfig config{.num_stacks = 2, .seed = 1};
+  config.net.min_latency = 100 * kMicrosecond;
+  config.net.max_latency = 100 * kMicrosecond;
+  config.net.send_cost_fixed = 0;
+  config.net.send_cost_per_byte = 0;
+  config.net.recv_cost_fixed = 0;
+  config.net.recv_cost_per_byte = 0;
+  SimWorld world(config);
+
+  TimePoint arrival = -1;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Bytes&) { arrival = world.now(); });
+  world.at_node(kMillisecond, 0, [&]() {
+    world.stack(0).host().charge(10 * kMillisecond);
+    world.stack(0).host().send_packet(1, to_bytes("x"));
+  });
+  world.run_for(kSecond);
+  // 1ms event time + 10ms charged CPU + 100us link.
+  EXPECT_EQ(arrival, kMillisecond + 10 * kMillisecond + 100 * kMicrosecond);
+}
+
+TEST(SimCostModel, SendCostItselfDelaysDeparture) {
+  SimConfig config{.num_stacks = 2, .seed = 2};
+  config.net.min_latency = 100 * kMicrosecond;
+  config.net.max_latency = 100 * kMicrosecond;
+  config.net.send_cost_fixed = 5 * kMicrosecond;
+  config.net.send_cost_per_byte = 0;
+  config.net.recv_cost_fixed = 0;
+  config.net.recv_cost_per_byte = 0;
+  SimWorld world(config);
+  TimePoint arrival = -1;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Bytes&) { arrival = world.now(); });
+  world.at_node(0, 0,
+                [&]() { world.stack(0).host().send_packet(1, to_bytes("x")); });
+  world.run_for(kSecond);
+  EXPECT_EQ(arrival, 5 * kMicrosecond + 100 * kMicrosecond);
+}
+
+TEST(SimCostModel, BusyNowIncludesChargesWithinEvent) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 3});
+  HostEnv& host = world.stack(0).host();
+  TimePoint plain = -1, busy = -1;
+  world.at_node(kMillisecond, 0, [&]() {
+    host.charge(7 * kMillisecond);
+    plain = host.now();
+    busy = host.busy_now();
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(plain, kMillisecond);
+  EXPECT_EQ(busy, 8 * kMillisecond);
+}
+
+TEST(SimCostModel, ServiceHopCostChargedPerCall) {
+  SimConfig config{.num_stacks = 1, .seed = 4};
+  config.stack_cost.service_hop_cost = 3 * kMicrosecond;
+  SimWorld world(config);
+  Stack& stack = world.stack(0);
+
+  struct NopApi {
+    virtual ~NopApi() = default;
+    virtual void nop() = 0;
+  };
+  struct NopModule final : Module, NopApi {
+    using Module::Module;
+    void nop() override {}
+  };
+  auto* mod = stack.emplace_module<NopModule>(stack, "nop");
+  stack.bind<NopApi>("nop", mod, mod);
+
+  TimePoint busy = -1;
+  world.at_node(0, 0, [&]() {
+    auto ref = stack.require<NopApi>("nop");
+    for (int i = 0; i < 5; ++i) ref.call([](NopApi& api) { api.nop(); });
+    busy = stack.host().busy_now();
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(busy, 5 * 3 * kMicrosecond);
+}
+
+TEST(SimCostModel, ModuleCreateCostCharged) {
+  SimConfig config{.num_stacks = 1, .seed = 5};
+  config.stack_cost.module_create_cost = 20 * kMillisecond;
+  SimWorld world(config);
+  Stack& stack = world.stack(0);
+  struct Dummy final : Module {
+    using Module::Module;
+  };
+  world.at_node(0, 0, [&]() {
+    stack.emplace_module<Dummy>(stack, "dummy");
+    EXPECT_EQ(stack.host().busy_now(), 20 * kMillisecond);
+  });
+  world.run_for(kSecond);
+}
+
+TEST(SimCostModel, ZeroCostModelAddsNothing) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 6});
+  Stack& stack = world.stack(0);
+  struct Dummy final : Module {
+    using Module::Module;
+  };
+  world.at_node(kMillisecond, 0, [&]() {
+    stack.emplace_module<Dummy>(stack, "dummy");
+    EXPECT_EQ(stack.host().busy_now(), kMillisecond);
+  });
+  world.run_for(kSecond);
+}
+
+TEST(SimCostModel, DeterministicWithCostsEnabled) {
+  auto run = [](std::uint64_t seed) {
+    SimConfig config{.num_stacks = 3, .seed = seed};
+    config.stack_cost.service_hop_cost = 8 * kMicrosecond;
+    SimWorld world(config);
+    std::vector<TimePoint> arrivals;
+    for (NodeId i = 0; i < 3; ++i) {
+      world.stack(i).host().set_packet_handler(
+          [&arrivals, &world](NodeId, const Bytes&) {
+            arrivals.push_back(world.now());
+          });
+    }
+    for (int k = 0; k < 30; ++k) {
+      world.at_node(k * kMillisecond, static_cast<NodeId>(k % 3),
+                    [&world, k]() {
+                      world.stack(static_cast<NodeId>(k % 3))
+                          .host()
+                          .charge(50 * kMicrosecond);
+                      world.stack(static_cast<NodeId>(k % 3))
+                          .host()
+                          .send_packet(static_cast<NodeId>((k + 1) % 3),
+                                       to_bytes("m"));
+                    });
+    }
+    world.run_for(kSecond);
+    return arrivals;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace dpu

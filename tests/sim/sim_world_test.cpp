@@ -1,0 +1,281 @@
+// Tests for the discrete-event engine: virtual time, timers, the network
+// model, the processor (busy-time) model, determinism, and fault injection.
+#include "sim/sim_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpu {
+namespace {
+
+TEST(SimWorld, TimerFiresAtRequestedVirtualTime) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+
+  TimePoint fired_at = -1;
+  host.set_timer(100 * kMillisecond, [&]() { fired_at = host.now(); });
+  world.run_for(kSecond);
+  EXPECT_EQ(fired_at, 100 * kMillisecond);
+  EXPECT_EQ(world.now(), kSecond);
+}
+
+TEST(SimWorld, TimerWithZeroAndNegativeDelayFiresImmediately) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  int fired = 0;
+  host.set_timer(0, [&]() { ++fired; });
+  host.set_timer(-5, [&]() { ++fired; });  // clamped to 0
+  world.run_for(1);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimWorld, CancelledTimerDoesNotFire) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  bool fired = false;
+  const TimerId id = host.set_timer(10 * kMillisecond, [&]() { fired = true; });
+  host.cancel_timer(id);
+  world.run_for(kSecond);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimWorld, CancelIsIdempotentAndSafeAfterFire) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  int fired = 0;
+  const TimerId id = host.set_timer(kMillisecond, [&]() { ++fired; });
+  world.run_for(kSecond);
+  EXPECT_EQ(fired, 1);
+  host.cancel_timer(id);  // already fired: must be a no-op
+  host.cancel_timer(id);
+  world.run_for(kSecond);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimWorld, SameDeadlineEventsRunInInsertionOrder) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    host.set_timer(kMillisecond, [&order, i]() { order.push_back(i); });
+  }
+  world.run_for(kSecond);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimWorld, PostRunsAfterCurrentEvent) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  std::vector<int> order;
+  host.set_timer(kMillisecond, [&]() {
+    order.push_back(1);
+    host.post([&]() { order.push_back(3); });
+    order.push_back(2);
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimWorld, PacketDeliveredWithinLatencyBounds) {
+  SimConfig config{.num_stacks = 2, .seed = 7};
+  config.net.min_latency = 50 * kMicrosecond;
+  config.net.max_latency = 80 * kMicrosecond;
+  SimWorld world(config);
+
+  TimePoint sent_at = -1, recv_at = -1;
+  NodeId from = kNoNode;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId src, const Bytes& data) {
+        recv_at = world.now();
+        from = src;
+        EXPECT_EQ(to_string(data), "hi");
+      });
+  world.at_node(kMillisecond, 0, [&]() {
+    sent_at = world.now();
+    world.stack(0).host().send_packet(1, to_bytes("hi"));
+  });
+  world.run_for(kSecond);
+
+  ASSERT_GE(recv_at, 0);
+  EXPECT_EQ(from, 0u);
+  EXPECT_GE(recv_at - sent_at, 50 * kMicrosecond);
+  // Upper bound plus receive-side CPU cost.
+  EXPECT_LE(recv_at - sent_at, 90 * kMicrosecond);
+}
+
+TEST(SimWorld, SelfSendDelivered) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 3});
+  int got = 0;
+  world.stack(0).host().set_packet_handler(
+      [&](NodeId src, const Bytes&) {
+        EXPECT_EQ(src, 0u);
+        ++got;
+      });
+  world.at_node(0, 0,
+                [&]() { world.stack(0).host().send_packet(0, to_bytes("x")); });
+  world.run_for(kSecond);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(SimWorld, DropAllLosesEveryPacket) {
+  SimConfig config{.num_stacks = 2, .seed = 5};
+  config.net.drop_probability = 1.0;
+  SimWorld world(config);
+  int got = 0;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Bytes&) { ++got; });
+  world.at_node(0, 0, [&]() {
+    for (int i = 0; i < 10; ++i) {
+      world.stack(0).host().send_packet(1, to_bytes("x"));
+    }
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(world.packets_dropped(), 10u);
+}
+
+TEST(SimWorld, DuplicationDeliversTwice) {
+  SimConfig config{.num_stacks = 2, .seed = 5};
+  config.net.duplicate_probability = 1.0;
+  SimWorld world(config);
+  int got = 0;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Bytes&) { ++got; });
+  world.at_node(0, 0,
+                [&]() { world.stack(0).host().send_packet(1, to_bytes("x")); });
+  world.run_for(kSecond);
+  EXPECT_EQ(got, 2);
+}
+
+TEST(SimWorld, LinkFilterPartitionsTraffic) {
+  SimWorld world(SimConfig{.num_stacks = 3, .seed = 2});
+  std::vector<int> got(3, 0);
+  for (NodeId i = 0; i < 3; ++i) {
+    world.stack(i).host().set_packet_handler(
+        [&got, i](NodeId, const Bytes&) { ++got[i]; });
+  }
+  // Partition {0} vs {1,2}.
+  world.set_link_filter([](NodeId src, NodeId dst) {
+    const bool src_side = src == 0;
+    const bool dst_side = dst == 0;
+    return src_side == dst_side;
+  });
+  world.at_node(0, 0, [&]() {
+    world.stack(0).host().send_packet(1, to_bytes("x"));
+    world.stack(0).host().send_packet(0, to_bytes("x"));
+  });
+  world.at_node(0, 1, [&]() {
+    world.stack(1).host().send_packet(2, to_bytes("x"));
+    world.stack(1).host().send_packet(0, to_bytes("x"));
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(got[0], 1);  // only its own loopback
+  EXPECT_EQ(got[1], 0);
+  EXPECT_EQ(got[2], 1);
+
+  // Heal and verify traffic flows again.
+  world.set_link_filter(nullptr);
+  world.at_node(world.now(), 0,
+                [&]() { world.stack(0).host().send_packet(1, to_bytes("x")); });
+  world.run_for(kSecond);
+  EXPECT_EQ(got[1], 1);
+}
+
+TEST(SimWorld, CrashedStackReceivesNothingAndRunsNothing) {
+  SimWorld world(SimConfig{.num_stacks = 2, .seed = 9});
+  int timer_fired = 0, packets = 0;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Bytes&) { ++packets; });
+  world.stack(1).host().set_timer(10 * kMillisecond,
+                                  [&]() { ++timer_fired; });
+  world.at(5 * kMillisecond, [&]() { world.crash(1); });
+  world.at_node(6 * kMillisecond, 0, [&]() {
+    world.stack(0).host().send_packet(1, to_bytes("x"));
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(timer_fired, 0);
+  EXPECT_EQ(packets, 0);
+  EXPECT_TRUE(world.crashed(1));
+  EXPECT_EQ(world.crashed_set(), std::set<NodeId>{1});
+}
+
+TEST(SimWorld, ChargeDelaysSubsequentEventsOnSameStack) {
+  // The processor model: a handler that charges 10ms of CPU pushes the
+  // stack's next event to t+10ms, modelling queueing under load.
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  std::vector<TimePoint> at;
+  host.set_timer(kMillisecond, [&]() {
+    at.push_back(host.now());
+    host.charge(10 * kMillisecond);
+  });
+  host.set_timer(2 * kMillisecond, [&]() { at.push_back(host.now()); });
+  world.run_for(kSecond);
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], kMillisecond);
+  EXPECT_EQ(at[1], 11 * kMillisecond);
+}
+
+TEST(SimWorld, ChargeDoesNotAffectOtherStacks) {
+  SimWorld world(SimConfig{.num_stacks = 2, .seed = 1});
+  std::vector<TimePoint> at;
+  world.stack(0).host().set_timer(kMillisecond, [&]() {
+    world.stack(0).host().charge(50 * kMillisecond);
+  });
+  world.stack(1).host().set_timer(2 * kMillisecond, [&]() {
+    at.push_back(world.now());
+  });
+  world.run_for(kSecond);
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 2 * kMillisecond);
+}
+
+TEST(SimWorld, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimConfig config{.num_stacks = 3, .seed = seed};
+    config.net.drop_probability = 0.1;
+    SimWorld world(config);
+    std::vector<std::pair<NodeId, TimePoint>> deliveries;
+    for (NodeId i = 0; i < 3; ++i) {
+      world.stack(i).host().set_packet_handler(
+          [&deliveries, &world, i](NodeId, const Bytes&) {
+            deliveries.emplace_back(i, world.now());
+          });
+    }
+    for (int k = 0; k < 50; ++k) {
+      world.at_node(k * kMillisecond, static_cast<NodeId>(k % 3), [&world, k]() {
+        const NodeId src = static_cast<NodeId>(k % 3);
+        const NodeId dst = static_cast<NodeId>((k + 1) % 3);
+        world.stack(src).host().send_packet(dst, to_bytes("ping"));
+      });
+    }
+    world.run_for(kSecond);
+    return deliveries;
+  };
+  auto a = run(1234);
+  auto b = run(1234);
+  auto c = run(4321);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SimWorld, EventBudgetGuardStopsRunaway) {
+  SimWorld world(SimConfig{.num_stacks = 1, .seed = 1});
+  HostEnv& host = world.stack(0).host();
+  // A self-perpetuating zero-delay loop.
+  std::function<void()> loop = [&]() { host.post(loop); };
+  host.post(loop);
+  EXPECT_FALSE(world.run_until(kSecond, /*max_events=*/1000));
+  EXPECT_GE(world.processed_events(), 1000u);
+}
+
+TEST(SimWorld, PacketToStackWithoutHandlerIsDropped) {
+  SimWorld world(SimConfig{.num_stacks = 2, .seed = 1});
+  world.at_node(0, 0,
+                [&]() { world.stack(0).host().send_packet(1, to_bytes("x")); });
+  EXPECT_NO_THROW(world.run_for(kSecond));
+}
+
+}  // namespace
+}  // namespace dpu

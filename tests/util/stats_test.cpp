@@ -1,0 +1,107 @@
+// Unit tests for the statistics helpers that back all benchmark outputs.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpu {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, SingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Samples, AddAfterPercentileQuery) {
+  Samples s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.median(), 20.0);  // resorts after mutation
+}
+
+TEST(TimeSeries, Bucketing) {
+  TimeSeries ts(100);
+  ts.add(0, 1.0);
+  ts.add(99, 3.0);
+  ts.add(100, 10.0);
+  ts.add(250, 7.0);
+  ASSERT_EQ(ts.bucket_count(), 3u);
+  EXPECT_EQ(ts.bucket(0).count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket(0).mean(), 2.0);
+  EXPECT_EQ(ts.bucket(1).count(), 1u);
+  EXPECT_EQ(ts.bucket(2).count(), 1u);
+  EXPECT_EQ(ts.bucket_start(2), 200);
+}
+
+TEST(TimeSeries, SparseBucketsEmpty) {
+  TimeSeries ts(10);
+  ts.add(95, 5.0);
+  ASSERT_EQ(ts.bucket_count(), 10u);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(ts.bucket(i).count(), 0u);
+  EXPECT_EQ(ts.bucket(9).count(), 1u);
+}
+
+TEST(FmtFixed, Formats) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(1000.0, 0), "1000");
+  EXPECT_EQ(fmt_fixed(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace dpu
