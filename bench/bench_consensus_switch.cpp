@@ -3,95 +3,67 @@
 // the Repl-Consensus facade while the consensus service is switched from
 // the Chandra-Toueg provider to the Mostéfaoui-Raynal provider.
 //
-// Reported: the latency timeline around the switch, the per-version
-// decision counts (old instances finish on CT, new ones run on MR) and the
-// stream-migration point.
+// Runs as a scenario (src/scenario) with the kReplConsensus mechanism.
+// Reported: the latency timeline around the switch, the switch window, the
+// per-stack final protocol and the delivered/decided counts.
 #include <cstdio>
 
-#include "app/probe.hpp"
-#include "app/stack_builder.hpp"
-#include "app/workload.hpp"
 #include "common/harness.hpp"
-#include "repl/repl_consensus.hpp"
+#include "scenario/runner.hpp"
 
 namespace dpu::bench {
 namespace {
 
 void run_consensus_switch(std::size_t n, double load_per_stack) {
-  StandardStackOptions options;
-  ProtocolLibrary library = make_standard_library(options);
+  using namespace dpu::scenario;
 
-  SimConfig sim;
-  sim.num_stacks = n;
-  sim.seed = 51;
-  sim.stack_cost.service_hop_cost = 8 * kMicrosecond;
-  sim.stack_cost.module_create_cost = 20 * kMillisecond;
-  SimWorld world(sim, &library);
-
-  LatencyCollector collector(100 * kMillisecond);
-  std::vector<ReplConsensusModule*> facade;
-  std::vector<std::unique_ptr<LatencyProbe>> probes;
-  std::vector<WorkloadModule*> workloads;
   const Duration duration = full_mode() ? 20 * kSecond : 12 * kSecond;
+  ScenarioSpec spec;
+  spec.name = "bench-consensus-switch";
+  spec.n = n;
+  spec.duration = duration;
+  spec.drain = 5 * kSecond;
+  spec.mechanism = Mechanism::kReplConsensus;
+  spec.initial_protocol = "consensus.ct";
+  spec.workload.rate_per_stack = load_per_stack;
+  spec.updates = {{duration / 2, 0, "consensus.mr"}};
 
-  for (NodeId i = 0; i < n; ++i) {
-    Stack& stack = world.stack(i);
-    UdpModule::create(stack);
-    Rp2pModule::create(stack);
-    RbcastModule::create(stack);
-    FdModule::create(stack);
-    facade.push_back(ReplConsensusModule::create(stack));
-    CtAbcastModule::create(stack);  // requires "consensus" == the facade
-    probes.push_back(std::make_unique<LatencyProbe>(collector, stack.host()));
-    stack.listen<AbcastListener>(kAbcastService, probes.back().get(), nullptr);
-    WorkloadConfig wc;
-    wc.rate_per_second = load_per_stack;
-    wc.poisson = true;
-    wc.stop_after = duration;
-    workloads.push_back(WorkloadModule::create(stack, wc));
-    stack.start_all();
-  }
-
-  const TimePoint switch_at = duration / 2;
-  world.at_node(switch_at, 0, [&]() {
-    facade[0]->change_consensus("consensus.mr");
-  });
-  world.run_until(duration + 5 * kSecond);
+  RunOptions options;
+  options.with_audit = false;  // pure latency run
+  const ScenarioResult result = run_scenario(spec, /*seed=*/51, options);
 
   print_header("Consensus replacement (CT -> MR) under CT-ABcast load, n=" +
                std::to_string(n) + ", load=" +
                fmt_fixed(load_per_stack * static_cast<double>(n), 0) +
                " msg/s");
   print_row({"time[s]", "avg-latency[us]", "samples"});
-  const TimeSeries& series = collector.series();
+  const TimeSeries& series = result.collector->series();
   for (std::size_t b = 0; b < series.bucket_count(); ++b) {
     const OnlineStats& stats = series.bucket(b);
     if (stats.count() == 0) continue;
     print_row({fmt_fixed(to_seconds(series.bucket_start(b)), 1),
                fmt_fixed(stats.mean(), 1), std::to_string(stats.count())});
   }
-  const double before = collector.window(kSecond, switch_at).mean();
+
+  const TimePoint switch_at = duration / 2;
+  const double before = result.collector->window(kSecond, switch_at).mean();
   const double after =
-      collector.window(switch_at + 2 * kSecond, duration).mean();
+      result.collector->window(switch_at + 2 * kSecond, duration).mean();
   std::printf("\nsummary: before(CT)=%.1fus after(MR)=%.1fus\n", before, after);
-  const StreamId abcast_stream =
-      fnv1a64(std::string(kAbcastService) + "/stream");
-  for (NodeId i = 0; i < n; ++i) {
-    std::printf("stack %u: versions=%zu abcast-stream-version=%u (%s)\n", i,
-                facade[i]->version_count(),
-                facade[i]->stream_version(abcast_stream),
-                facade[i]
-                    ->protocol_of(facade[i]->stream_version(abcast_stream))
-                    .c_str());
+  if (!result.switch_windows.empty()) {
+    std::printf("switch window: %.1f ms (requested t=%.3fs)\n",
+                to_millis(result.max_switch_downtime()),
+                to_seconds(result.switch_windows[0].first));
   }
-  std::uint64_t delivered = 0;
-  for (auto& p : probes) delivered += p->deliveries();
-  std::uint64_t sent = 0;
-  for (auto* w : workloads) sent += w->sent();
-  std::printf("sent=%llu delivered=%llu (expected %llu)\n",
-              static_cast<unsigned long long>(sent),
-              static_cast<unsigned long long>(delivered),
-              static_cast<unsigned long long>(sent * n));
+  for (NodeId i = 0; i < n; ++i) {
+    std::printf("stack %u: final consensus protocol = %s\n", i,
+                result.final_protocol[i].c_str());
+  }
+  std::printf("sent=%llu delivered=%llu (expected %llu) decisions=%llu\n",
+              static_cast<unsigned long long>(result.messages_sent),
+              static_cast<unsigned long long>(result.deliveries),
+              static_cast<unsigned long long>(result.messages_sent * n),
+              static_cast<unsigned long long>(result.decisions_delivered));
 }
 
 }  // namespace

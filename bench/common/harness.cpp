@@ -1,12 +1,16 @@
+// The bench harness is a thin adapter over the scenario engine
+// (src/scenario): an ExperimentConfig maps onto a ScenarioSpec, the
+// scenario runner executes it, and the result maps back.  The benches keep
+// their historical vocabulary (Mode, ExperimentConfig) while world
+// assembly, fault injection and switch-window extraction live in one place.
 #include "common/harness.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
 #include <thread>
 
-#include "repl/repl_abcast.hpp"
-#include "util/log.hpp"
+#include "scenario/runner.hpp"
 
 namespace dpu::bench {
 
@@ -30,153 +34,62 @@ double ExperimentResult::switch_latency_us(Duration tail) const {
 
 namespace {
 
-/// Extracts [request, last-done] windows from the trace markers emitted by
-/// the replacement modules.
-std::vector<std::pair<TimePoint, TimePoint>> extract_switch_windows(
-    const std::vector<TraceEvent>& events, std::size_t n) {
-  std::vector<TimePoint> requests;
-  std::vector<std::vector<TimePoint>> done_times;  // per request, per stack
-  for (const TraceEvent& e : events) {
-    if (e.kind != TraceKind::kCustom) continue;
-    if (e.detail.rfind(ReplAbcastModule::kTraceChangeRequested, 0) == 0) {
-      requests.push_back(e.time);
-      done_times.emplace_back();
-    } else if (e.detail.rfind(ReplAbcastModule::kTraceSwitchDone, 0) == 0 ||
-               e.detail == MaestroSwitchModule::kTraceUnblocked ||
-               e.detail == GracefulSwitchModule::kTraceActivated) {
-      if (!done_times.empty()) done_times.back().push_back(e.time);
-    } else if (e.detail == MaestroSwitchModule::kTraceBlocked ||
-               e.detail == GracefulSwitchModule::kTraceDeactivated) {
-      // Baseline runs have no explicit request marker; open a window at the
-      // first per-switch event.
-      if (done_times.empty() || done_times.back().size() >= n) {
-        requests.push_back(e.time);
-        done_times.emplace_back();
-      }
-    }
+scenario::Mechanism to_mechanism(Mode mode) {
+  switch (mode) {
+    case Mode::kNoLayer: return scenario::Mechanism::kNone;
+    case Mode::kRepl: return scenario::Mechanism::kRepl;
+    case Mode::kMaestro: return scenario::Mechanism::kMaestro;
+    case Mode::kGraceful: return scenario::Mechanism::kGraceful;
   }
-  std::vector<std::pair<TimePoint, TimePoint>> windows;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    TimePoint end = requests[i];
-    for (TimePoint t : done_times[i]) end = std::max(end, t);
-    windows.emplace_back(requests[i], end);
-  }
-  return windows;
+  return scenario::Mechanism::kNone;
 }
 
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  StandardStackOptions options;
-  options.with_replacement_layer = config.mode == Mode::kRepl;
-  options.abcast_protocol = config.abcast_protocol;
-  options.with_gm = false;  // the latency benches measure the bare channel
+  scenario::ScenarioSpec spec;
+  spec.name = std::string("bench-") + mode_name(config.mode);
+  spec.n = config.n;
+  spec.duration = config.duration;
+  spec.drain = 5 * kSecond;  // in-flight messages settle after the workload
+  spec.mechanism = to_mechanism(config.mode);
+  spec.initial_protocol = config.abcast_protocol;
+  spec.workload.rate_per_stack = config.load_per_stack;
+  spec.workload.message_size = config.message_size;
+  // Poisson arrivals: identical fixed-rate senders phase-lock with the
+  // consensus instance cycle and settle into resonant steady states that
+  // make before/after comparisons meaningless.
+  spec.workload.poisson = true;
+  spec.hop_cost = config.hop_cost;
+  spec.module_create_cost = config.module_create_cost;
+  if (config.mode != Mode::kNoLayer) {
+    // The no-layer control series cannot switch; it historically ignored
+    // any configured switch schedule.
+    for (const SwitchEvent& sw : config.switches) {
+      spec.updates.push_back({sw.at, /*initiator=*/0, sw.protocol});
+    }
+  }
 
-  ProtocolLibrary library = make_standard_library(options);
-  TraceRecorder trace;
+  scenario::RunOptions options;
+  options.bucket_width = config.bucket_width;
+  // Latency benches run minutes of virtual time at full load; the audit
+  // would retain every payload on every stack.
+  options.with_audit = false;
 
-  SimConfig sim;
-  sim.num_stacks = config.n;
-  sim.seed = config.seed;
-  sim.stack_cost.service_hop_cost = config.hop_cost;
-  sim.stack_cost.module_create_cost = config.module_create_cost;
-  SimWorld world(sim, &library, &trace);
+  scenario::ScenarioResult run =
+      scenario::run_scenario(spec, config.seed, options);
 
   ExperimentResult result;
-  result.collector = std::make_unique<LatencyCollector>(config.bucket_width);
-
-  std::vector<StandardStack> stacks;
-  std::vector<MaestroSwitchModule*> maestro(config.n, nullptr);
-  std::vector<GracefulSwitchModule*> graceful(config.n, nullptr);
-  std::vector<ReplAbcastModule*> repl(config.n, nullptr);
-  std::vector<std::unique_ptr<LatencyProbe>> probes;
-  std::vector<WorkloadModule*> workloads;
-
-  for (NodeId i = 0; i < config.n; ++i) {
-    Stack& stack = world.stack(i);
-    if (config.mode == Mode::kMaestro) {
-      // Maestro composes its own protocol layer above the substrate.
-      UdpModule::create(stack);
-      Rp2pModule::create(stack, kRp2pService, options.rp2p);
-      RbcastModule::create(stack, kRbcastService, options.rbcast);
-      FdModule::create(stack, kFdService, options.fd);
-      MaestroSwitchModule::Config mc;
-      mc.initial_protocol = config.abcast_protocol;
-      maestro[i] = MaestroSwitchModule::create(stack, mc);
-      stack.start_all();
-    } else if (config.mode == Mode::kGraceful) {
-      UdpModule::create(stack);
-      Rp2pModule::create(stack, kRp2pService, options.rp2p);
-      RbcastModule::create(stack, kRbcastService, options.rbcast);
-      FdModule::create(stack, kFdService, options.fd);
-      CtConsensusModule::create(stack);
-      GracefulSwitchModule::Config gc;
-      gc.initial_protocol = config.abcast_protocol;
-      graceful[i] = GracefulSwitchModule::create(stack, gc);
-      stack.start_all();
-    } else {
-      stacks.push_back(build_standard_stack(stack, options));
-      repl[i] = stacks.back().repl;
-    }
-    probes.push_back(
-        std::make_unique<LatencyProbe>(*result.collector, stack.host()));
-    stack.listen<AbcastListener>(kAbcastService, probes.back().get(), nullptr);
-
-    WorkloadConfig wc;
-    wc.rate_per_second = config.load_per_stack;
-    wc.message_size = config.message_size;
-    wc.stop_after = config.duration;
-    // Poisson arrivals: identical fixed-rate senders phase-lock with the
-    // consensus instance cycle and settle into resonant steady states that
-    // make before/after comparisons meaningless.
-    wc.poisson = true;
-    workloads.push_back(WorkloadModule::create(stack, wc));
-    stack.start_all();
-  }
-
-  // Schedule switches.
-  for (const SwitchEvent& sw : config.switches) {
-    const NodeId initiator = 0;
-    world.at_node(sw.at, initiator, [&, sw]() {
-      switch (config.mode) {
-        case Mode::kRepl:
-          repl[initiator]->change_abcast(sw.protocol);
-          break;
-        case Mode::kMaestro:
-          maestro[initiator]->change_stack(sw.protocol);
-          break;
-        case Mode::kGraceful:
-          graceful[initiator]->change_adaptation(sw.protocol);
-          break;
-        case Mode::kNoLayer:
-          break;  // nothing can switch
-      }
-    });
-  }
-
-  // Run: the workload stops at `duration`; the drain phase lets in-flight
-  // messages finish.
-  world.run_until(config.duration + 5 * kSecond);
-  result.total_virtual_time = world.now();
-
-  for (NodeId i = 0; i < config.n; ++i) {
-    result.messages_sent += workloads[i]->sent();
-    result.deliveries += probes[i]->deliveries();
-    if (repl[i] != nullptr) {
-      result.reissued += repl[i]->reissued_total();
-      result.stale_discarded += repl[i]->stale_discarded();
-    }
-    if (maestro[i] != nullptr) {
-      result.app_blocked_total += maestro[i]->total_blocked_time();
-      result.calls_queued += maestro[i]->calls_queued_while_blocked();
-    }
-    if (graceful[i] != nullptr) {
-      result.app_blocked_total += graceful[i]->total_queueing_window();
-      result.calls_queued += graceful[i]->calls_queued_during_switch();
-    }
-  }
-  result.trace = trace.events();
-  result.switch_windows = extract_switch_windows(result.trace, config.n);
+  result.collector = std::move(run.collector);
+  result.trace = std::move(run.trace);
+  result.messages_sent = run.messages_sent;
+  result.deliveries = run.deliveries;
+  result.switch_windows = std::move(run.switch_windows);
+  result.reissued = run.reissued;
+  result.stale_discarded = run.stale_discarded;
+  result.app_blocked_total = run.app_blocked_total;
+  result.calls_queued = run.calls_queued;
+  result.total_virtual_time = run.total_virtual_time;
   return result;
 }
 

@@ -1,0 +1,159 @@
+// scenario_campaign — runs fault/upgrade scenario campaigns and emits the
+// machine-readable JSON artifact CI gates on.
+//
+//   scenario_campaign                        # curated library, seeds 1..3
+//   scenario_campaign --list                 # print the curated names
+//   scenario_campaign --scenario large-n-churn --seeds 5
+//   scenario_campaign --spec my_scenario.json --out results.json
+//
+// Exit status: 0 when every run passes the property audits, 1 otherwise,
+// 2 on usage/IO errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+#include "scenario/library.hpp"
+
+namespace {
+
+using namespace dpu;
+using namespace dpu::scenario;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --list               print curated scenario names and exit\n"
+      "  --scenario NAME      run one curated scenario (repeatable)\n"
+      "  --spec FILE.json     run a spec loaded from JSON (repeatable)\n"
+      "  --seeds K            sweep seeds base..base+K-1 (default 3)\n"
+      "  --seed-base B        first seed of the sweep (default 1)\n"
+      "  --threads T          worker threads (default: hardware)\n"
+      "  --out FILE           write the results JSON there (default stdout)\n"
+      "  --compact            compact JSON instead of pretty-printed\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<ScenarioSpec> specs;
+  std::vector<std::string> wanted;
+  std::vector<std::string> spec_files;
+  std::string out_path;
+  std::uint64_t seed_count = 3;
+  std::uint64_t seed_base = 1;
+  std::size_t threads = 0;
+  int indent = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      for (const ScenarioSpec& spec : curated_scenarios()) {
+        std::printf("%-28s %s\n", spec.name.c_str(),
+                    spec.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--scenario") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      wanted.emplace_back(v);
+    } else if (arg == "--spec") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      spec_files.emplace_back(v);
+    } else if (arg == "--seeds") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      seed_count = std::strtoull(v, nullptr, 10);
+      if (seed_count == 0) return usage(argv[0]);
+    } else if (arg == "--seed-base") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      seed_base = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--out") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--compact") {
+      indent = -1;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  // Assemble the spec list: named curated scenarios, file-loaded specs, or
+  // (default) the whole curated library.
+  for (const std::string& name : wanted) {
+    std::optional<ScenarioSpec> spec = find_scenario(name);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   name.c_str());
+      return 2;
+    }
+    specs.push_back(std::move(*spec));
+  }
+  for (const std::string& path : spec_files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      ScenarioSpec spec = ScenarioSpec::from_json_text(text.str());
+      const std::vector<std::string> problems = spec.validate();
+      if (!problems.empty()) {
+        std::fprintf(stderr, "spec '%s' is invalid:\n", path.c_str());
+        for (const std::string& p : problems) {
+          std::fprintf(stderr, "  - %s\n", p.c_str());
+        }
+        return 2;
+      }
+      specs.push_back(std::move(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spec '%s': %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+  if (specs.empty()) specs = curated_scenarios();
+
+  CampaignOptions options;
+  options.seeds.clear();
+  for (std::uint64_t k = 0; k < seed_count; ++k) {
+    options.seeds.push_back(seed_base + k);
+  }
+  options.threads = threads;
+
+  const CampaignOutcome outcome = run_campaign(specs, options);
+  const std::string text = outcome.document.dump(indent) + "\n";
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    out << text;
+  }
+  std::fprintf(stderr, "campaign: %zu run(s), %zu failed — %s\n",
+               outcome.runs, outcome.failed_runs,
+               outcome.ok ? "OK" : "AUDIT VIOLATIONS");
+  return outcome.ok ? 0 : 1;
+}

@@ -1,4 +1,5 @@
-// Failure drill — the kitchen-sink robustness scenario.
+// Failure drill — the kitchen-sink robustness scenario, expressed as a
+// reusable spec from the curated scenario library (src/scenario).
 //
 // A 5-stack world endures, in one run:
 //   * 5% message loss throughout,
@@ -10,98 +11,50 @@
 // (validity, uniform agreement, uniform integrity, uniform total order)
 // must hold for the survivors over the entire run.
 //
-//   $ ./failure_drill
+//   $ ./failure_drill [seed]
+//
+// The same schedule runs in CI under seed sweeps via `scenario_campaign`;
+// this example executes one seed and prints the structured result record.
 #include <cstdio>
-#include <vector>
+#include <cstdlib>
 
-#include "abcast/audit.hpp"
-#include "abcast/ct_abcast.hpp"
-#include "app/stack_builder.hpp"
-#include "repl/repl_consensus.hpp"
-#include "sim/sim_world.hpp"
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
 
 using namespace dpu;
+using namespace dpu::scenario;
 
-int main() {
-  constexpr std::size_t kStacks = 5;
-  StandardStackOptions options;
-  options.fd.heartbeat_interval = 20 * kMillisecond;
-  options.fd.initial_timeout = 150 * kMillisecond;
-  options.rp2p.retransmit_interval = 10 * kMillisecond;
-  ProtocolLibrary library = make_standard_library(options);
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1234;
 
-  SimConfig sim{.num_stacks = kStacks, .seed = 1234};
-  sim.net.drop_probability = 0.05;
-  SimWorld world(sim, &library);
-
-  // Composition: substrate + Repl-Consensus facade + CT-ABcast on top.
-  std::vector<ReplConsensusModule*> consensus;
-  AbcastAudit audit;
-  std::vector<std::unique_ptr<AbcastAudit::Listener>> listeners;
-  for (NodeId i = 0; i < kStacks; ++i) {
-    Stack& stack = world.stack(i);
-    UdpModule::create(stack);
-    Rp2pModule::create(stack, kRp2pService, options.rp2p);
-    RbcastModule::create(stack);
-    FdModule::create(stack, kFdService, options.fd);
-    consensus.push_back(ReplConsensusModule::create(stack));
-    CtAbcastModule::create(stack);
-    listeners.push_back(std::make_unique<AbcastAudit::Listener>(audit, i));
-    stack.listen<AbcastListener>(kAbcastService, listeners.back().get(),
-                                 nullptr);
-    stack.start_all();
+  std::optional<ScenarioSpec> spec = find_scenario("failure-drill");
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "curated scenario 'failure-drill' missing\n");
+    return 2;
   }
 
-  auto send = [&](TimePoint at, NodeId from, const std::string& tag) {
-    world.at_node(at, from, [&world, &audit, from, tag]() {
-      if (world.crashed(from)) return;
-      const Bytes payload = to_bytes(tag);
-      audit.record_sent(from, payload);
-      world.stack(from).require<AbcastApi>(kAbcastService)
-          .call([payload](AbcastApi& api) { api.abcast(payload); });
-    });
-  };
-
-  // Load: 40 messages per stack across 8 simulated seconds.
-  for (NodeId i = 0; i < kStacks; ++i) {
-    for (int k = 0; k < 40; ++k) {
-      send((50 + k * 200) * kMillisecond, i,
-           "n" + std::to_string(i) + "-" + std::to_string(k));
-    }
+  std::printf("failure drill (seed %llu): %s\n",
+              static_cast<unsigned long long>(seed),
+              spec->description.c_str());
+  for (const UpdateAction& u : spec->updates) {
+    std::printf("t=%.1fs  switch consensus protocol -> %s (initiator s%u)\n",
+                to_seconds(u.at), u.protocol.c_str(), u.initiator);
+  }
+  for (const CrashFault& c : spec->crashes) {
+    std::printf("t=%.1fs  crash stack %u\n", to_seconds(c.at), c.node);
+  }
+  for (const PartitionFault& p : spec->partitions) {
+    std::printf("t=%.1fs  partition %zu stack(s) away until t=%.1fs\n",
+                to_seconds(p.from), p.isolated.size(), to_seconds(p.until));
   }
 
-  std::printf("t=2.0s  switching consensus protocol: CT -> MR\n");
-  world.at_node(2 * kSecond, 0,
-                [&]() { consensus[0]->change_consensus("consensus.mr"); });
+  const ScenarioResult result = run_scenario(*spec, seed);
 
-  std::printf("t=3.0s  crashing stack 4\n");
-  world.at(3 * kSecond, [&]() { world.crash(4); });
-
-  std::printf("t=4.5s  partitioning stack 2 away for 1.5 seconds\n");
-  world.at(4500 * kMillisecond, [&]() {
-    world.set_link_filter(
-        [](NodeId src, NodeId dst) { return src != 2 && dst != 2; });
-  });
-  world.at(6 * kSecond, [&]() {
-    std::printf("t=6.0s  partition healed\n");
-    world.set_link_filter(nullptr);
-  });
-
-  world.run_for(60 * kSecond);
-
-  auto report = audit.check(kStacks, world.crashed_set());
   std::printf("\nproperty audit over the whole run: %s\n",
-              report.summary().c_str());
-  std::printf("deliveries per surviving stack:");
-  for (NodeId i = 0; i < kStacks; ++i) {
-    if (!world.crashed(i)) std::printf(" s%u=%zu", i, audit.deliveries_at(i));
-  }
-  const StreamId abcast_stream =
-      fnv1a64(std::string(kAbcastService) + "/stream");
-  std::printf("\nconsensus versions on stack 0: %zu; abcast stream now on: %s\n",
-              consensus[0]->version_count(),
-              consensus[0]
-                  ->protocol_of(consensus[0]->stream_version(abcast_stream))
-                  .c_str());
-  return report.ok ? 0 : 1;
+              result.abcast_report.summary().c_str());
+  std::printf("generic DPU properties: %s\n",
+              result.generic_report.summary().c_str());
+  std::printf("\nresult record:\n%s\n", result.to_json().dump(2).c_str());
+  return result.ok() ? 0 : 1;
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks (default) or fixes (--fix) clang-format conformance for all C++
+# sources.  Used by the CI "format" job; run locally before pushing:
+#
+#   scripts/check_format.sh          # report violations, exit 1 if any
+#   scripts/check_format.sh --fix    # rewrite files in place
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=... to override)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(find src bench examples tests \
+  \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} file(s)"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+if [[ $bad -ne 0 ]]; then
+  echo "run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "all ${#files[@]} file(s) clean"

@@ -6,6 +6,8 @@
 // open-loop Poisson arrivals.
 #pragma once
 
+#include <functional>
+
 #include "abcast/abcast.hpp"
 #include "app/probe.hpp"
 #include "core/module.hpp"
@@ -24,6 +26,9 @@ struct WorkloadConfig {
   /// forever).
   Duration start_after = 0;
   Duration stop_after = 0;
+  /// Observes every issued payload just before it enters abcast; the
+  /// scenario engine hooks the property audit's record_sent here.
+  std::function<void(const Bytes&)> on_send;
 };
 
 class WorkloadModule final : public Module {
@@ -75,6 +80,7 @@ class WorkloadModule final : public Module {
     // of silently skipping it (no coordinated omission).
     const Bytes payload = ProbePayload::make(next_intended_, env().node_id(),
                                              ++sent_, config_.message_size);
+    if (config_.on_send) config_.on_send(payload);
     abcast_.call([payload](AbcastApi& api) { api.abcast(payload); });
     next_intended_ += gap();
     schedule_fire();

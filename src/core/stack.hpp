@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,11 +43,23 @@ class ModuleParams {
     return it == kv_.end() ? fallback : it->second;
   }
 
+  /// Integer view of a parameter.  Malformed or out-of-range values yield
+  /// `fallback` — parameters ride inside replacement messages from other
+  /// stacks, so garbage must not throw mid-switch.
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const {
     auto it = kv_.find(key);
     if (it == kv_.end()) return fallback;
-    return std::stoll(it->second);
+    try {
+      std::size_t consumed = 0;
+      const std::int64_t value = std::stoll(it->second, &consumed);
+      // Trailing garbage ("12abc") is malformed, not the number 12.
+      return consumed == it->second.size() ? value : fallback;
+    } catch (const std::invalid_argument&) {
+      return fallback;
+    } catch (const std::out_of_range&) {
+      return fallback;
+    }
   }
 
   [[nodiscard]] bool has(const std::string& key) const {

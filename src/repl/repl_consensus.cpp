@@ -117,6 +117,8 @@ void ReplConsensusModule::change_consensus(const std::string& protocol,
     throw std::logic_error("change_consensus: unknown protocol '" + protocol +
                            "'");
   }
+  stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
+                std::string(kTraceChangeRequested) + ":" + protocol);
   BufWriter w(protocol.size() + 32);
   w.put_u32(static_cast<std::uint32_t>(versions_.size()));
   w.put_string(protocol);
@@ -161,6 +163,12 @@ void ReplConsensusModule::create_version(std::uint32_t version,
   auto* api = dynamic_cast<ConsensusApi*>(m);
   assert(api != nullptr);
   versions_.push_back(VersionInfo{protocol, api});
+  if (version > 0) {
+    // Version 0 is the initial composition, not a switch.
+    stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
+                  std::string(kTraceVersionCreated) + ":" + protocol + ":v=" +
+                      std::to_string(version));
+  }
   DPU_LOG(kInfo, "repl-cons") << "s" << env().node_id()
                               << " consensus version " << version << " = "
                               << protocol;

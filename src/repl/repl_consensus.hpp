@@ -85,6 +85,11 @@ class ReplConsensusModule final : public Module, public ConsensusApi {
     return decisions_delivered_;
   }
 
+  // Trace markers (TraceKind::kCustom) consumed by the scenario engine's
+  // switch-window extraction, mirroring ReplAbcastModule's.
+  static constexpr char kTraceChangeRequested[] = "replc-change-requested";
+  static constexpr char kTraceVersionCreated[] = "replc-version-created";
+
  private:
   struct VersionInfo {
     std::string protocol;

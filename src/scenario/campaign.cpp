@@ -1,0 +1,95 @@
+#include "scenario/campaign.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace dpu::scenario {
+
+CampaignOutcome run_campaign(const std::vector<ScenarioSpec>& specs,
+                             const CampaignOptions& options) {
+  struct Cell {
+    Json result;
+    bool ok = false;
+  };
+  const std::size_t per_spec = options.seeds.size();
+  std::vector<Cell> cells(specs.size() * per_spec);
+
+  // Work queue over the (spec, seed) cross product.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= cells.size()) return;
+      const ScenarioSpec& spec = specs[idx / per_spec];
+      const std::uint64_t seed = options.seeds[idx % per_spec];
+      Cell& cell = cells[idx];
+      try {
+        const ScenarioResult result = run_scenario(spec, seed, options.run);
+        cell.result = result.to_json();
+        cell.ok = result.ok();
+      } catch (const std::exception& e) {
+        Json j = Json::object();
+        j.set("scenario", spec.name);
+        j.set("seed", seed);
+        j.set("ok", false);
+        j.set("exception", std::string(e.what()));
+        cell.result = std::move(j);
+        cell.ok = false;
+      }
+    }
+  };
+
+  std::size_t workers = options.threads != 0
+                            ? options.threads
+                            : std::thread::hardware_concurrency();
+  workers = std::max<std::size_t>(1, std::min(workers, cells.size()));
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic assembly in (spec, seed) order.
+  CampaignOutcome outcome;
+  Json seeds = Json::array();
+  for (const std::uint64_t seed : options.seeds) seeds.push(seed);
+
+  Json scenarios = Json::array();
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    Json entry = Json::object();
+    entry.set("name", specs[s].name);
+    entry.set("spec", specs[s].to_json());
+    bool spec_ok = true;
+    Json runs = Json::array();
+    for (std::size_t k = 0; k < per_spec; ++k) {
+      Cell& cell = cells[s * per_spec + k];
+      spec_ok = spec_ok && cell.ok;
+      if (!cell.ok) ++outcome.failed_runs;
+      runs.push(std::move(cell.result));
+    }
+    entry.set("ok", spec_ok);
+    entry.set("runs", std::move(runs));
+    scenarios.push(std::move(entry));
+  }
+
+  outcome.runs = cells.size();
+  outcome.ok = outcome.failed_runs == 0 && !cells.empty();
+
+  Json doc = Json::object();
+  Json meta = Json::object();
+  meta.set("scenario_count", specs.size());
+  meta.set("seeds", std::move(seeds));
+  meta.set("run_count", outcome.runs);
+  doc.set("campaign", std::move(meta));
+  doc.set("scenarios", std::move(scenarios));
+  doc.set("failed_runs", outcome.failed_runs);
+  doc.set("ok", outcome.ok);
+  outcome.document = std::move(doc);
+  return outcome;
+}
+
+}  // namespace dpu::scenario

@@ -1,0 +1,172 @@
+// Minimal JSON value type for the scenario subsystem.
+//
+// Scenario specs and campaign results are exchanged as JSON so that CI can
+// gate on them and external tooling can generate scenarios.  The repo has no
+// third-party dependencies, so this is a small self-contained
+// writer/parser: objects preserve insertion order (deterministic output —
+// the campaign's "same seed => identical JSON" guarantee depends on it),
+// integers survive round-trips exactly (virtual times are int64
+// nanoseconds), and parse errors throw with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dpu::scenario {
+
+class Json;
+
+/// Thrown by Json::parse on malformed input.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(unsigned int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  // ---- Readers (throw std::runtime_error on type mismatch) ----------------
+
+  [[nodiscard]] bool as_bool() const {
+    expect(Type::kBool, "bool");
+    return bool_;
+  }
+
+  [[nodiscard]] std::int64_t as_int() const {
+    if (type_ == Type::kDouble) return static_cast<std::int64_t>(double_);
+    expect(Type::kInt, "integer");
+    return int_;
+  }
+
+  [[nodiscard]] double as_double() const {
+    if (type_ == Type::kInt) return static_cast<double>(int_);
+    expect(Type::kDouble, "number");
+    return double_;
+  }
+
+  [[nodiscard]] const std::string& as_string() const {
+    expect(Type::kString, "string");
+    return string_;
+  }
+
+  /// Array elements (empty for non-arrays is NOT tolerated: throws).
+  [[nodiscard]] const std::vector<Json>& items() const {
+    expect(Type::kArray, "array");
+    return items_;
+  }
+
+  /// Object members in insertion order.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    expect(Type::kObject, "object");
+    return members_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Object lookup; throws when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const {
+    const Json* v = find(key);
+    if (v == nullptr) {
+      throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+    }
+    return *v;
+  }
+
+  // ---- Builders -----------------------------------------------------------
+
+  Json& set(std::string key, Json value) {
+    expect(Type::kObject, "object");
+    for (auto& [k, v] : members_) {
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    }
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  Json& push(Json value) {
+    expect(Type::kArray, "array");
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  // ---- Serialization ------------------------------------------------------
+
+  /// Compact when `indent` < 0; pretty-printed with `indent` spaces per
+  /// level otherwise.  Output is deterministic for a given value.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void expect(Type t, const char* what) const {
+    if (type_ != t) {
+      throw std::runtime_error(std::string("json: value is not a ") + what);
+    }
+  }
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace dpu::scenario

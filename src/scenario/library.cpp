@@ -1,0 +1,153 @@
+#include "scenario/library.hpp"
+
+namespace dpu::scenario {
+
+namespace {
+
+/// Common base: CI-sized runs (a few virtual seconds, modest load) with the
+/// DESIGN.md §8 calibrated cost model inherited from ScenarioSpec defaults.
+ScenarioSpec base(std::string name, std::string description) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.duration = 6 * kSecond;
+  spec.drain = 30 * kSecond;
+  spec.workload.rate_per_stack = 25.0;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> curated_scenarios() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    ScenarioSpec s = base("clean-switch",
+                          "Fault-free CT -> SEQ replacement under light "
+                          "load: the paper's baseline Figure-5 shape.");
+    s.n = 3;
+    s.updates = {{3 * kSecond, 0, "abcast.seq"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("switch-under-load",
+                          "CT -> CT replacement while every stack applies "
+                          "heavy open-loop load (switch perturbation must "
+                          "stay bounded).");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.workload.rate_per_stack = 100.0;
+    s.updates = {{4 * kSecond, 0, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("crash-during-replacement",
+                          "A stack crashes 5 ms after a replacement is "
+                          "requested, i.e. inside the switch window; the "
+                          "survivors must finish the switch and keep all "
+                          "four ABcast properties.");
+    s.n = 5;
+    s.updates = {{2 * kSecond, 0, "abcast.ct"}};
+    s.crashes = {{2 * kSecond + 5 * kMillisecond, 3}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("partition-heal-then-switch",
+                          "One stack is partitioned away for 1.5 s; after "
+                          "the partition heals, the group replaces the "
+                          "protocol while the rejoined stack is still "
+                          "catching up.");
+    s.n = 5;
+    s.partitions = {{kSecond, 2500 * kMillisecond, {2}}};
+    s.updates = {{3500 * kMillisecond, 0, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("back-to-back-reissue",
+                          "Three replacements requested within 100 ms by "
+                          "different initiators: the totally-ordered switch "
+                          "points must serialize and every undelivered "
+                          "message must be reissued across versions.");
+    s.n = 3;
+    s.updates = {{2 * kSecond, 0, "abcast.seq"},
+                 {2 * kSecond + 50 * kMillisecond, 1, "abcast.token"},
+                 {2 * kSecond + 100 * kMillisecond, 2, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("mixed-abcast-matrix",
+                          "Walks the whole ABcast protocol matrix in one "
+                          "run: CT -> SEQ -> TOKEN -> CT under constant "
+                          "load.");
+    s.n = 3;
+    s.duration = 8 * kSecond;
+    s.updates = {{2 * kSecond, 0, "abcast.seq"},
+                 {4 * kSecond, 1, "abcast.token"},
+                 {6 * kSecond, 2, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("lossy-link-switch",
+                          "5% baseline message loss, tripled to 15% around "
+                          "the replacement window: retransmission and "
+                          "reissue logic under sustained loss.");
+    s.n = 3;
+    s.base_drop = 0.05;
+    s.loss_windows = {{1800 * kMillisecond, 2600 * kMillisecond, 0.15, 0.02}};
+    s.updates = {{2 * kSecond, 0, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("large-n-churn",
+                          "Seven stacks, two staggered crashes and two "
+                          "replacements: group churn at the largest size "
+                          "the paper benchmarks.");
+    s.n = 7;
+    s.duration = 8 * kSecond;
+    s.workload.rate_per_stack = 15.0;
+    s.updates = {{2 * kSecond, 0, "abcast.ct"},
+                 {5 * kSecond, 1, "abcast.ct"}};
+    s.crashes = {{3 * kSecond, 5}, {6 * kSecond, 6}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("consensus-switch-live",
+                          "The paper's future-work extension: the consensus "
+                          "protocol under an unmodified CT-ABcast is "
+                          "switched from Chandra-Toueg to "
+                          "Mostefaoui-Raynal mid-run.");
+    s.n = 3;
+    s.mechanism = Mechanism::kReplConsensus;
+    s.initial_protocol = "consensus.ct";
+    s.updates = {{3 * kSecond, 0, "consensus.mr"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("failure-drill",
+                          "Kitchen sink: 5% loss throughout, a live "
+                          "consensus switch, a crash shortly after it and a "
+                          "transient partition — the examples/failure_drill "
+                          "schedule as a reusable spec.");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.drain = 45 * kSecond;
+    s.mechanism = Mechanism::kReplConsensus;
+    s.initial_protocol = "consensus.ct";
+    s.base_drop = 0.05;
+    s.workload.rate_per_stack = 5.0;
+    s.updates = {{2 * kSecond, 0, "consensus.mr"}};
+    s.crashes = {{3 * kSecond, 4}};
+    s.partitions = {{4500 * kMillisecond, 6 * kSecond, {2}}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::optional<ScenarioSpec> find_scenario(const std::string& name) {
+  for (ScenarioSpec& spec : curated_scenarios()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return std::nullopt;
+}
+
+}  // namespace dpu::scenario

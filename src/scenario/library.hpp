@@ -1,0 +1,27 @@
+// Curated scenario library — the named fault/upgrade campaigns CI runs.
+//
+// Each entry is a ScenarioSpec exercising one adverse schedule from the
+// paper's evaluation space: clean switches, switches under load, crashes
+// landing inside a replacement window, partitions that heal before an
+// update, back-to-back reissue storms, protocol matrices, lossy links and
+// large-group churn.  `scenario_campaign --list` prints them;
+// tests/scenario asserts they all validate and stay audit-clean.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace dpu::scenario {
+
+/// All curated scenarios, in stable order (the campaign JSON lists them in
+/// this order).
+[[nodiscard]] std::vector<ScenarioSpec> curated_scenarios();
+
+/// Looks a curated scenario up by name.
+[[nodiscard]] std::optional<ScenarioSpec> find_scenario(
+    const std::string& name);
+
+}  // namespace dpu::scenario

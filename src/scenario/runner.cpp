@@ -1,0 +1,409 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "abcast/audit.hpp"
+#include "app/stack_builder.hpp"
+#include "app/workload.hpp"
+#include "repl/baseline_graceful.hpp"
+#include "repl/baseline_maestro.hpp"
+#include "repl/repl_abcast.hpp"
+#include "repl/repl_consensus.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu::scenario {
+
+Duration ScenarioResult::max_switch_downtime() const {
+  Duration worst = 0;
+  for (const auto& [from, to] : switch_windows) {
+    worst = std::max(worst, to - from);
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Switch-window extraction
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<TimePoint, TimePoint>> extract_switch_windows(
+    const std::vector<TraceEvent>& events, std::size_t n) {
+  auto has_prefix = [](const std::string& s, const char* prefix) {
+    return s.rfind(prefix, 0) == 0;
+  };
+  std::vector<TimePoint> requests;
+  std::vector<std::vector<TimePoint>> done_times;  // per request, per stack
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceKind::kCustom) continue;
+    if (has_prefix(e.detail, ReplAbcastModule::kTraceChangeRequested) ||
+        has_prefix(e.detail, ReplConsensusModule::kTraceChangeRequested)) {
+      requests.push_back(e.time);
+      done_times.emplace_back();
+    } else if (has_prefix(e.detail, ReplAbcastModule::kTraceSwitchDone) ||
+               has_prefix(e.detail,
+                          ReplConsensusModule::kTraceVersionCreated) ||
+               e.detail == MaestroSwitchModule::kTraceUnblocked ||
+               e.detail == GracefulSwitchModule::kTraceActivated) {
+      if (!done_times.empty()) done_times.back().push_back(e.time);
+    } else if (e.detail == MaestroSwitchModule::kTraceBlocked ||
+               e.detail == GracefulSwitchModule::kTraceDeactivated) {
+      // Baseline runs have no explicit request marker; open a window at the
+      // first per-switch event.
+      if (done_times.empty() || done_times.back().size() >= n) {
+        requests.push_back(e.time);
+        done_times.emplace_back();
+      }
+    }
+  }
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TimePoint end = requests[i];
+    for (TimePoint t : done_times[i]) end = std::max(end, t);
+    windows.emplace_back(requests[i], end);
+  }
+  return windows;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append(PropertyReport& into, const PropertyReport& from) {
+  for (const std::string& v : from.violations) into.fail(v);
+}
+
+/// The communication substrate shared by every mechanism that composes its
+/// own replaceable layer (build_standard_stack covers kNone/kRepl).
+void install_substrate(Stack& stack, const StandardStackOptions& options) {
+  UdpModule::create(stack);
+  Rp2pModule::create(stack, kRp2pService, options.rp2p);
+  RbcastModule::create(stack, kRbcastService, options.rbcast);
+  FdModule::create(stack, kFdService, options.fd);
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
+                            const RunOptions& options) {
+  const std::vector<std::string> problems = spec.validate();
+  if (!problems.empty()) {
+    std::string what = "scenario '" + spec.name + "' is invalid:";
+    for (const std::string& p : problems) what += "\n  - " + p;
+    throw std::invalid_argument(what);
+  }
+
+  // ---- World assembly -----------------------------------------------------
+
+  StandardStackOptions stack_options;
+  stack_options.with_gm = false;
+  stack_options.with_replacement_layer = spec.mechanism == Mechanism::kRepl;
+  if (spec.mechanism == Mechanism::kReplConsensus) {
+    // The replaceable layer is consensus; CT-ABcast rides on the facade.
+    stack_options.abcast_protocol = CtAbcastModule::kProtocolName;
+  } else {
+    stack_options.abcast_protocol = spec.initial_protocol;
+  }
+  ProtocolLibrary library = make_standard_library(stack_options);
+
+  TraceRecorder trace_recorder;
+  SimConfig sim;
+  sim.num_stacks = spec.n;
+  sim.seed = seed;
+  sim.net.drop_probability = spec.base_drop;
+  sim.net.duplicate_probability = spec.base_duplicate;
+  sim.stack_cost.service_hop_cost = spec.hop_cost;
+  sim.stack_cost.module_create_cost = spec.module_create_cost;
+  SimWorld world(sim, &library, &trace_recorder);
+
+  ScenarioResult result;
+  result.scenario = spec.name;
+  result.seed = seed;
+  result.collector = std::make_unique<LatencyCollector>(options.bucket_width);
+
+  AbcastAudit audit;
+  std::vector<std::unique_ptr<AbcastAudit::Listener>> audit_listeners;
+  std::vector<std::unique_ptr<LatencyProbe>> probes;
+  std::vector<WorkloadModule*> workloads;
+  std::vector<ReplAbcastModule*> repl(spec.n, nullptr);
+  std::vector<ReplConsensusModule*> repl_cons(spec.n, nullptr);
+  std::vector<MaestroSwitchModule*> maestro(spec.n, nullptr);
+  std::vector<GracefulSwitchModule*> graceful(spec.n, nullptr);
+
+  for (NodeId i = 0; i < spec.n; ++i) {
+    Stack& stack = world.stack(i);
+    switch (spec.mechanism) {
+      case Mechanism::kNone:
+      case Mechanism::kRepl: {
+        StandardStack built = build_standard_stack(stack, stack_options);
+        repl[i] = built.repl;
+        break;
+      }
+      case Mechanism::kReplConsensus: {
+        install_substrate(stack, stack_options);
+        ReplConsensusModule::Config rc;
+        rc.initial_protocol = spec.initial_protocol;
+        repl_cons[i] = ReplConsensusModule::create(stack, rc);
+        CtAbcastModule::create(stack);
+        break;
+      }
+      case Mechanism::kMaestro: {
+        install_substrate(stack, stack_options);
+        MaestroSwitchModule::Config mc;
+        mc.initial_protocol = spec.initial_protocol;
+        maestro[i] = MaestroSwitchModule::create(stack, mc);
+        break;
+      }
+      case Mechanism::kGraceful: {
+        install_substrate(stack, stack_options);
+        CtConsensusModule::create(stack);
+        GracefulSwitchModule::Config gc;
+        gc.initial_protocol = spec.initial_protocol;
+        graceful[i] = GracefulSwitchModule::create(stack, gc);
+        break;
+      }
+    }
+
+    probes.push_back(
+        std::make_unique<LatencyProbe>(*result.collector, stack.host()));
+    stack.listen<AbcastListener>(kAbcastService, probes.back().get(), nullptr);
+    if (options.with_audit) {
+      audit_listeners.push_back(
+          std::make_unique<AbcastAudit::Listener>(audit, i));
+      stack.listen<AbcastListener>(kAbcastService, audit_listeners.back().get(),
+                                   nullptr);
+    }
+
+    WorkloadConfig wc;
+    wc.rate_per_second = spec.workload.rate_per_stack;
+    wc.message_size = spec.workload.message_size;
+    wc.poisson = spec.workload.poisson;
+    wc.start_after = spec.workload.start_after;
+    wc.stop_after = spec.workload.stop_after > 0 ? spec.workload.stop_after
+                                                 : spec.duration;
+    if (options.with_audit) {
+      wc.on_send = [&audit, i](const Bytes& payload) {
+        audit.record_sent(i, payload);
+      };
+    }
+    workloads.push_back(WorkloadModule::create(stack, wc));
+    stack.start_all();
+  }
+
+  // ---- Fault schedule -----------------------------------------------------
+
+  for (const CrashFault& c : spec.crashes) {
+    world.at(c.at, [&world, c]() { world.crash(c.node); });
+  }
+
+  if (!spec.partitions.empty()) {
+    // Active partitions as isolated-side masks; a packet passes when no
+    // active partition separates its endpoints.  Shared state lives on the
+    // heap because the filter closure outlives this scope's loop variables.
+    auto active = std::make_shared<std::vector<std::vector<bool>>>();
+    world.set_link_filter([active](NodeId src, NodeId dst) {
+      for (const std::vector<bool>& side : *active) {
+        if (side[src] != side[dst]) return false;
+      }
+      return true;
+    });
+    for (const PartitionFault& p : spec.partitions) {
+      std::vector<bool> mask(spec.n, false);
+      for (NodeId node : p.isolated) mask[node] = true;
+      world.at(p.from, [active, mask]() { active->push_back(mask); });
+      world.at(p.until, [active, mask]() {
+        auto it = std::find(active->begin(), active->end(), mask);
+        if (it != active->end()) active->erase(it);
+      });
+    }
+  }
+
+  for (const LossWindow& w : spec.loss_windows) {
+    world.at(w.from, [&world, w]() { world.set_loss(w.drop, w.duplicate); });
+    world.at(w.until,
+             [&world, drop = spec.base_drop, dup = spec.base_duplicate]() {
+               world.set_loss(drop, dup);
+             });
+  }
+
+  // ---- Update plan --------------------------------------------------------
+
+  for (const UpdateAction& u : spec.updates) {
+    world.at_node(u.at, u.initiator, [&, u]() {
+      if (world.crashed(u.initiator)) return;
+      switch (spec.mechanism) {
+        case Mechanism::kRepl:
+          repl[u.initiator]->change_abcast(u.protocol);
+          break;
+        case Mechanism::kReplConsensus:
+          repl_cons[u.initiator]->change_consensus(u.protocol);
+          break;
+        case Mechanism::kMaestro:
+          maestro[u.initiator]->change_stack(u.protocol);
+          break;
+        case Mechanism::kGraceful:
+          graceful[u.initiator]->change_adaptation(u.protocol);
+          break;
+        case Mechanism::kNone:
+          break;  // validate() rejects update plans without a mechanism
+      }
+    });
+  }
+
+  // ---- Run ----------------------------------------------------------------
+
+  if (!world.run_until(spec.duration + spec.drain, options.max_events)) {
+    result.generic_report.fail("event budget exhausted before quiescence");
+  }
+  result.total_virtual_time = world.now();
+
+  // ---- Harvest ------------------------------------------------------------
+
+  result.crashed = world.crashed_set();
+  result.packets_sent = world.packets_sent();
+  result.packets_dropped = world.packets_dropped();
+  for (NodeId i = 0; i < spec.n; ++i) {
+    result.messages_sent += workloads[i]->sent();
+    result.deliveries += probes[i]->deliveries();
+    if (repl[i] != nullptr) {
+      result.reissued += repl[i]->reissued_total();
+      result.stale_discarded += repl[i]->stale_discarded();
+    }
+    if (repl_cons[i] != nullptr) {
+      result.decisions_delivered += repl_cons[i]->decisions_delivered();
+    }
+    if (maestro[i] != nullptr) {
+      result.app_blocked_total += maestro[i]->total_blocked_time();
+      result.calls_queued += maestro[i]->calls_queued_while_blocked();
+    }
+    if (graceful[i] != nullptr) {
+      result.app_blocked_total += graceful[i]->total_queueing_window();
+      result.calls_queued += graceful[i]->calls_queued_during_switch();
+    }
+  }
+
+  const StreamId abcast_stream =
+      fnv1a64(std::string(kAbcastService) + "/stream");
+  const std::string planned_final =
+      spec.updates.empty() ? spec.initial_protocol
+                           : spec.updates.back().protocol;
+  for (NodeId i = 0; i < spec.n; ++i) {
+    if (result.crashed.count(i) != 0) {
+      result.final_protocol.emplace_back();
+    } else if (repl[i] != nullptr) {
+      result.final_protocol.push_back(repl[i]->current_protocol());
+    } else if (repl_cons[i] != nullptr) {
+      result.final_protocol.push_back(repl_cons[i]->protocol_of(
+          repl_cons[i]->stream_version(abcast_stream)));
+    } else {
+      // Baselines expose no "current protocol" getter; report the plan's
+      // last target.
+      result.final_protocol.push_back(planned_final);
+    }
+  }
+
+  result.trace = trace_recorder.events();
+  result.switch_windows = extract_switch_windows(result.trace, spec.n);
+
+  // ---- Verdicts -----------------------------------------------------------
+
+  if (options.with_audit) {
+    result.abcast_report = audit.check(spec.n, result.crashed);
+
+    // Generic DPU properties (§3), evaluated for the correct stacks: events
+    // of crashed stacks are excluded from well-formedness (a crash may
+    // legitimately strand a queued call forever).
+    std::vector<TraceEvent> correct_events;
+    correct_events.reserve(result.trace.size());
+    for (const TraceEvent& e : result.trace) {
+      if (result.crashed.count(e.node) == 0) correct_events.push_back(e);
+    }
+    append(result.generic_report,
+           check_weak_stack_well_formedness(correct_events));
+    if (spec.mechanism != Mechanism::kNone) {
+      append(result.generic_report,
+             check_protocol_operationability(result.trace, spec.n,
+                                             result.crashed));
+    }
+    for (NodeId i = 0; i < spec.n; ++i) {
+      if (result.crashed.count(i) != 0) continue;
+      const std::size_t pending = world.stack(i).pending_call_count();
+      if (pending != 0) {
+        result.generic_report.fail(
+            "stack " + std::to_string(i) + ": " + std::to_string(pending) +
+            " service call(s) still pending at end of run");
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// JSON result record
+// ---------------------------------------------------------------------------
+
+Json ScenarioResult::to_json() const {
+  Json j = Json::object();
+  j.set("scenario", scenario);
+  j.set("seed", seed);
+  j.set("ok", ok());
+
+  Json verdicts = Json::object();
+  verdicts.set("abcast_ok", abcast_report.ok);
+  verdicts.set("generic_ok", generic_report.ok);
+  Json violations = Json::array();
+  for (const std::string& v : abcast_report.violations) violations.push(v);
+  for (const std::string& v : generic_report.violations) violations.push(v);
+  verdicts.set("violations", std::move(violations));
+  j.set("audit", std::move(verdicts));
+
+  Json latency = Json::object();
+  Samples& samples = collector->all();
+  latency.set("samples", samples.count());
+  latency.set("mean_us", samples.mean());
+  latency.set("p50_us", samples.percentile(50.0));
+  latency.set("p90_us", samples.percentile(90.0));
+  latency.set("p99_us", samples.percentile(99.0));
+  latency.set("max_us", samples.max());
+  j.set("latency", std::move(latency));
+
+  Json sw = Json::object();
+  sw.set("count", switch_windows.size());
+  Json windows = Json::array();
+  for (const auto& [from, to] : switch_windows) {
+    Json w = Json::object();
+    w.set("requested_ns", from);
+    w.set("completed_ns", to);
+    w.set("downtime_ms", to_millis(to - from));
+    windows.push(std::move(w));
+  }
+  sw.set("windows", std::move(windows));
+  sw.set("max_downtime_ms", to_millis(max_switch_downtime()));
+  j.set("switch", std::move(sw));
+
+  Json counts = Json::object();
+  counts.set("sent", messages_sent);
+  counts.set("delivered", deliveries);
+  counts.set("reissued", reissued);
+  counts.set("stale_discarded", stale_discarded);
+  counts.set("decisions_delivered", decisions_delivered);
+  counts.set("app_blocked_ms", to_millis(app_blocked_total));
+  counts.set("calls_queued", calls_queued);
+  counts.set("packets_sent", packets_sent);
+  counts.set("packets_dropped", packets_dropped);
+  counts.set("virtual_time_ns", total_virtual_time);
+  j.set("counts", std::move(counts));
+
+  Json crashed_list = Json::array();
+  for (NodeId node : crashed) crashed_list.push(node);
+  j.set("crashed", std::move(crashed_list));
+
+  Json finals = Json::array();
+  for (const std::string& p : final_protocol) finals.push(p);
+  j.set("final_protocol", std::move(finals));
+  return j;
+}
+
+}  // namespace dpu::scenario

@@ -1,0 +1,91 @@
+// Scenario runner: executes one ScenarioSpec on the deterministic simulator.
+//
+// The runner owns the whole lifecycle of a run: it assembles the stacks for
+// the spec's update mechanism (Repl-ABcast, Repl-Consensus, Maestro,
+// Graceful Adaptation, or a static stack), installs the workload and the
+// instrumentation (latency probes, the ABcast property audit, the trace
+// recorder), schedules every fault and update of the spec, runs the world
+// to quiescence, and distills a ScenarioResult: audit verdicts, latency
+// percentiles, switch windows/downtime, and raw counters — all of which
+// serialize to deterministic JSON (same spec + same seed => byte-identical
+// output).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/probe.hpp"
+#include "core/properties.hpp"
+#include "core/trace.hpp"
+#include "scenario/spec.hpp"
+
+namespace dpu::scenario {
+
+struct RunOptions {
+  Duration bucket_width = 100 * kMillisecond;
+  /// Record sends/deliveries and check the §5.1 ABcast properties plus the
+  /// §3 generic DPU properties.  Off for pure latency benches (the audit
+  /// retains every payload).
+  bool with_audit = true;
+  std::uint64_t max_events = 500'000'000ULL;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  // Verdicts.
+  PropertyReport abcast_report;   ///< §5.1 four ABcast properties
+  PropertyReport generic_report;  ///< §3 well-formedness/operationability
+  [[nodiscard]] bool ok() const {
+    return abcast_report.ok && generic_report.ok;
+  }
+
+  // Latency (µs, over all post-start samples).
+  std::unique_ptr<LatencyCollector> collector;
+
+  // Counters.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t reissued = 0;         ///< Repl-ABcast
+  std::uint64_t stale_discarded = 0;  ///< Repl-ABcast
+  std::uint64_t decisions_delivered = 0;  ///< Repl-Consensus
+  Duration app_blocked_total = 0;     ///< Maestro/Graceful
+  std::uint64_t calls_queued = 0;     ///< Maestro/Graceful
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  Duration total_virtual_time = 0;
+  std::set<NodeId> crashed;
+
+  /// Final protocol of the replaceable layer per stack (empty string on
+  /// crashed stacks; only filled for mechanisms that can switch).
+  std::vector<std::string> final_protocol;
+
+  /// Per executed update: [request time, time the last stack finished].
+  std::vector<std::pair<TimePoint, TimePoint>> switch_windows;
+
+  /// Longest single switch window ("switch downtime").
+  [[nodiscard]] Duration max_switch_downtime() const;
+
+  std::vector<TraceEvent> trace;
+
+  /// Structured result record (see README "Scenario campaigns").  Contains
+  /// only deterministic data — no wall-clock timestamps.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Extracts [request, last-stack-done] switch windows from the trace
+/// markers emitted by the replacement modules (any mechanism).
+[[nodiscard]] std::vector<std::pair<TimePoint, TimePoint>>
+extract_switch_windows(const std::vector<TraceEvent>& events, std::size_t n);
+
+/// Runs `spec` under `seed`.  The spec must validate; throws
+/// std::invalid_argument listing the problems otherwise.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          std::uint64_t seed,
+                                          const RunOptions& options = {});
+
+}  // namespace dpu::scenario

@@ -1,0 +1,344 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dpu::scenario {
+
+const char* mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNone: return "none";
+    case Mechanism::kRepl: return "repl";
+    case Mechanism::kReplConsensus: return "repl-consensus";
+    case Mechanism::kMaestro: return "maestro";
+    case Mechanism::kGraceful: return "graceful";
+  }
+  return "?";
+}
+
+Mechanism mechanism_from_name(const std::string& name) {
+  for (Mechanism m : {Mechanism::kNone, Mechanism::kRepl,
+                      Mechanism::kReplConsensus, Mechanism::kMaestro,
+                      Mechanism::kGraceful}) {
+    if (name == mechanism_name(m)) return m;
+  }
+  throw std::runtime_error("scenario: unknown mechanism '" + name + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ScenarioSpec::validate() const {
+  std::vector<std::string> problems;
+  auto problem = [&problems](std::string why) {
+    problems.push_back(std::move(why));
+  };
+
+  if (name.empty()) problem("name must not be empty");
+  // Upper bounds also catch negative JSON values wrapped through size_t:
+  // without them a {"n": -1} spec would pass and hang the runner.
+  if (n == 0 || n > kMaxStacks) {
+    problem("n must be in [1, " + std::to_string(kMaxStacks) + "]");
+  }
+  if (duration <= 0) problem("duration must be positive");
+  if (drain < 0) problem("drain must be non-negative");
+  const TimePoint horizon = duration + drain;
+
+  if (workload.rate_per_stack < 0) problem("workload rate must be >= 0");
+  // ProbePayload::make needs room for its header (<= 22 bytes); the upper
+  // bound rejects size_t-wrapped negatives from JSON.
+  if (workload.message_size < 24 || workload.message_size > kMaxMessageSize) {
+    problem("message_size must be in [24, " +
+            std::to_string(kMaxMessageSize) + "]");
+  }
+  if (workload.start_after < 0 || workload.stop_after < 0) {
+    problem("workload window must be non-negative");
+  }
+  if (workload.stop_after > duration) {
+    problem("workload stop_after exceeds duration");
+  }
+
+  auto check_prob = [&problem](double p, const char* what) {
+    if (p < 0.0 || p > 1.0) {
+      problem(std::string(what) + " must be in [0,1]");
+    }
+  };
+  check_prob(base_drop, "base_drop");
+  check_prob(base_duplicate, "base_duplicate");
+
+  std::set<NodeId> crashed;
+  for (const CrashFault& c : crashes) {
+    if (c.node >= n) problem("crash node out of range");
+    if (c.at < 0 || c.at > horizon) problem("crash time outside the run");
+    if (!crashed.insert(c.node).second) problem("node crashed twice");
+  }
+  // The consensus substrate (and therefore every update mechanism) assumes
+  // a correct majority; scenarios that kill one are specification bugs.
+  if (crashed.size() * 2 >= n) {
+    problem("crashes must leave a strict majority of stacks alive");
+  }
+
+  for (const PartitionFault& p : partitions) {
+    if (p.from < 0 || p.from >= p.until) {
+      problem("partition window must satisfy 0 <= from < until");
+    }
+    if (p.until > horizon) {
+      problem("partition outlives the run (it would never heal)");
+    }
+    if (p.isolated.empty() || p.isolated.size() >= n) {
+      problem("partition must isolate a proper non-empty subset");
+    }
+    for (NodeId node : p.isolated) {
+      if (node >= n) problem("partitioned node out of range");
+    }
+  }
+
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+  for (const LossWindow& w : loss_windows) {
+    if (w.from < 0 || w.from >= w.until) {
+      problem("loss window must satisfy 0 <= from < until");
+    }
+    check_prob(w.drop, "loss window drop");
+    check_prob(w.duplicate, "loss window duplicate");
+    windows.emplace_back(w.from, w.until);
+  }
+  std::sort(windows.begin(), windows.end());
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].first < windows[i - 1].second) {
+      problem("loss windows must not overlap");
+      break;
+    }
+  }
+
+  const bool consensus_layer = mechanism == Mechanism::kReplConsensus;
+  const std::string expected_prefix =
+      consensus_layer ? "consensus." : "abcast.";
+  if (initial_protocol.rfind(expected_prefix, 0) != 0) {
+    problem("initial_protocol '" + initial_protocol + "' does not match " +
+            mechanism_name(mechanism) + " (expected " + expected_prefix +
+            "*)");
+  }
+  if (mechanism == Mechanism::kNone && !updates.empty()) {
+    problem("mechanism 'none' cannot execute an update plan");
+  }
+  for (const UpdateAction& u : updates) {
+    if (u.initiator >= n) problem("update initiator out of range");
+    if (u.at < 0 || u.at > duration) {
+      problem("update time outside the workload window");
+    }
+    if (u.protocol.rfind(expected_prefix, 0) != 0) {
+      problem("update target '" + u.protocol + "' does not match " +
+              mechanism_name(mechanism) + " (expected " + expected_prefix +
+              "*)");
+    }
+  }
+
+  if (hop_cost < 0 || module_create_cost < 0) {
+    problem("cost-model durations must be non-negative");
+  }
+  return problems;
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip.  Durations travel as int64 nanoseconds ("_ns" suffix) so
+// that to_json/from_json is exact.
+// ---------------------------------------------------------------------------
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("description", description);
+  j.set("n", n);
+  j.set("duration_ns", duration);
+  j.set("drain_ns", drain);
+  j.set("mechanism", mechanism_name(mechanism));
+  j.set("initial_protocol", initial_protocol);
+
+  Json net = Json::object();
+  net.set("drop", base_drop);
+  net.set("duplicate", base_duplicate);
+  j.set("net", std::move(net));
+
+  Json w = Json::object();
+  w.set("rate_per_stack", workload.rate_per_stack);
+  w.set("message_size", workload.message_size);
+  w.set("poisson", workload.poisson);
+  w.set("start_after_ns", workload.start_after);
+  w.set("stop_after_ns", workload.stop_after);
+  j.set("workload", std::move(w));
+
+  Json crash_list = Json::array();
+  for (const CrashFault& c : crashes) {
+    Json e = Json::object();
+    e.set("at_ns", c.at);
+    e.set("node", c.node);
+    crash_list.push(std::move(e));
+  }
+  j.set("crashes", std::move(crash_list));
+
+  Json partition_list = Json::array();
+  for (const PartitionFault& p : partitions) {
+    Json e = Json::object();
+    e.set("from_ns", p.from);
+    e.set("until_ns", p.until);
+    Json nodes = Json::array();
+    for (NodeId node : p.isolated) nodes.push(node);
+    e.set("isolated", std::move(nodes));
+    partition_list.push(std::move(e));
+  }
+  j.set("partitions", std::move(partition_list));
+
+  Json loss_list = Json::array();
+  for (const LossWindow& w2 : loss_windows) {
+    Json e = Json::object();
+    e.set("from_ns", w2.from);
+    e.set("until_ns", w2.until);
+    e.set("drop", w2.drop);
+    e.set("duplicate", w2.duplicate);
+    loss_list.push(std::move(e));
+  }
+  j.set("loss_windows", std::move(loss_list));
+
+  Json update_list = Json::array();
+  for (const UpdateAction& u : updates) {
+    Json e = Json::object();
+    e.set("at_ns", u.at);
+    e.set("initiator", u.initiator);
+    e.set("protocol", u.protocol);
+    update_list.push(std::move(e));
+  }
+  j.set("updates", std::move(update_list));
+
+  Json cost = Json::object();
+  cost.set("hop_cost_ns", hop_cost);
+  cost.set("module_create_cost_ns", module_create_cost);
+  j.set("cost", std::move(cost));
+  return j;
+}
+
+namespace {
+
+/// Rejects keys outside `allowed` — catches typos in hand-written specs
+/// that would otherwise silently fall back to defaults.
+void check_keys(const Json& obj, const char* where,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw std::runtime_error(std::string("scenario: unknown key '") + key +
+                               "' in " + where);
+    }
+  }
+}
+
+NodeId node_from(const Json& j) {
+  const std::int64_t v = j.as_int();
+  if (v < 0 || v >= static_cast<std::int64_t>(kNoNode)) {
+    throw std::runtime_error("scenario: node id out of range");
+  }
+  return static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::from_json(const Json& j) {
+  check_keys(j, "spec",
+             {"name", "description", "n", "duration_ns", "drain_ns",
+              "mechanism", "initial_protocol", "net", "workload", "crashes",
+              "partitions", "loss_windows", "updates", "cost"});
+  ScenarioSpec spec;
+  if (const Json* v = j.find("name")) spec.name = v->as_string();
+  if (const Json* v = j.find("description")) spec.description = v->as_string();
+  if (const Json* v = j.find("n")) {
+    spec.n = static_cast<std::size_t>(v->as_int());
+  }
+  if (const Json* v = j.find("duration_ns")) spec.duration = v->as_int();
+  if (const Json* v = j.find("drain_ns")) spec.drain = v->as_int();
+  if (const Json* v = j.find("mechanism")) {
+    spec.mechanism = mechanism_from_name(v->as_string());
+  }
+  if (const Json* v = j.find("initial_protocol")) {
+    spec.initial_protocol = v->as_string();
+  }
+  if (const Json* net = j.find("net")) {
+    check_keys(*net, "net", {"drop", "duplicate"});
+    if (const Json* v = net->find("drop")) spec.base_drop = v->as_double();
+    if (const Json* v = net->find("duplicate")) {
+      spec.base_duplicate = v->as_double();
+    }
+  }
+  if (const Json* w = j.find("workload")) {
+    check_keys(*w, "workload",
+               {"rate_per_stack", "message_size", "poisson", "start_after_ns",
+                "stop_after_ns"});
+    if (const Json* v = w->find("rate_per_stack")) {
+      spec.workload.rate_per_stack = v->as_double();
+    }
+    if (const Json* v = w->find("message_size")) {
+      spec.workload.message_size = static_cast<std::size_t>(v->as_int());
+    }
+    if (const Json* v = w->find("poisson")) {
+      spec.workload.poisson = v->as_bool();
+    }
+    if (const Json* v = w->find("start_after_ns")) {
+      spec.workload.start_after = v->as_int();
+    }
+    if (const Json* v = w->find("stop_after_ns")) {
+      spec.workload.stop_after = v->as_int();
+    }
+  }
+  if (const Json* list = j.find("crashes")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "crash", {"at_ns", "node"});
+      CrashFault c;
+      c.at = e.at("at_ns").as_int();
+      c.node = node_from(e.at("node"));
+      spec.crashes.push_back(c);
+    }
+  }
+  if (const Json* list = j.find("partitions")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "partition", {"from_ns", "until_ns", "isolated"});
+      PartitionFault p;
+      p.from = e.at("from_ns").as_int();
+      p.until = e.at("until_ns").as_int();
+      for (const Json& node : e.at("isolated").items()) {
+        p.isolated.push_back(node_from(node));
+      }
+      spec.partitions.push_back(std::move(p));
+    }
+  }
+  if (const Json* list = j.find("loss_windows")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "loss window", {"from_ns", "until_ns", "drop", "duplicate"});
+      LossWindow w;
+      w.from = e.at("from_ns").as_int();
+      w.until = e.at("until_ns").as_int();
+      if (const Json* v = e.find("drop")) w.drop = v->as_double();
+      if (const Json* v = e.find("duplicate")) w.duplicate = v->as_double();
+      spec.loss_windows.push_back(w);
+    }
+  }
+  if (const Json* list = j.find("updates")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "update", {"at_ns", "initiator", "protocol"});
+      UpdateAction u;
+      u.at = e.at("at_ns").as_int();
+      u.initiator = node_from(e.at("initiator"));
+      u.protocol = e.at("protocol").as_string();
+      spec.updates.push_back(std::move(u));
+    }
+  }
+  if (const Json* cost = j.find("cost")) {
+    check_keys(*cost, "cost", {"hop_cost_ns", "module_create_cost_ns"});
+    if (const Json* v = cost->find("hop_cost_ns")) spec.hop_cost = v->as_int();
+    if (const Json* v = cost->find("module_create_cost_ns")) {
+      spec.module_create_cost = v->as_int();
+    }
+  }
+  return spec;
+}
+
+}  // namespace dpu::scenario

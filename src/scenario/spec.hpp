@@ -1,0 +1,144 @@
+// Declarative scenario specifications for fault/upgrade campaigns.
+//
+// A ScenarioSpec describes one adversarial schedule against a world of n
+// protocol stacks: the workload shape, the fault schedule (crash-stop
+// failures, transient partitions, windows of message loss/duplication) and
+// the protocol-update plan (which replacement mechanism performs which
+// switch at which virtual time).  Specs are plain data: they serialize to
+// JSON (round-trip exact), validate statically, and are executed by the
+// campaign runner in src/scenario/runner.hpp.
+//
+// This echoes how consistent-network-update work evaluates update
+// mechanisms against *families* of adversarial schedules instead of one
+// hand-rolled script per experiment: the same spec runs under seed sweeps,
+// is audited for the paper's §5.1 ABcast properties and §3 generic DPU
+// properties, and produces machine-readable results CI can gate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/time.hpp"
+#include "scenario/json.hpp"
+#include "util/ids.hpp"
+
+namespace dpu::scenario {
+
+/// Which machinery executes the protocol-update plan (cf. bench::Mode).
+enum class Mechanism {
+  kNone,           ///< static stack; the update plan must be empty
+  kRepl,           ///< the paper's Repl-ABcast (Algorithm 1, "DPU")
+  kReplConsensus,  ///< Repl-Consensus facade (the paper's future-work ext.)
+  kMaestro,        ///< full-stack switch baseline
+  kGraceful,       ///< barrier-switch baseline (Graceful Adaptation)
+};
+
+[[nodiscard]] const char* mechanism_name(Mechanism m);
+/// Inverse of mechanism_name; throws std::runtime_error on unknown names.
+[[nodiscard]] Mechanism mechanism_from_name(const std::string& name);
+
+/// Open-loop workload applied by every stack (see app/workload.hpp).
+struct WorkloadShape {
+  double rate_per_stack = 50.0;  ///< messages per second per stack
+  std::size_t message_size = 64;
+  bool poisson = true;
+  Duration start_after = 0;
+  Duration stop_after = 0;  ///< 0 = the spec's duration
+
+  friend bool operator==(const WorkloadShape&, const WorkloadShape&) = default;
+};
+
+/// Crash-stop failure of one stack.
+struct CrashFault {
+  TimePoint at = 0;
+  NodeId node = 0;
+
+  friend bool operator==(const CrashFault&, const CrashFault&) = default;
+};
+
+/// Transient partition: `isolated` forms one side, everyone else the other;
+/// cross-side packets are dropped during [from, until).
+struct PartitionFault {
+  TimePoint from = 0;
+  TimePoint until = 0;
+  std::vector<NodeId> isolated;
+
+  friend bool operator==(const PartitionFault&,
+                         const PartitionFault&) = default;
+};
+
+/// Window of elevated message loss/duplication on every link.
+struct LossWindow {
+  TimePoint from = 0;
+  TimePoint until = 0;
+  double drop = 0.0;
+  double duplicate = 0.0;
+
+  friend bool operator==(const LossWindow&, const LossWindow&) = default;
+};
+
+/// One step of the protocol-update plan.
+struct UpdateAction {
+  TimePoint at = 0;
+  NodeId initiator = 0;
+  /// Library name of the target: "abcast.*" for kRepl/kMaestro/kGraceful,
+  /// "consensus.*" for kReplConsensus.
+  std::string protocol;
+
+  friend bool operator==(const UpdateAction&, const UpdateAction&) = default;
+};
+
+/// Sanity ceilings enforced by ScenarioSpec::validate().  Generous for any
+/// realistic simulation; their real job is rejecting nonsense (including
+/// negative JSON integers wrapped through size_t) before it OOMs a run.
+inline constexpr std::size_t kMaxStacks = 128;
+inline constexpr std::size_t kMaxMessageSize = 1 << 20;
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::size_t n = 3;
+  /// Workload window; faults and updates must be scheduled inside it.
+  Duration duration = 8 * kSecond;
+  /// Extra virtual time after `duration` for in-flight traffic to settle.
+  Duration drain = 30 * kSecond;
+
+  Mechanism mechanism = Mechanism::kRepl;
+  /// Initial protocol of the replaceable layer ("abcast.*", or
+  /// "consensus.*" for kReplConsensus).
+  std::string initial_protocol = "abcast.ct";
+
+  /// Baseline network adversity, active for the whole run.
+  double base_drop = 0.0;
+  double base_duplicate = 0.0;
+
+  WorkloadShape workload;
+  std::vector<CrashFault> crashes;
+  std::vector<PartitionFault> partitions;
+  std::vector<LossWindow> loss_windows;
+  std::vector<UpdateAction> updates;
+
+  /// DESIGN.md §8 cost-model knobs.
+  Duration hop_cost = 8 * kMicrosecond;
+  Duration module_create_cost = 20 * kMillisecond;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+  /// Static well-formedness: node ids in range, windows ordered,
+  /// probabilities in [0,1], a majority surviving all crashes, update
+  /// targets consistent with the mechanism, loss windows non-overlapping.
+  /// Returns human-readable problems; empty = valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json.  Unknown keys are rejected (they are almost always
+  /// typos in hand-written specs); missing keys keep their defaults.
+  /// Throws std::runtime_error / JsonParseError on malformed input.
+  [[nodiscard]] static ScenarioSpec from_json(const Json& j);
+  [[nodiscard]] static ScenarioSpec from_json_text(std::string_view text) {
+    return from_json(Json::parse(text));
+  }
+};
+
+}  // namespace dpu::scenario

@@ -92,6 +92,15 @@ class SimWorld {
     link_filter_ = std::move(deliverable);
   }
 
+  /// Adjusts the per-packet loss/duplication probabilities mid-run (applies
+  /// to packets sent from now on).  The scenario engine uses this for
+  /// bounded lossy-link windows; draws stay on the per-link substreams, so
+  /// runs remain deterministic.
+  void set_loss(double drop_probability, double duplicate_probability) {
+    config_.net.drop_probability = drop_probability;
+    config_.net.duplicate_probability = duplicate_probability;
+  }
+
   // ---- Execution ------------------------------------------------------------
 
   /// Processes events with time <= t_end; returns false if `max_events` was

@@ -242,6 +242,25 @@ TEST(StackTest, ModuleParamsAccessors) {
   EXPECT_FALSE(p.has("missing"));
 }
 
+TEST(StackTest, ModuleParamsGetIntFallsBackOnMalformedValues) {
+  // Params ride inside replacement messages from other stacks; malformed
+  // values must degrade to the fallback instead of throwing mid-switch.
+  ModuleParams p;
+  p.set("empty", "");
+  p.set("text", "not-a-number");
+  p.set("trailing", "12abc");
+  p.set("overflow", "99999999999999999999999999");
+  p.set("negative", "-17");
+  p.set("spaced", " 8");
+  EXPECT_EQ(p.get_int("empty", 3), 3);
+  EXPECT_EQ(p.get_int("text", 3), 3);
+  EXPECT_EQ(p.get_int("trailing", 3), 3);
+  EXPECT_EQ(p.get_int("overflow", 3), 3);
+  EXPECT_EQ(p.get_int("negative", 3), -17);
+  // std::stoll skips leading whitespace; full-string consumption still holds.
+  EXPECT_EQ(p.get_int("spaced", 3), 8);
+}
+
 TEST(StackTest, TracesModuleAndBindEvents) {
   ProtocolLibrary lib = make_chain_library();
   TraceRecorder recorder;

@@ -1,0 +1,90 @@
+// Campaign runner: seed sweeps, JSON document shape, determinism.
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/library.hpp"
+
+namespace dpu::scenario {
+namespace {
+
+std::vector<ScenarioSpec> tiny_specs() {
+  ScenarioSpec a;
+  a.name = "tiny-switch";
+  a.n = 3;
+  a.duration = 2 * kSecond;
+  a.drain = 15 * kSecond;
+  a.workload.rate_per_stack = 10.0;
+  a.updates = {{kSecond, 0, "abcast.seq"}};
+
+  ScenarioSpec b = a;
+  b.name = "tiny-static";
+  b.mechanism = Mechanism::kNone;
+  b.updates.clear();
+  return {a, b};
+}
+
+TEST(Campaign, DocumentShapeAndVerdict) {
+  CampaignOptions options;
+  options.seeds = {1, 2};
+  const CampaignOutcome outcome = run_campaign(tiny_specs(), options);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.runs, 4u);
+  EXPECT_EQ(outcome.failed_runs, 0u);
+
+  const Json& doc = outcome.document;
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("campaign").at("run_count").as_int(), 4);
+  const auto& scenarios = doc.at("scenarios").items();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].at("name").as_string(), "tiny-switch");
+  EXPECT_TRUE(scenarios[0].at("ok").as_bool());
+  ASSERT_EQ(scenarios[0].at("runs").size(), 2u);
+  const Json& run = scenarios[0].at("runs").items()[0];
+  EXPECT_TRUE(run.at("ok").as_bool());
+  EXPECT_EQ(run.at("seed").as_int(), 1);
+  EXPECT_GT(run.at("latency").at("samples").as_int(), 0);
+  EXPECT_TRUE(run.at("audit").at("abcast_ok").as_bool());
+  // The document survives a JSON round-trip (CI tooling parses it back).
+  EXPECT_EQ(Json::parse(doc.dump(2)).dump(2), doc.dump(2));
+}
+
+TEST(Campaign, DeterministicAcrossRepeatsAndThreadCounts) {
+  CampaignOptions serial;
+  serial.seeds = {1, 2};
+  serial.threads = 1;
+  CampaignOptions parallel = serial;
+  parallel.threads = 4;
+  const std::string a = run_campaign(tiny_specs(), serial).document.dump(2);
+  const std::string b = run_campaign(tiny_specs(), serial).document.dump(2);
+  const std::string c = run_campaign(tiny_specs(), parallel).document.dump(2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Campaign, InvalidSpecBecomesFailedRunNotCrash) {
+  ScenarioSpec bad = tiny_specs()[0];
+  bad.name = "bad";
+  bad.crashes = {{kSecond, 99}};  // node out of range => run_scenario throws
+  CampaignOptions options;
+  options.seeds = {1};
+  const CampaignOutcome outcome = run_campaign({bad}, options);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.failed_runs, 1u);
+  const Json& run =
+      outcome.document.at("scenarios").items()[0].at("runs").items()[0];
+  EXPECT_FALSE(run.at("ok").as_bool());
+  EXPECT_NE(run.find("exception"), nullptr);
+}
+
+TEST(Campaign, EmptyCampaignIsNotOk) {
+  const CampaignOutcome outcome = run_campaign({}, CampaignOptions{});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.runs, 0u);
+}
+
+}  // namespace
+}  // namespace dpu::scenario

@@ -1,0 +1,128 @@
+// Scenario runner: fault/update execution, audits, and deterministic replay.
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/library.hpp"
+
+namespace dpu::scenario {
+namespace {
+
+/// Small, fast base spec for targeted runner tests.
+ScenarioSpec small_spec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.n = 3;
+  spec.duration = 3 * kSecond;
+  spec.drain = 20 * kSecond;
+  spec.workload.rate_per_stack = 15.0;
+  return spec;
+}
+
+TEST(ScenarioRunner, InvalidSpecThrows) {
+  ScenarioSpec spec = small_spec("broken");
+  spec.crashes = {{kSecond, 9}};
+  EXPECT_THROW((void)run_scenario(spec, 1), std::invalid_argument);
+}
+
+TEST(ScenarioRunner, CleanSwitchDeliversEverythingEverywhere) {
+  ScenarioSpec spec = small_spec("clean");
+  spec.updates = {{1500 * kMillisecond, 0, "abcast.seq"}};
+  const ScenarioResult result = run_scenario(spec, 7);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_GT(result.messages_sent, 0u);
+  // Every message reaches every stack exactly once.
+  EXPECT_EQ(result.deliveries, result.messages_sent * spec.n);
+  ASSERT_EQ(result.switch_windows.size(), 1u);
+  EXPECT_GE(result.switch_windows[0].second, result.switch_windows[0].first);
+  EXPECT_GT(result.max_switch_downtime(), 0);
+  for (const std::string& protocol : result.final_protocol) {
+    EXPECT_EQ(protocol, "abcast.seq");
+  }
+}
+
+TEST(ScenarioRunner, CrashDuringReplacementKeepsAuditClean) {
+  // The curated scenario of the same name: a stack dies 5 ms after the
+  // switch is requested; survivors must complete it and stay audit-clean.
+  const std::optional<ScenarioSpec> spec =
+      find_scenario("crash-during-replacement");
+  ASSERT_TRUE(spec.has_value());
+  const ScenarioResult result = run_scenario(*spec, 11);
+  EXPECT_TRUE(result.abcast_report.ok) << result.abcast_report.summary();
+  EXPECT_TRUE(result.generic_report.ok) << result.generic_report.summary();
+  EXPECT_EQ(result.crashed, std::set<NodeId>{3});
+  EXPECT_TRUE(result.final_protocol[3].empty());
+  for (NodeId i = 0; i < spec->n; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(result.final_protocol[i], "abcast.ct") << "stack " << i;
+  }
+}
+
+TEST(ScenarioRunner, LossWindowDropsPackets) {
+  ScenarioSpec lossless = small_spec("control");
+  ScenarioSpec lossy = lossless;
+  lossy.name = "lossy";
+  lossy.loss_windows = {{kSecond, 2 * kSecond, 0.3, 0.0}};
+  const ScenarioResult a = run_scenario(lossless, 5);
+  const ScenarioResult b = run_scenario(lossy, 5);
+  EXPECT_EQ(a.packets_dropped, 0u);
+  EXPECT_GT(b.packets_dropped, 0u);
+  // The loss is transient, so the audit still passes.
+  EXPECT_TRUE(b.ok()) << b.abcast_report.summary();
+}
+
+TEST(ScenarioRunner, PartitionBlocksAndHeals) {
+  ScenarioSpec spec = small_spec("partitioned");
+  spec.partitions = {{kSecond, 2 * kSecond, {2}}};
+  const ScenarioResult result = run_scenario(spec, 9);
+  // Cross-partition packets were dropped...
+  EXPECT_GT(result.packets_dropped, 0u);
+  // ...but the partition healed, so agreement holds for everyone.
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary();
+  EXPECT_EQ(result.deliveries, result.messages_sent * spec.n);
+}
+
+TEST(ScenarioRunner, SameSeedReplaysToIdenticalJson) {
+  const std::optional<ScenarioSpec> spec = find_scenario("lossy-link-switch");
+  ASSERT_TRUE(spec.has_value());
+  const std::string a = run_scenario(*spec, 3).to_json().dump(2);
+  const std::string b = run_scenario(*spec, 3).to_json().dump(2);
+  EXPECT_EQ(a, b);
+  // A different seed perturbs at least the latency samples.
+  const std::string c = run_scenario(*spec, 4).to_json().dump(2);
+  EXPECT_NE(a, c);
+}
+
+TEST(ScenarioRunner, ConsensusMechanismSwitchesLive) {
+  ScenarioSpec spec = small_spec("consensus-live");
+  spec.mechanism = Mechanism::kReplConsensus;
+  spec.initial_protocol = "consensus.ct";
+  spec.updates = {{1500 * kMillisecond, 0, "consensus.mr"}};
+  const ScenarioResult result = run_scenario(spec, 21);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_GT(result.decisions_delivered, 0u);
+  ASSERT_EQ(result.switch_windows.size(), 1u);
+  for (const std::string& protocol : result.final_protocol) {
+    EXPECT_EQ(protocol, "consensus.mr");
+  }
+}
+
+TEST(ScenarioRunner, BaselineMechanismsRunTheSamePlan) {
+  for (Mechanism m : {Mechanism::kMaestro, Mechanism::kGraceful}) {
+    ScenarioSpec spec = small_spec(std::string("baseline-") +
+                                   mechanism_name(m));
+    spec.mechanism = m;
+    spec.updates = {{1500 * kMillisecond, 0, "abcast.ct"}};
+    const ScenarioResult result = run_scenario(spec, 13);
+    EXPECT_TRUE(result.abcast_report.ok)
+        << mechanism_name(m) << ": " << result.abcast_report.summary();
+    EXPECT_EQ(result.switch_windows.size(), 1u) << mechanism_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace dpu::scenario

@@ -1,0 +1,196 @@
+// ScenarioSpec JSON round-trip, static validation, and the curated library.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "scenario/library.hpp"
+
+namespace dpu::scenario {
+namespace {
+
+ScenarioSpec rich_spec() {
+  ScenarioSpec spec;
+  spec.name = "rich";
+  spec.description = "all fields populated";
+  spec.n = 5;
+  spec.duration = 7 * kSecond;
+  spec.drain = 11 * kSecond;
+  spec.mechanism = Mechanism::kRepl;
+  spec.initial_protocol = "abcast.ct";
+  spec.base_drop = 0.03;
+  spec.base_duplicate = 0.01;
+  spec.workload.rate_per_stack = 42.5;
+  spec.workload.message_size = 96;
+  spec.workload.poisson = false;
+  spec.workload.start_after = 250 * kMillisecond;
+  spec.workload.stop_after = 6 * kSecond;
+  spec.crashes = {{3 * kSecond, 4}};
+  spec.partitions = {{kSecond, 2 * kSecond, {1, 2}}};
+  spec.loss_windows = {{500 * kMillisecond, 900 * kMillisecond, 0.2, 0.05}};
+  spec.updates = {{2 * kSecond, 0, "abcast.seq"},
+                  {4 * kSecond, 3, "abcast.ct"}};
+  spec.hop_cost = 5 * kMicrosecond;
+  spec.module_create_cost = 15 * kMillisecond;
+  return spec;
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsExact) {
+  const ScenarioSpec spec = rich_spec();
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec, back);
+  // And through text, at both indentations.
+  EXPECT_EQ(spec, ScenarioSpec::from_json_text(spec.to_json().dump()));
+  EXPECT_EQ(spec, ScenarioSpec::from_json_text(spec.to_json().dump(2)));
+}
+
+TEST(ScenarioSpec, DefaultsSurviveSparseJson) {
+  const ScenarioSpec defaults;
+  const ScenarioSpec parsed =
+      ScenarioSpec::from_json_text(R"({"name": "sparse"})");
+  EXPECT_EQ(parsed.n, defaults.n);
+  EXPECT_EQ(parsed.duration, defaults.duration);
+  EXPECT_EQ(parsed.mechanism, defaults.mechanism);
+  EXPECT_EQ(parsed.workload, defaults.workload);
+  EXPECT_TRUE(parsed.crashes.empty());
+}
+
+TEST(ScenarioSpec, UnknownKeysAreRejected) {
+  EXPECT_THROW(
+      (void)ScenarioSpec::from_json_text(R"({"name": "x", "durationns": 5})"),
+      std::runtime_error);
+  EXPECT_THROW((void)ScenarioSpec::from_json_text(
+                   R"({"name": "x", "workload": {"rate": 10}})"),
+               std::runtime_error);
+}
+
+TEST(ScenarioSpec, MechanismNamesRoundTrip) {
+  for (Mechanism m : {Mechanism::kNone, Mechanism::kRepl,
+                      Mechanism::kReplConsensus, Mechanism::kMaestro,
+                      Mechanism::kGraceful}) {
+    EXPECT_EQ(mechanism_from_name(mechanism_name(m)), m);
+  }
+  EXPECT_THROW((void)mechanism_from_name("paxos"), std::runtime_error);
+}
+
+TEST(ScenarioSpec, ValidSpecHasNoProblems) {
+  EXPECT_TRUE(rich_spec().validate().empty());
+}
+
+TEST(ScenarioSpec, ValidationCatchesBadSchedules) {
+  {
+    ScenarioSpec s = rich_spec();
+    s.crashes = {{kSecond, 7}};  // node out of range (n = 5)
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.crashes = {{kSecond, 1}, {2 * kSecond, 2}, {3 * kSecond, 3}};
+    EXPECT_FALSE(s.validate().empty());  // kills the majority
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.partitions = {{2 * kSecond, kSecond, {1}}};  // from >= until
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.partitions = {{kSecond, 2 * kSecond, {0, 1, 2, 3, 4}}};  // whole world
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.loss_windows = {{0, kSecond, 1.5, 0.0}};  // probability > 1
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.loss_windows = {{0, 2 * kSecond, 0.1, 0.0},
+                      {kSecond, 3 * kSecond, 0.1, 0.0}};  // overlap
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.updates = {{kSecond, 0, "consensus.mr"}};  // wrong layer for kRepl
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.mechanism = Mechanism::kNone;  // update plan without a mechanism
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.updates = {{9 * kSecond, 0, "abcast.ct"}};  // after the workload window
+    EXPECT_FALSE(s.validate().empty());
+  }
+}
+
+TEST(ScenarioSpec, NegativeJsonSizesFailValidationInsteadOfWrapping) {
+  // {"n": -1} wraps to 2^64-1 through size_t; without an upper bound the
+  // runner would hang building stacks (or OOM on message_size).
+  const ScenarioSpec bad_n = ScenarioSpec::from_json_text(
+      R"({"name": "neg", "n": -1})");
+  EXPECT_FALSE(bad_n.validate().empty());
+  const ScenarioSpec bad_size = ScenarioSpec::from_json_text(
+      R"({"name": "neg", "workload": {"message_size": -1}})");
+  EXPECT_FALSE(bad_size.validate().empty());
+  const ScenarioSpec too_many = ScenarioSpec::from_json_text(
+      R"({"name": "big", "n": 100000})");
+  EXPECT_FALSE(too_many.validate().empty());
+}
+
+TEST(ScenarioLibrary, CuratedScenariosAreValidAndDistinct) {
+  const std::vector<ScenarioSpec> specs = curated_scenarios();
+  ASSERT_GE(specs.size(), 8u);
+  std::set<std::string> names;
+  for (const ScenarioSpec& spec : specs) {
+    const std::vector<std::string> problems = spec.validate();
+    EXPECT_TRUE(problems.empty())
+        << spec.name << ": " << (problems.empty() ? "" : problems.front());
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate name " << spec.name;
+    // Library entries must round-trip (they are exported to CI tooling).
+    EXPECT_EQ(spec, ScenarioSpec::from_json(spec.to_json())) << spec.name;
+  }
+  EXPECT_TRUE(find_scenario("crash-during-replacement").has_value());
+  EXPECT_FALSE(find_scenario("no-such-scenario").has_value());
+}
+
+TEST(ScenarioJson, ParserHandlesEscapesAndNesting) {
+  const Json v = Json::parse(
+      R"({"s": "a\"b\\c\ndA", "arr": [1, -2.5, true, false, null],
+          "nested": {"empty_obj": {}, "empty_arr": []}})");
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\ndA");
+  EXPECT_EQ(v.at("arr").items()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("arr").items()[1].as_double(), -2.5);
+  EXPECT_TRUE(v.at("arr").items()[2].as_bool());
+  EXPECT_TRUE(v.at("arr").items()[4].is_null());
+  EXPECT_EQ(v.at("nested").at("empty_obj").size(), 0u);
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(ScenarioJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("tru"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("1 2"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonParseError);
+}
+
+TEST(ScenarioJson, Int64RoundTripsExactly) {
+  const std::int64_t big = 123'456'789'012'345'678LL;
+  Json obj = Json::object();
+  obj.set("t_ns", big);
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back.at("t_ns").as_int(), big);
+}
+
+}  // namespace
+}  // namespace dpu::scenario
