@@ -1,0 +1,280 @@
+// bench_engine_throughput — engine hot-path benchmark, perf-gated in CI.
+//
+// Measures raw simulator throughput (events/sec, packets/sec of wall time)
+// on two workloads:
+//
+//   * saturate     — five stacks flood the rbcast substrate at a rate far
+//                    beyond the calibrated CPU model's capacity, so the run
+//                    is dominated by packet-delivery and timer events: the
+//                    exact hot path the zero-copy Payload buffers and the
+//                    pooled event engine optimize.
+//   * crash_storm  — the same flood with two mid-run crashes and a long
+//                    drain window; exercises the rp2p give-up/backoff path
+//                    (without it, crashed stacks attract unbounded
+//                    retransmissions for the whole drain).
+//
+// Virtual-world counters (events, packets, deliveries, retransmissions) are
+// deterministic for a given seed; wall-clock throughput is machine-dependent.
+// The CI gate (perf_gate engine) therefore checks counters against a
+// tolerance band and throughput against a generous minimum ratio of the
+// checked-in baseline (see ci/README.md for how the baseline is refreshed).
+//
+//   bench_engine_throughput --out BENCH_engine.json [--seed N] [--repeat K]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fd/fd.hpp"
+#include "net/rbcast.hpp"
+#include "net/rp2p.hpp"
+#include "net/udp_module.hpp"
+#include "scenario/json.hpp"
+#include "sim/sim_world.hpp"
+
+namespace {
+
+using namespace dpu;
+using dpu::scenario::Json;
+
+constexpr ChannelId kBenchChannel = 99;
+
+struct FloodSpec {
+  std::size_t n = 5;
+  double rate_per_stack = 2000.0;  ///< broadcasts per virtual second
+  std::size_t message_size = 64;
+  Duration duration = 2 * kSecond;
+  Duration drain = 5 * kSecond;
+  /// 0 disables ack coalescing (one ack per DATA packet): the event mix
+  /// then matches the pre-coalescing protocol, so events/sec compares the
+  /// *engine* across versions rather than the protocol's event count.
+  Duration ack_delay = 0;
+  std::vector<std::pair<TimePoint, NodeId>> crashes;
+};
+
+struct FloodResult {
+  std::uint64_t events = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t retransmissions = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double packets_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(packets_sent) / wall_s : 0.0;
+  }
+};
+
+FloodResult run_flood(const FloodSpec& spec, std::uint64_t seed) {
+  SimConfig config;
+  config.num_stacks = spec.n;
+  config.seed = seed;
+  SimWorld world(config);
+
+  std::vector<RbcastModule*> rbcast;
+  std::vector<Rp2pModule*> rp2p;
+  std::uint64_t deliveries = 0;
+  for (NodeId i = 0; i < spec.n; ++i) {
+    Stack& stack = world.stack(i);
+    UdpModule::create(stack);
+    Rp2pModule::Config rc;
+    rc.ack_delay = spec.ack_delay;
+    rp2p.push_back(Rp2pModule::create(stack, kRp2pService, rc));
+    rbcast.push_back(RbcastModule::create(stack));
+    FdModule::create(stack);
+    rbcast.back()->rbcast_bind_channel(
+        kBenchChannel,
+        [&deliveries](NodeId, const auto&) { ++deliveries; });
+    stack.start_all();
+  }
+
+  // Open-loop flood driven through the engine's timer path — the same shape
+  // as the real WorkloadModule, so the bench exercises timer fire + packet
+  // delivery, the two event classes the pooled engine optimizes.
+  struct Sender {
+    HostEnv* host = nullptr;
+    RbcastModule* rbcast = nullptr;
+    Duration gap = 0;
+    TimePoint next = 0;
+    TimePoint stop_at = 0;
+    std::size_t message_size = 0;
+    std::uint64_t sent = 0;
+
+    void fire() {
+      if (next > stop_at) return;
+      BufWriter w(message_size);
+      w.put_u64(sent++);
+      for (std::size_t b = 8; b < message_size; ++b) {
+        w.put_u8(static_cast<std::uint8_t>(b));
+      }
+      rbcast->rbcast(kBenchChannel, w.take_payload());
+      next += gap;
+      arm();
+    }
+
+    void arm() {
+      host->set_timer(std::max<Duration>(next - host->now(), 0),
+                      [this]() { fire(); });
+    }
+  };
+  std::vector<Sender> senders(spec.n);
+  const auto gap = static_cast<Duration>(static_cast<double>(kSecond) /
+                                         spec.rate_per_stack);
+  for (NodeId i = 0; i < spec.n; ++i) {
+    Sender& s = senders[i];
+    s.host = &world.stack(i).host();
+    s.rbcast = rbcast[i];
+    s.gap = gap;
+    s.next = i;  // stagger the stacks
+    s.stop_at = spec.duration;
+    s.message_size = spec.message_size;
+    s.arm();
+  }
+  for (const auto& [t, node] : spec.crashes) {
+    world.at(t, [&world, node = node]() { world.crash(node); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  world.run_until(spec.duration + spec.drain, 2'000'000'000ULL);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  FloodResult result;
+  result.events = world.processed_events();
+  result.deferrals = world.deferrals();
+  result.packets_sent = world.packets_sent();
+  result.packets_dropped = world.packets_dropped();
+  result.deliveries = deliveries;
+  for (NodeId i = 0; i < spec.n; ++i) {
+    result.retransmissions += rp2p[i]->retransmissions();
+  }
+  result.wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+Json to_json(const FloodResult& r) {
+  Json j = Json::object();
+  j.set("events", r.events);
+  j.set("deferrals", r.deferrals);
+  j.set("packets_sent", r.packets_sent);
+  j.set("packets_dropped", r.packets_dropped);
+  j.set("deliveries", r.deliveries);
+  j.set("retransmissions", r.retransmissions);
+  j.set("wall_ms", r.wall_s * 1e3);
+  j.set("events_per_sec", r.events_per_sec());
+  j.set("packets_per_sec", r.packets_per_sec());
+  return j;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out FILE] [--seed N] [--repeat K]\n"
+               "  --out FILE   write BENCH_engine.json there (default "
+               "BENCH_engine.json)\n"
+               "  --seed N     world seed (default 1)\n"
+               "  --repeat K   best-of-K wall-clock timing (default 3)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  std::uint64_t seed = 1;
+  int repeat = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--seed") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--repeat") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      repeat = std::atoi(v);
+      if (repeat < 1) return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  FloodSpec saturate;
+
+  // The default protocol configuration (delayed acks on): fewer, heavier
+  // events; packets/sec and wall time show the coalescing win.
+  FloodSpec saturate_coalesced;
+  saturate_coalesced.ack_delay = kMillisecond;
+
+  FloodSpec crash_storm;
+  crash_storm.ack_delay = kMillisecond;
+  crash_storm.rate_per_stack = 400.0;
+  crash_storm.duration = 3 * kSecond;
+  crash_storm.drain = 20 * kSecond;
+  crash_storm.crashes = {{kSecond, 3}, {1500 * kMillisecond, 4}};
+
+  // Best-of-K: virtual counters are identical across repeats (same seed);
+  // wall time takes the fastest run to suppress scheduler noise.
+  auto best_of = [&](const FloodSpec& spec) {
+    FloodResult best;
+    for (int k = 0; k < repeat; ++k) {
+      FloodResult r = run_flood(spec, seed);
+      if (k == 0 || r.wall_s < best.wall_s) best = r;
+    }
+    return best;
+  };
+
+  auto report = [](const char* name, const FloodResult& r) {
+    std::fprintf(stderr,
+                 "%-18s %12llu events %12llu packets %10llu deferrals "
+                 "%8.0f kev/s %8.0f kpkt/s  (%.0f ms)\n",
+                 name, static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.packets_sent),
+                 static_cast<unsigned long long>(r.deferrals),
+                 r.events_per_sec() / 1e3, r.packets_per_sec() / 1e3,
+                 r.wall_s * 1e3);
+  };
+  const FloodResult sat = best_of(saturate);
+  report("saturate:", sat);
+  const FloodResult sat_co = best_of(saturate_coalesced);
+  report("saturate_coalesced:", sat_co);
+  const FloodResult storm = best_of(crash_storm);
+  report("crash_storm:", storm);
+  std::fprintf(stderr, "crash_storm retransmissions: %llu\n",
+               static_cast<unsigned long long>(storm.retransmissions));
+
+  Json doc = Json::object();
+  Json meta = Json::object();
+  meta.set("seed", seed);
+  meta.set("repeat", repeat);
+  doc.set("bench", std::move(meta));
+  Json workloads = Json::object();
+  workloads.set("saturate", to_json(sat));
+  workloads.set("saturate_coalesced", to_json(sat_co));
+  workloads.set("crash_storm", to_json(storm));
+  doc.set("workloads", std::move(workloads));
+
+  const std::string text = doc.dump(2) + "\n";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  out << text;
+  return 0;
+}

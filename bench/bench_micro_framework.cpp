@@ -49,7 +49,7 @@ void BM_VarintEncode(benchmark::State& state) {
   for (auto _ : state) {
     BufWriter w(10);
     w.put_varint(v += 0x12345);
-    benchmark::DoNotOptimize(w.bytes().data());
+    benchmark::DoNotOptimize(w.span().data());
   }
 }
 BENCHMARK(BM_VarintEncode);
@@ -75,7 +75,7 @@ void BM_SimPacketRoundTrip(benchmark::State& state) {
   SimWorld world(config);
   std::uint64_t received = 0;
   world.stack(1).host().set_packet_handler(
-      [&received](NodeId, const Bytes&) { ++received; });
+      [&received](NodeId, const Payload&) { ++received; });
   const Bytes payload(64, 0x11);
   for (auto _ : state) {
     world.stack(0).host().send_packet(1, payload);
@@ -98,7 +98,8 @@ void BM_Rp2pMessage(benchmark::State& state) {
   }
   std::uint64_t received = 0;
   auto* rp2p1 = dynamic_cast<Rp2pModule*>(world.stack(1).find_module("rp2p"));
-  rp2p1->rp2p_bind_channel(1, [&received](NodeId, const Bytes&) { ++received; });
+  rp2p1->rp2p_bind_channel(
+      1, [&received](NodeId, const Payload&) { ++received; });
   auto* rp2p0 = dynamic_cast<Rp2pModule*>(world.stack(0).find_module("rp2p"));
   const Bytes payload(64, 0x22);
   for (auto _ : state) {
@@ -120,7 +121,8 @@ void BM_RbcastFanout(benchmark::State& state) {
     auto* rb = RbcastModule::create(world.stack(i));
     if (i == 0) rb0 = rb;
     world.stack(i).start_all();
-    rb->rbcast_bind_channel(1, [&received](NodeId, const Bytes&) { ++received; });
+    rb->rbcast_bind_channel(
+        1, [&received](NodeId, const Payload&) { ++received; });
   }
   const Bytes payload(64, 0x33);
   for (auto _ : state) {

@@ -27,6 +27,7 @@ bad=0
 for f in "${files[@]}"; do
   if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
     echo "needs formatting: $f"
+    "$CLANG_FORMAT" "$f" | diff -u "$f" - | head -40 || true
     bad=1
   fi
 done

@@ -41,7 +41,7 @@ CtAbcastModule::CtAbcastModule(Stack& stack, std::string instance_name,
 void CtAbcastModule::start() {
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(data_channel_,
-                               [this](NodeId origin, const Bytes& data) {
+                               [this](NodeId origin, const Payload& data) {
                                  on_data(origin, data);
                                });
   });
@@ -66,12 +66,12 @@ void CtAbcastModule::abcast(const Bytes& payload) {
   BufWriter w(payload.size() + 16);
   id.encode(w);
   w.put_blob(payload);
-  rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
-    rbcast.rbcast(data_channel_, bytes);
+  rbcast_.call([this, bytes = w.take_payload()](RbcastApi& rbcast) mutable {
+    rbcast.rbcast(data_channel_, std::move(bytes));
   });
 }
 
-void CtAbcastModule::on_data(NodeId /*origin*/, const Bytes& data) {
+void CtAbcastModule::on_data(NodeId /*origin*/, const Payload& data) {
   MsgId id;
   Bytes payload;
   try {

@@ -72,7 +72,7 @@ class CtAbcastModule final : public Module, public AbcastApi {
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
  private:
-  void on_data(NodeId origin, const Bytes& data);
+  void on_data(NodeId origin, const Payload& data);
   void on_decision(InstanceId instance, const Bytes& batch);
   void apply_batch(const Bytes& batch);
   void try_start_instance();

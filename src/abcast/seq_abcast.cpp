@@ -43,14 +43,14 @@ void SeqAbcastModule::start() {
   if (env().node_id() == config_.sequencer) {
     rp2p_.call([this](Rp2pApi& rp2p) {
       rp2p.rp2p_bind_channel(submit_channel_,
-                             [this](NodeId from, const Bytes& data) {
+                             [this](NodeId from, const Payload& data) {
                                on_submit(from, data);
                              });
     });
   }
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(order_channel_,
-                               [this](NodeId origin, const Bytes& data) {
+                               [this](NodeId origin, const Payload& data) {
                                  on_ordered(origin, data);
                                });
   });
@@ -70,12 +70,12 @@ void SeqAbcastModule::abcast(const Bytes& payload) {
   BufWriter w(payload.size() + 16);
   id.encode(w);
   w.put_blob(payload);
-  rp2p_.call([this, bytes = w.take()](Rp2pApi& rp2p) {
-    rp2p.rp2p_send(config_.sequencer, submit_channel_, bytes);
+  rp2p_.call([this, bytes = w.take_payload()](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(config_.sequencer, submit_channel_, std::move(bytes));
   });
 }
 
-void SeqAbcastModule::on_submit(NodeId from, const Bytes& data) {
+void SeqAbcastModule::on_submit(NodeId from, const Payload& data) {
   MsgId id;
   Bytes payload;
   try {
@@ -94,12 +94,12 @@ void SeqAbcastModule::on_submit(NodeId from, const Bytes& data) {
   w.put_varint(gseq);
   w.put_u32(id.origin);
   w.put_blob(payload);
-  rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
-    rbcast.rbcast(order_channel_, bytes);
+  rbcast_.call([this, bytes = w.take_payload()](RbcastApi& rbcast) mutable {
+    rbcast.rbcast(order_channel_, std::move(bytes));
   });
 }
 
-void SeqAbcastModule::on_ordered(NodeId /*origin*/, const Bytes& data) {
+void SeqAbcastModule::on_ordered(NodeId /*origin*/, const Payload& data) {
   std::uint64_t gseq = 0;
   NodeId sender = kNoNode;
   Bytes payload;

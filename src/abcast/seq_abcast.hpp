@@ -56,8 +56,8 @@ class SeqAbcastModule final : public Module, public AbcastApi {
   [[nodiscard]] std::uint64_t sequenced() const { return next_gseq_ - 1; }
 
  private:
-  void on_submit(NodeId from, const Bytes& data);
-  void on_ordered(NodeId origin, const Bytes& data);
+  void on_submit(NodeId from, const Payload& data);
+  void on_ordered(NodeId origin, const Payload& data);
 
   Config config_;
   ServiceRef<Rp2pApi> rp2p_;

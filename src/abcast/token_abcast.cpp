@@ -47,13 +47,13 @@ TokenAbcastModule::TokenAbcastModule(Stack& stack, std::string instance_name,
 void TokenAbcastModule::start() {
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(token_channel_,
-                           [this](NodeId from, const Bytes& data) {
+                           [this](NodeId from, const Payload& data) {
                              on_token(from, data);
                            });
   });
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(order_channel_,
-                               [this](NodeId origin, const Bytes& data) {
+                               [this](NodeId origin, const Payload& data) {
                                  on_ordered(origin, data);
                                });
   });
@@ -80,7 +80,7 @@ void TokenAbcastModule::abcast(const Bytes& payload) {
   }
 }
 
-void TokenAbcastModule::on_token(NodeId from, const Bytes& data) {
+void TokenAbcastModule::on_token(NodeId from, const Payload& data) {
   std::uint64_t next_gseq = 0;
   try {
     BufReader r(data);
@@ -108,8 +108,8 @@ void TokenAbcastModule::use_and_pass_token(std::uint64_t next_gseq) {
     w.put_varint(held_gseq_++);
     w.put_u32(env().node_id());
     w.put_blob(payload);
-    rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
-      rbcast.rbcast(order_channel_, bytes);
+    rbcast_.call([this, bytes = w.take_payload()](RbcastApi& rbcast) mutable {
+      rbcast.rbcast(order_channel_, std::move(bytes));
     });
     ++stamped;
   }
@@ -130,12 +130,12 @@ void TokenAbcastModule::pass_token(std::uint64_t next_gseq) {
       static_cast<NodeId>((env().node_id() + 1) % env().world_size());
   BufWriter w(12);
   w.put_varint(next_gseq);
-  rp2p_.call([this, next, bytes = w.take()](Rp2pApi& rp2p) {
-    rp2p.rp2p_send(next, token_channel_, bytes);
+  rp2p_.call([this, next, bytes = w.take_payload()](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(next, token_channel_, std::move(bytes));
   });
 }
 
-void TokenAbcastModule::on_ordered(NodeId /*origin*/, const Bytes& data) {
+void TokenAbcastModule::on_ordered(NodeId /*origin*/, const Payload& data) {
   std::uint64_t gseq = 0;
   NodeId sender = kNoNode;
   Bytes payload;

@@ -60,8 +60,8 @@ class TokenAbcastModule final : public Module, public AbcastApi {
   [[nodiscard]] std::uint64_t token_visits() const { return token_visits_; }
 
  private:
-  void on_token(NodeId from, const Bytes& data);
-  void on_ordered(NodeId origin, const Bytes& data);
+  void on_token(NodeId from, const Payload& data);
+  void on_ordered(NodeId origin, const Payload& data);
   void use_and_pass_token(std::uint64_t next_gseq);
   void pass_token(std::uint64_t next_gseq);
 

@@ -15,13 +15,13 @@ ConsensusBase::ConsensusBase(Stack& stack, std::string instance_name)
 void ConsensusBase::start() {
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(peer_channel_,
-                           [this](NodeId from, const Bytes& data) {
+                           [this](NodeId from, const Payload& data) {
                              on_peer_message(from, data);
                            });
   });
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(decide_channel_,
-                               [this](NodeId origin, const Bytes& data) {
+                               [this](NodeId origin, const Payload& data) {
                                  on_decide_message(origin, data);
                                });
   });
@@ -69,18 +69,18 @@ void ConsensusBase::broadcast_decide(const Key& key, const Bytes& value) {
   w.put_varint(key.stream);
   w.put_varint(key.instance);
   w.put_blob(value);
-  rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
-    rbcast.rbcast(decide_channel_, bytes);
+  rbcast_.call([this, bytes = w.take_payload()](RbcastApi& rbcast) mutable {
+    rbcast.rbcast(decide_channel_, std::move(bytes));
   });
 }
 
-void ConsensusBase::send_peer(NodeId dst, const Bytes& data) {
-  rp2p_.call([this, dst, data](Rp2pApi& rp2p) {
-    rp2p.rp2p_send(dst, peer_channel_, data);
+void ConsensusBase::send_peer(NodeId dst, Payload data) {
+  rp2p_.call([this, dst, data = std::move(data)](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(dst, peer_channel_, std::move(data));
   });
 }
 
-void ConsensusBase::on_decide_message(NodeId origin, const Bytes& data) {
+void ConsensusBase::on_decide_message(NodeId origin, const Payload& data) {
   (void)origin;
   Key key{};
   Bytes value;

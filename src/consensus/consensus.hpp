@@ -102,18 +102,18 @@ class ConsensusBase : public Module, public ConsensusApi {
   [[nodiscard]] ChannelId peer_channel() const { return peer_channel_; }
 
   /// Subclass receive hook for algorithm messages on peer_channel().
-  virtual void on_peer_message(NodeId from, const Bytes& data) = 0;
+  virtual void on_peer_message(NodeId from, const Payload& data) = 0;
 
   /// Sends an algorithm message to one stack (self included; self-sends go
   /// through the same transport path).
-  void send_peer(NodeId dst, const Bytes& data);
+  void send_peer(NodeId dst, Payload data);
 
   ServiceRef<Rp2pApi> rp2p_;
   ServiceRef<RbcastApi> rbcast_;
   ServiceRef<FdApi> fd_;
 
  private:
-  void on_decide_message(NodeId origin, const Bytes& data);
+  void on_decide_message(NodeId origin, const Payload& data);
   void deliver_decision(const Key& key, const Bytes& value);
 
   ChannelId peer_channel_;

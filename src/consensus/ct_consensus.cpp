@@ -62,10 +62,11 @@ void CtConsensusModule::send_typed(NodeId dst, MsgType type, const Key& key,
     assert(value != nullptr);
     w.put_blob(*value);
   }
-  send_peer(dst, w.take());
+  send_peer(dst, w.take_payload());
 }
 
-void CtConsensusModule::on_peer_message(NodeId from, const Bytes& data) {
+void CtConsensusModule::on_peer_message(NodeId from,
+                                          const Payload& data) {
   try {
     BufReader r(data);
     const auto type = static_cast<MsgType>(r.get_u8());

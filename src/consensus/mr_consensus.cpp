@@ -56,10 +56,11 @@ void MrConsensusModule::send_typed(NodeId dst, MsgType type, const Key& key,
   w.put_varint(round);
   w.put_bool(value.has_value());
   if (value) w.put_blob(*value);
-  send_peer(dst, w.take());
+  send_peer(dst, w.take_payload());
 }
 
-void MrConsensusModule::on_peer_message(NodeId from, const Bytes& data) {
+void MrConsensusModule::on_peer_message(NodeId from,
+                                          const Payload& data) {
   try {
     BufReader r(data);
     const auto type = static_cast<MsgType>(r.get_u8());

@@ -67,7 +67,7 @@ class MrConsensusModule final : public ConsensusBase, public FdListener {
  protected:
   void algo_propose(const Key& key, const Bytes& value) override;
   void algo_on_decided(const Key& key) override;
-  void on_peer_message(NodeId from, const Bytes& data) override;
+  void on_peer_message(NodeId from, const Payload& data) override;
 
  private:
   enum MsgType : std::uint8_t { kEst = 0, kVote = 1 };

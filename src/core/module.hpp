@@ -65,6 +65,10 @@ class Module {
 /// RAII one-shot timer owned by a module.  Re-scheduling cancels the
 /// previous shot; destruction cancels any pending shot, so a destroyed
 /// module can never receive a stale callback.
+///
+/// The callback is stored in the slot and the engine-facing wrapper only
+/// captures `this`, so arming a timer never heap-allocates (hot paths arm
+/// timers per delivery batch / per retransmit tick).
 class TimerSlot {
  public:
   explicit TimerSlot(HostEnv& host) : host_(&host) {}
@@ -76,9 +80,13 @@ class TimerSlot {
   /// Arms the timer `after` from now, replacing any pending shot.
   void schedule(Duration after, std::function<void()> cb) {
     cancel();
-    id_ = host_->set_timer(after, [this, cb = std::move(cb)]() {
+    cb_ = std::move(cb);
+    id_ = host_->set_timer(after, [this]() {
+      // Move out before invoking: the callback may re-schedule this slot,
+      // which would otherwise assign cb_ while it is executing.
+      auto pending_cb = std::move(cb_);
       id_ = kNoTimer;
-      cb();
+      pending_cb();
     });
   }
 
@@ -86,6 +94,7 @@ class TimerSlot {
     if (id_ != kNoTimer) {
       host_->cancel_timer(id_);
       id_ = kNoTimer;
+      cb_ = nullptr;
     }
   }
 
@@ -94,6 +103,7 @@ class TimerSlot {
  private:
   HostEnv* host_;
   TimerId id_ = kNoTimer;
+  std::function<void()> cb_;
 };
 
 }  // namespace dpu

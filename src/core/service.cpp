@@ -53,11 +53,9 @@ void ServiceSlot::set_provider_type(std::type_index t) {
   }
 }
 
-void ServiceSlot::verify_provider_type(std::type_index t) const {
-  if (provider_type_ != t) {
-    throw std::logic_error("service '" + name_ +
-                           "' called with mismatched interface type");
-  }
+void ServiceSlot::throw_provider_type_mismatch() const {
+  throw std::logic_error("service '" + name_ +
+                         "' called with mismatched interface type");
 }
 
 void ServiceSlot::set_listener_type(std::type_index t) {
@@ -113,6 +111,5 @@ void ServiceSlot::note_flushed() {
   stack_->trace(TraceKind::kCallFlushed, name_, "");
 }
 
-void ServiceSlot::charge_hop() { stack_->charge_hop(); }
 
 }  // namespace dpu

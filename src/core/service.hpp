@@ -77,6 +77,24 @@ class ServiceSlot {
     call_impl<Iface>(std::move(fn), /*was_queued=*/false);
   }
 
+  /// Hot-path variant of call(): invokes the callable directly while a
+  /// provider is bound — no std::function type erasure, so a bound call
+  /// allocates nothing.  Only the (rare) blocked path pays for the erasure.
+  template <class Iface, class Fn>
+  void call_with(Fn&& fn) {
+    if (provider_ != nullptr) {
+      verify_provider_type(std::type_index(typeid(Iface)));
+      charge_hop();
+      std::forward<Fn>(fn)(*static_cast<Iface*>(provider_));
+    } else {
+      note_queued();
+      std::function<void(Iface&)> erased(std::forward<Fn>(fn));
+      pending_.push_back([this, f = std::move(erased)]() mutable {
+        this->call_impl<Iface>(std::move(f), /*was_queued=*/true);
+      });
+    }
+  }
+
   /// Query access for synchronous request/response interfaces (e.g. the
   /// failure detector's is_suspected).  Returns nullptr while unbound;
   /// callers must handle that instead of relying on queueing.
@@ -154,7 +172,12 @@ class ServiceSlot {
 
   void throw_if_already_bound() const;
   void set_provider_type(std::type_index t);
-  void verify_provider_type(std::type_index t) const;
+  /// Inline fast path for the per-call interface check; the throw lives
+  /// out of line so the hot path is one pointer compare.
+  void verify_provider_type(std::type_index t) const {
+    if (provider_type_ != t) throw_provider_type_mismatch();
+  }
+  [[noreturn]] void throw_provider_type_mismatch() const;
   void set_listener_type(std::type_index t);
   void verify_listener_type(std::type_index t) const;
   [[nodiscard]] bool still_registered(void* p) const;
@@ -162,10 +185,12 @@ class ServiceSlot {
   void remove_listeners_owned_by(Module* owner);
 
   // Trace/cost hooks, implemented in service.cpp against the Stack.
+  // charge_hop is on the per-call hot path and is inlined below Stack
+  // (core/stack.hpp), like Module::env().
   void note_bound();
   void note_queued();
   void note_flushed();
-  void charge_hop();
+  inline void charge_hop();
 
   Stack* stack_;
   std::string name_;
@@ -187,9 +212,10 @@ class ServiceRef {
   ServiceRef() = default;
   explicit ServiceRef(ServiceSlot* slot) : slot_(slot) {}
 
-  void call(std::function<void(Iface&)> fn) const {
+  template <class Fn>
+  void call(Fn&& fn) const {
     assert(slot_ != nullptr);
-    slot_->call<Iface>(std::move(fn));
+    slot_->call_with<Iface>(std::forward<Fn>(fn));
   }
 
   [[nodiscard]] Iface* try_get() const {

@@ -294,4 +294,6 @@ class Stack {
 
 inline HostEnv& Module::env() const { return stack_->host(); }
 
+inline void ServiceSlot::charge_hop() { stack_->charge_hop(); }
+
 }  // namespace dpu

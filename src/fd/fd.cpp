@@ -38,7 +38,7 @@ void FdModule::start() {
     p.timeout = config_.initial_timeout;
   }
   udp_.call([this](UdpApi& udp) {
-    udp.udp_bind_port(kFdPort, [this](NodeId src, const Bytes& data) {
+    udp.udp_bind_port(kFdPort, [this](NodeId src, const Payload& data) {
       on_heartbeat(src, data);
     });
   });
@@ -63,7 +63,7 @@ std::vector<NodeId> FdModule::fd_suspected() const {
   return out;
 }
 
-void FdModule::on_heartbeat(NodeId src, const Bytes& data) {
+void FdModule::on_heartbeat(NodeId src, const Payload& data) {
   (void)data;  // heartbeats carry no payload
   if (src >= peers_.size() || src == env().node_id()) return;
   PeerState& peer = peers_[src];
@@ -83,11 +83,13 @@ void FdModule::on_heartbeat(NodeId src, const Bytes& data) {
 
 void FdModule::on_tick() {
   const NodeId self = env().node_id();
-  // Broadcast a heartbeat to all peers.
-  const Bytes empty;
+  // Broadcast a heartbeat to all peers.  Captured by value: if udp is
+  // momentarily unbound the closure is queued past this scope (a Payload
+  // copy is a refcount bump, and an empty one is free).
+  const Payload empty;
   for (NodeId dst = 0; dst < peers_.size(); ++dst) {
     if (dst == self) continue;
-    udp_.call([dst, &empty](UdpApi& udp) { udp.udp_send(dst, kFdPort, empty); });
+    udp_.call([dst, empty](UdpApi& udp) { udp.udp_send(dst, kFdPort, empty); });
   }
   // Check for silent peers.
   const TimePoint now = env().now();

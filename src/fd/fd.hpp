@@ -74,7 +74,7 @@ class FdModule final : public Module, public FdApi {
     bool suspected = false;
   };
 
-  void on_heartbeat(NodeId src, const Bytes& data);
+  void on_heartbeat(NodeId src, const Payload& data);
   void on_tick();
 
   Config config_;

@@ -29,9 +29,10 @@ RbcastModule::RbcastModule(Stack& stack, std::string instance_name,
       rp2p_(stack.require<Rp2pApi>(kRp2pService)) {}
 
 void RbcastModule::start() {
+  seen_.assign(env().world_size(), OriginDedup{});
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(kRbcastChannel,
-                           [this](NodeId from, const Bytes& data) {
+                           [this](NodeId from, const Payload& data) {
                              on_message(from, data);
                            });
   });
@@ -43,13 +44,15 @@ void RbcastModule::stop() {
   pending_channel_.clear();
 }
 
-void RbcastModule::rbcast(ChannelId channel, const Bytes& payload) {
+void RbcastModule::rbcast(ChannelId channel, Payload payload) {
   const MsgId id{env().node_id(), next_seq_++};
   BufWriter w(payload.size() + 32);
   id.encode(w);
   w.put_u64(channel);
   w.put_blob(payload);
-  const Bytes wire = w.take();
+  // Serialize once; all N destinations (and any later relays) share this
+  // one immutable buffer.
+  const Payload wire = w.take_payload();
   ++sent_;
   // Send to everyone, self included: self-delivery takes the same code path
   // (and the same latency/cost accounting) as remote delivery.
@@ -60,36 +63,37 @@ void RbcastModule::rbcast(ChannelId channel, const Bytes& payload) {
 
 void RbcastModule::rbcast_bind_channel(ChannelId channel,
                                        BroadcastHandler handler) {
-  channels_[channel] = std::move(handler);
+  channels_.bind(channel, std::move(handler));
   auto it = pending_channel_.find(channel);
   if (it == pending_channel_.end()) return;
   auto queued = std::move(it->second);
   pending_channel_.erase(it);
+  // Routed through deliver(), which re-fetches the handler per message
+  // (see Rp2pModule::rp2p_bind_channel).
   for (auto& [origin, payload] : queued) {
-    ++delivered_;
-    channels_[channel](origin, payload);
+    deliver(channel, origin, payload);
   }
 }
 
 void RbcastModule::rbcast_release_channel(ChannelId channel) {
-  channels_.erase(channel);
+  channels_.release(channel);
 }
 
-void RbcastModule::send_to(NodeId dst, const Bytes& wire) {
-  rp2p_.call([dst, wire](Rp2pApi& rp2p) {
-    rp2p.rp2p_send(dst, kRbcastChannel, wire);
+void RbcastModule::send_to(NodeId dst, const Payload& wire) {
+  rp2p_.call([dst, wire](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(dst, kRbcastChannel, std::move(wire));
   });
 }
 
-void RbcastModule::on_message(NodeId from, const Bytes& data) {
+void RbcastModule::on_message(NodeId from, const Payload& data) {
   MsgId id;
   ChannelId channel = 0;
-  Bytes payload;
+  Payload payload;
   try {
     BufReader r(data);
     id = MsgId::decode(r);
     channel = r.get_u64();
-    payload = r.get_blob();
+    payload = r.get_blob_payload();  // zero-copy slice of the wire message
     r.expect_done();
   } catch (const CodecError& e) {
     DPU_LOG(kWarn, "rbcast") << "s" << env().node_id()
@@ -97,13 +101,14 @@ void RbcastModule::on_message(NodeId from, const Bytes& data) {
                              << e.what();
     return;
   }
-  if (!seen_.insert(id).second) return;  // duplicate (relay echo)
+  if (!mark_seen(id)) return;  // duplicate (relay echo)
 
   if (config_.relay && id.origin != env().node_id()) {
     // Relay on first receipt — unconditionally, not only when the message
     // came straight from the origin.  With chained crashes (origin crashes
     // mid-broadcast, then the stack it reached crashes mid-relay) a weaker
     // rule would let one stack deliver while another never hears of m.
+    // The relay shares the received buffer; no re-serialization.
     ++relays_;
     for (NodeId dst = 0; dst < env().world_size(); ++dst) {
       if (dst == env().node_id() || dst == id.origin || dst == from) continue;
@@ -113,22 +118,34 @@ void RbcastModule::on_message(NodeId from, const Bytes& data) {
   deliver(channel, id.origin, payload);
 }
 
+bool RbcastModule::mark_seen(const MsgId& id) {
+  if (id.origin >= seen_.size()) return false;  // malformed origin
+  OriginDedup& d = seen_[id.origin];
+  if (id.seq < d.next) return false;
+  if (id.seq > d.next) return d.ahead.insert(id.seq).second;
+  ++d.next;
+  while (!d.ahead.empty() && *d.ahead.begin() == d.next) {
+    d.ahead.erase(d.ahead.begin());
+    ++d.next;
+  }
+  return true;
+}
+
 void RbcastModule::deliver(ChannelId channel, NodeId origin,
-                           const Bytes& payload) {
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) {
-    auto& queue = pending_channel_[channel];
-    if (queue.size() >= config_.max_pending_per_channel) {
-      DPU_LOG(kWarn, "rbcast") << "s" << env().node_id()
-                               << " pending buffer overflow on channel "
-                               << channel;
-      return;
-    }
-    queue.emplace_back(origin, payload);
+                           const Payload& payload) {
+  if (const auto handler = channels_.find(channel)) {
+    ++delivered_;
+    (*handler)(origin, payload);
     return;
   }
-  ++delivered_;
-  it->second(origin, payload);
+  auto& queue = pending_channel_[channel];
+  if (queue.size() >= config_.max_pending_per_channel) {
+    DPU_LOG(kWarn, "rbcast") << "s" << env().node_id()
+                             << " pending buffer overflow on channel "
+                             << channel;
+    return;
+  }
+  queue.emplace_back(origin, payload);
 }
 
 }  // namespace dpu

@@ -10,8 +10,8 @@
 #pragma once
 
 #include <deque>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "core/module.hpp"
 #include "core/stack.hpp"
@@ -47,7 +47,7 @@ class RbcastModule final : public Module, public RbcastApi {
   void stop() override;
 
   // RbcastApi
-  void rbcast(ChannelId channel, const Bytes& payload) override;
+  void rbcast(ChannelId channel, Payload payload) override;
   void rbcast_bind_channel(ChannelId channel, BroadcastHandler handler) override;
   void rbcast_release_channel(ChannelId channel) override;
 
@@ -56,17 +56,30 @@ class RbcastModule final : public Module, public RbcastApi {
   [[nodiscard]] std::uint64_t relays() const { return relays_; }
 
  private:
-  void on_message(NodeId from, const Bytes& data);
-  void deliver(ChannelId channel, NodeId origin, const Bytes& payload);
-  void send_to(NodeId dst, const Bytes& wire);
+  void on_message(NodeId from, const Payload& data);
+  void deliver(ChannelId channel, NodeId origin, const Payload& payload);
+  void send_to(NodeId dst, const Payload& wire);
+
+  /// Duplicate suppression per origin.  Broadcast seqs from one origin are
+  /// contiguous from 1, so the common case is a watermark bump — O(1), no
+  /// allocation, and bounded memory even over arbitrarily long runs (the
+  /// old per-message hash set grew forever).  `ahead` only holds seqs that
+  /// arrived past a gap, which rp2p's FIFO guarantee makes rare.
+  struct OriginDedup {
+    std::uint64_t next = 1;         ///< lowest seq not yet seen contiguously
+    std::set<std::uint64_t> ahead;  ///< seen seqs beyond `next`
+  };
+
+  /// Returns true on first receipt of (origin, seq).
+  [[nodiscard]] bool mark_seen(const MsgId& id);
 
   Config config_;
   ServiceRef<Rp2pApi> rp2p_;
   std::uint64_t next_seq_ = 1;
-  /// Delivered (origin, seq) pairs, for duplicate suppression.
-  std::unordered_set<MsgId, MsgIdHash> seen_;
-  std::unordered_map<ChannelId, BroadcastHandler> channels_;
-  std::unordered_map<ChannelId, std::deque<std::pair<NodeId, Bytes>>>
+  std::vector<OriginDedup> seen_;  ///< indexed by origin
+  /// Bound channels (reference-stable dispatch; see HandlerTable).
+  HandlerTable<ChannelId, BroadcastHandler> channels_;
+  std::unordered_map<ChannelId, std::deque<std::pair<NodeId, Payload>>>
       pending_channel_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

@@ -26,11 +26,15 @@ Rp2pModule::Rp2pModule(Stack& stack, std::string instance_name, Config config)
     : Module(stack, std::move(instance_name)),
       config_(config),
       udp_(stack.require<UdpApi>(kUdpService)),
+      fd_(stack.require<FdApi>(kFdService)),
+      ack_timer_(stack.host()),
       retransmit_timer_(stack.host()) {}
 
 void Rp2pModule::start() {
+  out_.resize(env().world_size());
+  in_.resize(env().world_size());
   udp_.call([this](UdpApi& udp) {
-    udp.udp_bind_port(kRp2pPort, [this](NodeId src, const Bytes& data) {
+    udp.udp_bind_port(kRp2pPort, [this](NodeId src, const Payload& data) {
       on_datagram(src, data);
     });
   });
@@ -39,24 +43,46 @@ void Rp2pModule::start() {
 
 void Rp2pModule::stop() {
   retransmit_timer_.cancel();
+  ack_timer_.cancel();
   udp_.call([](UdpApi& udp) { udp.udp_release_port(kRp2pPort); });
   channels_.clear();
   pending_channel_.clear();
+  ack_queue_.clear();
+  for (PeerIn& peer : in_) peer.ack_due = false;
 }
 
-void Rp2pModule::rp2p_send(NodeId dst, ChannelId channel,
-                           const Bytes& payload) {
+void Rp2pModule::rp2p_send(NodeId dst, ChannelId channel, Payload payload) {
+  UdpApi* udp = udp_.try_get();
+  if (udp == nullptr) {
+    // udp momentarily unbound (e.g. a transport replacement window): queue
+    // the whole send on the service's blocked-call queue; it re-runs — and
+    // then takes the bound fast path — when a provider binds.
+    udp_.call([this, dst, channel,
+               payload = std::move(payload)](UdpApi&) mutable {
+      rp2p_send(dst, channel, std::move(payload));
+    });
+    return;
+  }
+  if (dst >= out_.size()) out_.resize(dst + 1);
   PeerOut& peer = out_[dst];
   const std::uint64_t seq = peer.next_seq++;
-  auto [it, inserted] =
-      peer.unacked.emplace(seq, OutPacket{channel, payload});
+  // Serialize the whole datagram (UDP header + DATA frame) exactly once;
+  // every (re)transmission re-sends this shared buffer.  This is the only
+  // copy of the payload below rbcast.
+  BufWriter w = udp->udp_frame(kRp2pPort, payload.size() + 24);
+  w.put_u8(kData);
+  w.put_varint(seq);
+  w.put_u64(channel);
+  w.put_blob(payload);
+  auto [it, inserted] = peer.unacked.emplace(seq, OutPacket{w.take_payload()});
   assert(inserted);
   (void)inserted;
-  transmit(dst, seq, it->second);
+  transmit(dst, it->second);
 }
 
-void Rp2pModule::rp2p_bind_channel(ChannelId channel, DatagramHandler handler) {
-  channels_[channel] = std::move(handler);
+void Rp2pModule::rp2p_bind_channel(ChannelId channel,
+                                   DatagramHandler handler) {
+  channels_.bind(channel, std::move(handler));
   // Release deliveries that arrived before this protocol instance existed.
   auto it = pending_channel_.find(channel);
   if (it == pending_channel_.end()) return;
@@ -65,67 +91,105 @@ void Rp2pModule::rp2p_bind_channel(ChannelId channel, DatagramHandler handler) {
   DPU_LOG(kDebug, "rp2p") << "s" << env().node_id() << " channel " << channel
                           << " bound; releasing " << queued.size()
                           << " buffered message(s)";
+  // Routed through deliver(), which re-fetches the handler per message: a
+  // released delivery may rebind or release the channel, and remaining
+  // messages then reach the new handler or go back to the pending buffer.
   for (auto& [src, payload] : queued) {
-    ++delivered_;
-    channels_[channel](src, payload);
+    deliver(src, channel, payload);
   }
 }
 
 void Rp2pModule::rp2p_release_channel(ChannelId channel) {
-  channels_.erase(channel);
+  channels_.release(channel);
 }
 
 std::size_t Rp2pModule::unacked_total() const {
   std::size_t n = 0;
-  for (const auto& [dst, peer] : out_) n += peer.unacked.size();
+  for (const PeerOut& peer : out_) n += peer.unacked.size();
   return n;
 }
 
-void Rp2pModule::transmit(NodeId dst, std::uint64_t seq, OutPacket& pkt) {
-  pkt.last_sent = env().now();
-  BufWriter w(pkt.payload.size() + 24);
-  w.put_u8(kData);
-  w.put_varint(seq);
-  w.put_u64(pkt.channel);
-  w.put_blob(pkt.payload);
-  udp_.call([dst, bytes = w.take()](UdpApi& udp) {
-    udp.udp_send(dst, kRp2pPort, bytes);
-  });
+Duration Rp2pModule::backoff_after(std::uint32_t attempts) const {
+  Duration b = config_.retransmit_interval;
+  for (std::uint32_t i = 0;
+       i < attempts && b < config_.max_retransmit_backoff; ++i) {
+    b *= 2;
+  }
+  return std::min(b, config_.max_retransmit_backoff);
 }
 
-void Rp2pModule::send_ack(NodeId dst, std::uint64_t cumulative) {
-  BufWriter w(12);
-  w.put_u8(kAck);
-  w.put_varint(cumulative);
-  udp_.call([dst, bytes = w.take()](UdpApi& udp) {
-    udp.udp_send(dst, kRp2pPort, bytes);
-  });
+void Rp2pModule::transmit(NodeId dst, OutPacket& pkt) {
+  // Attempts/backoff advance only when a frame actually goes out; if udp
+  // is momentarily unbound the retransmit tick simply retries later,
+  // without accruing phantom backoff against a peer that never saw a send.
+  UdpApi* udp = udp_.try_get();
+  if (udp == nullptr) return;
+  pkt.next_due = env().now() + backoff_after(pkt.attempts);
+  ++pkt.attempts;
+  // Direct dispatch on the pre-built frame; charge the same service-hop
+  // cost a udp_.call() would have.
+  stack().charge_hop();
+  udp->udp_send_frame(dst, pkt.frame);
 }
 
-void Rp2pModule::deliver(NodeId src, ChannelId channel, const Bytes& payload) {
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) {
-    auto& queue = pending_channel_[channel];
-    if (queue.size() >= config_.max_pending_per_channel) {
-      DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
-                             << " pending buffer overflow on channel "
-                             << channel << "; dropping";
-      return;
-    }
-    queue.emplace_back(src, payload);
+void Rp2pModule::note_ack_due(NodeId src, PeerIn& peer) {
+  if (!peer.ack_due) {
+    peer.ack_due = true;
+    ack_queue_.push_back(src);
+  }
+  if (config_.ack_delay <= 0) {
+    flush_acks();  // coalescing disabled: ack immediately
     return;
   }
-  ++delivered_;
-  it->second(src, payload);
+  if (!ack_timer_.pending()) {
+    // Delayed ack: every delivery inside the window (and, on a saturated
+    // stack, everything processed before the deferred timer runs) folds
+    // into one cumulative ack per peer.
+    ack_timer_.schedule(config_.ack_delay, [this]() { flush_acks(); });
+  }
 }
 
-void Rp2pModule::on_datagram(NodeId src, const Bytes& data) {
+void Rp2pModule::flush_acks() {
+  for (const NodeId src : ack_queue_) {
+    PeerIn& peer = in_[src];
+    if (!peer.ack_due) continue;
+    peer.ack_due = false;
+    ++acks_sent_;
+    udp_.call([src, next = peer.next_expected](UdpApi& udp) {
+      BufWriter w = udp.udp_frame(kRp2pPort, 10);
+      w.put_u8(kAck);
+      w.put_varint(next);
+      udp.udp_send_frame(src, w.take_payload());
+    });
+  }
+  ack_queue_.clear();
+}
+
+void Rp2pModule::deliver(NodeId src, ChannelId channel,
+                         const Payload& payload) {
+  if (const auto handler = channels_.find(channel)) {
+    ++delivered_;
+    (*handler)(src, payload);
+    return;
+  }
+  auto& queue = pending_channel_[channel];
+  if (queue.size() >= config_.max_pending_per_channel) {
+    DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
+                           << " pending buffer overflow on channel "
+                           << channel << "; dropping";
+    return;
+  }
+  queue.emplace_back(src, payload);
+}
+
+void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
   try {
     BufReader r(data);
     const auto type = static_cast<MsgType>(r.get_u8());
     if (type == kAck) {
       const std::uint64_t cumulative = r.get_varint();
       r.expect_done();
+      if (src >= out_.size()) return;
       PeerOut& peer = out_[src];
       peer.unacked.erase(peer.unacked.begin(),
                          peer.unacked.lower_bound(cumulative));
@@ -134,19 +198,20 @@ void Rp2pModule::on_datagram(NodeId src, const Bytes& data) {
     if (type != kData) throw CodecError("unknown rp2p message type");
     const std::uint64_t seq = r.get_varint();
     const ChannelId channel = r.get_u64();
-    Bytes payload = r.get_blob();
+    Payload payload = r.get_blob_payload();  // zero-copy slice of the frame
     r.expect_done();
 
+    if (src >= in_.size()) in_.resize(src + 1);
     PeerIn& peer = in_[src];
     if (seq < peer.next_expected) {
       // Duplicate of an already-delivered packet: our ack was lost; re-ack.
-      send_ack(src, peer.next_expected);
+      note_ack_due(src, peer);
       return;
     }
     if (seq > peer.next_expected) {
       // Out of order: hold for reassembly (duplicates overwrite harmlessly).
       peer.reorder.emplace(seq, std::make_pair(channel, std::move(payload)));
-      send_ack(src, peer.next_expected);
+      note_ack_due(src, peer);
       return;
     }
     // In-order: deliver, then drain the reorder buffer.
@@ -158,7 +223,7 @@ void Rp2pModule::on_datagram(NodeId src, const Bytes& data) {
       ++peer.next_expected;
       deliver(src, node.mapped().first, node.mapped().second);
     }
-    send_ack(src, peer.next_expected);
+    note_ack_due(src, peer);
   } catch (const CodecError& e) {
     DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
                            << " malformed packet from s" << src << ": "
@@ -167,12 +232,23 @@ void Rp2pModule::on_datagram(NodeId src, const Bytes& data) {
 }
 
 void Rp2pModule::on_retransmit_tick() {
-  const TimePoint cutoff = env().now() - config_.retransmit_interval;
-  for (auto& [dst, peer] : out_) {
+  const TimePoint now = env().now();
+  const FdApi* fd = config_.respect_fd ? fd_.try_get() : nullptr;
+  for (NodeId dst = 0; dst < out_.size(); ++dst) {
+    PeerOut& peer = out_[dst];
+    if (peer.unacked.empty()) continue;
+    if (fd != nullptr && fd->fd_suspects(dst)) {
+      // Suspected peer: stop pushing packets at it.  If the suspicion was
+      // false the FD will rescind it and the stream resumes; if the peer
+      // really crashed this is what keeps a crash from attracting an
+      // unbounded retransmission storm for the whole drain window.
+      ++suspected_skips_;
+      continue;
+    }
     for (auto& [seq, pkt] : peer.unacked) {
-      if (pkt.last_sent > cutoff) continue;  // too fresh; ack may be en route
+      if (pkt.next_due > now) continue;  // backoff not expired
       ++retransmissions_;
-      transmit(dst, seq, pkt);
+      transmit(dst, pkt);
     }
   }
   retransmit_timer_.schedule(config_.retransmit_interval,

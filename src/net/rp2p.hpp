@@ -5,6 +5,20 @@
 // acknowledgements, periodic retransmission, receive-side reordering buffer
 // and duplicate suppression.  FIFO order holds per (src,dst) pair across all
 // channels; channels only demultiplex payloads to client modules.
+//
+// Hot-path behaviour (engine perf work, see bench_engine_throughput):
+//
+//  * The full DATA frame is serialized once per (packet, destination) and
+//    cached as a shared Payload, so retransmissions re-send the same buffer
+//    instead of re-encoding it.
+//  * Cumulative acks are coalesced: deliveries mark the peer ack-due and a
+//    delayed-ack timer flushes one cumulative ack per dirty peer per
+//    window, instead of one ack datagram per in-order delivery.
+//  * Retransmissions back off exponentially per packet (capped), and peers
+//    currently suspected by the failure detector stop attracting
+//    retransmissions entirely until trusted again — so a crashed stack
+//    costs a bounded number of packets instead of a retransmission storm
+//    for the whole drain window.
 #pragma once
 
 #include <deque>
@@ -13,12 +27,30 @@
 
 #include "core/module.hpp"
 #include "core/stack.hpp"
+#include "fd/fd.hpp"
 #include "net/services.hpp"
 
 namespace dpu {
 
 struct Rp2pConfig {
   Duration retransmit_interval = 20 * kMillisecond;
+  /// Delayed-ack window: cumulative acks flush at most this long after the
+  /// delivery that made them due, so every packet delivered inside the
+  /// window folds into one ack per peer.  Must stay well below the
+  /// retransmit interval or delayed acks would masquerade as losses.
+  /// <= 0 disables coalescing: one ack datagram per received DATA packet
+  /// (the pre-coalescing behaviour; benches use it for apples-to-apples
+  /// engine comparisons).
+  Duration ack_delay = 1 * kMillisecond;
+  /// Retransmission k of a packet waits retransmit_interval * 2^k, capped
+  /// here.  Bounds the per-packet send rate into black holes (partitions,
+  /// not-yet-suspected crashes) while keeping first recovery fast.
+  Duration max_retransmit_backoff = 640 * kMillisecond;
+  /// Consult the "fd" service when one is bound: packets to a currently
+  /// suspected peer are not retransmitted until the peer is trusted again.
+  /// Safe for correct peers — a false suspicion only pauses (never drops)
+  /// the retransmission stream, and <>S accuracy rescinds it eventually.
+  bool respect_fd = true;
   /// Max buffered deliveries for a channel nobody has bound yet.
   std::size_t max_pending_per_channel = 100'000;
 };
@@ -45,13 +77,20 @@ class Rp2pModule final : public Module, public Rp2pApi {
   void stop() override;
 
   // Rp2pApi
-  void rp2p_send(NodeId dst, ChannelId channel, const Bytes& payload) override;
+  void rp2p_send(NodeId dst, ChannelId channel, Payload payload) override;
   void rp2p_bind_channel(ChannelId channel, DatagramHandler handler) override;
   void rp2p_release_channel(ChannelId channel) override;
 
   // Introspection for tests/benches.
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  /// Retransmit-tick skips of whole peers because the FD suspected them.
+  [[nodiscard]] std::uint64_t suspected_skips() const {
+    return suspected_skips_;
+  }
   [[nodiscard]] std::size_t unacked_total() const;
   [[nodiscard]] std::size_t pending_channel_buffered() const {
     std::size_t n = 0;
@@ -63,9 +102,11 @@ class Rp2pModule final : public Module, public Rp2pApi {
   enum MsgType : std::uint8_t { kData = 0, kAck = 1 };
 
   struct OutPacket {
-    ChannelId channel;
-    Bytes payload;
-    TimePoint last_sent = 0;
+    /// Full engine-level datagram (UDP header + DATA frame), serialized
+    /// exactly once; every (re)transmission re-sends this shared buffer.
+    Payload frame;
+    TimePoint next_due = 0;   ///< earliest next (re)transmission
+    std::uint32_t attempts = 0;
   };
 
   struct PeerOut {
@@ -75,27 +116,41 @@ class Rp2pModule final : public Module, public Rp2pApi {
 
   struct PeerIn {
     std::uint64_t next_expected = 1;
-    std::map<std::uint64_t, std::pair<ChannelId, Bytes>> reorder;  // seq -> msg
+    bool ack_due = false;
+    std::map<std::uint64_t, std::pair<ChannelId, Payload>> reorder;
   };
 
-  void on_datagram(NodeId src, const Bytes& data);
-  void transmit(NodeId dst, std::uint64_t seq, OutPacket& pkt);
-  void send_ack(NodeId dst, std::uint64_t cumulative);
-  void deliver(NodeId src, ChannelId channel, const Bytes& payload);
+  void on_datagram(NodeId src, const Payload& data);
+  void transmit(NodeId dst, OutPacket& pkt);
+  [[nodiscard]] Duration backoff_after(std::uint32_t attempts) const;
+  void note_ack_due(NodeId src, PeerIn& peer);
+  void flush_acks();
+  void deliver(NodeId src, ChannelId channel, const Payload& payload);
   void on_retransmit_tick();
 
   Config config_;
   ServiceRef<UdpApi> udp_;
-  std::unordered_map<NodeId, PeerOut> out_;
-  std::unordered_map<NodeId, PeerIn> in_;
-  std::unordered_map<ChannelId, DatagramHandler> channels_;
+  ServiceRef<FdApi> fd_;  ///< unbound in worlds without a failure detector
+  /// Peer state, densely indexed by node id: O(1) lookup on every datagram
+  /// and a deterministic iteration order for the retransmit scan.
+  std::vector<PeerOut> out_;
+  std::vector<PeerIn> in_;
+  /// Bound channels (reference-stable dispatch; see HandlerTable).
+  HandlerTable<ChannelId, DatagramHandler> channels_;
   /// Deliveries waiting for a channel handler (protocol instance not yet
   /// created on this stack, DESIGN.md §3 / weak protocol-operationability).
-  std::unordered_map<ChannelId, std::deque<std::pair<NodeId, Bytes>>>
+  std::unordered_map<ChannelId, std::deque<std::pair<NodeId, Payload>>>
       pending_channel_;
+  /// Peers with a coalesced cumulative ack outstanding, in mark order (a
+  /// vector, not map iteration, so ack emission order is deterministic
+  /// across standard libraries).
+  std::vector<NodeId> ack_queue_;
+  TimerSlot ack_timer_;
   TimerSlot retransmit_timer_;
   std::uint64_t delivered_ = 0;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t suspected_skips_ = 0;
 };
 
 }  // namespace dpu

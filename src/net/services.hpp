@@ -13,16 +13,77 @@
 // protocol's channel before stack j has created the new module.  The paper's
 // model calls this a response completed "when P_j is added to stack j"; the
 // pending-channel buffer is the mechanism.
+//
+// Zero-copy contract: payloads travel as dpu::Payload — shared immutable
+// buffers.  A module may retain the Payload handed to its handler (or a
+// slice of it) indefinitely without copying; senders hand ownership of
+// freshly serialized buffers in and must not assume the bytes are copied.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
 
 namespace dpu {
+
+/// Dispatch-safe handler table for port/channel demultiplexing.
+///
+/// A tiny linear table (a handful of ports/channels exist at a time, and
+/// the lookup is on the per-packet hot path) with one crucial property:
+/// the handler object a dispatcher is executing stays alive no matter what
+/// that handler does to the table — protocol modules re-entrantly bind new
+/// channels (create_module inside a delivery binds the new instance's
+/// channel), and a module may even release its own channel from inside its
+/// handler when it destroys itself.  Handlers are held by shared_ptr:
+/// find() hands the dispatcher a strong reference (one atomic bump, no
+/// allocation), so release()/rebind() only detach the table's reference
+/// while any in-flight invocation keeps the closure alive.
+template <class Key, class Handler>
+class HandlerTable {
+ public:
+  using Ref = std::shared_ptr<const Handler>;
+
+  /// Binds (or rebinds) `key`.
+  void bind(Key key, Handler handler) {
+    auto h = std::make_shared<const Handler>(std::move(handler));
+    for (auto& [k, slot] : entries_) {
+      if (k == key) {
+        slot = std::move(h);
+        return;
+      }
+    }
+    entries_.emplace_back(key, std::move(h));
+  }
+
+  /// Unbinds `key`.  In-flight invocations of the old handler (holding a
+  /// Ref) finish safely.
+  void release(Key key) {
+    for (auto& [k, slot] : entries_) {
+      if (k == key) slot.reset();
+    }
+  }
+
+  /// Strong reference to the bound handler for `key`, or nullptr.  Keeps
+  /// the handler alive for the duration of the call even if the handler
+  /// releases or rebinds its own key.
+  [[nodiscard]] Ref find(Key key) const {
+    for (const auto& [k, slot] : entries_) {
+      if (k == key && slot != nullptr && *slot) return slot;
+    }
+    return nullptr;
+  }
+
+  /// Drops every entry (module stop()).
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<Key, Ref>> entries_;
+};
 
 // ---------------------------------------------------------------------------
 // UDP — unreliable, unordered datagrams (service "udp")
@@ -35,13 +96,25 @@ using PortId = std::uint32_t;
 inline constexpr PortId kRp2pPort = 1;
 inline constexpr PortId kFdPort = 2;
 
-using DatagramHandler = std::function<void(NodeId src, const Bytes& payload)>;
+using DatagramHandler =
+    std::function<void(NodeId src, const Payload& payload)>;
 
 /// Call interface of the UDP service.  Datagrams may be lost, duplicated or
 /// reordered; packets for ports with no registered handler are dropped.
 struct UdpApi {
   virtual ~UdpApi() = default;
-  virtual void udp_send(NodeId dst, PortId port, const Bytes& payload) = 0;
+  virtual void udp_send(NodeId dst, PortId port, Payload payload) = 0;
+
+  /// Zero-copy fast path for clients that resend (rp2p retransmissions):
+  /// returns a writer with the UDP header for `port` already encoded.
+  /// Append the body, then hand take_payload() to udp_send_frame() any
+  /// number of times — the whole datagram is serialized exactly once.
+  [[nodiscard]] virtual BufWriter udp_frame(PortId port,
+                                            std::size_t reserve) const = 0;
+
+  /// Sends a frame previously built with udp_frame() (no re-encoding).
+  virtual void udp_send_frame(NodeId dst, Payload frame) = 0;
+
   virtual void udp_bind_port(PortId port, DatagramHandler handler) = 0;
   virtual void udp_release_port(PortId port) = 0;
 };
@@ -63,8 +136,10 @@ inline constexpr ChannelId kConsensusChannel = 0x636f6e7300000001ULL;
 /// all channels of that pair).
 struct Rp2pApi {
   virtual ~Rp2pApi() = default;
-  virtual void rp2p_send(NodeId dst, ChannelId channel, const Bytes& payload) = 0;
-  virtual void rp2p_bind_channel(ChannelId channel, DatagramHandler handler) = 0;
+  virtual void rp2p_send(NodeId dst, ChannelId channel,
+                         Payload payload) = 0;
+  virtual void rp2p_bind_channel(ChannelId channel,
+                                 DatagramHandler handler) = 0;
   virtual void rp2p_release_channel(ChannelId channel) = 0;
 };
 
@@ -75,7 +150,7 @@ struct Rp2pApi {
 inline constexpr char kRbcastService[] = "rbcast";
 
 using BroadcastHandler =
-    std::function<void(NodeId origin, const Bytes& payload)>;
+    std::function<void(NodeId origin, const Payload& payload)>;
 
 /// Eager reliable broadcast: if any stack delivers a payload, every correct
 /// stack eventually delivers it (relay-on-first-receipt); no duplication, no
@@ -83,7 +158,7 @@ using BroadcastHandler =
 /// the ABcast protocols to disseminate message payloads.
 struct RbcastApi {
   virtual ~RbcastApi() = default;
-  virtual void rbcast(ChannelId channel, const Bytes& payload) = 0;
+  virtual void rbcast(ChannelId channel, Payload payload) = 0;
   virtual void rbcast_bind_channel(ChannelId channel,
                                    BroadcastHandler handler) = 0;
   virtual void rbcast_release_channel(ChannelId channel) = 0;

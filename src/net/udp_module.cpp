@@ -26,7 +26,7 @@ UdpModule::UdpModule(Stack& stack, std::string instance_name)
 
 void UdpModule::start() {
   env().set_packet_handler(
-      [this](NodeId src, const Bytes& data) { on_packet(src, data); });
+      [this](NodeId src, const Payload& data) { on_packet(src, data); });
 }
 
 void UdpModule::stop() {
@@ -34,42 +34,51 @@ void UdpModule::stop() {
   ports_.clear();
 }
 
-void UdpModule::udp_send(NodeId dst, PortId port, const Bytes& payload) {
-  BufWriter w(payload.size() + 4);
+void UdpModule::udp_send(NodeId dst, PortId port, Payload payload) {
+  // The engine datagram is port header + payload in one owned buffer; this
+  // is the single copy of the send path (headers differ per hop, payloads
+  // are shared above).
+  BufWriter w = udp_frame(port, payload.size());
+  w.put_raw(payload.span());
+  udp_send_frame(dst, w.take_payload());
+}
+
+BufWriter UdpModule::udp_frame(PortId port, std::size_t reserve) const {
+  BufWriter w(reserve + 4);
   w.put_u32(port);
-  w.put_raw(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  return w;
+}
+
+void UdpModule::udp_send_frame(NodeId dst, Payload frame) {
   ++sent_;
-  env().send_packet(dst, w.take());
+  env().send_packet(dst, std::move(frame));
 }
 
 void UdpModule::udp_bind_port(PortId port, DatagramHandler handler) {
-  ports_[port] = std::move(handler);
+  ports_.bind(port, std::move(handler));
 }
 
-void UdpModule::udp_release_port(PortId port) { ports_.erase(port); }
+void UdpModule::udp_release_port(PortId port) { ports_.release(port); }
 
-void UdpModule::on_packet(NodeId src, const Bytes& data) {
+void UdpModule::on_packet(NodeId src, const Payload& data) {
   PortId port = 0;
-  Bytes payload;
   try {
     BufReader r(data);
     port = r.get_u32();
-    auto raw = r.get_raw(r.remaining());
-    payload.assign(raw.begin(), raw.end());
   } catch (const CodecError& e) {
     DPU_LOG(kWarn, "udp") << "s" << env().node_id()
                           << " malformed datagram from s" << src << ": "
                           << e.what();
     return;
   }
-  auto it = ports_.find(port);
-  if (it == ports_.end()) {
-    // UDP semantics: no listener, packet vanishes.
-    ++dropped_no_port_;
+  if (const auto handler = ports_.find(port)) {
+    ++received_;
+    // Zero-copy demultiplex: the handler sees a slice of the engine buffer.
+    (*handler)(src, data.slice(4));
     return;
   }
-  ++received_;
-  it->second(src, payload);
+  // UDP semantics: no listener, packet vanishes.
+  ++dropped_no_port_;
 }
 
 }  // namespace dpu

@@ -3,8 +3,6 @@
 // the UDP (unreliable) protocol").
 #pragma once
 
-#include <unordered_map>
-
 #include "core/module.hpp"
 #include "core/stack.hpp"
 #include "net/services.hpp"
@@ -27,7 +25,10 @@ class UdpModule final : public Module, public UdpApi {
   void stop() override;
 
   // UdpApi
-  void udp_send(NodeId dst, PortId port, const Bytes& payload) override;
+  void udp_send(NodeId dst, PortId port, Payload payload) override;
+  [[nodiscard]] BufWriter udp_frame(PortId port,
+                                    std::size_t reserve) const override;
+  void udp_send_frame(NodeId dst, Payload frame) override;
   void udp_bind_port(PortId port, DatagramHandler handler) override;
   void udp_release_port(PortId port) override;
 
@@ -39,9 +40,10 @@ class UdpModule final : public Module, public UdpApi {
   }
 
  private:
-  void on_packet(NodeId src, const Bytes& data);
+  void on_packet(NodeId src, const Payload& data);
 
-  std::unordered_map<PortId, DatagramHandler> ports_;
+  /// Bound ports (reference-stable dispatch; see HandlerTable).
+  HandlerTable<PortId, DatagramHandler> ports_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_no_port_ = 0;

@@ -43,9 +43,10 @@ GracefulSwitchModule::GracefulSwitchModule(Stack& stack,
 
 void GracefulSwitchModule::start() {
   rp2p_.call([this](Rp2pApi& rp2p) {
-    rp2p.rp2p_bind_channel(ctl_channel_, [this](NodeId from, const Bytes& data) {
-      on_ctl(from, data);
-    });
+    rp2p.rp2p_bind_channel(ctl_channel_,
+                           [this](NodeId from, const Payload& data) {
+                             on_ctl(from, data);
+                           });
   });
   cur_protocol_ = config_.initial_protocol;
   // AAC version 0.
@@ -158,12 +159,12 @@ void GracefulSwitchModule::send_ctl(NodeId dst, CtlType type,
   w.put_varint(switch_id);
   w.put_string(protocol);
   encode_params(w, params);
-  rp2p_.call([this, dst, bytes = w.take()](Rp2pApi& rp2p) {
-    rp2p.rp2p_send(dst, ctl_channel_, bytes);
+  rp2p_.call([this, dst, bytes = w.take_payload()](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(dst, ctl_channel_, std::move(bytes));
   });
 }
 
-void GracefulSwitchModule::on_ctl(NodeId from, const Bytes& data) {
+void GracefulSwitchModule::on_ctl(NodeId from, const Payload& data) {
   CtlType type{};
   std::uint64_t switch_id = 0;
   std::string protocol;

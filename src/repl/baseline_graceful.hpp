@@ -105,7 +105,7 @@ class GracefulSwitchModule final : public Module,
 
   void send_ctl(NodeId dst, CtlType type, std::uint64_t switch_id,
                 const std::string& protocol, const ModuleParams& params);
-  void on_ctl(NodeId from, const Bytes& data);
+  void on_ctl(NodeId from, const Payload& data);
   void prepare_new_aac(std::uint64_t switch_id, const std::string& protocol,
                        const ModuleParams& params);
   void begin_drain();

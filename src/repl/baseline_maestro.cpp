@@ -46,7 +46,7 @@ void MaestroSwitchModule::start() {
   stack().listen<AbcastListener>(config_.inner_service, this, this);
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(ready_channel_,
-                           [this](NodeId from, const Bytes& data) {
+                           [this](NodeId from, const Payload& data) {
                              on_ready(from, data);
                            });
   });
@@ -158,15 +158,15 @@ void MaestroSwitchModule::perform_local_switch(const std::string& protocol,
   // (4) Coordinate the start: tell everyone we are ready, then wait for all.
   BufWriter w(12);
   w.put_varint(version_);
-  const Bytes ready = w.take();
+  const Payload ready = w.take_payload();
   for (NodeId dst = 0; dst < env().world_size(); ++dst) {
-    rp2p_.call([this, dst, ready](Rp2pApi& rp2p) {
-      rp2p.rp2p_send(dst, ready_channel_, ready);
+    rp2p_.call([this, dst, ready](Rp2pApi& rp2p) mutable {
+      rp2p.rp2p_send(dst, ready_channel_, std::move(ready));
     });
   }
 }
 
-void MaestroSwitchModule::on_ready(NodeId from, const Bytes& data) {
+void MaestroSwitchModule::on_ready(NodeId from, const Payload& data) {
   try {
     BufReader r(data);
     const std::uint64_t version = r.get_varint();

@@ -88,7 +88,7 @@ class MaestroSwitchModule final : public Module,
   void inner_abcast_wrapped(const MsgId& id, const Bytes& payload);
   void perform_local_switch(const std::string& protocol,
                             const ModuleParams& params);
-  void on_ready(NodeId from, const Bytes& data);
+  void on_ready(NodeId from, const Payload& data);
   void maybe_unblock();
 
   Config config_;

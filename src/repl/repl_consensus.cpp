@@ -88,7 +88,7 @@ ReplConsensusModule::ReplConsensusModule(Stack& stack,
 void ReplConsensusModule::start() {
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(announce_channel_,
-                               [this](NodeId from, const Bytes& data) {
+                               [this](NodeId from, const Payload& data) {
                                  on_announce(from, data);
                                });
   });
@@ -123,12 +123,12 @@ void ReplConsensusModule::change_consensus(const std::string& protocol,
   w.put_u32(static_cast<std::uint32_t>(versions_.size()));
   w.put_string(protocol);
   encode_params(w, params);
-  rbcast_.call([this, bytes = w.take()](RbcastApi& rbcast) {
-    rbcast.rbcast(announce_channel_, bytes);
+  rbcast_.call([this, bytes = w.take_payload()](RbcastApi& rbcast) mutable {
+    rbcast.rbcast(announce_channel_, std::move(bytes));
   });
 }
 
-void ReplConsensusModule::on_announce(NodeId from, const Bytes& data) {
+void ReplConsensusModule::on_announce(NodeId from, const Payload& data) {
   (void)from;
   try {
     BufReader r(data);

@@ -110,7 +110,7 @@ class ReplConsensusModule final : public Module, public ConsensusApi {
     std::vector<std::pair<InstanceId, Bytes>> pending_out;
   };
 
-  void on_announce(NodeId from, const Bytes& data);
+  void on_announce(NodeId from, const Payload& data);
   void create_version(std::uint32_t version, const std::string& protocol,
                       const ModuleParams& params);
   void bind_stream_on_version(StreamId stream, std::uint32_t version);

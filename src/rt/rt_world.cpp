@@ -61,7 +61,7 @@ class RtWorld::RtHost final : public HostEnv {
     live_timers_.erase(id);
   }
 
-  void send_packet(NodeId dst, Bytes data) override {
+  void send_packet(NodeId dst, Payload data) override {
     world_->route_packet(node_, dst, std::move(data));
   }
 
@@ -82,7 +82,7 @@ class RtWorld::RtHost final : public HostEnv {
   }
 
   void set_packet_handler(
-      std::function<void(NodeId, const Bytes&)> handler) override {
+      std::function<void(NodeId, const Payload&)> handler) override {
     // Called from this stack's thread (module start/stop); handler is only
     // read from this thread as well.
     packet_handler_ = std::move(handler);
@@ -92,7 +92,10 @@ class RtWorld::RtHost final : public HostEnv {
 
   void set_epoch(SteadyClock::time_point epoch) { epoch_ = epoch; }
 
-  void enqueue_packet(NodeId src, Bytes data) {
+  // The Payload's refcount is atomic, so handing it from the sender's
+  // thread to this stack's thread needs no extra synchronization beyond the
+  // queue mutex post() already takes.
+  void enqueue_packet(NodeId src, Payload data) {
     if (crashed()) return;
     post([this, src, payload = std::move(data)]() {
       if (packet_handler_) packet_handler_(src, payload);
@@ -211,8 +214,9 @@ class RtWorld::RtHost final : public HostEnv {
                          (static_cast<NodeId>(buf[1]) << 16) |
                          (static_cast<NodeId>(buf[2]) << 8) |
                          static_cast<NodeId>(buf[3]);
-      Bytes payload(buf.begin() + 4, buf.begin() + n);
-      enqueue_packet(src, std::move(payload));
+      const std::span<const std::uint8_t> body(
+          buf.data() + 4, static_cast<std::size_t>(n) - 4);
+      enqueue_packet(src, Payload(body));
     }
   }
 
@@ -231,7 +235,7 @@ class RtWorld::RtHost final : public HostEnv {
   std::atomic<bool> crashed_{false};
   std::thread loop_thread_;
   std::thread receiver_thread_;
-  std::function<void(NodeId, const Bytes&)> packet_handler_;
+  std::function<void(NodeId, const Payload&)> packet_handler_;
   int fd_ = -1;
 };
 
@@ -303,7 +307,7 @@ std::set<NodeId> RtWorld::crashed_set() const {
   return out;
 }
 
-void RtWorld::route_packet(NodeId src, NodeId dst, Bytes data) {
+void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
   if (dst >= hosts_.size()) return;
   if (config_.transport == RtTransport::kUdpSockets) {
     // Prefix the datagram with the source node id (real sockets do not know
@@ -314,7 +318,7 @@ void RtWorld::route_packet(NodeId src, NodeId dst, Bytes data) {
     framed.push_back(static_cast<std::uint8_t>(src >> 16));
     framed.push_back(static_cast<std::uint8_t>(src >> 8));
     framed.push_back(static_cast<std::uint8_t>(src));
-    framed.insert(framed.end(), data.begin(), data.end());
+    framed.insert(framed.end(), data.span().begin(), data.span().end());
     hosts_[src]->socket_send(
         static_cast<std::uint16_t>(config_.udp_base_port + dst), framed);
     return;

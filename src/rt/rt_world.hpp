@@ -78,7 +78,7 @@ class RtWorld {
   class RtHost;
   friend class RtHost;
 
-  void route_packet(NodeId src, NodeId dst, Bytes data);
+  void route_packet(NodeId src, NodeId dst, Payload data);
 
   RtConfig config_;
   std::vector<std::unique_ptr<RtHost>> hosts_;

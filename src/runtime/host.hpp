@@ -56,8 +56,9 @@ class HostEnv {
   /// Sends an unreliable datagram to `dst` (may be dropped, duplicated or
   /// reordered by the network).  Sending to self is delivered like any other
   /// packet.  This is the engine half of the paper's `Net` service; the UDP
-  /// module adapts it into a composable service.
-  virtual void send_packet(NodeId dst, Bytes data) = 0;
+  /// module adapts it into a composable service.  The Payload is shared, not
+  /// copied: duplication and multi-link fan-out bump a refcount only.
+  virtual void send_packet(NodeId dst, Payload data) = 0;
 
   /// Schedules a closure on this stack's executor, after currently queued
   /// work.  Used to break call cycles and defer work out of upcalls.
@@ -81,11 +82,11 @@ class HostEnv {
   /// full-stack rebuilds re-register); packets arriving while no handler is
   /// installed are dropped, matching UDP semantics.
   virtual void set_packet_handler(
-      std::function<void(NodeId src, const Bytes& data)> handler) = 0;
+      std::function<void(NodeId src, const Payload& data)> handler) = 0;
 };
 
 /// Engine-side hook for delivering received packets into a stack.  The UDP
 /// module registers itself here.
-using PacketHandler = std::function<void(NodeId src, const Bytes& data)>;
+using PacketHandler = std::function<void(NodeId src, const Payload& data)>;
 
 }  // namespace dpu

@@ -111,6 +111,22 @@ std::vector<ScenarioSpec> curated_scenarios() {
     out.push_back(std::move(s));
   }
   {
+    ScenarioSpec s = base("crash-storm",
+                          "Two of five stacks crash mid-run under sustained "
+                          "load; gates that crashed stacks stop attracting "
+                          "rp2p retransmissions (FD-aware give-up + capped "
+                          "backoff) for the whole drain window.");
+    s.n = 5;
+    s.workload.rate_per_stack = 50.0;
+    s.crashes = {{2 * kSecond, 3}, {2500 * kMillisecond, 4}};
+    // Without the give-up policy this count is in the millions (every
+    // undelivered packet retransmitted every 20 ms for the 30 s drain);
+    // with it, only packets in flight before the FD suspects the crashed
+    // stacks are ever retransmitted.
+    s.max_retransmissions = 2000;
+    out.push_back(std::move(s));
+  }
+  {
     ScenarioSpec s = base("consensus-switch-live",
                           "The paper's future-work extension: the consensus "
                           "protocol under an unmodified CT-ABcast is "

@@ -77,11 +77,14 @@ void append(PropertyReport& into, const PropertyReport& from) {
 
 /// The communication substrate shared by every mechanism that composes its
 /// own replaceable layer (build_standard_stack covers kNone/kRepl).
-void install_substrate(Stack& stack, const StandardStackOptions& options) {
+/// Returns the rp2p module so the runner can harvest transport counters.
+Rp2pModule* install_substrate(Stack& stack,
+                              const StandardStackOptions& options) {
   UdpModule::create(stack);
-  Rp2pModule::create(stack, kRp2pService, options.rp2p);
+  Rp2pModule* rp2p = Rp2pModule::create(stack, kRp2pService, options.rp2p);
   RbcastModule::create(stack, kRbcastService, options.rbcast);
   FdModule::create(stack, kFdService, options.fd);
+  return rp2p;
 }
 
 }  // namespace
@@ -131,6 +134,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
   std::vector<ReplConsensusModule*> repl_cons(spec.n, nullptr);
   std::vector<MaestroSwitchModule*> maestro(spec.n, nullptr);
   std::vector<GracefulSwitchModule*> graceful(spec.n, nullptr);
+  std::vector<Rp2pModule*> rp2p(spec.n, nullptr);
 
   for (NodeId i = 0; i < spec.n; ++i) {
     Stack& stack = world.stack(i);
@@ -139,10 +143,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
       case Mechanism::kRepl: {
         StandardStack built = build_standard_stack(stack, stack_options);
         repl[i] = built.repl;
+        rp2p[i] = built.rp2p;
         break;
       }
       case Mechanism::kReplConsensus: {
-        install_substrate(stack, stack_options);
+        rp2p[i] = install_substrate(stack, stack_options);
         ReplConsensusModule::Config rc;
         rc.initial_protocol = spec.initial_protocol;
         repl_cons[i] = ReplConsensusModule::create(stack, rc);
@@ -150,14 +155,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
         break;
       }
       case Mechanism::kMaestro: {
-        install_substrate(stack, stack_options);
+        rp2p[i] = install_substrate(stack, stack_options);
         MaestroSwitchModule::Config mc;
         mc.initial_protocol = spec.initial_protocol;
         maestro[i] = MaestroSwitchModule::create(stack, mc);
         break;
       }
       case Mechanism::kGraceful: {
-        install_substrate(stack, stack_options);
+        rp2p[i] = install_substrate(stack, stack_options);
         CtConsensusModule::create(stack);
         GracefulSwitchModule::Config gc;
         gc.initial_protocol = spec.initial_protocol;
@@ -267,6 +272,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
   for (NodeId i = 0; i < spec.n; ++i) {
     result.messages_sent += workloads[i]->sent();
     result.deliveries += probes[i]->deliveries();
+    if (rp2p[i] != nullptr) {
+      result.retransmissions += rp2p[i]->retransmissions();
+      result.acks_sent += rp2p[i]->acks_sent();
+    }
     if (repl[i] != nullptr) {
       result.reissued += repl[i]->reissued_total();
       result.stale_discarded += repl[i]->stale_discarded();
@@ -306,6 +315,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
 
   result.trace = trace_recorder.events();
   result.switch_windows = extract_switch_windows(result.trace, spec.n);
+
+  // Retransmission regression gate (crash-storm scenarios): a bounded
+  // count proves crashed stacks stop attracting retransmissions.
+  if (spec.max_retransmissions > 0 &&
+      result.retransmissions > spec.max_retransmissions) {
+    result.generic_report.fail(
+        "retransmissions " + std::to_string(result.retransmissions) +
+        " exceed the spec bound " +
+        std::to_string(spec.max_retransmissions));
+  }
 
   // ---- Verdicts -----------------------------------------------------------
 
@@ -393,6 +412,8 @@ Json ScenarioResult::to_json() const {
   counts.set("calls_queued", calls_queued);
   counts.set("packets_sent", packets_sent);
   counts.set("packets_dropped", packets_dropped);
+  counts.set("retransmissions", retransmissions);
+  counts.set("acks_sent", acks_sent);
   counts.set("virtual_time_ns", total_virtual_time);
   j.set("counts", std::move(counts));
 

@@ -57,6 +57,8 @@ struct ScenarioResult {
   std::uint64_t calls_queued = 0;     ///< Maestro/Graceful
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_dropped = 0;
+  std::uint64_t retransmissions = 0;  ///< rp2p, summed over stacks
+  std::uint64_t acks_sent = 0;        ///< rp2p coalesced cumulative acks
   Duration total_virtual_time = 0;
   std::set<NodeId> crashed;
 

@@ -215,6 +215,8 @@ Json ScenarioSpec::to_json() const {
   cost.set("hop_cost_ns", hop_cost);
   cost.set("module_create_cost_ns", module_create_cost);
   j.set("cost", std::move(cost));
+
+  j.set("max_retransmissions", max_retransmissions);
   return j;
 }
 
@@ -247,7 +249,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   check_keys(j, "spec",
              {"name", "description", "n", "duration_ns", "drain_ns",
               "mechanism", "initial_protocol", "net", "workload", "crashes",
-              "partitions", "loss_windows", "updates", "cost"});
+              "partitions", "loss_windows", "updates", "cost",
+              "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("description")) spec.description = v->as_string();
@@ -337,6 +340,11 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     if (const Json* v = cost->find("module_create_cost_ns")) {
       spec.module_create_cost = v->as_int();
     }
+  }
+  if (const Json* v = j.find("max_retransmissions")) {
+    const std::int64_t raw = v->as_int();
+    if (raw < 0) throw std::runtime_error("scenario: max_retransmissions < 0");
+    spec.max_retransmissions = static_cast<std::uint64_t>(raw);
   }
   return spec;
 }

@@ -123,6 +123,12 @@ struct ScenarioSpec {
   Duration hop_cost = 8 * kMicrosecond;
   Duration module_create_cost = 20 * kMillisecond;
 
+  /// Regression gate: fail the run when total rp2p retransmissions exceed
+  /// this bound (0 = no gate).  Crash-heavy scenarios use it to pin down
+  /// that crashed stacks stop attracting retransmissions (FD-aware give-up
+  /// + capped backoff) instead of storming for the whole drain window.
+  std::uint64_t max_retransmissions = 0;
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
   /// Static well-formedness: node ids in range, windows ordered,

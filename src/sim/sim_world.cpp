@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 #include "util/log.hpp"
 
 namespace dpu {
+
+namespace {
+/// Initial event-heap capacity.  Saturated runs hold tens of thousands of
+/// in-flight events; reserving up front keeps the hot loop free of vector
+/// growth reallocations from the first packet on.
+constexpr std::size_t kHeapReserve = 1 << 14;
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SimHost: the HostEnv implementation handed to each stack.
@@ -26,27 +32,45 @@ class SimWorld::SimHost final : public HostEnv {
     return std::max(world_->now_, world_->busy_until_[node_]);
   }
 
+  // Timer callbacks live in a free-list pool of cells; the event carries
+  // only the (slot, generation) handle, so arming a timer allocates nothing
+  // beyond the caller's own closure (amortized).  Generations invalidate
+  // stale heap events after cancel/fire, including across slot reuse.
   TimerId set_timer(Duration after, std::function<void()> cb) override {
-    const TimerId id = ++next_timer_id_;
-    auto alive = std::make_shared<bool>(true);
-    timers_[id] = alive;
-    world_->push_event(world_->now_ + std::max<Duration>(after, 0), node_,
-                       [this, id, alive, cb = std::move(cb)]() {
-                         if (!*alive) return;
-                         timers_.erase(id);
-                         cb();
-                       });
+    std::uint32_t slot;
+    if (!timer_free_.empty()) {
+      slot = timer_free_.back();
+      timer_free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(timer_cells_.size());
+      timer_cells_.emplace_back();
+    }
+    TimerCell& cell = timer_cells_[slot];
+    cell.cb = std::move(cb);
+    cell.armed = true;
+    // Slot is offset by one so a TimerId can never be kNoTimer (0).
+    const TimerId id =
+        (static_cast<TimerId>(cell.generation) << 32) | (slot + 1);
+    world_->push_timer_event(world_->now_ + std::max<Duration>(after, 0),
+                             node_, id);
     return id;
   }
 
   void cancel_timer(TimerId id) override {
-    auto it = timers_.find(id);
-    if (it == timers_.end()) return;
-    *it->second = false;
-    timers_.erase(it);
+    TimerCell* cell = resolve_timer(id);
+    if (cell == nullptr) return;
+    release_timer(*cell, id);
   }
 
-  void send_packet(NodeId dst, Bytes data) override {
+  void fire_timer(TimerId id) {
+    TimerCell* cell = resolve_timer(id);
+    if (cell == nullptr) return;  // cancelled; stale heap event
+    std::function<void()> cb = std::move(cell->cb);
+    release_timer(*cell, id);  // release first: cb may re-arm timers
+    cb();
+  }
+
+  void send_packet(NodeId dst, Payload data) override {
     world_->do_send_packet(node_, dst, std::move(data));
   }
 
@@ -63,21 +87,45 @@ class SimWorld::SimHost final : public HostEnv {
   }
 
   void set_packet_handler(
-      std::function<void(NodeId, const Bytes&)> handler) override {
+      std::function<void(NodeId, const Payload&)> handler) override {
     packet_handler_ = std::move(handler);
   }
 
-  void deliver(NodeId src, const Bytes& data) {
+  void deliver(NodeId src, const Payload& data) {
     if (packet_handler_) packet_handler_(src, data);
   }
 
  private:
+  struct TimerCell {
+    std::function<void()> cb;
+    std::uint32_t generation = 0;
+    bool armed = false;
+  };
+
+  TimerCell* resolve_timer(TimerId id) {
+    const auto slot_plus_one = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+    if (slot_plus_one == 0 || slot_plus_one > timer_cells_.size()) {
+      return nullptr;
+    }
+    TimerCell& cell = timer_cells_[slot_plus_one - 1];
+    const auto generation = static_cast<std::uint32_t>(id >> 32);
+    if (!cell.armed || cell.generation != generation) return nullptr;
+    return &cell;
+  }
+
+  void release_timer(TimerCell& cell, TimerId id) {
+    cell.armed = false;
+    cell.cb = nullptr;
+    ++cell.generation;
+    timer_free_.push_back(static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1);
+  }
+
   SimWorld* world_;
   NodeId node_;
   Rng rng_;
-  TimerId next_timer_id_ = 0;
-  std::unordered_map<TimerId, std::shared_ptr<bool>> timers_;
-  std::function<void(NodeId, const Bytes&)> packet_handler_;
+  std::vector<TimerCell> timer_cells_;
+  std::vector<std::uint32_t> timer_free_;
+  std::function<void(NodeId, const Payload&)> packet_handler_;
 };
 
 // ---------------------------------------------------------------------------
@@ -89,6 +137,7 @@ SimWorld::SimWorld(SimConfig config, const ProtocolLibrary* library,
     : config_(config) {
   const std::size_t n = config_.num_stacks;
   assert(n > 0);
+  heap_.reserve(kHeapReserve);
   hosts_.reserve(n);
   stacks_.reserve(n);
   busy_until_.assign(n, 0);
@@ -112,9 +161,67 @@ SimWorld::~SimWorld() {
   hosts_.clear();
 }
 
-void SimWorld::push_event(TimePoint t, NodeId node, std::function<void()> fn) {
-  heap_.push_back(Event{t, next_seq_++, node, std::move(fn)});
+void SimWorld::push_heap(Event ev) {
+  heap_.push_back(ev);
   std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+/// Replace-top requeue: restores the heap property after heap_[0] was
+/// re-stamped in place (one sift-down instead of a pop+push pair).
+void SimWorld::sift_down_root() {
+  const EventAfter after{};
+  const std::size_t n = heap_.size();
+  const Event v = heap_[0];
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    if (left + 1 < n && after(heap_[left], heap_[left + 1])) best = left + 1;
+    if (!after(v, heap_[best])) break;  // v already outranks both children
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = v;
+}
+
+SimWorld::Event SimWorld::pop_heap_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  const Event top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+void SimWorld::push_event(TimePoint t, NodeId node, std::function<void()> fn) {
+  Event ev{};
+  ev.time = t;
+  ev.seq = next_seq_++;
+  ev.node = node;
+  ev.kind = EventKind::kClosure;
+  ev.att.pool = closures_.acquire(std::move(fn));
+  push_heap(ev);
+}
+
+void SimWorld::push_packet_event(TimePoint t, NodeId dst, NodeId src,
+                                 Payload payload) {
+  Event ev{};
+  ev.time = t;
+  ev.seq = next_seq_++;
+  ev.node = dst;
+  ev.kind = EventKind::kPacket;
+  ev.att.src = src;
+  ev.att.pool = payloads_.acquire(std::move(payload));
+  push_heap(ev);
+}
+
+void SimWorld::push_timer_event(TimePoint t, NodeId node, TimerId id) {
+  Event ev{};
+  ev.time = t;
+  ev.seq = next_seq_++;
+  ev.node = node;
+  ev.kind = EventKind::kTimer;
+  ev.timer = id;
+  push_heap(ev);
 }
 
 void SimWorld::at(TimePoint t, std::function<void()> fn) {
@@ -144,14 +251,12 @@ std::set<NodeId> SimWorld::crashed_set() const {
   return out;
 }
 
-void SimWorld::do_send_packet(NodeId src, NodeId dst, Bytes data) {
+void SimWorld::do_send_packet(NodeId src, NodeId dst, Payload data) {
   assert(dst < hosts_.size());
   ++packets_sent_;
   const auto& net = config_.net;
   // Sender-side CPU cost (serialization + syscall era-equivalent).
-  do_charge(src, net.send_cost_fixed +
-                     net.send_cost_per_byte *
-                         static_cast<Duration>(data.size()));
+  do_charge(src, net.send_cost(data.size()));
   if (crashed_[dst]) {
     ++packets_dropped_;
     return;
@@ -176,16 +281,8 @@ void SimWorld::do_send_packet(NodeId src, NodeId dst, Bytes data) {
         net.min_latency +
         static_cast<Duration>(rng.uniform_u64(static_cast<std::uint64_t>(
             net.max_latency - net.min_latency + 1)));
-    // Copy the payload per copy; delivery owns its bytes.
-    Bytes payload = (c == copies - 1) ? std::move(data) : data;
-    push_event(departure + latency, dst,
-               [this, src, dst, payload = std::move(payload)]() {
-                 const auto& cfg = config_.net;
-                 do_charge(dst, cfg.recv_cost_fixed +
-                                    cfg.recv_cost_per_byte *
-                                        static_cast<Duration>(payload.size()));
-                 hosts_[dst]->deliver(src, payload);
-               });
+    // Duplicates share the same immutable buffer; no byte copy per copy.
+    push_packet_event(departure + latency, dst, src, data);
   }
 }
 
@@ -194,29 +291,68 @@ void SimWorld::do_charge(NodeId node, Duration cost) {
   busy_until_[node] = std::max(busy_until_[node], now_) + cost;
 }
 
+void SimWorld::dispatch(const Event& ev) {
+  // Pool values are moved out *before* running handlers: a handler may push
+  // new events, and an acquire can reallocate the pool's slot vector.
+  switch (ev.kind) {
+    case EventKind::kClosure: {
+      const std::function<void()> fn = closures_.release(ev.att.pool);
+      fn();
+      break;
+    }
+    case EventKind::kPacket: {
+      const Payload payload = payloads_.release(ev.att.pool);
+      do_charge(ev.node, config_.net.recv_cost(payload.size()));
+      hosts_[ev.node]->deliver(ev.att.src, payload);
+      break;
+    }
+    case EventKind::kTimer:
+      hosts_[ev.node]->fire_timer(ev.timer);
+      break;
+  }
+}
+
+void SimWorld::discard(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kClosure:
+      (void)closures_.release(ev.att.pool);
+      break;
+    case EventKind::kPacket:
+      (void)payloads_.release(ev.att.pool);
+      break;
+    case EventKind::kTimer:
+      break;  // the timer cell stays armed; crashed stacks never fire it
+  }
+}
+
 bool SimWorld::run_until(TimePoint t_end, std::uint64_t max_events) {
   while (!heap_.empty()) {
-    const Event& top = heap_.front();
+    Event& top = heap_.front();
     if (top.time > t_end) break;
     if (processed_ >= max_events) {
       DPU_LOG(kError, "sim") << "event budget exhausted at t=" << now_;
       return false;
     }
-    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
+    if (top.node != kNoNode && !crashed_[top.node] &&
+        busy_until_[top.node] > top.time) {
+      // Processor model: a busy stack defers its events.  Requeue in place
+      // with a single sift-down (replace-top) instead of a pop+push pair;
+      // deferrals dominate heap traffic on a saturated run.
+      ++deferrals_;
+      top.time = busy_until_[top.node];
+      top.seq = next_seq_++;
+      sift_down_root();
+      continue;
+    }
+    const Event ev = pop_heap_top();
 
-    if (ev.node != kNoNode) {
-      if (crashed_[ev.node]) continue;  // events of crashed stacks vanish
-      // Processor model: a busy stack defers its events.
-      if (busy_until_[ev.node] > ev.time) {
-        push_event(busy_until_[ev.node], ev.node, std::move(ev.fn));
-        continue;
-      }
+    if (ev.node != kNoNode && crashed_[ev.node]) {
+      discard(ev);  // events of crashed stacks vanish
+      continue;
     }
     now_ = ev.time;
     ++processed_;
-    ev.fn();
+    dispatch(ev);
   }
   now_ = std::max(now_, t_end);
   return true;

@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "core/stack.hpp"
@@ -34,16 +35,34 @@
 
 namespace dpu {
 
+/// CPU nanoseconds charged per payload byte.  A dedicated alias (instead of
+/// reusing Duration) because the value is *not* a duration: it only becomes
+/// one after multiplying by a byte count, which the NetModelConfig::*_cost
+/// accessors do.
+using NanosPerByte = std::int64_t;
+
 /// Network and CPU-cost model (DESIGN.md §8 calibration).
 struct NetModelConfig {
-  Duration min_latency = 45 * kMicrosecond;  ///< one-way link latency, lower bound
-  Duration max_latency = 75 * kMicrosecond;  ///< one-way link latency, upper bound
+  Duration min_latency = 45 * kMicrosecond;  ///< one-way latency, lower
+  Duration max_latency = 75 * kMicrosecond;  ///< one-way latency, upper
   double drop_probability = 0.0;       ///< per-packet loss
   double duplicate_probability = 0.0;  ///< per-packet duplication
   Duration send_cost_fixed = 2 * kMicrosecond;  ///< sender CPU per packet
-  Duration send_cost_per_byte = 6;              ///< sender CPU per byte (ns)
+  NanosPerByte send_cost_per_byte_ns = 6;       ///< sender CPU per byte
   Duration recv_cost_fixed = 2 * kMicrosecond;  ///< receiver CPU per packet
-  Duration recv_cost_per_byte = 6;              ///< receiver CPU per byte (ns)
+  NanosPerByte recv_cost_per_byte_ns = 6;       ///< receiver CPU per byte
+
+  /// Sender-side CPU cost of one `size`-byte packet (fixed + per-byte).
+  [[nodiscard]] Duration send_cost(std::size_t size) const {
+    return send_cost_fixed +
+           send_cost_per_byte_ns * static_cast<Duration>(size);
+  }
+
+  /// Receiver-side CPU cost of one `size`-byte packet (fixed + per-byte).
+  [[nodiscard]] Duration recv_cost(std::size_t size) const {
+    return recv_cost_fixed +
+           recv_cost_per_byte_ns * static_cast<Duration>(size);
+  }
 };
 
 struct SimConfig {
@@ -113,6 +132,9 @@ class SimWorld {
   }
 
   [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+  /// Events re-queued because their stack was busy (processor-model
+  /// deferrals); a hot-loop health metric for benches.
+  [[nodiscard]] std::uint64_t deferrals() const { return deferrals_; }
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const {
     return packets_dropped_;
@@ -122,12 +144,33 @@ class SimWorld {
   class SimHost;
   friend class SimHost;
 
+  /// Tagged event record.  The two dominant event classes of a saturated
+  /// run — packet delivery and timer fire — carry plain data (a pool slot /
+  /// a timer id) instead of a heap-allocated closure; driver events
+  /// (at/at_node/post) keep their std::function in the closure pool.
+  ///
+  /// The record itself is trivially copyable on purpose: heap pushes, pops
+  /// and busy-deferral requeues move 40-byte PODs instead of running
+  /// shared_ptr/std::function move constructors, which is where a saturated
+  /// run spends most of its time.  Payloads and closures live in free-list
+  /// side pools indexed by `pool`.
+  enum class EventKind : std::uint8_t { kClosure, kPacket, kTimer };
+
   struct Event {
     TimePoint time;
-    std::uint64_t seq;   // insertion order; total-order tiebreaker
-    NodeId node;         // kNoNode => driver event (no busy accounting)
-    std::function<void()> fn;
+    std::uint64_t seq;  // insertion order; total-order tiebreaker
+    NodeId node;        // kNoNode => driver event (no busy accounting)
+    EventKind kind;
+    union {
+      TimerId timer;  // kTimer: pooled timer handle
+      struct {
+        NodeId src;           // kPacket: sending stack
+        std::uint32_t pool;   // kPacket/kClosure: side-pool slot
+      } att;
+    };
   };
+  static_assert(std::is_trivially_copyable_v<Event>);
+  static_assert(sizeof(Event) == 32);
 
   struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
@@ -138,19 +181,58 @@ class SimWorld {
   };
 
   void push_event(TimePoint t, NodeId node, std::function<void()> fn);
-  void do_send_packet(NodeId src, NodeId dst, Bytes data);
+  void push_packet_event(TimePoint t, NodeId dst, NodeId src, Payload payload);
+  void push_timer_event(TimePoint t, NodeId node, TimerId id);
+  void push_heap(Event ev);
+  void sift_down_root();
+  Event pop_heap_top();
+  void dispatch(const Event& ev);
+  void discard(const Event& ev);
+  void do_send_packet(NodeId src, NodeId dst, Payload data);
   void do_charge(NodeId node, Duration cost);
   Rng& link_rng(NodeId src, NodeId dst) {
     return link_rngs_[static_cast<std::size_t>(src) * hosts_.size() + dst];
   }
 
+  /// Free-list side pool for event attachments (payloads, closures): O(1)
+  /// acquire/release, no steady-state allocation, deterministic slot order.
+  template <class T>
+  struct EventPool {
+    std::vector<T> slots;
+    std::vector<std::uint32_t> free;
+
+    std::uint32_t acquire(T value) {
+      std::uint32_t slot;
+      if (!free.empty()) {
+        slot = free.back();
+        free.pop_back();
+        slots[slot] = std::move(value);
+      } else {
+        slot = static_cast<std::uint32_t>(slots.size());
+        slots.push_back(std::move(value));
+      }
+      return slot;
+    }
+
+    /// Moves the value out and recycles the slot.
+    T release(std::uint32_t slot) {
+      T out = std::move(slots[slot]);
+      slots[slot] = T{};
+      free.push_back(slot);
+      return out;
+    }
+  };
+
   SimConfig config_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t deferrals_ = 0;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::vector<Event> heap_;
+  EventPool<Payload> payloads_;
+  EventPool<std::function<void()>> closures_;
 
   std::vector<std::unique_ptr<SimHost>> hosts_;
   std::vector<std::unique_ptr<Stack>> stacks_;

@@ -7,8 +7,11 @@
 // padding, which keeps packets identical across engines and platforms.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -22,6 +25,187 @@ namespace dpu {
 /// types at interfaces).
 using Bytes = std::vector<std::uint8_t>;
 
+namespace detail {
+
+/// Intrusively ref-counted flat buffer: header and bytes live in one
+/// allocation, and the count is atomic so buffers may cross threads on the
+/// rt engine.  Payload and BufWriter are the only users.  (A custom
+/// free-list was measured here and removed: glibc's per-thread tcache
+/// already makes the single-allocation round trip cheap.)
+struct PayloadBuf {
+  std::atomic<std::uint32_t> refs{1};
+  std::uint32_t capacity = 0;
+
+  [[nodiscard]] std::uint8_t* data() {
+    return reinterpret_cast<std::uint8_t*>(this + 1);
+  }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+
+  [[nodiscard]] static PayloadBuf* make(std::size_t capacity) {
+    if (capacity > UINT32_MAX) {
+      throw std::length_error("PayloadBuf: capacity exceeds 4 GiB");
+    }
+    auto* b = static_cast<PayloadBuf*>(
+        ::operator new(sizeof(PayloadBuf) + capacity));
+    new (b) PayloadBuf;
+    b->capacity = static_cast<std::uint32_t>(capacity);
+    return b;
+  }
+
+  void retain() { refs.fetch_add(1, std::memory_order_relaxed); }
+
+  void release() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      this->~PayloadBuf();
+      ::operator delete(this);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Ref-counted immutable byte buffer with cheap slicing — the zero-copy
+/// message type of the packet hot path.
+///
+/// A Payload is a (shared buffer, offset, length) view: copying or slicing
+/// one never copies bytes, only bumps an atomic refcount, so a broadcast to
+/// N destinations can serialize once and share one buffer across every
+/// link, retransmission queue and reorder buffer.  The backing store is a
+/// single flat allocation (header + bytes), normally produced without any
+/// copy by BufWriter::take_payload().  The buffer is immutable for the
+/// Payload's whole lifetime; the refcount is atomic, so Payloads may be
+/// handed across threads on the rt engine freely as long as each individual
+/// Payload object stays single-threaded — the same rule that already
+/// governs every other value in a stack.
+///
+/// COW escape hatch: to_bytes()/detach() copy the viewed bytes out into a
+/// plain mutable vector.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Copies `bytes` into a flat buffer.  Implicit so call sites may hand a
+  /// Bytes value anywhere a Payload is expected; zero-copy producers should
+  /// prefer BufWriter::take_payload().
+  Payload(const Bytes& bytes)  // NOLINT(google-explicit-constructor)
+      : Payload(std::span<const std::uint8_t>(bytes.data(), bytes.size())) {}
+
+  explicit Payload(std::span<const std::uint8_t> data) {
+    if (data.empty()) return;
+    buf_ = detail::PayloadBuf::make(data.size());
+    std::memcpy(buf_->data(), data.data(), data.size());
+    len_ = data.size();
+  }
+
+  explicit Payload(std::string_view s)
+      : Payload(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(s.data()), s.size())) {}
+
+  /// Copies `data` into a fresh buffer (for callers that only have a view).
+  [[nodiscard]] static Payload copy_of(std::span<const std::uint8_t> data) {
+    return Payload(data);
+  }
+
+  Payload(const Payload& other)
+      : buf_(other.buf_), offset_(other.offset_), len_(other.len_) {
+    if (buf_ != nullptr) buf_->retain();
+  }
+
+  Payload(Payload&& other) noexcept
+      : buf_(other.buf_), offset_(other.offset_), len_(other.len_) {
+    other.buf_ = nullptr;
+    other.offset_ = other.len_ = 0;
+  }
+
+  Payload& operator=(const Payload& other) {
+    Payload copy(other);
+    swap(copy);
+    return *this;
+  }
+
+  Payload& operator=(Payload&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~Payload() {
+    if (buf_ != nullptr) buf_->release();
+  }
+
+  void swap(Payload& other) noexcept {
+    std::swap(buf_, other.buf_);
+    std::swap(offset_, other.offset_);
+    std::swap(len_, other.len_);
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return buf_ != nullptr ? buf_->data() + offset_ : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {data(), len_};
+  }
+
+  /// Sub-view sharing the same buffer (no copy).  `length` is clamped to
+  /// the view; `offset` past the end yields an empty payload.
+  [[nodiscard]] Payload slice(std::size_t offset,
+                              std::size_t length = SIZE_MAX) const {
+    Payload out;
+    if (offset >= len_) return out;
+    out.buf_ = buf_;
+    if (out.buf_ != nullptr) out.buf_->retain();
+    out.offset_ = offset_ + offset;
+    out.len_ = std::min(length, len_ - offset);
+    return out;
+  }
+
+  /// Mutable copy of the viewed bytes (always copies).
+  [[nodiscard]] Bytes to_bytes() const {
+    return Bytes(data(), data() + len_);
+  }
+
+  /// COW escape hatch: copies the viewed bytes out and drops this view.
+  [[nodiscard]] Bytes detach() {
+    Bytes out = to_bytes();
+    *this = Payload();
+    return out;
+  }
+
+  /// True when both views alias the same underlying buffer (tests use this
+  /// to assert the zero-copy property).
+  [[nodiscard]] bool shares_buffer_with(const Payload& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+
+  /// Number of Payload views holding the underlying buffer alive (0 for an
+  /// empty payload).  Test/diagnostic aid only.
+  [[nodiscard]] long ref_count() const {
+    return buf_ != nullptr
+               ? static_cast<long>(buf_->refs.load(std::memory_order_relaxed))
+               : 0;
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.len_ == b.len_ &&
+           (a.len_ == 0 || std::memcmp(a.data(), b.data(), a.len_) == 0);
+  }
+
+ private:
+  friend class BufWriter;
+
+  /// Adopts an already-retained buffer (BufWriter::take_payload).
+  Payload(detail::PayloadBuf* adopted, std::size_t len)
+      : buf_(adopted), len_(len) {}
+
+  detail::PayloadBuf* buf_ = nullptr;  // shared storage; logically immutable
+  std::size_t offset_ = 0;
+  std::size_t len_ = 0;
+};
+
 /// Thrown by BufReader when a packet is truncated or malformed.  Protocol
 /// modules catch this at their ingress boundary and drop the packet; it must
 /// never escape a stack's event handler.
@@ -31,29 +215,54 @@ class CodecError : public std::runtime_error {
 };
 
 /// Append-only encoder.  All integers are written big-endian; varints use
-/// little-endian base-128 groups (LEB128).  The writer owns its buffer and
-/// releases it via take().
+/// little-endian base-128 groups (LEB128).  The writer builds directly into
+/// a flat ref-counted buffer, so take_payload() hands the finished wire
+/// bytes to the packet path with zero copies and a single allocation.
 class BufWriter {
  public:
   BufWriter() = default;
-  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  explicit BufWriter(std::size_t reserve) {
+    if (reserve > 0) buf_ = detail::PayloadBuf::make(reserve);
+  }
 
-  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  BufWriter(const BufWriter&) = delete;
+  BufWriter& operator=(const BufWriter&) = delete;
+
+  BufWriter(BufWriter&& other) noexcept
+      : buf_(other.buf_), size_(other.size_) {
+    other.buf_ = nullptr;
+    other.size_ = 0;
+  }
+
+  BufWriter& operator=(BufWriter&& other) noexcept {
+    std::swap(buf_, other.buf_);
+    std::swap(size_, other.size_);
+    return *this;
+  }
+
+  ~BufWriter() {
+    if (buf_ != nullptr) buf_->release();
+  }
+
+  void put_u8(std::uint8_t v) { *ensure(1) = v; }
 
   void put_u16(std::uint16_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    std::uint8_t* p = ensure(2);
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
   }
 
   void put_u32(std::uint32_t v) {
+    std::uint8_t* p = ensure(4);
     for (int shift = 24; shift >= 0; shift -= 8) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+      *p++ = static_cast<std::uint8_t>(v >> shift);
     }
   }
 
   void put_u64(std::uint64_t v) {
+    std::uint8_t* p = ensure(8);
     for (int shift = 56; shift >= 0; shift -= 8) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+      *p++ = static_cast<std::uint8_t>(v >> shift);
     }
   }
 
@@ -62,17 +271,18 @@ class BufWriter {
   /// LEB128 unsigned varint (1 byte for values < 128).
   void put_varint(std::uint64_t v) {
     while (v >= 0x80) {
-      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      put_u8(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
     }
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    put_u8(static_cast<std::uint8_t>(v));
   }
 
   void put_bool(bool v) { put_u8(v ? 1 : 0); }
 
   /// Raw bytes, no length prefix (caller knows the length from context).
   void put_raw(std::span<const std::uint8_t> data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    if (data.empty()) return;
+    std::memcpy(ensure(data.size()), data.data(), data.size());
   }
 
   /// Length-prefixed byte string (varint length + bytes).
@@ -85,22 +295,75 @@ class BufWriter {
     put_blob(std::span<const std::uint8_t>(data.data(), data.size()));
   }
 
+  void put_blob(const Payload& data) { put_blob(data.span()); }
+
   /// Length-prefixed UTF-8 string.
   void put_string(std::string_view s) {
     put_varint(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    put_raw(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
   }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  /// Transfers ownership of the encoded buffer out of the writer.
-  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  /// The bytes written so far (valid until the next write/take).
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {buf_ != nullptr ? buf_->data() : nullptr, size_};
+  }
 
-  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  /// Copies the encoded bytes out into a plain vector; the writer is empty
+  /// afterwards.  Use take_payload() on packet paths — it does not copy.
+  [[nodiscard]] Bytes take() {
+    Bytes out(span().begin(), span().end());
+    clear_storage();
+    return out;
+  }
+
+  /// Transfers ownership of the flat buffer into a shared immutable
+  /// Payload (no byte copy); the writer is empty afterwards.
+  [[nodiscard]] Payload take_payload() {
+    Payload out(buf_, size_);
+    buf_ = nullptr;
+    size_ = 0;
+    return out;
+  }
+
+  /// Drops the contents but keeps the allocation, so a long-lived writer
+  /// can serve as a reusable scratch buffer on hot paths.
+  void clear() { size_ = 0; }
 
  private:
-  Bytes buf_;
+  std::uint8_t* ensure(std::size_t n) {
+    const std::size_t needed = size_ + n;
+    if (buf_ == nullptr || needed > buf_->capacity) grow(needed);
+    std::uint8_t* p = buf_->data() + size_;
+    size_ += n;
+    return p;
+  }
+
+  void grow(std::size_t needed) {
+    std::size_t capacity = buf_ != nullptr ? buf_->capacity : 0;
+    capacity = std::max<std::size_t>(capacity * 2, 64);
+    capacity = std::max(capacity, needed);
+    detail::PayloadBuf* bigger = detail::PayloadBuf::make(capacity);
+    if (buf_ != nullptr) {
+      std::memcpy(bigger->data(), buf_->data(), size_);
+      buf_->release();
+    }
+    buf_ = bigger;
+  }
+
+  void clear_storage() {
+    if (buf_ != nullptr) {
+      buf_->release();
+      buf_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  detail::PayloadBuf* buf_ = nullptr;  // sole reference until take_payload()
+  std::size_t size_ = 0;
 };
 
 /// Bounds-checked decoder over a borrowed byte span.  Throws CodecError on
@@ -110,6 +373,10 @@ class BufReader {
   explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
   explicit BufReader(const Bytes& data)
       : data_(std::span<const std::uint8_t>(data.data(), data.size())) {}
+  /// Payload-backed reader: get_blob_payload() can hand out zero-copy
+  /// slices of the underlying buffer.  `data` must outlive the reader.
+  explicit BufReader(const Payload& data)
+      : data_(data.span()), backing_(&data) {}
 
   [[nodiscard]] std::uint8_t get_u8() {
     need(1);
@@ -178,6 +445,20 @@ class BufReader {
     return Bytes(raw.begin(), raw.end());
   }
 
+  /// Length-prefixed byte string as a Payload.  Zero-copy (a slice of the
+  /// backing buffer) when the reader was constructed from a Payload; falls
+  /// back to a copy for span/Bytes-backed readers.
+  [[nodiscard]] Payload get_blob_payload() {
+    const std::uint64_t n = get_varint();
+    if (n > remaining()) throw CodecError("blob length exceeds packet");
+    const std::size_t start = pos_;
+    auto raw = get_raw(static_cast<std::size_t>(n));
+    if (backing_ != nullptr) {
+      return backing_->slice(start, static_cast<std::size_t>(n));
+    }
+    return Payload::copy_of(raw);
+  }
+
   [[nodiscard]] std::string get_string() {
     const std::uint64_t n = get_varint();
     if (n > remaining()) throw CodecError("string length exceeds packet");
@@ -200,6 +481,7 @@ class BufReader {
   }
 
   std::span<const std::uint8_t> data_;
+  const Payload* backing_ = nullptr;
   std::size_t pos_ = 0;
 };
 
@@ -212,6 +494,10 @@ class BufReader {
 /// Inverse of to_bytes for displaying payloads.
 [[nodiscard]] inline std::string to_string(const Bytes& b) {
   return std::string(b.begin(), b.end());
+}
+
+[[nodiscard]] inline std::string to_string(const Payload& p) {
+  return std::string(p.span().begin(), p.span().end());
 }
 
 /// Hex dump used by log messages and test diagnostics ("de:ad:be:ef").

@@ -22,7 +22,7 @@ struct Rig {
     got.resize(world.size());
     for (NodeId i = 0; i < world.size(); ++i) {
       handles[i].rbcast->rbcast_bind_channel(
-          kChan, [this, i](NodeId origin, const Bytes& p) {
+          kChan, [this, i](NodeId origin, const Payload& p) {
             got[i].emplace_back(origin, to_string(p));
           });
     }
@@ -124,7 +124,7 @@ TEST(Rbcast, PendingChannelBufferReleasedOnBind) {
   });
   rig.world.run_for(100 * kMillisecond);
   rig.handles[1].rbcast->rbcast_bind_channel(
-      0xBEEF, [&](NodeId, const Bytes& p) { late.push_back(to_string(p)); });
+      0xBEEF, [&](NodeId, const Payload& p) { late.push_back(to_string(p)); });
   EXPECT_EQ(late, (std::vector<std::string>{"early"}));
 }
 

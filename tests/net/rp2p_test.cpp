@@ -32,7 +32,7 @@ struct Rig {
 TEST(Rp2p, DeliversInOrderOnCleanNetwork) {
   Rig rig(SimConfig{.num_stacks = 2, .seed = 1});
   std::vector<int> got;
-  rig.rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId src, const Bytes& p) {
+  rig.rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId src, const Payload& p) {
     EXPECT_EQ(src, 0u);
     BufReader r(p);
     got.push_back(static_cast<int>(r.get_u32()));
@@ -71,7 +71,7 @@ TEST_P(Rp2pLossyTest, ExactlyOnceFifoUnderLossAndDuplication) {
   // Every stack sends a numbered stream to every other stack.
   std::map<std::pair<NodeId, NodeId>, std::vector<int>> got;
   for (NodeId i = 0; i < 3; ++i) {
-    rig.rp2p[i]->rp2p_bind_channel(kChan, [&, i](NodeId src, const Bytes& p) {
+    rig.rp2p[i]->rp2p_bind_channel(kChan, [&, i](NodeId src, const Payload& p) {
       BufReader r(p);
       got[{src, i}].push_back(static_cast<int>(r.get_u32()));
     });
@@ -122,11 +122,11 @@ TEST(Rp2p, FifoAcrossChannelsOfOnePair) {
   // FIFO holds per (src,dst) pair even when messages alternate channels.
   Rig rig(SimConfig{.num_stacks = 2, .seed = 3});
   std::vector<int> order;
-  rig.rp2p[1]->rp2p_bind_channel(1, [&](NodeId, const Bytes& p) {
+  rig.rp2p[1]->rp2p_bind_channel(1, [&](NodeId, const Payload& p) {
     BufReader r(p);
     order.push_back(static_cast<int>(r.get_u32()));
   });
-  rig.rp2p[1]->rp2p_bind_channel(2, [&](NodeId, const Bytes& p) {
+  rig.rp2p[1]->rp2p_bind_channel(2, [&](NodeId, const Payload& p) {
     BufReader r(p);
     order.push_back(static_cast<int>(r.get_u32()));
   });
@@ -156,7 +156,7 @@ TEST(Rp2p, PendingChannelBufferReleasedOnBind) {
 
   std::vector<std::string> got;
   rig.rp2p[1]->rp2p_bind_channel(
-      kChan, [&](NodeId, const Bytes& p) { got.push_back(to_string(p)); });
+      kChan, [&](NodeId, const Payload& p) { got.push_back(to_string(p)); });
   EXPECT_EQ(got, (std::vector<std::string>{"early-1", "early-2"}));
   EXPECT_EQ(rig.rp2p[1]->pending_channel_buffered(), 0u);
 
@@ -170,7 +170,7 @@ TEST(Rp2p, PendingChannelBufferReleasedOnBind) {
 TEST(Rp2p, ReleasedChannelBuffersAgain) {
   Rig rig(SimConfig{.num_stacks = 2, .seed = 5});
   int got = 0;
-  rig.rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId, const Bytes&) { ++got; });
+  rig.rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId, const Payload&) { ++got; });
   rig.world.at_node(0, 0,
                     [&]() { rig.rp2p[0]->rp2p_send(1, kChan, to_bytes("a")); });
   rig.world.run_for(100 * kMillisecond);
@@ -188,7 +188,7 @@ TEST(Rp2p, SelfSendDelivered) {
   Rig rig(SimConfig{.num_stacks = 2, .seed = 6});
   std::vector<std::string> got;
   rig.rp2p[0]->rp2p_bind_channel(
-      kChan, [&](NodeId src, const Bytes& p) {
+      kChan, [&](NodeId src, const Payload& p) {
         EXPECT_EQ(src, 0u);
         got.push_back(to_string(p));
       });
@@ -198,13 +198,128 @@ TEST(Rp2p, SelfSendDelivered) {
   EXPECT_EQ(got, (std::vector<std::string>{"me"}));
 }
 
+TEST(Rp2p, AckCoalescingBatchesCumulativeAcks) {
+  // A burst delivered inside one delayed-ack window must produce one
+  // cumulative ack, not one ack datagram per in-order delivery.
+  Rig rig(SimConfig{.num_stacks = 2, .seed = 11});
+  int got = 0;
+  rig.rp2p[1]->rp2p_bind_channel(kChan,
+                                 [&](NodeId, const Payload&) { ++got; });
+  rig.world.at_node(0, 0, [&]() {
+    for (int i = 0; i < 50; ++i) {
+      BufWriter w;
+      w.put_u32(static_cast<std::uint32_t>(i));
+      rig.rp2p[0]->rp2p_send(1, kChan, w.take_payload());
+    }
+  });
+  rig.world.run_for(kSecond);
+  EXPECT_EQ(got, 50);
+  EXPECT_EQ(rig.rp2p[0]->unacked_total(), 0u);  // cumulative ack landed
+  EXPECT_GE(rig.rp2p[1]->acks_sent(), 1u);
+  EXPECT_LT(rig.rp2p[1]->acks_sent(), 25u);  // far fewer than deliveries
+}
+
+TEST(Rp2p, ImmediateAckModeAcksEveryDatagram) {
+  SimConfig config{.num_stacks = 2, .seed = 12};
+  SimWorld world(config);
+  std::vector<Rp2pModule*> rp2p;
+  for (NodeId i = 0; i < 2; ++i) {
+    UdpModule::create(world.stack(i));
+    Rp2pModule::Config rc;
+    rc.ack_delay = 0;  // coalescing off
+    rp2p.push_back(Rp2pModule::create(world.stack(i), kRp2pService, rc));
+    world.stack(i).start_all();
+  }
+  int got = 0;
+  rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId, const Payload&) { ++got; });
+  world.at_node(0, 0, [&]() {
+    for (int i = 0; i < 20; ++i) {
+      rp2p[0]->rp2p_send(1, kChan, Payload(std::string_view("x")));
+    }
+  });
+  world.run_for(kSecond);
+  EXPECT_EQ(got, 20);
+  EXPECT_GE(rp2p[1]->acks_sent(), 20u);
+}
+
+TEST(Rp2p, BackoffBoundsRetransmissionsIntoABlackHole) {
+  // A destination behind a long-lived partition must not be hammered at
+  // the base retransmit interval: exponential backoff caps the rate.
+  Rig rig(SimConfig{.num_stacks = 2, .seed = 13});
+  rig.world.set_link_filter([](NodeId, NodeId) { return false; });
+  rig.world.at_node(0, 0, [&]() {
+    rig.rp2p[0]->rp2p_send(1, kChan, Payload(std::string_view("stuck")));
+  });
+  rig.world.run_for(10 * kSecond);
+  // 10 s at the 5 ms test interval would be ~2000 linear retransmissions;
+  // doubling up to the 640 ms cap keeps it around twenty.
+  EXPECT_GT(rig.rp2p[0]->retransmissions(), 3u);
+  EXPECT_LT(rig.rp2p[0]->retransmissions(), 60u);
+  EXPECT_EQ(rig.rp2p[0]->unacked_total(), 1u);  // still queued, not dropped
+}
+
+TEST(Rp2p, SuspectedPeerStopsAttractingRetransmissions) {
+  // With a failure detector in the stack, a crashed destination attracts
+  // retransmissions only until it is suspected — not for the whole run.
+  SimConfig config{.num_stacks = 3, .seed = 14};
+  SimWorld world(config);
+  std::vector<Rp2pModule*> rp2p;
+  for (NodeId i = 0; i < 3; ++i) {
+    UdpModule::create(world.stack(i));
+    Rp2pModule::Config rc;
+    rc.retransmit_interval = 5 * kMillisecond;
+    rc.max_retransmit_backoff = 5 * kMillisecond;  // isolate the FD effect
+    rp2p.push_back(Rp2pModule::create(world.stack(i), kRp2pService, rc));
+    FdModule::create(world.stack(i));
+    world.stack(i).start_all();
+  }
+  world.at(100 * kMillisecond, [&world]() { world.crash(1); });
+  world.at_node(200 * kMillisecond, 0, [&]() {
+    rp2p[0]->rp2p_send(1, kChan, Payload(std::string_view("to-the-dead")));
+  });
+  world.run_for(30 * kSecond);
+  // Retransmissions happen only between the send and the FD suspecting the
+  // crashed stack (sub-second); 30 s of linear 5 ms retries would be ~6000.
+  EXPECT_LT(rp2p[0]->retransmissions(), 200u);
+  EXPECT_GT(rp2p[0]->suspected_skips(), 0u);
+}
+
+TEST(Rp2p, FalseSuspicionOnlyPausesTheStream) {
+  // A partition long enough for the FD to suspect a *correct* peer must
+  // not lose traffic: retransmissions resume after trust is restored.
+  SimConfig config{.num_stacks = 2, .seed = 15};
+  SimWorld world(config);
+  std::vector<Rp2pModule*> rp2p;
+  for (NodeId i = 0; i < 2; ++i) {
+    UdpModule::create(world.stack(i));
+    Rp2pModule::Config rc;
+    rc.retransmit_interval = 5 * kMillisecond;
+    rp2p.push_back(Rp2pModule::create(world.stack(i), kRp2pService, rc));
+    FdModule::create(world.stack(i));
+    world.stack(i).start_all();
+  }
+  std::vector<std::string> got;
+  rp2p[1]->rp2p_bind_channel(
+      kChan, [&](NodeId, const Payload& p) { got.push_back(to_string(p)); });
+  world.set_link_filter([](NodeId, NodeId) { return false; });
+  world.at_node(100 * kMillisecond, 0, [&]() {
+    rp2p[0]->rp2p_send(1, kChan, Payload(std::string_view("delayed")));
+  });
+  // Heal after 2 s — well past the 200 ms initial FD timeout, so both
+  // sides falsely suspected each other in the meantime.
+  world.at(2 * kSecond, [&world]() { world.set_link_filter(nullptr); });
+  world.run_for(30 * kSecond);
+  EXPECT_EQ(got, (std::vector<std::string>{"delayed"}));
+  EXPECT_EQ(rp2p[0]->unacked_total(), 0u);
+}
+
 TEST(Rp2p, RetransmissionRecoversFromTotalBlackoutWindow) {
   // Drop everything for the first 200ms, then heal: all messages sent during
   // the blackout must still arrive, in order.
   Rig rig(SimConfig{.num_stacks = 2, .seed = 7});
   rig.world.set_link_filter([](NodeId, NodeId) { return false; });
   std::vector<int> got;
-  rig.rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId, const Bytes& p) {
+  rig.rp2p[1]->rp2p_bind_channel(kChan, [&](NodeId, const Payload& p) {
     BufReader r(p);
     got.push_back(static_cast<int>(r.get_u32()));
   });

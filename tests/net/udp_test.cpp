@@ -23,11 +23,11 @@ class UdpTest : public ::testing::Test {
 
 TEST_F(UdpTest, PortDemultiplexing) {
   std::vector<std::pair<PortId, std::string>> got;
-  udp_[1]->udp_bind_port(10, [&](NodeId src, const Bytes& p) {
+  udp_[1]->udp_bind_port(10, [&](NodeId src, const Payload& p) {
     EXPECT_EQ(src, 0u);
     got.emplace_back(10, to_string(p));
   });
-  udp_[1]->udp_bind_port(20, [&](NodeId, const Bytes& p) {
+  udp_[1]->udp_bind_port(20, [&](NodeId, const Payload& p) {
     got.emplace_back(20, to_string(p));
   });
 
@@ -60,7 +60,7 @@ TEST_F(UdpTest, UnknownPortDropsSilently) {
 
 TEST_F(UdpTest, ReleasedPortDrops) {
   int got = 0;
-  udp_[1]->udp_bind_port(10, [&](NodeId, const Bytes&) { ++got; });
+  udp_[1]->udp_bind_port(10, [&](NodeId, const Payload&) { ++got; });
   world_.at_node(0, 0, [&]() { udp_[0]->udp_send(1, 10, to_bytes("a")); });
   world_.run_for(10 * kMillisecond);
   EXPECT_EQ(got, 1);
@@ -74,7 +74,7 @@ TEST_F(UdpTest, ReleasedPortDrops) {
 
 TEST_F(UdpTest, EmptyPayloadDelivered) {
   int got = -1;
-  udp_[1]->udp_bind_port(5, [&](NodeId, const Bytes& p) {
+  udp_[1]->udp_bind_port(5, [&](NodeId, const Payload& p) {
     got = static_cast<int>(p.size());
   });
   world_.at_node(0, 0, [&]() { udp_[0]->udp_send(1, 5, Bytes{}); });
@@ -84,7 +84,7 @@ TEST_F(UdpTest, EmptyPayloadDelivered) {
 
 TEST_F(UdpTest, MalformedDatagramIgnored) {
   // A raw 2-byte packet cannot contain the 4-byte port header.
-  udp_[1]->udp_bind_port(0, [&](NodeId, const Bytes&) {
+  udp_[1]->udp_bind_port(0, [&](NodeId, const Payload&) {
     FAIL() << "malformed packet must not reach a handler";
   });
   world_.at_node(0, 0, [&]() {
@@ -95,8 +95,8 @@ TEST_F(UdpTest, MalformedDatagramIgnored) {
 
 TEST_F(UdpTest, RebindReplacesHandler) {
   int first = 0, second = 0;
-  udp_[1]->udp_bind_port(7, [&](NodeId, const Bytes&) { ++first; });
-  udp_[1]->udp_bind_port(7, [&](NodeId, const Bytes&) { ++second; });
+  udp_[1]->udp_bind_port(7, [&](NodeId, const Payload&) { ++first; });
+  udp_[1]->udp_bind_port(7, [&](NodeId, const Payload&) { ++second; });
   world_.at_node(0, 0, [&]() { udp_[0]->udp_send(1, 7, to_bytes("x")); });
   world_.run_for(kSecond);
   EXPECT_EQ(first, 0);

@@ -36,6 +36,7 @@ ScenarioSpec rich_spec() {
                   {4 * kSecond, 3, "abcast.ct"}};
   spec.hop_cost = 5 * kMicrosecond;
   spec.module_create_cost = 15 * kMillisecond;
+  spec.max_retransmissions = 1234;
   return spec;
 }
 

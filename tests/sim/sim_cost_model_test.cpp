@@ -16,14 +16,14 @@ TEST(SimCostModel, PacketDepartsAfterChargedWork) {
   config.net.min_latency = 100 * kMicrosecond;
   config.net.max_latency = 100 * kMicrosecond;
   config.net.send_cost_fixed = 0;
-  config.net.send_cost_per_byte = 0;
+  config.net.send_cost_per_byte_ns = 0;
   config.net.recv_cost_fixed = 0;
-  config.net.recv_cost_per_byte = 0;
+  config.net.recv_cost_per_byte_ns = 0;
   SimWorld world(config);
 
   TimePoint arrival = -1;
   world.stack(1).host().set_packet_handler(
-      [&](NodeId, const Bytes&) { arrival = world.now(); });
+      [&](NodeId, const Payload&) { arrival = world.now(); });
   world.at_node(kMillisecond, 0, [&]() {
     world.stack(0).host().charge(10 * kMillisecond);
     world.stack(0).host().send_packet(1, to_bytes("x"));
@@ -38,17 +38,51 @@ TEST(SimCostModel, SendCostItselfDelaysDeparture) {
   config.net.min_latency = 100 * kMicrosecond;
   config.net.max_latency = 100 * kMicrosecond;
   config.net.send_cost_fixed = 5 * kMicrosecond;
-  config.net.send_cost_per_byte = 0;
+  config.net.send_cost_per_byte_ns = 0;
   config.net.recv_cost_fixed = 0;
-  config.net.recv_cost_per_byte = 0;
+  config.net.recv_cost_per_byte_ns = 0;
   SimWorld world(config);
   TimePoint arrival = -1;
   world.stack(1).host().set_packet_handler(
-      [&](NodeId, const Bytes&) { arrival = world.now(); });
+      [&](NodeId, const Payload&) { arrival = world.now(); });
   world.at_node(0, 0,
                 [&]() { world.stack(0).host().send_packet(1, to_bytes("x")); });
   world.run_for(kSecond);
   EXPECT_EQ(arrival, 5 * kMicrosecond + 100 * kMicrosecond);
+}
+
+TEST(SimCostModel, PerByteCostsChargeNanosecondsPerPayloadByte) {
+  // The per-byte knobs are NanosPerByte (ns of CPU per byte), applied by
+  // the send_cost()/recv_cost() accessors: a 100-byte packet with 10 ns/B
+  // on both sides shifts arrival by send work and busy-time by recv work.
+  SimConfig config{.num_stacks = 2, .seed = 21};
+  config.net.min_latency = 100 * kMicrosecond;
+  config.net.max_latency = 100 * kMicrosecond;
+  config.net.send_cost_fixed = 0;
+  config.net.send_cost_per_byte_ns = 10;
+  config.net.recv_cost_fixed = 0;
+  config.net.recv_cost_per_byte_ns = 7;
+  EXPECT_EQ(config.net.send_cost(100), 1000);  // 100 B * 10 ns/B
+  EXPECT_EQ(config.net.recv_cost(100), 700);
+  SimWorld world(config);
+
+  const std::size_t kBytes = 100;
+  TimePoint arrival = -1;
+  TimePoint recv_busy = -1;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Payload& p) {
+        EXPECT_EQ(p.size(), kBytes);
+        arrival = world.now();
+        recv_busy = world.stack(1).host().busy_now();
+      });
+  world.at_node(0, 0, [&]() {
+    world.stack(0).host().send_packet(1, Payload(Bytes(kBytes, 0xAB)));
+  });
+  world.run_for(kSecond);
+  // Departure is delayed by the sender's per-byte work (store-and-forward).
+  EXPECT_EQ(arrival, 100 * 10 + 100 * kMicrosecond);
+  // The receiver is charged its per-byte work before the handler runs.
+  EXPECT_EQ(recv_busy, arrival + 100 * 7);
 }
 
 TEST(SimCostModel, BusyNowIncludesChargesWithinEvent) {
@@ -128,7 +162,7 @@ TEST(SimCostModel, DeterministicWithCostsEnabled) {
     std::vector<TimePoint> arrivals;
     for (NodeId i = 0; i < 3; ++i) {
       world.stack(i).host().set_packet_handler(
-          [&arrivals, &world](NodeId, const Bytes&) {
+          [&arrivals, &world](NodeId, const Payload&) {
             arrivals.push_back(world.now());
           });
     }

@@ -86,7 +86,7 @@ TEST(SimWorld, PacketDeliveredWithinLatencyBounds) {
   TimePoint sent_at = -1, recv_at = -1;
   NodeId from = kNoNode;
   world.stack(1).host().set_packet_handler(
-      [&](NodeId src, const Bytes& data) {
+      [&](NodeId src, const Payload& data) {
         recv_at = world.now();
         from = src;
         EXPECT_EQ(to_string(data), "hi");
@@ -108,7 +108,7 @@ TEST(SimWorld, SelfSendDelivered) {
   SimWorld world(SimConfig{.num_stacks = 1, .seed = 3});
   int got = 0;
   world.stack(0).host().set_packet_handler(
-      [&](NodeId src, const Bytes&) {
+      [&](NodeId src, const Payload&) {
         EXPECT_EQ(src, 0u);
         ++got;
       });
@@ -124,7 +124,7 @@ TEST(SimWorld, DropAllLosesEveryPacket) {
   SimWorld world(config);
   int got = 0;
   world.stack(1).host().set_packet_handler(
-      [&](NodeId, const Bytes&) { ++got; });
+      [&](NodeId, const Payload&) { ++got; });
   world.at_node(0, 0, [&]() {
     for (int i = 0; i < 10; ++i) {
       world.stack(0).host().send_packet(1, to_bytes("x"));
@@ -141,7 +141,7 @@ TEST(SimWorld, DuplicationDeliversTwice) {
   SimWorld world(config);
   int got = 0;
   world.stack(1).host().set_packet_handler(
-      [&](NodeId, const Bytes&) { ++got; });
+      [&](NodeId, const Payload&) { ++got; });
   world.at_node(0, 0,
                 [&]() { world.stack(0).host().send_packet(1, to_bytes("x")); });
   world.run_for(kSecond);
@@ -153,7 +153,7 @@ TEST(SimWorld, LinkFilterPartitionsTraffic) {
   std::vector<int> got(3, 0);
   for (NodeId i = 0; i < 3; ++i) {
     world.stack(i).host().set_packet_handler(
-        [&got, i](NodeId, const Bytes&) { ++got[i]; });
+        [&got, i](NodeId, const Payload&) { ++got[i]; });
   }
   // Partition {0} vs {1,2}.
   world.set_link_filter([](NodeId src, NodeId dst) {
@@ -186,7 +186,7 @@ TEST(SimWorld, CrashedStackReceivesNothingAndRunsNothing) {
   SimWorld world(SimConfig{.num_stacks = 2, .seed = 9});
   int timer_fired = 0, packets = 0;
   world.stack(1).host().set_packet_handler(
-      [&](NodeId, const Bytes&) { ++packets; });
+      [&](NodeId, const Payload&) { ++packets; });
   world.stack(1).host().set_timer(10 * kMillisecond,
                                   [&]() { ++timer_fired; });
   world.at(5 * kMillisecond, [&]() { world.crash(1); });
@@ -239,7 +239,7 @@ TEST(SimWorld, DeterministicAcrossRunsWithSameSeed) {
     std::vector<std::pair<NodeId, TimePoint>> deliveries;
     for (NodeId i = 0; i < 3; ++i) {
       world.stack(i).host().set_packet_handler(
-          [&deliveries, &world, i](NodeId, const Bytes&) {
+          [&deliveries, &world, i](NodeId, const Payload&) {
             deliveries.emplace_back(i, world.now());
           });
     }

@@ -1,0 +1,184 @@
+// Payload — the ref-counted immutable zero-copy buffer of the packet path:
+// aliasing/slicing semantics, the COW escape hatches, BufWriter handoff,
+// and cross-thread sharing as the rt engine performs it.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace dpu {
+namespace {
+
+Payload make_payload(std::string_view s) { return Payload(s); }
+
+TEST(Payload, EmptyByDefault) {
+  const Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.data(), nullptr);
+  EXPECT_EQ(p.ref_count(), 0);
+}
+
+TEST(Payload, CopiesShareOneBuffer) {
+  const Payload a = make_payload("hello world");
+  const Payload b = a;           // NOLINT: the copy is the point
+  const Payload c(b);
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_TRUE(b.shares_buffer_with(c));
+  EXPECT_EQ(a.ref_count(), 3);
+  EXPECT_EQ(a.data(), b.data());  // literally the same bytes in memory
+  EXPECT_EQ(to_string(c), "hello world");
+}
+
+TEST(Payload, MoveTransfersWithoutRefcountChange) {
+  Payload a = make_payload("abc");
+  const Payload b = std::move(a);
+  EXPECT_EQ(b.ref_count(), 1);
+  EXPECT_TRUE(a.empty());  // NOLINT: moved-from state is documented empty
+  EXPECT_EQ(to_string(b), "abc");
+}
+
+TEST(Payload, SliceAliasesTheSameBuffer) {
+  const Payload whole = make_payload("0123456789");
+  const Payload mid = whole.slice(2, 5);
+  EXPECT_EQ(to_string(mid), "23456");
+  EXPECT_TRUE(mid.shares_buffer_with(whole));
+  EXPECT_EQ(mid.data(), whole.data() + 2);  // no copy: pointer into parent
+  // Slices of slices compose offsets.
+  const Payload inner = mid.slice(1, 2);
+  EXPECT_EQ(to_string(inner), "34");
+  EXPECT_TRUE(inner.shares_buffer_with(whole));
+}
+
+TEST(Payload, SliceClampsAndHandlesOutOfRange) {
+  const Payload p = make_payload("abcd");
+  EXPECT_EQ(to_string(p.slice(0)), "abcd");
+  EXPECT_EQ(to_string(p.slice(2)), "cd");
+  EXPECT_EQ(to_string(p.slice(2, 100)), "cd");
+  EXPECT_TRUE(p.slice(4).empty());
+  EXPECT_TRUE(p.slice(100).empty());
+}
+
+TEST(Payload, SliceKeepsBufferAliveAfterParentDies) {
+  Payload tail;
+  {
+    Payload whole = make_payload("live-beyond-parent");
+    tail = whole.slice(5);
+  }
+  EXPECT_EQ(to_string(tail), "beyond-parent");
+  EXPECT_EQ(tail.ref_count(), 1);
+}
+
+TEST(Payload, ToBytesAndDetachCopyOut) {
+  Payload p = make_payload("mutate-me");
+  Bytes copy = p.to_bytes();
+  copy[0] = 'M';
+  EXPECT_EQ(to_string(p), "mutate-me");  // original is immutable
+  EXPECT_EQ(to_string(copy), "Mutate-me");
+
+  Bytes detached = p.detach();
+  EXPECT_EQ(to_string(detached), "mutate-me");
+  EXPECT_TRUE(p.empty());  // detach drops the view
+}
+
+TEST(Payload, EqualityComparesContentsNotIdentity) {
+  const Payload a = make_payload("same");
+  const Payload b = make_payload("same");
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == make_payload("diff"));
+  EXPECT_EQ(Payload(), Payload());
+  // A slice equals an independently built payload with the same bytes.
+  EXPECT_EQ(make_payload("xsamex").slice(1, 4), a);
+}
+
+TEST(Payload, WriterHandoffIsZeroCopy) {
+  BufWriter w(16);
+  w.put_u32(0xDEADBEEF);
+  w.put_string("payload");
+  const std::size_t written = w.size();
+  const std::uint8_t* bytes_before = w.span().data();
+  const Payload p = w.take_payload();
+  EXPECT_EQ(p.size(), written);
+  EXPECT_EQ(p.data(), bytes_before);  // same allocation, no copy
+  EXPECT_TRUE(w.empty());             // writer handed its buffer over
+
+  BufReader r(p);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_string(), "payload");
+  r.expect_done();
+}
+
+TEST(Payload, WriterGrowsAcrossReserveBoundary) {
+  BufWriter w(4);  // force several growth steps
+  std::string expect;
+  for (int i = 0; i < 100; ++i) {
+    w.put_u8(static_cast<std::uint8_t>('a' + i % 26));
+    expect.push_back(static_cast<char>('a' + i % 26));
+  }
+  EXPECT_EQ(to_string(w.take_payload()), expect);
+}
+
+TEST(Payload, WriterClearKeepsAllocationForScratchReuse) {
+  BufWriter w(64);
+  w.put_string("first");
+  const std::uint8_t* storage = w.span().data();
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  w.put_string("second");
+  EXPECT_EQ(w.span().data(), storage);  // same buffer reused
+}
+
+TEST(Payload, ReaderBlobSliceIsZeroCopy) {
+  BufWriter w;
+  w.put_u8(7);
+  w.put_blob(Payload(std::string_view("inner-bytes")));
+  const Payload frame = w.take_payload();
+
+  BufReader r(frame);
+  EXPECT_EQ(r.get_u8(), 7);
+  const Payload inner = r.get_blob_payload();
+  r.expect_done();
+  EXPECT_EQ(to_string(inner), "inner-bytes");
+  EXPECT_TRUE(inner.shares_buffer_with(frame));  // slice, not copy
+
+  // Span-backed readers cannot slice; they fall back to a copy.
+  const Bytes flat = frame.to_bytes();
+  BufReader r2(flat);
+  EXPECT_EQ(r2.get_u8(), 7);
+  const Payload copied = r2.get_blob_payload();
+  EXPECT_EQ(to_string(copied), "inner-bytes");
+  EXPECT_FALSE(copied.shares_buffer_with(frame));
+}
+
+// The rt engine's sharing pattern: one thread serializes, hands refcounted
+// views to N peer threads, each slices/copies/drops concurrently.  Run
+// under TSan/ASan this pins down that the refcount is genuinely atomic and
+// that the last release (wherever it happens) frees exactly once.
+TEST(Payload, CrossThreadSharingAndRelease) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  const Payload shared = make_payload("cross-thread-buffer-contents");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t]() {
+      for (int i = 0; i < kRounds; ++i) {
+        Payload view = shared;  // retain on this thread
+        Payload part = view.slice(static_cast<std::size_t>(t), 6);
+        ASSERT_EQ(part.size(), 6u);
+        ASSERT_TRUE(part.shares_buffer_with(shared));
+        Bytes copy = part.to_bytes();
+        ASSERT_EQ(copy.size(), 6u);
+      }  // releases happen on this thread
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared.ref_count(), 1);
+  EXPECT_EQ(to_string(shared), "cross-thread-buffer-contents");
+}
+
+}  // namespace
+}  // namespace dpu
