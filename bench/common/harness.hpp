@@ -15,7 +15,7 @@
 #include "core/trace.hpp"
 #include "repl/baseline_graceful.hpp"
 #include "repl/baseline_maestro.hpp"
-#include "sim/sim_world.hpp"
+#include "runtime/time.hpp"
 
 namespace dpu::bench {
 

@@ -5,11 +5,14 @@
 //   scenario_campaign --list                 # print the curated names
 //   scenario_campaign --scenario large-n-churn --seeds 5
 //   scenario_campaign --spec my_scenario.json --out results.json
+//   scenario_campaign --engine rt --scenario clean-switch
+//                                            # same spec, real-thread engine
 //
 // Exit status: 0 when every run passes the property audits, 1 otherwise,
 // 2 on usage/IO errors.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -30,6 +33,8 @@ int usage(const char* argv0) {
       "  --list               print curated scenario names and exit\n"
       "  --scenario NAME      run one curated scenario (repeatable)\n"
       "  --spec FILE.json     run a spec loaded from JSON (repeatable)\n"
+      "  --engine sim|rt      override the execution engine of every\n"
+      "                       selected spec (default: each spec's own)\n"
       "  --seeds K            sweep seeds base..base+K-1 (default 3)\n"
       "  --seed-base B        first seed of the sweep (default 1)\n"
       "  --threads T          worker threads (default: hardware)\n"
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed_base = 1;
   std::size_t threads = 0;
   int indent = 2;
+  std::optional<Engine> engine_override;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +77,15 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
       spec_files.emplace_back(v);
+    } else if (arg == "--engine") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      try {
+        engine_override = engine_from_name(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--seeds") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
@@ -132,6 +147,9 @@ int main(int argc, char** argv) {
     }
   }
   if (specs.empty()) specs = curated_scenarios();
+  if (engine_override.has_value()) {
+    for (ScenarioSpec& spec : specs) spec.engine = *engine_override;
+  }
 
   CampaignOptions options;
   options.seeds.clear();

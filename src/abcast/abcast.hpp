@@ -29,8 +29,11 @@ inline constexpr char kAbcastInnerService[] = "abcast.inner";
 
 struct AbcastApi {
   virtual ~AbcastApi() = default;
-  /// Broadcasts `payload` to all stacks with uniform total order.
-  virtual void abcast(const Bytes& payload) = 0;
+  /// Broadcasts `payload` to all stacks with uniform total order.  Takes a
+  /// Payload (shared immutable buffer) so serializing callers hand their
+  /// wire bytes down copy-free via BufWriter::take_payload(); a plain Bytes
+  /// argument converts implicitly (one copy, as before).
+  virtual void abcast(Payload payload) = 0;
 };
 
 struct AbcastListener {

@@ -20,6 +20,20 @@ std::size_t AbcastAudit::deliveries_at(NodeId stack) const {
   return it == deliveries_.end() ? 0 : it->second.size();
 }
 
+void AbcastAudit::record_recovered(NodeId stack) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto d = deliveries_.find(stack);
+  if (d != deliveries_.end()) {
+    archived_deliveries_[stack].push_back(std::move(d->second));
+    deliveries_.erase(d);
+  }
+  auto s = sent_.find(stack);
+  if (s != sent_.end()) {
+    archived_sent_[stack].insert(s->second.begin(), s->second.end());
+    sent_.erase(s);
+  }
+}
+
 std::size_t AbcastAudit::total_sent() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
@@ -42,6 +56,9 @@ PropertyReport AbcastAudit::check(std::size_t world_size,
   // All messages ever sent (for integrity) and per-stack delivery sets.
   std::set<std::string> all_sent;
   for (const auto& [node, msgs] : sent_) all_sent.insert(msgs.begin(), msgs.end());
+  for (const auto& [node, msgs] : archived_sent_) {
+    all_sent.insert(msgs.begin(), msgs.end());
+  }
   std::map<NodeId, std::set<std::string>> delivered_set;
   for (NodeId i = 0; i < world_size; ++i) {
     const auto& list = list_of(i);
@@ -78,10 +95,35 @@ PropertyReport AbcastAudit::check(std::size_t world_size,
     }
   }
 
+  // Archived logs of dead incarnations: integrity per incarnation log, and
+  // everything they delivered feeds the agreement obligation below.
+  for (const auto& [node, logs] : archived_deliveries_) {
+    for (std::size_t life = 0; life < logs.size(); ++life) {
+      std::set<std::string> seen;
+      for (const auto& m : logs[life]) {
+        if (!seen.insert(m).second) {
+          report.fail("integrity: stack " + std::to_string(node) +
+                      " (incarnation " + std::to_string(life) +
+                      ") delivered '" + m + "' more than once");
+        }
+        if (all_sent.count(m) == 0) {
+          report.fail("integrity: stack " + std::to_string(node) +
+                      " (incarnation " + std::to_string(life) +
+                      ") delivered '" + m + "' which was never abcast");
+        }
+      }
+    }
+  }
+
   // Uniform agreement: delivered anywhere => delivered on every correct stack.
   std::set<std::string> delivered_anywhere;
   for (const auto& [node, s] : delivered_set) {
     delivered_anywhere.insert(s.begin(), s.end());
+  }
+  for (const auto& [node, logs] : archived_deliveries_) {
+    for (const auto& log : logs) {
+      delivered_anywhere.insert(log.begin(), log.end());
+    }
   }
   for (const auto& m : delivered_anywhere) {
     for (NodeId i = 0; i < world_size; ++i) {
@@ -135,6 +177,26 @@ PropertyReport AbcastAudit::check(std::size_t world_size,
       }
       last = it->second;
       first = false;
+    }
+  }
+
+  // Dead incarnations' logs embed order-preserving, like crashed stacks.
+  for (const auto& [node, logs] : archived_deliveries_) {
+    for (std::size_t life = 0; life < logs.size(); ++life) {
+      std::size_t last = 0;
+      bool first = true;
+      for (const auto& m : logs[life]) {
+        auto it = ref_index.find(m);
+        if (it == ref_index.end()) continue;
+        if (!first && it->second <= last) {
+          report.fail("total order: stack " + std::to_string(node) +
+                      " (incarnation " + std::to_string(life) +
+                      ") delivered '" + m + "' out of order w.r.t. stack " +
+                      std::to_string(ref));
+        }
+        last = it->second;
+        first = false;
+      }
     }
   }
   return report;

@@ -29,15 +29,27 @@ class AbcastAudit {
   /// Records that `stack` adelivered `payload`.
   void record_delivery(NodeId stack, const Bytes& payload);
 
+  /// Records that `stack` crash-recovered: its log so far becomes the
+  /// archived log of a dead incarnation, and subsequent record_sent /
+  /// record_delivery calls open the new incarnation's log.  Archived logs
+  /// are audited like crashed stacks' logs (their deliveries must be seen
+  /// everywhere and embed order-preserving); archived *sends* are exempt
+  /// from validity — a send the crash swallowed is indistinguishable from a
+  /// send by a crashed stack — but still count as "sent" for integrity.
+  void record_recovered(NodeId stack);
+
   /// Verifies, for `world_size` stacks of which `crashed` stopped early:
-  ///  * Validity: every message sent by a correct stack is delivered there.
+  ///  * Validity: every message sent by a correct stack (or by the *live*
+  ///    incarnation of a recovered stack) is delivered there.
   ///  * Uniform agreement: a message delivered anywhere (even on a stack
-  ///    that crashed later) is delivered on every correct stack.
-  ///  * Uniform integrity: no duplicates; nothing delivered that was not
-  ///    sent.
+  ///    that crashed later, or by a dead incarnation) is delivered on every
+  ///    correct stack — including recovered stacks, whose decision replay
+  ///    must resurface the full history.
+  ///  * Uniform integrity: no duplicates per incarnation log; nothing
+  ///    delivered that was not sent.
   ///  * Uniform total order: all delivery sequences are mutually consistent
-  ///    (a crashed stack's sequence embeds order-preserving into a correct
-  ///    stack's sequence).
+  ///    (a crashed stack's or dead incarnation's sequence embeds
+  ///    order-preserving into a correct stack's sequence).
   [[nodiscard]] PropertyReport check(std::size_t world_size,
                                      const std::set<NodeId>& crashed = {}) const;
 
@@ -61,6 +73,10 @@ class AbcastAudit {
   mutable std::mutex mutex_;
   std::map<NodeId, std::vector<std::string>> deliveries_;
   std::map<NodeId, std::set<std::string>> sent_;
+  /// Logs of dead incarnations (crash-recovered stacks), in recovery order.
+  std::map<NodeId, std::vector<std::vector<std::string>>> archived_deliveries_;
+  /// Sends of dead incarnations (union): integrity sources, validity-exempt.
+  std::map<NodeId, std::set<std::string>> archived_sent_;
 };
 
 }  // namespace dpu

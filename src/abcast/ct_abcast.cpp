@@ -39,6 +39,7 @@ CtAbcastModule::CtAbcastModule(Stack& stack, std::string instance_name,
       data_channel_(fnv1a64(Module::instance_name() + "/data")) {}
 
 void CtAbcastModule::start() {
+  next_local_seq_ = incarnation_seq_base(env().incarnation()) + 1;
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(data_channel_,
                                [this](NodeId origin, const Payload& data) {
@@ -51,6 +52,19 @@ void CtAbcastModule::start() {
           on_decision(instance, batch);
         });
   });
+  // A recovered incarnation starts with an empty history but the stream may
+  // hold decided instances it can never receive again (fire-once decide
+  // broadcasts).  Ask for them up front instead of waiting for live traffic
+  // to reveal the gap — this is what makes a node recovering into a *quiet*
+  // group (workload over, nothing being decided) converge at all, and what
+  // makes a busy-group recovery start replaying immediately instead of
+  // after the first round-timeout nack.
+  if (env().incarnation() > 0) {
+    last_sync_requested_ = next_apply_;
+    consensus_.call([this](ConsensusApi& consensus) {
+      consensus.consensus_sync(stream_, next_apply_);
+    });
+  }
 }
 
 void CtAbcastModule::stop() {
@@ -61,7 +75,7 @@ void CtAbcastModule::stop() {
   });
 }
 
-void CtAbcastModule::abcast(const Bytes& payload) {
+void CtAbcastModule::abcast(Payload payload) {
   const MsgId id{env().node_id(), next_local_seq_++};
   BufWriter w(payload.size() + 16);
   id.encode(w);
@@ -109,6 +123,18 @@ void CtAbcastModule::try_start_instance() {
 
 void CtAbcastModule::on_decision(InstanceId instance, const Bytes& batch) {
   decision_buffer_[instance] = batch;
+  // Decision-gap catch-up: decisions normally arrive (nearly) in instance
+  // order.  A decision far ahead of the next applicable one means the
+  // in-between decisions were missed for good — their fire-once broadcasts
+  // are gone (we recovered from a crash, or rejoined after a long
+  // partition) — so ask the peers to resend everything from next_apply_ on.
+  // One request per stall point: re-request only after progress.
+  if (instance > next_apply_ + 1 && last_sync_requested_ != next_apply_) {
+    last_sync_requested_ = next_apply_;
+    consensus_.call([this](ConsensusApi& consensus) {
+      consensus.consensus_sync(stream_, next_apply_);
+    });
+  }
   while (true) {
     auto it = decision_buffer_.find(next_apply_);
     if (it == decision_buffer_.end()) break;

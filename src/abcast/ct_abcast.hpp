@@ -65,7 +65,7 @@ class CtAbcastModule final : public Module, public AbcastApi {
   void stop() override;
 
   // AbcastApi
-  void abcast(const Bytes& payload) override;
+  void abcast(Payload payload) override;
 
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t instances_settled() const { return next_apply_ - 1; }
@@ -84,7 +84,8 @@ class CtAbcastModule final : public Module, public AbcastApi {
   StreamId stream_;
   ChannelId data_channel_;
 
-  std::uint64_t next_local_seq_ = 1;
+  std::uint64_t next_local_seq_ = 1;  // re-based onto the incarnation
+  InstanceId last_sync_requested_ = 0;  // gap catch-up dedup
   std::map<MsgId, Bytes> pending_;  // ordered => canonical batch order
   std::unordered_set<MsgId, MsgIdHash> delivered_;
   InstanceId next_apply_ = 1;        // next decision to apply

@@ -40,6 +40,7 @@ SeqAbcastModule::SeqAbcastModule(Stack& stack, std::string instance_name,
       order_channel_(fnv1a64(Module::instance_name() + "/order")) {}
 
 void SeqAbcastModule::start() {
+  next_local_seq_ = incarnation_seq_base(env().incarnation()) + 1;
   if (env().node_id() == config_.sequencer) {
     rp2p_.call([this](Rp2pApi& rp2p) {
       rp2p.rp2p_bind_channel(submit_channel_,
@@ -65,7 +66,7 @@ void SeqAbcastModule::stop() {
       [this](RbcastApi& rbcast) { rbcast.rbcast_release_channel(order_channel_); });
 }
 
-void SeqAbcastModule::abcast(const Bytes& payload) {
+void SeqAbcastModule::abcast(Payload payload) {
   const MsgId id{env().node_id(), next_local_seq_++};
   BufWriter w(payload.size() + 16);
   id.encode(w);

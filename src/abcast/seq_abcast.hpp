@@ -50,7 +50,7 @@ class SeqAbcastModule final : public Module, public AbcastApi {
   void stop() override;
 
   // AbcastApi
-  void abcast(const Bytes& payload) override;
+  void abcast(Payload payload) override;
 
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t sequenced() const { return next_gseq_ - 1; }

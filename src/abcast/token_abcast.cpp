@@ -71,8 +71,8 @@ void TokenAbcastModule::stop() {
       [this](RbcastApi& rbcast) { rbcast.rbcast_release_channel(order_channel_); });
 }
 
-void TokenAbcastModule::abcast(const Bytes& payload) {
-  queue_.push_back(payload);
+void TokenAbcastModule::abcast(Payload payload) {
+  queue_.push_back(std::move(payload));
   if (holding_token_) {
     // We are idling with the token; use it right away.
     idle_timer_.cancel();
@@ -102,7 +102,7 @@ void TokenAbcastModule::use_and_pass_token(std::uint64_t next_gseq) {
 
   std::size_t stamped = 0;
   while (!queue_.empty() && stamped < config_.batch_max) {
-    Bytes payload = std::move(queue_.front());
+    Payload payload = std::move(queue_.front());
     queue_.pop_front();
     BufWriter w(payload.size() + 24);
     w.put_varint(held_gseq_++);

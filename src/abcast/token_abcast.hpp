@@ -54,7 +54,7 @@ class TokenAbcastModule final : public Module, public AbcastApi {
   void stop() override;
 
   // AbcastApi
-  void abcast(const Bytes& payload) override;
+  void abcast(Payload payload) override;
 
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t token_visits() const { return token_visits_; }
@@ -72,7 +72,7 @@ class TokenAbcastModule final : public Module, public AbcastApi {
   ChannelId token_channel_;
   ChannelId order_channel_;
 
-  std::deque<Bytes> queue_;      // locally abcast, not yet stamped
+  std::deque<Payload> queue_;    // locally abcast, not yet stamped
   bool holding_token_ = false;
   std::uint64_t held_gseq_ = 0;  // next gseq while holding
   TimerSlot idle_timer_;

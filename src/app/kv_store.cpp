@@ -31,8 +31,8 @@ void KvStoreModule::kv_put(const std::string& key, const std::string& value) {
   w.put_u8(kPut);
   w.put_string(key);
   w.put_string(value);
-  topics_.call([bytes = w.take()](TopicsApi& topics) {
-    topics.publish(kTopic, bytes);
+  topics_.call([bytes = w.take_payload()](TopicsApi& topics) mutable {
+    topics.publish(kTopic, std::move(bytes));
   });
 }
 
@@ -40,8 +40,8 @@ void KvStoreModule::kv_del(const std::string& key) {
   BufWriter w(key.size() + 4);
   w.put_u8(kDel);
   w.put_string(key);
-  topics_.call([bytes = w.take()](TopicsApi& topics) {
-    topics.publish(kTopic, bytes);
+  topics_.call([bytes = w.take_payload()](TopicsApi& topics) mutable {
+    topics.publish(kTopic, std::move(bytes));
   });
 }
 

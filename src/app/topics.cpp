@@ -39,12 +39,14 @@ void TopicMuxModule::stop() {
   pending_.clear();
 }
 
-void TopicMuxModule::publish(const std::string& topic, const Bytes& payload) {
+void TopicMuxModule::publish(const std::string& topic, Payload payload) {
   BufWriter w(topic.size() + payload.size() + 8);
   w.put_string(topic);
   w.put_blob(payload);
   ++published_;
-  abcast_.call([bytes = w.take()](AbcastApi& api) { api.abcast(bytes); });
+  abcast_.call([bytes = w.take_payload()](AbcastApi& api) mutable {
+    api.abcast(std::move(bytes));
+  });
 }
 
 void TopicMuxModule::subscribe(const std::string& topic, TopicHandler handler) {

@@ -26,8 +26,10 @@ using TopicHandler = std::function<void(NodeId sender, const Bytes& payload)>;
 
 struct TopicsApi {
   virtual ~TopicsApi() = default;
-  /// Publishes `payload` on `topic` with uniform total order.
-  virtual void publish(const std::string& topic, const Bytes& payload) = 0;
+  /// Publishes `payload` on `topic` with uniform total order.  Payload
+  /// (shared immutable buffer) so serializing callers hand wire bytes
+  /// down copy-free; Bytes converts implicitly.
+  virtual void publish(const std::string& topic, Payload payload) = 0;
   virtual void subscribe(const std::string& topic, TopicHandler handler) = 0;
   virtual void unsubscribe(const std::string& topic) = 0;
 };
@@ -59,7 +61,7 @@ class TopicMuxModule final : public Module,
   void stop() override;
 
   // TopicsApi
-  void publish(const std::string& topic, const Bytes& payload) override;
+  void publish(const std::string& topic, Payload payload) override;
   void subscribe(const std::string& topic, TopicHandler handler) override;
   void unsubscribe(const std::string& topic) override;
 

@@ -4,19 +4,32 @@
 
 namespace dpu {
 
+namespace {
+
+/// Sync-channel message types.  Decisions resent point-to-point reuse the
+/// decide-record layout after the tag byte.
+enum SyncMsg : std::uint8_t { kSyncRequest = 0, kSyncDecide = 1 };
+
+}  // namespace
+
 ConsensusBase::ConsensusBase(Stack& stack, std::string instance_name)
     : Module(stack, std::move(instance_name)),
       rp2p_(stack.require<Rp2pApi>(kRp2pService)),
       rbcast_(stack.require<RbcastApi>(kRbcastService)),
       fd_(stack.require<FdApi>(kFdService)),
       peer_channel_(fnv1a64(Module::instance_name() + "/msg")),
-      decide_channel_(fnv1a64(Module::instance_name() + "/dec")) {}
+      decide_channel_(fnv1a64(Module::instance_name() + "/dec")),
+      sync_channel_(fnv1a64(Module::instance_name() + "/sync")) {}
 
 void ConsensusBase::start() {
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(peer_channel_,
                            [this](NodeId from, const Payload& data) {
                              on_peer_message(from, data);
+                           });
+    rp2p.rp2p_bind_channel(sync_channel_,
+                           [this](NodeId from, const Payload& data) {
+                             on_sync_message(from, data);
                            });
   });
   rbcast_.call([this](RbcastApi& rbcast) {
@@ -28,7 +41,10 @@ void ConsensusBase::start() {
 }
 
 void ConsensusBase::stop() {
-  rp2p_.call([this](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(peer_channel_); });
+  rp2p_.call([this](Rp2pApi& rp2p) {
+    rp2p.rp2p_release_channel(peer_channel_);
+    rp2p.rp2p_release_channel(sync_channel_);
+  });
   rbcast_.call(
       [this](RbcastApi& rbcast) { rbcast.rbcast_release_channel(decide_channel_); });
   streams_.clear();
@@ -64,6 +80,32 @@ void ConsensusBase::consensus_release_stream(StreamId stream) {
   streams_.erase(stream);
 }
 
+void ConsensusBase::consensus_sync(StreamId stream,
+                                   InstanceId from_instance) {
+  // One targeted request, not a broadcast: every peer holds the same
+  // decided history (uniform agreement), so asking all of them would just
+  // deliver world_size-1 identical copies of the full decision log.  Pick
+  // the first peer the failure detector trusts; if that peer turns out to
+  // be behind too, the straggler path (late algorithm messages hitting
+  // decided instances at *any* peer) still covers us.
+  NodeId target = kNoNode;
+  const FdApi* fd = fd_.try_get();
+  for (NodeId dst = 0; dst < env().world_size(); ++dst) {
+    if (dst == env().node_id()) continue;
+    if (fd != nullptr && fd->fd_suspects(dst)) continue;
+    target = dst;
+    break;
+  }
+  if (target == kNoNode) return;  // nobody trusted: retried on the next gap
+  BufWriter w(24);
+  w.put_u8(kSyncRequest);
+  w.put_varint(stream);
+  w.put_varint(from_instance);
+  rp2p_.call([this, target, wire = w.take_payload()](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(target, sync_channel_, std::move(wire));
+  });
+}
+
 void ConsensusBase::broadcast_decide(const Key& key, const Bytes& value) {
   BufWriter w(value.size() + 24);
   w.put_varint(key.stream);
@@ -78,6 +120,52 @@ void ConsensusBase::send_peer(NodeId dst, Payload data) {
   rp2p_.call([this, dst, data = std::move(data)](Rp2pApi& rp2p) mutable {
     rp2p.rp2p_send(dst, peer_channel_, std::move(data));
   });
+}
+
+void ConsensusBase::maybe_catch_up_straggler(NodeId from, const Key& key) {
+  if (from == env().node_id()) return;
+  auto it = max_decided_.find(key.stream);
+  // Margin of two: messages about the frontier instance are ordinary racing
+  // stragglers of the current round; messages at least two instances behind
+  // a decided frontier can only come from a peer that lost the decisions.
+  if (it == max_decided_.end() || it->second < key.instance + 2) return;
+  // A peer flushing a backlog of late messages gets one resend, not one per
+  // message: skip when an earlier resend already covered this instance
+  // range up to the current frontier.
+  auto [mark, inserted] =
+      resent_.try_emplace({from, key.stream},
+                          ResendMark{key.instance, it->second});
+  if (!inserted) {
+    if (mark->second.from <= key.instance &&
+        mark->second.through >= it->second) {
+      return;
+    }
+    mark->second.from = std::min(mark->second.from, key.instance);
+    mark->second.through = it->second;
+  }
+  resend_decided(from, key.stream, key.instance);
+}
+
+void ConsensusBase::resend_decided(NodeId dst, StreamId stream,
+                                   InstanceId from_instance) {
+  std::size_t resent = 0;
+  for (auto it = decided_.lower_bound(Key{stream, from_instance});
+       it != decided_.end() && it->first.stream == stream; ++it) {
+    BufWriter w(it->second.size() + 24);
+    w.put_u8(kSyncDecide);
+    w.put_varint(it->first.stream);
+    w.put_varint(it->first.instance);
+    w.put_blob(it->second);
+    rp2p_.call([this, dst, bytes = w.take_payload()](Rp2pApi& rp2p) mutable {
+      rp2p.rp2p_send(dst, sync_channel_, std::move(bytes));
+    });
+    ++resent;
+  }
+  if (resent != 0) {
+    DPU_LOG(kInfo, "consensus") << "s" << env().node_id() << " resent "
+                                << resent << " decision(s) of stream "
+                                << stream << " to straggler s" << dst;
+  }
 }
 
 void ConsensusBase::on_decide_message(NodeId origin, const Payload& data) {
@@ -95,7 +183,38 @@ void ConsensusBase::on_decide_message(NodeId origin, const Payload& data) {
                                 << " malformed decide: " << e.what();
     return;
   }
+  ingest_decide(key, value);
+}
+
+void ConsensusBase::on_sync_message(NodeId from, const Payload& data) {
+  try {
+    BufReader r(data);
+    const auto type = static_cast<SyncMsg>(r.get_u8());
+    if (type == kSyncRequest) {
+      const StreamId stream = r.get_varint();
+      const InstanceId from_instance = r.get_varint();
+      r.expect_done();
+      resend_decided(from, stream, from_instance);
+      return;
+    }
+    if (type != kSyncDecide) throw CodecError("unknown sync message type");
+    Key key{};
+    key.stream = r.get_varint();
+    key.instance = r.get_varint();
+    Bytes value = r.get_blob();
+    r.expect_done();
+    ingest_decide(key, value);
+  } catch (const CodecError& e) {
+    DPU_LOG(kWarn, "consensus") << "s" << env().node_id()
+                                << " malformed sync message from s" << from
+                                << ": " << e.what();
+  }
+}
+
+void ConsensusBase::ingest_decide(const Key& key, const Bytes& value) {
   if (!decided_.emplace(key, value).second) return;  // duplicate decide
+  auto [it, inserted] = max_decided_.emplace(key.stream, key.instance);
+  if (!inserted && it->second < key.instance) it->second = key.instance;
   algo_on_decided(key);
   deliver_decision(key, value);
 }

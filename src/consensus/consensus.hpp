@@ -49,6 +49,18 @@ struct ConsensusApi {
   virtual void consensus_bind_stream(StreamId stream,
                                      DecisionHandler handler) = 0;
   virtual void consensus_release_stream(StreamId stream) = 0;
+
+  /// Straggler catch-up (crash-recovery support): asks the peers to resend
+  /// every decision of `stream` with instance >= `from_instance` that they
+  /// have settled.  Clients call this when they observe a decision gap (a
+  /// decided instance far ahead of the next one they can apply) — which,
+  /// with decisions disseminated by fire-once reliable broadcast, happens
+  /// exactly when the client missed decisions it can never receive again:
+  /// after recovering from a crash, or after rejoining from a partition so
+  /// long that peers already garbage-collected the retransmission state.
+  /// Resent decisions arrive through the normal decision path (exactly-once
+  /// per instance still holds).
+  virtual void consensus_sync(StreamId stream, InstanceId from_instance) = 0;
 };
 
 /// Shared plumbing of consensus providers: stream handler registry, decided
@@ -66,6 +78,7 @@ class ConsensusBase : public Module, public ConsensusApi {
                const Bytes& value) final;
   void consensus_bind_stream(StreamId stream, DecisionHandler handler) final;
   void consensus_release_stream(StreamId stream) final;
+  void consensus_sync(StreamId stream, InstanceId from_instance) final;
 
   [[nodiscard]] std::uint64_t decisions_delivered() const {
     return decisions_delivered_;
@@ -94,6 +107,17 @@ class ConsensusBase : public Module, public ConsensusApi {
     return decided_.count(key) != 0;
   }
 
+  /// Subclasses call this when an algorithm message arrives for an
+  /// already-decided key.  If the sender is talking about an instance at
+  /// least two behind the stream's decided frontier, it can only be a
+  /// straggler that missed the (fire-once) DECIDE broadcasts — a recovered
+  /// stack replaying from instance 1, or a peer returning from a long
+  /// partition — so this stack resends, point-to-point, every decision it
+  /// holds for the stream from that instance on.  The margin keeps the
+  /// steady state silent: late ACKs/votes for the *just*-decided instance
+  /// (which race the DECIDE on every consensus round) never trigger it.
+  void maybe_catch_up_straggler(NodeId from, const Key& key);
+
   [[nodiscard]] std::size_t majority() const {
     return env().world_size() / 2 + 1;
   }
@@ -114,12 +138,33 @@ class ConsensusBase : public Module, public ConsensusApi {
 
  private:
   void on_decide_message(NodeId origin, const Payload& data);
+  void on_sync_message(NodeId from, const Payload& data);
+  /// Shared ingress of decisions, whether broadcast (decide channel) or
+  /// resent point-to-point (sync channel): exactly-once, then deliver.
+  void ingest_decide(const Key& key, const Bytes& value);
   void deliver_decision(const Key& key, const Bytes& value);
+  void resend_decided(NodeId dst, StreamId stream, InstanceId from_instance);
 
   ChannelId peer_channel_;
   ChannelId decide_channel_;
+  /// Point-to-point catch-up channel (sync requests + resent decisions).
+  ChannelId sync_channel_;
   std::map<StreamId, DecisionHandler> streams_;
   std::map<Key, Bytes> decided_;
+  /// Highest decided instance per stream — the frontier that tells a late
+  /// algorithm message from a genuine straggler.
+  std::map<StreamId, InstanceId> max_decided_;
+  /// Resend dedup: a straggler returning from a partition flushes *many*
+  /// late messages at once (1+ per instance and round it worked through
+  /// alone), and without this each of them would trigger a full-history
+  /// resend.  One resend per (peer, stream) covers everything up to the
+  /// frontier; another is only owed after the frontier advances or the
+  /// peer asks about an even older instance.
+  struct ResendMark {
+    InstanceId from = 0;
+    InstanceId through = 0;
+  };
+  std::map<std::pair<NodeId, StreamId>, ResendMark> resent_;
   std::map<StreamId, std::vector<std::pair<InstanceId, Bytes>>>
       pending_decisions_;
   std::uint64_t decisions_delivered_ = 0;

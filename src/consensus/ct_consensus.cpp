@@ -74,7 +74,13 @@ void CtConsensusModule::on_peer_message(NodeId from,
     key.stream = r.get_varint();
     key.instance = r.get_varint();
     const std::uint64_t round = r.get_varint();
-    if (is_decided(key)) return;  // settled; stragglers learn via DECIDE
+    if (is_decided(key)) {
+      // Settled.  Racing stragglers of the current round learn via the
+      // DECIDE broadcast; a sender far behind the frontier lost it and gets
+      // the decisions resent (crash-recovery / partition-rejoin catch-up).
+      maybe_catch_up_straggler(from, key);
+      return;
+    }
     switch (type) {
       case kEstimate: {
         const std::uint64_t ts = r.get_varint();

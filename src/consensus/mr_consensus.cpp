@@ -71,7 +71,12 @@ void MrConsensusModule::on_peer_message(NodeId from,
     std::optional<Bytes> value;
     if (r.get_bool()) value = r.get_blob();
     r.expect_done();
-    if (is_decided(key)) return;
+    if (is_decided(key)) {
+      // Settled; resend decisions to senders far behind the frontier (see
+      // ConsensusBase::maybe_catch_up_straggler).
+      maybe_catch_up_straggler(from, key);
+      return;
+    }
     switch (type) {
       case kEst:
         if (!value) throw CodecError("EST without value");

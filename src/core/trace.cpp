@@ -14,6 +14,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kCallQueued: return "call-queued";
     case TraceKind::kCallFlushed: return "call-flushed";
     case TraceKind::kStackCrashed: return "stack-crashed";
+    case TraceKind::kStackRecovered: return "stack-recovered";
     case TraceKind::kCustom: return "custom";
   }
   return "?";

@@ -26,8 +26,9 @@ enum class TraceKind {
   kCallQueued,    // service call made while the service was unbound (§2:
                   // "the service call is blocked until some module is bound")
   kCallFlushed,   // a previously queued call executed after a bind
-  kStackCrashed,  // fault injection marker (engines emit this)
-  kCustom,        // module-defined markers (e.g. "switch-started")
+  kStackCrashed,    // fault injection marker (engines emit this)
+  kStackRecovered,  // crash-recovery marker (engines emit this)
+  kCustom,          // module-defined markers (e.g. "switch-started")
 };
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);

@@ -66,8 +66,8 @@ void GmModule::publish_op(Op op, NodeId node) {
   BufWriter w(8);
   w.put_u8(op);
   w.put_u32(node);
-  topics_.call([bytes = w.take()](TopicsApi& topics) {
-    topics.publish(kTopic, bytes);
+  topics_.call([bytes = w.take_payload()](TopicsApi& topics) mutable {
+    topics.publish(kTopic, std::move(bytes));
   });
 }
 

@@ -29,6 +29,7 @@ RbcastModule::RbcastModule(Stack& stack, std::string instance_name,
       rp2p_(stack.require<Rp2pApi>(kRp2pService)) {}
 
 void RbcastModule::start() {
+  next_seq_ = incarnation_seq_base(env().incarnation()) + 1;
   seen_.assign(env().world_size(), OriginDedup{});
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(kRbcastChannel,
@@ -119,16 +120,37 @@ void RbcastModule::on_message(NodeId from, const Payload& data) {
 }
 
 bool RbcastModule::mark_seen(const MsgId& id) {
+  // Watermark update within one epoch's contiguous sequence range.
+  auto mark_seen_in_epoch = [](EpochDedup& d, std::uint64_t seq) {
+    if (seq < d.next) return false;
+    if (seq > d.next) return d.ahead.insert(seq).second;
+    ++d.next;
+    while (!d.ahead.empty() && *d.ahead.begin() == d.next) {
+      d.ahead.erase(d.ahead.begin());
+      ++d.next;
+    }
+    return true;
+  };
   if (id.origin >= seen_.size()) return false;  // malformed origin
   OriginDedup& d = seen_[id.origin];
-  if (id.seq < d.next) return false;
-  if (id.seq > d.next) return d.ahead.insert(id.seq).second;
-  ++d.next;
-  while (!d.ahead.empty() && *d.ahead.begin() == d.next) {
-    d.ahead.erase(d.ahead.begin());
-    ++d.next;
+  const std::uint64_t epoch = seq_epoch(id.seq);
+  if (epoch == d.epoch) return mark_seen_in_epoch(d.cur, id.seq);
+  if (epoch > d.epoch) {
+    // The origin restarted: archive the old incarnation's watermark (late
+    // relays of its messages must still dedup and deliver) and open the new
+    // epoch's.
+    d.old_epochs.emplace(d.epoch, std::move(d.cur));
+    d.epoch = epoch;
+    d.cur = EpochDedup{(epoch << kIncarnationSeqShift) + 1, {}};
+    return mark_seen_in_epoch(d.cur, id.seq);
   }
-  return true;
+  // A relay of an earlier incarnation's message, arriving after we already
+  // saw the new incarnation (or, on a freshly recovered stack, before we
+  // ever saw that epoch): dedup in that epoch's own watermark.
+  auto [it, inserted] = d.old_epochs.try_emplace(
+      epoch, EpochDedup{(epoch << kIncarnationSeqShift) + 1, {}});
+  (void)inserted;
+  return mark_seen_in_epoch(it->second, id.seq);
 }
 
 void RbcastModule::deliver(ChannelId channel, NodeId origin,

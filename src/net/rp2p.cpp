@@ -31,7 +31,9 @@ Rp2pModule::Rp2pModule(Stack& stack, std::string instance_name, Config config)
       retransmit_timer_(stack.host()) {}
 
 void Rp2pModule::start() {
+  seq_base_ = incarnation_seq_base(env().incarnation());
   out_.resize(env().world_size());
+  for (PeerOut& peer : out_) peer.next_seq = seq_base_ + 1;
   in_.resize(env().world_size());
   udp_.call([this](UdpApi& udp) {
     udp.udp_bind_port(kRp2pPort, [this](NodeId src, const Payload& data) {
@@ -63,7 +65,13 @@ void Rp2pModule::rp2p_send(NodeId dst, ChannelId channel, Payload payload) {
     });
     return;
   }
-  if (dst >= out_.size()) out_.resize(dst + 1);
+  if (dst >= out_.size()) {
+    const std::size_t old_size = out_.size();
+    out_.resize(dst + 1);
+    for (std::size_t i = old_size; i < out_.size(); ++i) {
+      out_[i].next_seq = seq_base_ + 1;
+    }
+  }
   PeerOut& peer = out_[dst];
   const std::uint64_t seq = peer.next_seq++;
   // Serialize the whole datagram (UDP header + DATA frame) exactly once;
@@ -106,6 +114,16 @@ void Rp2pModule::rp2p_release_channel(ChannelId channel) {
 std::size_t Rp2pModule::unacked_total() const {
   std::size_t n = 0;
   for (const PeerOut& peer : out_) n += peer.unacked.size();
+  return n;
+}
+
+std::size_t Rp2pModule::unacked_excluding(
+    const std::set<NodeId>& excluded) const {
+  std::size_t n = 0;
+  for (NodeId dst = 0; dst < out_.size(); ++dst) {
+    if (excluded.count(dst) != 0) continue;
+    n += out_[dst].unacked.size();
+  }
   return n;
 }
 
@@ -202,6 +220,10 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
     r.expect_done();
 
     if (src >= in_.size()) in_.resize(src + 1);
+    const std::uint64_t epoch = seq_epoch(seq);
+    const std::uint64_t tracked = seq_epoch(in_[src].next_expected);
+    if (epoch < tracked) return;  // frame from a dead incarnation: discard
+    if (epoch > tracked) adopt_peer_epoch(src, epoch);
     PeerIn& peer = in_[src];
     if (seq < peer.next_expected) {
       // Duplicate of an already-delivered packet: our ack was lost; re-ack.
@@ -228,6 +250,29 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
     DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
                            << " malformed packet from s" << src << ": "
                            << e.what();
+  }
+}
+
+void Rp2pModule::adopt_peer_epoch(NodeId src, std::uint64_t epoch) {
+  DPU_LOG(kInfo, "rp2p") << "s" << env().node_id() << " peer s" << src
+                         << " entered stream epoch " << epoch
+                         << " (restart observed); resetting link state";
+  // Receive side: the old incarnation's stream is dead — anything parked in
+  // its reorder buffer can never complete.
+  PeerIn& in = in_[src];
+  in.reorder.clear();
+  in.next_expected = (epoch << kIncarnationSeqShift) + 1;
+  // Send side: packets addressed to the dead incarnation are abandoned (a
+  // restarted receiver is a fresh endpoint; reliability is owed to the new
+  // incarnation only — upper layers re-converge via consensus catch-up).
+  // Our own stream jumps to the observed epoch so the restarted peer's
+  // fresh receive state accepts it as in-order from the start.
+  if (src < out_.size()) {
+    PeerOut& out = out_[src];
+    if (seq_epoch(out.next_seq) < epoch) {
+      out.unacked.clear();
+      out.next_seq = (epoch << kIncarnationSeqShift) + 1;
+    }
   }
 }
 

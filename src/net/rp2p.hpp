@@ -23,6 +23,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "core/module.hpp"
@@ -92,6 +93,11 @@ class Rp2pModule final : public Module, public Rp2pApi {
     return suspected_skips_;
   }
   [[nodiscard]] std::size_t unacked_total() const;
+  /// Unacked packets, ignoring destinations in `excluded`.  A permanently
+  /// crashed peer never acks (its entries are only abandoned on recovery),
+  /// so quiescence probes must not count traffic addressed to it.
+  [[nodiscard]] std::size_t unacked_excluding(
+      const std::set<NodeId>& excluded) const;
   [[nodiscard]] std::size_t pending_channel_buffered() const {
     std::size_t n = 0;
     for (const auto& [ch, q] : pending_channel_) n += q.size();
@@ -109,18 +115,31 @@ class Rp2pModule final : public Module, public Rp2pApi {
     std::uint32_t attempts = 0;
   };
 
+  /// Sequence numbers carry a *stream epoch* in their high bits (see
+  /// kIncarnationSeqShift): a stack's streams start at its own incarnation's
+  /// epoch base, and jump forward to a peer's epoch when that peer is
+  /// observed to have restarted.  Epochs only grow; FIFO/exactly-once hold
+  /// within an epoch, and an epoch jump is the crash-recovery reset — the
+  /// receiver discards the dead incarnation's state, the sender discards
+  /// packets addressed to the dead incarnation.  No wire-format change:
+  /// epochs ride inside the existing varint sequence numbers.
   struct PeerOut {
-    std::uint64_t next_seq = 1;
+    std::uint64_t next_seq = 1;  // re-based onto the epoch in start()
     std::map<std::uint64_t, OutPacket> unacked;  // seq -> packet
   };
 
   struct PeerIn {
-    std::uint64_t next_expected = 1;
+    std::uint64_t next_expected = 1;  // its epoch = the peer's stream epoch
     bool ack_due = false;
     std::map<std::uint64_t, std::pair<ChannelId, Payload>> reorder;
   };
 
   void on_datagram(NodeId src, const Payload& data);
+  /// Handles a DATA frame whose sequence belongs to a newer epoch than the
+  /// (src) streams we track: the peer restarted (or learned of our own
+  /// restart).  Resets receive state to the new epoch and abandons packets
+  /// addressed to the peer's dead incarnation.
+  void adopt_peer_epoch(NodeId src, std::uint64_t epoch);
   void transmit(NodeId dst, OutPacket& pkt);
   [[nodiscard]] Duration backoff_after(std::uint32_t attempts) const;
   void note_ack_due(NodeId src, PeerIn& peer);
@@ -131,6 +150,9 @@ class Rp2pModule final : public Module, public Rp2pApi {
   Config config_;
   ServiceRef<UdpApi> udp_;
   ServiceRef<FdApi> fd_;  ///< unbound in worlds without a failure detector
+  /// Epoch base of this stack's outgoing streams ((incarnation << 48); new
+  /// peers start at base+1).  Fixed at start() from HostEnv::incarnation.
+  std::uint64_t seq_base_ = 0;
   /// Peer state, densely indexed by node id: O(1) lookup on every datagram
   /// and a deterministic iteration order for the retransmit scan.
   std::vector<PeerOut> out_;

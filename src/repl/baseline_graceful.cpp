@@ -65,17 +65,17 @@ void GracefulSwitchModule::stop() {
 // Data path
 // ---------------------------------------------------------------------------
 
-void GracefulSwitchModule::abcast(const Bytes& payload) {
+void GracefulSwitchModule::abcast(Payload payload) {
   if (phase_ == Phase::kDraining || phase_ == Phase::kAwaitingMarker) {
     // The old AAC is deactivating; hold the call until activation.
     ++calls_queued_;
-    queued_calls_.push_back(payload);
+    queued_calls_.push_back(std::move(payload));
     return;
   }
   forward_to_active(payload);
 }
 
-void GracefulSwitchModule::forward_to_active(const Bytes& payload) {
+void GracefulSwitchModule::forward_to_active(const Payload& payload) {
   const MsgId id{env().node_id(), next_local_++};
   in_flight_.insert(id);
   BufWriter w(payload.size() + 24);
@@ -83,7 +83,9 @@ void GracefulSwitchModule::forward_to_active(const Bytes& payload) {
   id.encode(w);
   w.put_blob(payload);
   stack().require<AbcastApi>(aac_service(version_))
-      .call([bytes = w.take()](AbcastApi& api) { api.abcast(bytes); });
+      .call([bytes = w.take_payload()](AbcastApi& api) mutable {
+        api.abcast(std::move(bytes));
+      });
 }
 
 void GracefulSwitchModule::adeliver(NodeId /*sender*/,
@@ -212,7 +214,9 @@ void GracefulSwitchModule::on_ctl(NodeId from, const Payload& data) {
         w.put_u8(kActivateMarker);
         w.put_varint(switch_id_);
         stack().require<AbcastApi>(aac_service(version_))
-            .call([bytes = w.take()](AbcastApi& api) { api.abcast(bytes); });
+            .call([bytes = w.take_payload()](AbcastApi& api) mutable {
+              api.abcast(std::move(bytes));
+            });
       }
       break;
   }
@@ -261,7 +265,7 @@ void GracefulSwitchModule::activate() {
   stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
                 kTraceActivated);
   while (!queued_calls_.empty()) {
-    Bytes payload = std::move(queued_calls_.front());
+    Payload payload = std::move(queued_calls_.front());
     queued_calls_.pop_front();
     forward_to_active(payload);
   }

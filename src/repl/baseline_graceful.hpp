@@ -59,7 +59,7 @@ class GracefulSwitchModule final : public Module,
   void stop() override;
 
   // Facade AbcastApi.
-  void abcast(const Bytes& payload) override;
+  void abcast(Payload payload) override;
 
   // Listener on the versioned AAC services.
   void adeliver(NodeId sender, const Bytes& inner_payload) override;
@@ -111,7 +111,7 @@ class GracefulSwitchModule final : public Module,
   void begin_drain();
   void check_drained();
   void activate();
-  void forward_to_active(const Bytes& payload);
+  void forward_to_active(const Payload& payload);
 
   Config config_;
   ServiceRef<Rp2pApi> rp2p_;
@@ -128,7 +128,7 @@ class GracefulSwitchModule final : public Module,
   bool is_ca_ = false;
   std::set<NodeId> prepared_from_;
   std::set<NodeId> drained_from_;
-  std::deque<Bytes> queued_calls_;
+  std::deque<Payload> queued_calls_;
   TimePoint queue_since_ = 0;
 
   std::uint64_t switches_completed_ = 0;

@@ -65,12 +65,12 @@ void MaestroSwitchModule::stop() {
   rp2p_.call([this](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(ready_channel_); });
 }
 
-void MaestroSwitchModule::abcast(const Bytes& payload) {
+void MaestroSwitchModule::abcast(Payload payload) {
   if (blocked_) {
     // The measurable Maestro drawback: the application is blocked during the
     // stack switch (calls are queued, not lost).
     ++calls_queued_;
-    queued_while_blocked_.push_back(payload);
+    queued_while_blocked_.push_back(std::move(payload));
     return;
   }
   const MsgId id{env().node_id(), next_local_++};
@@ -79,13 +79,15 @@ void MaestroSwitchModule::abcast(const Bytes& payload) {
 }
 
 void MaestroSwitchModule::inner_abcast_wrapped(const MsgId& id,
-                                               const Bytes& payload) {
+                                               const Payload& payload) {
   BufWriter w(payload.size() + 24);
   w.put_u8(kNil);
   w.put_varint(version_);
   id.encode(w);
   w.put_blob(payload);
-  inner_.call([bytes = w.take()](AbcastApi& api) { api.abcast(bytes); });
+  inner_.call([bytes = w.take_payload()](AbcastApi& api) mutable {
+    api.abcast(std::move(bytes));
+  });
 }
 
 void MaestroSwitchModule::change_stack(const std::string& protocol,
@@ -99,7 +101,9 @@ void MaestroSwitchModule::change_stack(const std::string& protocol,
   w.put_varint(version_);
   w.put_string(protocol);
   encode_params(w, params);
-  inner_.call([bytes = w.take()](AbcastApi& api) { api.abcast(bytes); });
+  inner_.call([bytes = w.take_payload()](AbcastApi& api) mutable {
+    api.abcast(std::move(bytes));
+  });
 }
 
 void MaestroSwitchModule::adeliver(NodeId /*sender*/,
@@ -193,7 +197,7 @@ void MaestroSwitchModule::maybe_unblock() {
     inner_abcast_wrapped(id, payload);
   }
   while (!queued_while_blocked_.empty()) {
-    Bytes payload = std::move(queued_while_blocked_.front());
+    Payload payload = std::move(queued_while_blocked_.front());
     queued_while_blocked_.pop_front();
     const MsgId id{env().node_id(), next_local_++};
     undelivered_.emplace(id, payload);

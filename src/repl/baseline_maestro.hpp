@@ -58,7 +58,7 @@ class MaestroSwitchModule final : public Module,
   void stop() override;
 
   // Facade AbcastApi: forwards, or queues while the stack is switching.
-  void abcast(const Bytes& payload) override;
+  void abcast(Payload payload) override;
 
   // Inner listener.
   void adeliver(NodeId sender, const Bytes& inner_payload) override;
@@ -85,7 +85,7 @@ class MaestroSwitchModule final : public Module,
  private:
   enum Tag : std::uint8_t { kNil = 0, kSwitchMarker = 1 };
 
-  void inner_abcast_wrapped(const MsgId& id, const Bytes& payload);
+  void inner_abcast_wrapped(const MsgId& id, const Payload& payload);
   void perform_local_switch(const std::string& protocol,
                             const ModuleParams& params);
   void on_ready(NodeId from, const Payload& data);
@@ -99,13 +99,13 @@ class MaestroSwitchModule final : public Module,
 
   std::uint64_t version_ = 0;  // sn: stamps messages; ++ at each stack switch
   std::uint64_t next_local_ = 1;
-  std::map<MsgId, Bytes> undelivered_;
+  std::map<MsgId, Payload> undelivered_;
   std::string cur_protocol_;
 
   bool blocked_ = false;
   TimePoint blocked_since_ = 0;
   Duration total_blocked_time_ = 0;
-  std::deque<Bytes> queued_while_blocked_;
+  std::deque<Payload> queued_while_blocked_;
   std::set<NodeId> ready_from_;
   std::uint64_t calls_queued_ = 0;
   std::uint64_t switches_completed_ = 0;

@@ -43,6 +43,7 @@ ReplAbcastModule::ReplAbcastModule(Stack& stack, std::string instance_name,
       up_(stack.upcalls<AbcastListener>(config_.facade_service)) {}
 
 void ReplAbcastModule::start() {
+  next_local_ = incarnation_seq_base(env().incarnation()) + 1;
   // Intercept responses of whichever module is bound to the inner service.
   stack().listen<AbcastListener>(config_.inner_service, this, this);
   // Install the initial protocol (seqNumber 0).
@@ -67,15 +68,15 @@ std::string ReplAbcastModule::versioned_instance(const std::string& protocol,
 // Algorithm 1 lines 7-9: rABcast(m)
 // ---------------------------------------------------------------------------
 
-void ReplAbcastModule::abcast(const Bytes& payload) {
+void ReplAbcastModule::abcast(Payload payload) {
   const MsgId id{env().node_id(), next_local_++};
-  undelivered_.emplace(id, payload);  // line 8
+  undelivered_.emplace(id, payload);  // line 8 (shares the buffer)
   BufWriter w(payload.size() + 24);
   w.put_u8(kNil);
   w.put_varint(seq_number_);
   id.encode(w);
   w.put_blob(payload);
-  inner_abcast(w.take());  // line 9: ABcast(nil, seqNumber, m)
+  inner_abcast(w.take_payload());  // line 9: ABcast(nil, seqNumber, m)
 }
 
 // ---------------------------------------------------------------------------
@@ -96,11 +97,13 @@ void ReplAbcastModule::change_abcast(const std::string& protocol,
   w.put_varint(seq_number_);
   w.put_string(protocol);
   encode_params(w, params);
-  inner_abcast(w.take());  // line 6: ABcast(newABcast, seqNumber, prot)
+  inner_abcast(w.take_payload());  // line 6: ABcast(newABcast, seqNumber, prot)
 }
 
-void ReplAbcastModule::inner_abcast(const Bytes& wrapped) {
-  inner_.call([wrapped](AbcastApi& api) { api.abcast(wrapped); });
+void ReplAbcastModule::inner_abcast(Payload wrapped) {
+  inner_.call([wrapped = std::move(wrapped)](AbcastApi& api) mutable {
+    api.abcast(std::move(wrapped));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +182,7 @@ void ReplAbcastModule::perform_switch(const std::string& protocol,
     id.encode(w);
     w.put_blob(payload);
     ++reissued_total_;
-    inner_abcast(w.take());
+    inner_abcast(w.take_payload());
   }
 
   ++switches_completed_;

@@ -69,7 +69,7 @@ class ReplAbcastModule final : public Module,
   void stop() override;
 
   // ---- Facade AbcastApi (Algorithm 1 lines 7-9: rABcast) ----
-  void abcast(const Bytes& payload) override;
+  void abcast(Payload payload) override;
 
   // ---- Inner-service listener (Algorithm 1 lines 10-21: Adeliver) ----
   void adeliver(NodeId sender, const Bytes& inner_payload) override;
@@ -105,7 +105,7 @@ class ReplAbcastModule final : public Module,
  private:
   enum Tag : std::uint8_t { kNil = 0, kNewAbcast = 1 };
 
-  void inner_abcast(const Bytes& wrapped);
+  void inner_abcast(Payload wrapped);
   void perform_switch(const std::string& protocol, const ModuleParams& params);
   [[nodiscard]] std::string versioned_instance(const std::string& protocol,
                                                std::uint64_t sn) const;
@@ -117,7 +117,7 @@ class ReplAbcastModule final : public Module,
   std::uint64_t seq_number_ = 0;  // Algorithm 1 line 4
   std::uint64_t next_local_ = 1;  // id generator for this stack's messages
   /// Algorithm 1 line 2: this stack's messages not yet rAdelivered locally.
-  std::map<MsgId, Bytes> undelivered_;
+  std::map<MsgId, Payload> undelivered_;
   std::string cur_protocol_;
   Module* cur_module_ = nullptr;
 

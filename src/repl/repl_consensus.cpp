@@ -213,6 +213,13 @@ void ReplConsensusModule::consensus_release_stream(StreamId stream) {
   it->second.handler_bound = false;
 }
 
+void ReplConsensusModule::consensus_sync(StreamId stream,
+                                         InstanceId from_instance) {
+  for (VersionInfo& v : versions_) {
+    if (v.api != nullptr) v.api->consensus_sync(stream, from_instance);
+  }
+}
+
 void ReplConsensusModule::bind_stream_on_version(StreamId stream,
                                                  std::uint32_t version) {
   versions_[version].api->consensus_bind_stream(

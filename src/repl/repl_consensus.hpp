@@ -69,6 +69,9 @@ class ReplConsensusModule final : public Module, public ConsensusApi {
                const Bytes& value) override;
   void consensus_bind_stream(StreamId stream, DecisionHandler handler) override;
   void consensus_release_stream(StreamId stream) override;
+  /// Forwarded to every inner version: only the module(s) actually hosting
+  /// the stream hold decisions to resend.
+  void consensus_sync(StreamId stream, InstanceId from_instance) override;
 
   /// Requests a global switch of the consensus protocol.  Lazy per stream:
   /// each stream migrates at its next decided instance.

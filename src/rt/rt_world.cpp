@@ -5,12 +5,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
-#include <chrono>
+#include <algorithm>
 #include <cstring>
 #include <future>
 
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace dpu {
 
@@ -28,6 +28,7 @@ class RtWorld::RtHost final : public HostEnv {
   RtHost(RtWorld& world, NodeId node, std::uint64_t seed)
       : world_(&world),
         node_(node),
+        seed_(seed),
         rng_(Rng::substream(seed, node)),
         epoch_(SteadyClock::now()) {}
 
@@ -81,6 +82,10 @@ class RtWorld::RtHost final : public HostEnv {
     return crashed_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] std::uint32_t incarnation() const override {
+    return incarnation_.load(std::memory_order_relaxed);
+  }
+
   void set_packet_handler(
       std::function<void(NodeId, const Payload&)> handler) override {
     // Called from this stack's thread (module start/stop); handler is only
@@ -98,6 +103,15 @@ class RtWorld::RtHost final : public HostEnv {
   void enqueue_packet(NodeId src, Payload data) {
     if (crashed()) return;
     post([this, src, payload = std::move(data)]() {
+      if (packet_handler_) packet_handler_(src, payload);
+    });
+  }
+
+  /// Per-link extra latency injection: parks the packet on this host's own
+  /// timer heap (thread-safe) and enqueues it when the delay expires.
+  void enqueue_packet_delayed(NodeId src, Payload data, Duration delay) {
+    if (crashed()) return;
+    set_timer(delay, [this, src, payload = std::move(data)]() {
       if (packet_handler_) packet_handler_(src, payload);
     });
   }
@@ -155,6 +169,24 @@ class RtWorld::RtHost final : public HostEnv {
     crashed_.store(true, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(mutex_);
     cv_.notify_all();
+  }
+
+  /// Crash-recovery reset.  Callable only with the stack's threads joined
+  /// (stop_and_join) and its Stack destroyed: clears everything of the old
+  /// incarnation, bumps the incarnation counter and reseeds the RNG on an
+  /// incarnation substream.  The host object itself survives — senders keep
+  /// routing through stable host pointers, so route_packet needs no lock
+  /// around the host table.
+  void reset_for_recovery(std::uint32_t incarnation) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.clear();
+    timers_.clear();
+    live_timers_.clear();
+    packet_handler_ = nullptr;
+    incarnation_.store(incarnation, std::memory_order_relaxed);
+    rng_ = Rng::substream(seed_,
+                          incarnation_rng_substream(node_, incarnation));
+    crashed_.store(false, std::memory_order_relaxed);
   }
 
  private:
@@ -222,8 +254,10 @@ class RtWorld::RtHost final : public HostEnv {
 
   RtWorld* world_;
   NodeId node_;
+  std::uint64_t seed_;
   Rng rng_;
   SteadyClock::time_point epoch_;
+  std::atomic<std::uint32_t> incarnation_{0};
 
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -245,11 +279,16 @@ class RtWorld::RtHost final : public HostEnv {
 
 RtWorld::RtWorld(RtConfig config, const ProtocolLibrary* library,
                  TraceSink* trace)
-    : config_(config) {
-  const auto epoch = SteadyClock::now();
+    : config_(config), library_(library), trace_(trace),
+      epoch_(SteadyClock::now()) {
+  {
+    const std::lock_guard<std::mutex> lock(fault_mutex_);
+    faults_.drop = config_.drop_probability;
+    faults_.duplicate = config_.duplicate_probability;
+  }
   for (NodeId i = 0; i < config_.num_stacks; ++i) {
     hosts_.push_back(std::make_unique<RtHost>(*this, i, config_.seed));
-    hosts_.back()->set_epoch(epoch);
+    hosts_.back()->set_epoch(epoch_);
     stacks_.push_back(std::make_unique<Stack>(*hosts_.back(), library, trace));
   }
   if (config_.transport == RtTransport::kUdpSockets) {
@@ -261,6 +300,12 @@ RtWorld::RtWorld(RtConfig config, const ProtocolLibrary* library,
 }
 
 RtWorld::~RtWorld() { stop(); }
+
+TimePoint RtWorld::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now() - epoch_)
+      .count();
+}
 
 void RtWorld::start() {
   if (started_) return;
@@ -290,9 +335,55 @@ void RtWorld::call_on(NodeId node, std::function<void()> fn) {
   fut.wait();
 }
 
+void RtWorld::at(TimePoint t, std::function<void()> fn) {
+  schedule_.push_back(ControlEvent{t, kNoNode, std::move(fn)});
+}
+
+void RtWorld::at_node(TimePoint t, NodeId node, std::function<void()> fn) {
+  schedule_.push_back(ControlEvent{t, node, std::move(fn)});
+}
+
 void RtWorld::crash(NodeId node) {
   hosts_[node]->mark_crashed();
   stacks_[node]->trace(TraceKind::kStackCrashed, "", "");
+}
+
+void RtWorld::quiesce_node(NodeId node) {
+  if (!hosts_[node]->crashed()) return;
+  // The crashed stack's loop thread leaves its run loop at the next crash
+  // flag check; the join here is what gives the caller a happens-before
+  // edge with the dying thread's final counter writes.
+  hosts_[node]->stop_and_join();
+}
+
+void RtWorld::recover(NodeId node) {
+  if (!hosts_[node]->crashed()) return;
+  // The crashed stack's loop thread has already exited its run loop (it
+  // checks the crash flag); join it and the receiver before touching state.
+  hosts_[node]->stop_and_join();
+  // Destroy the old incarnation's modules while the node still counts as
+  // crashed; stop() handlers run on this (control) thread against a host
+  // with no live threads, which is safe — everything they touch is behind
+  // the host mutex or local to the dead stack.
+  stacks_[node].reset();
+  // World-global incarnation stamp: must outgrow every epoch this stack
+  // ever adopted from other restarted peers, not just its own restart
+  // count (see rp2p epoch adoption).
+  hosts_[node]->reset_for_recovery(next_incarnation_++);
+  stacks_[node] = std::make_unique<Stack>(*hosts_[node], library_, trace_);
+  if (config_.transport == RtTransport::kUdpSockets) {
+    hosts_[node]->open_socket(
+        static_cast<std::uint16_t>(config_.udp_base_port + node));
+  }
+  if (started_) {
+    hosts_[node]->start_threads(
+        config_.transport == RtTransport::kUdpSockets, config_.udp_base_port);
+  }
+  stacks_[node]->trace(
+      TraceKind::kStackRecovered, "", "",
+      "incarnation=" + std::to_string(hosts_[node]->incarnation()));
+  DPU_LOG(kInfo, "rt") << "recover s" << node << " (incarnation "
+                       << hosts_[node]->incarnation() << ")";
 }
 
 bool RtWorld::crashed(NodeId node) const {
@@ -307,8 +398,108 @@ std::set<NodeId> RtWorld::crashed_set() const {
   return out;
 }
 
+void RtWorld::set_link_filter(
+    std::function<bool(NodeId, NodeId)> deliverable) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  faults_.link_filter = std::move(deliverable);
+}
+
+void RtWorld::set_loss(double drop_probability,
+                       double duplicate_probability) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  faults_.drop = drop_probability;
+  faults_.duplicate = duplicate_probability;
+}
+
+void RtWorld::set_link_fault(NodeId src, NodeId dst,
+                             std::optional<LinkFault> fault) {
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  faults_.link_faults.set(hosts_.size(), src, dst, std::move(fault));
+}
+
+bool RtWorld::run(TimePoint active_until, TimePoint deadline,
+                  std::uint64_t /*max_events*/,
+                  const std::function<bool()>& quiesced) {
+  start();
+  // Fire the pre-scheduled control events in time order (best-effort: the
+  // control thread sleeps to each event's time, so everything downstream of
+  // an event sees at most scheduler jitter).
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const ControlEvent& a, const ControlEvent& b) {
+                     return a.at < b.at;
+                   });
+  auto sleep_until_world_time = [this](TimePoint t) {
+    const Duration remaining = t - now();
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(remaining));
+    }
+  };
+  for (ControlEvent& ev : schedule_) {
+    sleep_until_world_time(ev.at);
+    if (ev.node == kNoNode) {
+      ev.fn();  // driver event (crash/recover/partition/loss) — runs here
+    } else if (!hosts_[ev.node]->crashed()) {
+      post_to(ev.node, std::move(ev.fn));
+    }
+  }
+  schedule_.clear();
+  sleep_until_world_time(active_until);
+
+  // Drain: poll for quiescence until the deadline.  Without a callback the
+  // drain is a short fixed grace period.
+  const TimePoint drain_deadline =
+      quiesced ? deadline : std::min(deadline, active_until + 2 * kSecond);
+  constexpr Duration kPoll = 100 * kMillisecond;
+  while (now() < drain_deadline) {
+    if (quiesced && quiesced()) break;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        std::min<Duration>(kPoll, drain_deadline - now())));
+  }
+  // Stop every stack thread so the caller can harvest module state from
+  // this thread without racing.
+  stop();
+  return true;
+}
+
 void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
   if (dst >= hosts_.size()) return;
+  if (hosts_[src]->crashed()) return;  // dead stacks emit nothing
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+
+  // Snapshot the fault decision under the lock; deliver outside it.
+  bool drop = false;
+  int copies = 1;
+  Duration extra_latency = 0;
+  {
+    const std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (faults_.link_filter && !faults_.link_filter(src, dst)) {
+      drop = true;
+    } else {
+      double drop_p = faults_.drop;
+      double dup_p = faults_.duplicate;
+      if (const LinkFault* fault =
+              faults_.link_faults.find(hosts_.size(), src, dst)) {
+        drop_p = fault->drop;
+        dup_p = fault->duplicate;
+        extra_latency = fault->extra_latency;
+      }
+      if (drop_p > 0.0 || dup_p > 0.0) {
+        // Drop decisions need their own synchronized stream: many sender
+        // threads route concurrently.
+        static thread_local Rng drop_rng(0xD0D0'CAFE ^ config_.seed);
+        if (drop_rng.chance(drop_p)) {
+          drop = true;
+        } else if (drop_rng.chance(dup_p)) {
+          copies = 2;
+        }
+      }
+    }
+  }
+  if (drop || hosts_[dst]->crashed()) {
+    packets_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   if (config_.transport == RtTransport::kUdpSockets) {
     // Prefix the datagram with the source node id (real sockets do not know
     // our logical ids).
@@ -319,18 +510,29 @@ void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
     framed.push_back(static_cast<std::uint8_t>(src >> 8));
     framed.push_back(static_cast<std::uint8_t>(src));
     framed.insert(framed.end(), data.span().begin(), data.span().end());
-    hosts_[src]->socket_send(
-        static_cast<std::uint16_t>(config_.udp_base_port + dst), framed);
+    const auto port = static_cast<std::uint16_t>(config_.udp_base_port + dst);
+    for (int c = 0; c < copies; ++c) {
+      if (extra_latency > 0) {
+        // Slow-link fault: park the datagram on the sender's timer heap and
+        // put it on the wire when the delay expires (the fault models
+        // one-way path latency, so sender-side delay is equivalent).
+        hosts_[src]->set_timer(
+            extra_latency, [host = hosts_[src].get(), port, framed]() {
+              host->socket_send(port, framed);
+            });
+      } else {
+        hosts_[src]->socket_send(port, framed);
+      }
+    }
     return;
   }
-  // In-proc transport with optional loss injection.
-  if (config_.drop_probability > 0.0) {
-    // Drop decisions need their own synchronized stream: many sender
-    // threads route concurrently.
-    static thread_local Rng drop_rng(0xD0D0'CAFE ^ config_.seed);
-    if (drop_rng.chance(config_.drop_probability)) return;
+  for (int c = 0; c < copies; ++c) {
+    if (extra_latency > 0) {
+      hosts_[dst]->enqueue_packet_delayed(src, data, extra_latency);
+    } else {
+      hosts_[dst]->enqueue_packet(src, data);
+    }
   }
-  hosts_[dst]->enqueue_packet(src, std::move(data));
 }
 
 }  // namespace dpu

@@ -6,18 +6,31 @@
 // in-process queues or through real POSIX UDP sockets on the loopback
 // device (the paper's transport).
 //
+// The engine implements the full WorldControl surface (runtime/world.hpp),
+// so scenario campaigns run here unchanged: scheduled control events
+// (at/at_node, executed by the thread driving run()), crash and
+// crash-recovery fault injection, link filters and loss/duplication
+// injection, directional per-link faults with extra latency, and
+// packet counters.  Unlike the simulator, nothing here is byte-
+// deterministic — rt runs are audited for protocol properties, not for
+// reproducible output.
+//
 // Concurrency contract (Core Guidelines CP.2/CP.3): all interaction with a
 // stack's modules happens on that stack's thread.  External drivers use
 // post_to()/call_on() to marshal closures onto it; cross-thread state
-// (queues, the crash flag, counters) is mutex- or atomic-protected, and
-// protocol code itself stays lock-free exactly as in the simulator.
+// (queues, the crash flag, counters, the fault model) is mutex- or
+// atomic-protected, and protocol code itself stays lock-free exactly as in
+// the simulator.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +38,7 @@
 #include "core/stack.hpp"
 #include "core/trace.hpp"
 #include "runtime/host.hpp"
+#include "runtime/world.hpp"
 
 namespace dpu {
 
@@ -41,19 +55,26 @@ struct RtConfig {
   std::uint16_t udp_base_port = 37900;
   /// In-proc transport fault injection (0 = reliable).
   double drop_probability = 0.0;
+  /// In-proc transport duplication injection (0 = none).
+  double duplicate_probability = 0.0;
 };
 
-class RtWorld {
+class RtWorld final : public WorldControl {
  public:
   explicit RtWorld(RtConfig config, const ProtocolLibrary* library = nullptr,
                    TraceSink* trace = nullptr);
-  ~RtWorld();
+  ~RtWorld() override;
 
   RtWorld(const RtWorld&) = delete;
   RtWorld& operator=(const RtWorld&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
-  [[nodiscard]] Stack& stack(NodeId node) { return *stacks_[node]; }
+  [[nodiscard]] std::size_t size() const override { return hosts_.size(); }
+  [[nodiscard]] Stack& stack(NodeId node) override { return *stacks_[node]; }
+
+  /// Monotonic time since world construction; the same clock every host's
+  /// HostEnv::now() reports, so driver schedules and in-stack timestamps
+  /// are directly comparable.
+  [[nodiscard]] TimePoint now() const override;
 
   /// Starts every stack thread.  Composition (module creation) must happen
   /// either before start() or via post_to()/call_on() afterwards.
@@ -68,11 +89,68 @@ class RtWorld {
   /// Runs `fn` on `node`'s thread and waits for completion.
   void call_on(NodeId node, std::function<void()> fn);
 
+  // ---- WorldControl: scheduled control events -------------------------------
+
+  /// Best-effort scheduled driver event: executed by the thread inside
+  /// run() when `now() >= t`, subject to scheduler jitter.  Must be called
+  /// before run().
+  void at(TimePoint t, std::function<void()> fn) override;
+
+  /// Best-effort scheduled closure on `node`'s thread (posted at `t`).
+  /// Must be called before run().
+  void at_node(TimePoint t, NodeId node, std::function<void()> fn) override;
+
+  void run_on_node(NodeId node, std::function<void()> fn) override {
+    call_on(node, std::move(fn));
+  }
+
+  // ---- WorldControl: fault injection ---------------------------------------
+
   /// Crash-stop fault injection: the stack's thread stops processing and
-  /// packets to it are dropped.
-  void crash(NodeId node);
-  [[nodiscard]] bool crashed(NodeId node) const;
-  [[nodiscard]] std::set<NodeId> crashed_set() const;
+  /// packets to it are dropped.  Crash-stop until recover().
+  void crash(NodeId node) override;
+
+  /// Joins a crashed stack's threads so the control thread can read its
+  /// module state without racing the dying loop thread's final writes.
+  void quiesce_node(NodeId node) override;
+
+  /// Crash-recovery: joins the crashed stack's threads, resets the host
+  /// (incarnation bumped, queue/timers cleared, RNG reseeded), replaces the
+  /// Stack object and restarts the threads.  Call from the control thread
+  /// (an at() closure or between run()s); compose modules afterwards via
+  /// run_on_node.
+  void recover(NodeId node) override;
+
+  [[nodiscard]] bool crashed(NodeId node) const override;
+  [[nodiscard]] std::set<NodeId> crashed_set() const override;
+
+  void set_link_filter(
+      std::function<bool(NodeId, NodeId)> deliverable) override;
+  void set_loss(double drop_probability,
+                double duplicate_probability) override;
+  void set_link_fault(NodeId src, NodeId dst,
+                      std::optional<LinkFault> fault) override;
+
+  // ---- WorldControl: execution ---------------------------------------------
+
+  /// Drives the world wall-clock: starts the stacks (if not yet started),
+  /// fires scheduled control events until `active_until`, then polls
+  /// `quiesced` (every ~100 ms, from this thread) and returns at the first
+  /// true or at `deadline` — whichever comes first.  Without a `quiesced`
+  /// callback the drain is capped at 2 s past `active_until`.  Stops and
+  /// joins all stack threads before returning, so the caller may harvest
+  /// module state without racing.  Always returns true (`max_events` is a
+  /// simulator concept).
+  bool run(TimePoint active_until, TimePoint deadline,
+           std::uint64_t max_events,
+           const std::function<bool()>& quiesced = nullptr) override;
+
+  [[nodiscard]] std::uint64_t packets_sent() const override {
+    return packets_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t packets_dropped() const override {
+    return packets_dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   class RtHost;
@@ -81,9 +159,37 @@ class RtWorld {
   void route_packet(NodeId src, NodeId dst, Payload data);
 
   RtConfig config_;
+  const ProtocolLibrary* library_ = nullptr;  // kept for recover()
+  TraceSink* trace_ = nullptr;                // kept for recover()
+  std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<RtHost>> hosts_;
   std::vector<std::unique_ptr<Stack>> stacks_;
   bool started_ = false;
+  /// World-global incarnation stamp for the next recovery (control thread
+  /// only; see recover()).
+  std::uint32_t next_incarnation_ = 1;
+
+  struct ControlEvent {
+    TimePoint at = 0;
+    NodeId node = kNoNode;  // kNoNode: driver closure; else posted to node
+    std::function<void()> fn;
+  };
+  std::vector<ControlEvent> schedule_;  // driver thread only, pre-run
+
+  /// Cross-thread fault model (senders route concurrently with the control
+  /// thread mutating this).  A plain mutex: scenario-scale packet rates are
+  /// thousands/sec, far below contention territory.
+  struct FaultModel {
+    std::function<bool(NodeId, NodeId)> link_filter;
+    double drop = 0.0;
+    double duplicate = 0.0;
+    LinkFaultTable link_faults;
+  };
+  mutable std::mutex fault_mutex_;
+  FaultModel faults_;
+
+  std::atomic<std::uint64_t> packets_sent_{0};
+  std::atomic<std::uint64_t> packets_dropped_{0};
 };
 
 }  // namespace dpu

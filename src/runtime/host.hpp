@@ -25,6 +25,33 @@ namespace dpu {
 using TimerId = std::uint64_t;
 inline constexpr TimerId kNoTimer = 0;
 
+/// Per-origin sequence counters start at (incarnation << shift) + 1, so the
+/// sequence space is partitioned into per-incarnation epochs: receivers
+/// recognize a restarted peer by a sequence from a higher epoch and reset
+/// their per-peer state, and a recovered stack can never replay sequence
+/// numbers of its previous life.  48 bits leave room for ~2.8e14 messages
+/// per incarnation and 65535 restarts.
+inline constexpr int kIncarnationSeqShift = 48;
+
+[[nodiscard]] inline std::uint64_t incarnation_seq_base(
+    std::uint32_t incarnation) {
+  return static_cast<std::uint64_t>(incarnation) << kIncarnationSeqShift;
+}
+
+[[nodiscard]] inline std::uint64_t seq_epoch(std::uint64_t seq) {
+  return seq >> kIncarnationSeqShift;
+}
+
+/// RNG substream index for a recovered stack's new incarnation — the new
+/// life must not replay the old one's randomness.  Shared by both engines
+/// so they cannot drift.  The 2^32 base keeps every incarnation substream
+/// clear of the other substream families (per-node 0..n, per-link
+/// 1'000'000 + n*n) for any node count and incarnation.
+[[nodiscard]] inline std::uint64_t incarnation_rng_substream(
+    NodeId node, std::uint32_t incarnation) {
+  return (1ULL << 32) + (static_cast<std::uint64_t>(incarnation) << 8) + node;
+}
+
 /// Engine services available to one stack.
 class HostEnv {
  public:
@@ -76,6 +103,18 @@ class HostEnv {
   /// don't normally consult this; the engine stops delivering events to
   /// crashed stacks.
   [[nodiscard]] virtual bool crashed() const = 0;
+
+  /// Incarnation stamp of this stack: 0 for the original boot; every
+  /// crash-recovery (WorldControl::recover) assigns a fresh, world-globally
+  /// increasing stamp.  Modules that assign per-origin sequence numbers
+  /// fold this into the high bits of their counters (see
+  /// kIncarnationSeqShift) so a recovered stack's fresh streams never
+  /// collide with sequences its previous incarnation already used — which
+  /// is what lets peers tell "restarted" from "duplicate" without any
+  /// wire-format change.  Global (not per-node) growth matters: a stream
+  /// epoch adopted from some restarted peer must also be outgrown by the
+  /// adopter's own next restart.
+  [[nodiscard]] virtual std::uint32_t incarnation() const { return 0; }
 
   /// Registers the single ingress handler for packets addressed to this
   /// stack (the UDP module).  Replacing the handler is allowed (Maestro-style

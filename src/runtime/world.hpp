@@ -1,0 +1,173 @@
+// WorldControl — the boundary between scenario/bench drivers and an
+// execution engine.
+//
+// HostEnv (runtime/host.hpp) is the per-stack half of the engine contract:
+// protocol modules are written against it and nothing else.  WorldControl is
+// the *driver* half: everything the scenario runner, the campaign engine and
+// the benches need in order to compose stacks, schedule faults and updates,
+// run a world to quiescence and harvest counters — without naming a concrete
+// engine.  The deterministic simulator (src/sim) and the real-thread engine
+// (src/rt) both implement it, so one ScenarioSpec executes on either engine
+// through the same code path.
+//
+// Semantics differ where the engines fundamentally differ, and the interface
+// is explicit about it:
+//
+//  * Time is virtual on the simulator and a shared monotonic clock on rt;
+//    control events (`at`, `at_node`) are exact on the simulator and
+//    best-effort (scheduler jitter) on rt.
+//  * `run` is deterministic replay on the simulator (it returns when the
+//    event heap drains or `deadline` passes) and wall-clock execution on rt
+//    (it returns when `quiesced` reports stability after `active_until`, or
+//    at `deadline`).  Simulator output is byte-reproducible; rt output is
+//    audited for properties, never for byte identity.
+//  * `recover` only resets *engine-level* stack state (fresh Stack object,
+//    bumped incarnation, purged events).  Module composition is the
+//    driver's job: call `run_on_node` afterwards and rebuild the stack
+//    there, exactly like initial composition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "runtime/time.hpp"
+#include "util/ids.hpp"
+
+namespace dpu {
+
+class Stack;
+
+/// Directional per-link fault: replaces the world's drop/duplicate
+/// probabilities on one (src, dst) link and adds `extra_latency` to every
+/// delivered packet.  Installed/cleared by the scenario runner for the
+/// spec's `link_overrides` windows (asymmetric lossy links, slow links).
+struct LinkFault {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  Duration extra_latency = 0;
+};
+
+/// Dense (src, dst) -> fault table shared by both engines.  Lazily
+/// allocated: stays empty (zero per-packet cost) until the first install;
+/// clearing against an empty table is a no-op.
+class LinkFaultTable {
+ public:
+  void set(std::size_t world_size, NodeId src, NodeId dst,
+           std::optional<LinkFault> fault) {
+    if (faults_.empty()) {
+      if (!fault.has_value()) return;
+      faults_.assign(world_size * world_size, std::nullopt);
+    }
+    faults_[static_cast<std::size_t>(src) * world_size + dst] =
+        std::move(fault);
+  }
+
+  /// The fault installed on (src, dst), or nullptr.
+  [[nodiscard]] const LinkFault* find(std::size_t world_size, NodeId src,
+                                      NodeId dst) const {
+    if (faults_.empty()) return nullptr;
+    const auto& slot =
+        faults_[static_cast<std::size_t>(src) * world_size + dst];
+    return slot.has_value() ? &*slot : nullptr;
+  }
+
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+
+ private:
+  std::vector<std::optional<LinkFault>> faults_;
+};
+
+/// Driver-side control surface of an execution engine.
+class WorldControl {
+ public:
+  virtual ~WorldControl() = default;
+
+  // ---- Topology ------------------------------------------------------------
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual Stack& stack(NodeId node) = 0;
+
+  /// Engine time: virtual on the simulator, monotonic-since-construction on
+  /// rt.  Comparable with the times handed to at()/at_node().
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  // ---- Scheduled control events ---------------------------------------------
+
+  /// Schedules a driver closure at absolute time `t` (no CPU accounting).
+  /// On rt the closure runs on the control thread driving run().  Must be
+  /// called before run().
+  virtual void at(TimePoint t, std::function<void()> fn) = 0;
+
+  /// Schedules a closure on `node`'s executor at time `t`, as if triggered
+  /// by a local event.  Must be called before run().
+  virtual void at_node(TimePoint t, NodeId node, std::function<void()> fn) = 0;
+
+  /// Runs `fn` on `node`'s executor, synchronously from the caller's point
+  /// of view.  Direct call on the simulator; call-and-wait marshalling on
+  /// rt.  The scenario runner uses this for composition (initial and
+  /// post-recovery), which must happen on the stack's own thread.
+  virtual void run_on_node(NodeId node, std::function<void()> fn) = 0;
+
+  // ---- Fault injection ------------------------------------------------------
+
+  /// Crashes a stack: its pending and future events are discarded and
+  /// packets addressed to it vanish.
+  virtual void crash(NodeId node) = 0;
+
+  /// Quiesces a *crashed* stack: after this returns, nothing of the dead
+  /// incarnation executes anymore and its module state is safe to read
+  /// from the calling (driver/control) thread.  No-op on the simulator
+  /// (single-threaded); on rt it joins the crashed stack's threads.  Call
+  /// before harvesting counters from a stack that is about to recover().
+  virtual void quiesce_node(NodeId /*node*/) {}
+
+  /// Restarts a crashed stack at the engine level: a fresh Stack object on
+  /// the same node id, a bumped incarnation (HostEnv::incarnation), no
+  /// surviving events, timers or packets of the old incarnation.  The
+  /// caller re-composes protocol modules afterwards via run_on_node.
+  virtual void recover(NodeId node) = 0;
+
+  [[nodiscard]] virtual bool crashed(NodeId node) const = 0;
+  [[nodiscard]] virtual std::set<NodeId> crashed_set() const = 0;
+
+  /// Installs a link filter: packets with filter(src,dst)==false are
+  /// dropped.  Used for partitions; pass nullptr to heal.
+  virtual void set_link_filter(
+      std::function<bool(NodeId, NodeId)> deliverable) = 0;
+
+  /// Adjusts the world-wide per-packet loss/duplication probabilities
+  /// (applies to packets sent from now on).
+  virtual void set_loss(double drop_probability,
+                        double duplicate_probability) = 0;
+
+  /// Installs (or clears, with nullopt) a directional per-link fault that
+  /// overrides the world-wide probabilities on (src, dst) only.
+  virtual void set_link_fault(NodeId src, NodeId dst,
+                              std::optional<LinkFault> fault) = 0;
+
+  // ---- Execution ------------------------------------------------------------
+
+  /// Runs the world.  `active_until` is the end of the scheduled activity
+  /// window (workload + faults + updates); `deadline` caps the drain that
+  /// follows.  The simulator replays events deterministically until
+  /// `deadline` (returning early when the heap empties) and ignores
+  /// `quiesced`.  rt runs wall-clock until `active_until`, then polls
+  /// `quiesced` (from the control thread; it may inspect stacks via
+  /// run_on_node) and returns at the first true, or at `deadline`; rt also
+  /// stops all stack threads before returning so the caller can harvest
+  /// module state without racing.  Returns false if `max_events` was
+  /// exhausted first (simulator runaway guard).
+  virtual bool run(TimePoint active_until, TimePoint deadline,
+                   std::uint64_t max_events,
+                   const std::function<bool()>& quiesced = nullptr) = 0;
+
+  // ---- Counters -------------------------------------------------------------
+
+  [[nodiscard]] virtual std::uint64_t packets_sent() const = 0;
+  [[nodiscard]] virtual std::uint64_t packets_dropped() const = 0;
+};
+
+}  // namespace dpu

@@ -127,6 +127,22 @@ std::vector<ScenarioSpec> curated_scenarios() {
     out.push_back(std::move(s));
   }
   {
+    ScenarioSpec s = base("crash-recovery-switch",
+                          "A stack crashes 5 ms after a replacement is "
+                          "requested and recovers 2.5 s later with fresh "
+                          "protocol state: the consensus catch-up must "
+                          "replay the missed history — including the switch "
+                          "marker — so the recovered stack converges to the "
+                          "new protocol version and the four ABcast "
+                          "properties hold across the restart.");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.updates = {{2 * kSecond, 0, "abcast.ct"}};
+    s.crashes = {{2 * kSecond + 5 * kMillisecond, 3}};
+    s.recoveries = {{4500 * kMillisecond, 3}};
+    out.push_back(std::move(s));
+  }
+  {
     ScenarioSpec s = base("consensus-switch-live",
                           "The paper's future-work extension: the consensus "
                           "protocol under an unmodified CT-ABcast is "

@@ -11,6 +11,8 @@
 #include "repl/baseline_maestro.hpp"
 #include "repl/repl_abcast.hpp"
 #include "repl/repl_consensus.hpp"
+#include "rt/rt_world.hpp"
+#include "runtime/world.hpp"
 #include "sim/sim_world.hpp"
 
 namespace dpu::scenario {
@@ -87,40 +89,67 @@ Rp2pModule* install_substrate(Stack& stack,
   return rp2p;
 }
 
-}  // namespace
+/// Live module handles of one stack's current incarnation.  Recovery
+/// replaces every pointer (the old modules die with the old Stack).
+struct NodeModules {
+  ReplAbcastModule* repl = nullptr;
+  ReplConsensusModule* repl_cons = nullptr;
+  MaestroSwitchModule* maestro = nullptr;
+  GracefulSwitchModule* graceful = nullptr;
+  Rp2pModule* rp2p = nullptr;
+  WorkloadModule* workload = nullptr;
+  LatencyProbe* probe = nullptr;
+};
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
-                            const RunOptions& options) {
-  const std::vector<std::string> problems = spec.validate();
-  if (!problems.empty()) {
-    std::string what = "scenario '" + spec.name + "' is invalid:";
-    for (const std::string& p : problems) what += "\n  - " + p;
-    throw std::invalid_argument(what);
+/// Counters harvested from incarnations that died (crash-recovery): the
+/// final tallies are accumulated-over-incarnations plus the live modules.
+struct NodeAccum {
+  std::uint64_t sent = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t reissued = 0;
+  std::uint64_t stale_discarded = 0;
+  std::uint64_t decisions_delivered = 0;
+  Duration app_blocked = 0;
+  std::uint64_t calls_queued = 0;
+};
+
+/// Folds one incarnation's module counters into the accumulator — used
+/// both when an incarnation dies (recovery) and at end of run for the live
+/// one, so a counter added here is counted across recoveries by
+/// construction.
+void harvest_modules(NodeAccum& acc, const NodeModules& m) {
+  if (m.workload != nullptr) acc.sent += m.workload->sent();
+  if (m.probe != nullptr) acc.deliveries += m.probe->deliveries();
+  if (m.rp2p != nullptr) {
+    acc.retransmissions += m.rp2p->retransmissions();
+    acc.acks_sent += m.rp2p->acks_sent();
   }
-
-  // ---- World assembly -----------------------------------------------------
-
-  StandardStackOptions stack_options;
-  stack_options.with_gm = false;
-  stack_options.with_replacement_layer = spec.mechanism == Mechanism::kRepl;
-  if (spec.mechanism == Mechanism::kReplConsensus) {
-    // The replaceable layer is consensus; CT-ABcast rides on the facade.
-    stack_options.abcast_protocol = CtAbcastModule::kProtocolName;
-  } else {
-    stack_options.abcast_protocol = spec.initial_protocol;
+  if (m.repl != nullptr) {
+    acc.reissued += m.repl->reissued_total();
+    acc.stale_discarded += m.repl->stale_discarded();
   }
-  ProtocolLibrary library = make_standard_library(stack_options);
+  if (m.repl_cons != nullptr) {
+    acc.decisions_delivered += m.repl_cons->decisions_delivered();
+  }
+  if (m.maestro != nullptr) {
+    acc.app_blocked += m.maestro->total_blocked_time();
+    acc.calls_queued += m.maestro->calls_queued_while_blocked();
+  }
+  if (m.graceful != nullptr) {
+    acc.app_blocked += m.graceful->total_queueing_window();
+    acc.calls_queued += m.graceful->calls_queued_during_switch();
+  }
+}
 
-  TraceRecorder trace_recorder;
-  SimConfig sim;
-  sim.num_stacks = spec.n;
-  sim.seed = seed;
-  sim.net.drop_probability = spec.base_drop;
-  sim.net.duplicate_probability = spec.base_duplicate;
-  sim.stack_cost.service_hop_cost = spec.hop_cost;
-  sim.stack_cost.module_create_cost = spec.module_create_cost;
-  SimWorld world(sim, &library, &trace_recorder);
-
+/// Drives one scenario on an already-constructed world.  Everything here
+/// speaks WorldControl; engine differences (determinism, drain style) are
+/// confined to run_scenario below.
+ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
+                            std::uint64_t seed, const RunOptions& options,
+                            const StandardStackOptions& stack_options,
+                            TraceRecorder& trace_recorder) {
   ScenarioResult result;
   result.scenario = spec.name;
   result.seed = seed;
@@ -129,51 +158,57 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
   AbcastAudit audit;
   std::vector<std::unique_ptr<AbcastAudit::Listener>> audit_listeners;
   std::vector<std::unique_ptr<LatencyProbe>> probes;
-  std::vector<WorkloadModule*> workloads;
-  std::vector<ReplAbcastModule*> repl(spec.n, nullptr);
-  std::vector<ReplConsensusModule*> repl_cons(spec.n, nullptr);
-  std::vector<MaestroSwitchModule*> maestro(spec.n, nullptr);
-  std::vector<GracefulSwitchModule*> graceful(spec.n, nullptr);
-  std::vector<Rp2pModule*> rp2p(spec.n, nullptr);
+  std::vector<NodeModules> nodes(spec.n);
+  std::vector<NodeAccum> accum(spec.n);
+  std::vector<TimePoint> recovery_time(spec.n, -1);
 
-  for (NodeId i = 0; i < spec.n; ++i) {
+  // ---- Composition ---------------------------------------------------------
+  // One closure builds (and re-builds, after recovery) a stack: the
+  // mechanism modules, the latency probe, the audit listener and the
+  // workload.  `since` is 0 at setup and the recovery time afterwards — it
+  // shifts the workload window, which is configured relative to module
+  // start.
+  auto compose = [&](NodeId i, TimePoint since) {
     Stack& stack = world.stack(i);
+    NodeModules& m = nodes[i];
+    m = NodeModules{};
     switch (spec.mechanism) {
       case Mechanism::kNone:
       case Mechanism::kRepl: {
         StandardStack built = build_standard_stack(stack, stack_options);
-        repl[i] = built.repl;
-        rp2p[i] = built.rp2p;
+        m.repl = built.repl;
+        m.rp2p = built.rp2p;
         break;
       }
       case Mechanism::kReplConsensus: {
-        rp2p[i] = install_substrate(stack, stack_options);
+        m.rp2p = install_substrate(stack, stack_options);
         ReplConsensusModule::Config rc;
         rc.initial_protocol = spec.initial_protocol;
-        repl_cons[i] = ReplConsensusModule::create(stack, rc);
+        m.repl_cons = ReplConsensusModule::create(stack, rc);
         CtAbcastModule::create(stack);
         break;
       }
       case Mechanism::kMaestro: {
-        rp2p[i] = install_substrate(stack, stack_options);
+        m.rp2p = install_substrate(stack, stack_options);
         MaestroSwitchModule::Config mc;
         mc.initial_protocol = spec.initial_protocol;
-        maestro[i] = MaestroSwitchModule::create(stack, mc);
+        m.maestro = MaestroSwitchModule::create(stack, mc);
         break;
       }
       case Mechanism::kGraceful: {
-        rp2p[i] = install_substrate(stack, stack_options);
+        m.rp2p = install_substrate(stack, stack_options);
         CtConsensusModule::create(stack);
         GracefulSwitchModule::Config gc;
         gc.initial_protocol = spec.initial_protocol;
-        graceful[i] = GracefulSwitchModule::create(stack, gc);
+        m.graceful = GracefulSwitchModule::create(stack, gc);
         break;
       }
     }
 
     probes.push_back(
         std::make_unique<LatencyProbe>(*result.collector, stack.host()));
-    stack.listen<AbcastListener>(kAbcastService, probes.back().get(), nullptr);
+    m.probe = probes.back().get();
+    stack.listen<AbcastListener>(kAbcastService, m.probe, nullptr);
     if (options.with_audit) {
       audit_listeners.push_back(
           std::make_unique<AbcastAudit::Listener>(audit, i));
@@ -181,26 +216,58 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
                                    nullptr);
     }
 
-    WorkloadConfig wc;
-    wc.rate_per_second = spec.workload.rate_per_stack;
-    wc.message_size = spec.workload.message_size;
-    wc.poisson = spec.workload.poisson;
-    wc.start_after = spec.workload.start_after;
-    wc.stop_after = spec.workload.stop_after > 0 ? spec.workload.stop_after
-                                                 : spec.duration;
-    if (options.with_audit) {
-      wc.on_send = [&audit, i](const Bytes& payload) {
-        audit.record_sent(i, payload);
-      };
+    // Workload window, shifted for recovered incarnations: the module
+    // interprets start_after/stop_after relative to its own start.
+    const Duration stop_abs =
+        spec.workload.stop_after > 0 ? spec.workload.stop_after
+                                     : spec.duration;
+    const Duration start_rel = std::max<Duration>(
+        spec.workload.start_after - since, 0);
+    const Duration stop_rel = stop_abs - since;
+    if (stop_rel > start_rel) {
+      WorkloadConfig wc;
+      wc.rate_per_second = spec.workload.rate_per_stack;
+      wc.message_size = spec.workload.message_size;
+      wc.poisson = spec.workload.poisson;
+      wc.start_after = start_rel;
+      wc.stop_after = stop_rel;
+      if (options.with_audit) {
+        wc.on_send = [&audit, i](const Bytes& payload) {
+          audit.record_sent(i, payload);
+        };
+      }
+      m.workload = WorkloadModule::create(stack, wc);
     }
-    workloads.push_back(WorkloadModule::create(stack, wc));
     stack.start_all();
-  }
+  };
+
+  // Initial composition runs on the driver thread: on the simulator that is
+  // the only thread; on rt the stack threads have not started yet, which is
+  // exactly the window the engine documents as composition-safe.
+  for (NodeId i = 0; i < spec.n; ++i) compose(i, 0);
 
   // ---- Fault schedule -----------------------------------------------------
 
   for (const CrashFault& c : spec.crashes) {
     world.at(c.at, [&world, c]() { world.crash(c.node); });
+  }
+
+  for (const RecoverFault& rec : spec.recoveries) {
+    world.at(rec.at, [&, rec]() {
+      if (!world.crashed(rec.node)) return;
+      // Quiesce first: on rt this joins the dying loop thread, giving this
+      // control thread a happens-before edge with its final counter writes
+      // and delivery records (no-op on the simulator).  Only then harvest
+      // the dead incarnation's counters and archive its audit log.
+      world.quiesce_node(rec.node);
+      harvest_modules(accum[rec.node], nodes[rec.node]);
+      audit.record_recovered(rec.node);
+      world.recover(rec.node);
+      // Re-compose on the fresh stack — on the node's own executor, which
+      // is where module code must run once the world is live.
+      world.run_on_node(rec.node, [&, rec]() { compose(rec.node, rec.at); });
+      recovery_time[rec.node] = rec.at;
+    });
   }
 
   if (!spec.partitions.empty()) {
@@ -226,11 +293,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
   }
 
   for (const LossWindow& w : spec.loss_windows) {
-    world.at(w.from, [&world, w]() { world.set_loss(w.drop, w.duplicate); });
-    world.at(w.until,
-             [&world, drop = spec.base_drop, dup = spec.base_duplicate]() {
-               world.set_loss(drop, dup);
-             });
+    world.at(w.from, [&world, w]() {
+      world.set_loss(w.drop, w.duplicate);
+      for (const LinkOverride& o : w.link_overrides) {
+        world.set_link_fault(
+            o.src, o.dst,
+            LinkFault{o.drop, o.duplicate, o.extra_latency});
+      }
+    });
+    world.at(w.until, [&world, w, drop = spec.base_drop,
+                       dup = spec.base_duplicate]() {
+      world.set_loss(drop, dup);
+      for (const LinkOverride& o : w.link_overrides) {
+        world.set_link_fault(o.src, o.dst, std::nullopt);
+      }
+    });
   }
 
   // ---- Update plan --------------------------------------------------------
@@ -240,16 +317,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
       if (world.crashed(u.initiator)) return;
       switch (spec.mechanism) {
         case Mechanism::kRepl:
-          repl[u.initiator]->change_abcast(u.protocol);
+          nodes[u.initiator].repl->change_abcast(u.protocol);
           break;
         case Mechanism::kReplConsensus:
-          repl_cons[u.initiator]->change_consensus(u.protocol);
+          nodes[u.initiator].repl_cons->change_consensus(u.protocol);
           break;
         case Mechanism::kMaestro:
-          maestro[u.initiator]->change_stack(u.protocol);
+          nodes[u.initiator].maestro->change_stack(u.protocol);
           break;
         case Mechanism::kGraceful:
-          graceful[u.initiator]->change_adaptation(u.protocol);
+          nodes[u.initiator].graceful->change_adaptation(u.protocol);
           break;
         case Mechanism::kNone:
           break;  // validate() rejects update plans without a mechanism
@@ -259,7 +336,42 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
 
   // ---- Run ----------------------------------------------------------------
 
-  if (!world.run_until(spec.duration + spec.drain, options.max_events)) {
+  // rt quiescence probe: deliveries stable and no unacked reliable traffic
+  // for a window longer than any silent catch-up stall.  State lives in the
+  // closure; the engine polls it from the control thread during the drain.
+  std::uint64_t last_deliveries = ~0ULL;
+  TimePoint stable_since = -1;
+  auto quiesced = [&]() -> bool {
+    std::uint64_t deliveries = 0;
+    std::size_t unacked = 0;
+    // Traffic addressed to permanently crashed peers never acks (rp2p only
+    // abandons it on recovery), so it must not block quiescence.
+    const std::set<NodeId> crashed_now = world.crashed_set();
+    for (NodeId i = 0; i < spec.n; ++i) {
+      if (crashed_now.count(i) != 0) continue;
+      world.run_on_node(i, [&]() {
+        if (nodes[i].probe != nullptr) deliveries += nodes[i].probe->deliveries();
+        if (nodes[i].rp2p != nullptr) {
+          unacked += nodes[i].rp2p->unacked_excluding(crashed_now);
+        }
+      });
+    }
+    const TimePoint now = world.now();
+    if (unacked != 0 || deliveries != last_deliveries) {
+      last_deliveries = deliveries;
+      stable_since = now;
+      return false;
+    }
+    return now - stable_since >= options.rt_quiesce_window;
+  };
+
+  const bool is_rt = spec.engine == Engine::kRt;
+  const TimePoint deadline =
+      spec.duration + (is_rt ? std::min(spec.drain, options.rt_drain_cap)
+                             : spec.drain);
+  if (!world.run(spec.duration, deadline, options.max_events,
+                 is_rt ? std::function<bool()>(quiesced)
+                       : std::function<bool()>())) {
     result.generic_report.fail("event budget exhausted before quiescence");
   }
   result.total_virtual_time = world.now();
@@ -267,30 +379,25 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
   // ---- Harvest ------------------------------------------------------------
 
   result.crashed = world.crashed_set();
+  for (NodeId i = 0; i < spec.n; ++i) {
+    if (recovery_time[i] >= 0 && result.crashed.count(i) == 0) {
+      result.recovered.insert(i);
+    }
+  }
   result.packets_sent = world.packets_sent();
   result.packets_dropped = world.packets_dropped();
   for (NodeId i = 0; i < spec.n; ++i) {
-    result.messages_sent += workloads[i]->sent();
-    result.deliveries += probes[i]->deliveries();
-    if (rp2p[i] != nullptr) {
-      result.retransmissions += rp2p[i]->retransmissions();
-      result.acks_sent += rp2p[i]->acks_sent();
-    }
-    if (repl[i] != nullptr) {
-      result.reissued += repl[i]->reissued_total();
-      result.stale_discarded += repl[i]->stale_discarded();
-    }
-    if (repl_cons[i] != nullptr) {
-      result.decisions_delivered += repl_cons[i]->decisions_delivered();
-    }
-    if (maestro[i] != nullptr) {
-      result.app_blocked_total += maestro[i]->total_blocked_time();
-      result.calls_queued += maestro[i]->calls_queued_while_blocked();
-    }
-    if (graceful[i] != nullptr) {
-      result.app_blocked_total += graceful[i]->total_queueing_window();
-      result.calls_queued += graceful[i]->calls_queued_during_switch();
-    }
+    NodeAccum& acc = accum[i];
+    harvest_modules(acc, nodes[i]);  // live incarnation joins the totals
+    result.messages_sent += acc.sent;
+    result.deliveries += acc.deliveries;
+    result.retransmissions += acc.retransmissions;
+    result.acks_sent += acc.acks_sent;
+    result.reissued += acc.reissued;
+    result.stale_discarded += acc.stale_discarded;
+    result.decisions_delivered += acc.decisions_delivered;
+    result.app_blocked_total += acc.app_blocked;
+    result.calls_queued += acc.calls_queued;
   }
 
   const StreamId abcast_stream =
@@ -299,13 +406,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
       spec.updates.empty() ? spec.initial_protocol
                            : spec.updates.back().protocol;
   for (NodeId i = 0; i < spec.n; ++i) {
+    const NodeModules& m = nodes[i];
     if (result.crashed.count(i) != 0) {
       result.final_protocol.emplace_back();
-    } else if (repl[i] != nullptr) {
-      result.final_protocol.push_back(repl[i]->current_protocol());
-    } else if (repl_cons[i] != nullptr) {
-      result.final_protocol.push_back(repl_cons[i]->protocol_of(
-          repl_cons[i]->stream_version(abcast_stream)));
+    } else if (m.repl != nullptr) {
+      result.final_protocol.push_back(m.repl->current_protocol());
+    } else if (m.repl_cons != nullptr) {
+      result.final_protocol.push_back(m.repl_cons->protocol_of(
+          m.repl_cons->stream_version(abcast_stream)));
     } else {
       // Baselines expose no "current protocol" getter; report the plan's
       // last target.
@@ -333,11 +441,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
 
     // Generic DPU properties (§3), evaluated for the correct stacks: events
     // of crashed stacks are excluded from well-formedness (a crash may
-    // legitimately strand a queued call forever).
+    // legitimately strand a queued call forever), and so are a recovered
+    // stack's pre-recovery events (they belong to an incarnation the crash
+    // killed mid-flight).
     std::vector<TraceEvent> correct_events;
     correct_events.reserve(result.trace.size());
     for (const TraceEvent& e : result.trace) {
-      if (result.crashed.count(e.node) == 0) correct_events.push_back(e);
+      if (result.crashed.count(e.node) != 0) continue;
+      if (e.node < spec.n && recovery_time[e.node] >= 0 &&
+          e.time < recovery_time[e.node]) {
+        continue;
+      }
+      correct_events.push_back(e);
     }
     append(result.generic_report,
            check_weak_stack_well_formedness(correct_events));
@@ -357,6 +472,53 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
     }
   }
   return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
+                            const RunOptions& options) {
+  const std::vector<std::string> problems = spec.validate();
+  if (!problems.empty()) {
+    std::string what = "scenario '" + spec.name + "' is invalid:";
+    for (const std::string& p : problems) what += "\n  - " + p;
+    throw std::invalid_argument(what);
+  }
+
+  StandardStackOptions stack_options;
+  stack_options.with_gm = false;
+  stack_options.with_replacement_layer = spec.mechanism == Mechanism::kRepl;
+  if (spec.mechanism == Mechanism::kReplConsensus) {
+    // The replaceable layer is consensus; CT-ABcast rides on the facade.
+    stack_options.abcast_protocol = CtAbcastModule::kProtocolName;
+  } else {
+    stack_options.abcast_protocol = spec.initial_protocol;
+  }
+  ProtocolLibrary library = make_standard_library(stack_options);
+  TraceRecorder trace_recorder;
+
+  if (spec.engine == Engine::kRt) {
+    RtConfig rt;
+    rt.num_stacks = spec.n;
+    rt.seed = seed;
+    rt.transport = RtTransport::kInproc;
+    rt.drop_probability = spec.base_drop;
+    rt.duplicate_probability = spec.base_duplicate;
+    RtWorld world(rt, &library, &trace_recorder);
+    return run_on_world(world, spec, seed, options, stack_options,
+                        trace_recorder);
+  }
+
+  SimConfig sim;
+  sim.num_stacks = spec.n;
+  sim.seed = seed;
+  sim.net.drop_probability = spec.base_drop;
+  sim.net.duplicate_probability = spec.base_duplicate;
+  sim.stack_cost.service_hop_cost = spec.hop_cost;
+  sim.stack_cost.module_create_cost = spec.module_create_cost;
+  SimWorld world(sim, &library, &trace_recorder);
+  return run_on_world(world, spec, seed, options, stack_options,
+                      trace_recorder);
 }
 
 // ---------------------------------------------------------------------------
@@ -420,6 +582,10 @@ Json ScenarioResult::to_json() const {
   Json crashed_list = Json::array();
   for (NodeId node : crashed) crashed_list.push(node);
   j.set("crashed", std::move(crashed_list));
+
+  Json recovered_list = Json::array();
+  for (NodeId node : recovered) recovered_list.push(node);
+  j.set("recovered", std::move(recovered_list));
 
   Json finals = Json::array();
   for (const std::string& p : final_protocol) finals.push(p);

@@ -1,14 +1,20 @@
-// Scenario runner: executes one ScenarioSpec on the deterministic simulator.
+// Scenario runner: executes one ScenarioSpec on either engine.
 //
 // The runner owns the whole lifecycle of a run: it assembles the stacks for
 // the spec's update mechanism (Repl-ABcast, Repl-Consensus, Maestro,
 // Graceful Adaptation, or a static stack), installs the workload and the
 // instrumentation (latency probes, the ABcast property audit, the trace
-// recorder), schedules every fault and update of the spec, runs the world
-// to quiescence, and distills a ScenarioResult: audit verdicts, latency
-// percentiles, switch windows/downtime, and raw counters — all of which
-// serialize to deterministic JSON (same spec + same seed => byte-identical
-// output).
+// recorder), schedules every fault and update of the spec — including
+// crash-recoveries, which re-compose the recovered node's stack exactly
+// like at setup — runs the world to quiescence, and distills a
+// ScenarioResult: audit verdicts, latency percentiles, switch
+// windows/downtime, and raw counters.
+//
+// Everything below the spec goes through WorldControl (runtime/world.hpp),
+// so the same code path drives the deterministic simulator (spec.engine ==
+// kSim: same spec + same seed => byte-identical output) and the real-thread
+// engine (kRt: wall-clock execution, quiescence-polled drain, audited for
+// properties — never for byte identity).
 #pragma once
 
 #include <memory>
@@ -31,6 +37,16 @@ struct RunOptions {
   /// retains every payload).
   bool with_audit = true;
   std::uint64_t max_events = 500'000'000ULL;
+  /// Real-time engine only: cap on the wall-clock drain after the activity
+  /// window.  The spec's `drain` is virtual time tuned for the simulator
+  /// (typically 30 s); rt runs finish at quiescence — deliveries stable and
+  /// no unacked rp2p traffic for `rt_quiesce_window` — long before that,
+  /// so the cap only bounds pathological runs.  The quiesce window must
+  /// exceed the consensus round timeout (500 ms): a recovering node's
+  /// catch-up includes a silent round-timeout stall that must not be
+  /// mistaken for quiescence.
+  Duration rt_drain_cap = 10 * kSecond;
+  Duration rt_quiesce_window = 1500 * kMillisecond;
 };
 
 struct ScenarioResult {
@@ -60,10 +76,13 @@ struct ScenarioResult {
   std::uint64_t retransmissions = 0;  ///< rp2p, summed over stacks
   std::uint64_t acks_sent = 0;        ///< rp2p coalesced cumulative acks
   Duration total_virtual_time = 0;
-  std::set<NodeId> crashed;
+  std::set<NodeId> crashed;     ///< crashed and not recovered by run end
+  std::set<NodeId> recovered;   ///< crash-recovered during the run
 
   /// Final protocol of the replaceable layer per stack (empty string on
-  /// crashed stacks; only filled for mechanisms that can switch).
+  /// crashed stacks; only filled for mechanisms that can switch).  For a
+  /// recovered stack this is the *new incarnation's* protocol — the
+  /// convergence witness of crash-recovery scenarios.
   std::vector<std::string> final_protocol;
 
   /// Per executed update: [request time, time the last stack finished].

@@ -6,6 +6,21 @@
 
 namespace dpu::scenario {
 
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::kSim: return "sim";
+    case Engine::kRt: return "rt";
+  }
+  return "?";
+}
+
+Engine engine_from_name(const std::string& name) {
+  for (Engine e : {Engine::kSim, Engine::kRt}) {
+    if (name == engine_name(e)) return e;
+  }
+  throw std::runtime_error("scenario: unknown engine '" + name + "'");
+}
+
 const char* mechanism_name(Mechanism m) {
   switch (m) {
     case Mechanism::kNone: return "none";
@@ -76,8 +91,35 @@ std::vector<std::string> ScenarioSpec::validate() const {
   }
   // The consensus substrate (and therefore every update mechanism) assumes
   // a correct majority; scenarios that kill one are specification bugs.
+  // Recoveries do not relax the rule: between crash and recovery the
+  // crashed set must still leave a live majority.
   if (crashed.size() * 2 >= n) {
     problem("crashes must leave a strict majority of stacks alive");
+  }
+
+  std::set<NodeId> recovered;
+  for (const RecoverFault& rec : recoveries) {
+    if (rec.node >= n) {
+      problem("recovery node out of range");
+      continue;
+    }
+    if (!recovered.insert(rec.node).second) problem("node recovered twice");
+    if (rec.at < 0 || rec.at > horizon) {
+      problem("recovery time outside the run");
+    }
+    bool found = false;
+    for (const CrashFault& c : crashes) {
+      if (c.node != rec.node) continue;
+      found = true;
+      if (rec.at <= c.at) {
+        problem("recovery of node " + std::to_string(rec.node) +
+                " must be after its crash");
+      }
+    }
+    if (!found) {
+      problem("recovery of node " + std::to_string(rec.node) +
+              " has no matching crash");
+    }
   }
 
   for (const PartitionFault& p : partitions) {
@@ -102,6 +144,14 @@ std::vector<std::string> ScenarioSpec::validate() const {
     }
     check_prob(w.drop, "loss window drop");
     check_prob(w.duplicate, "loss window duplicate");
+    for (const LinkOverride& o : w.link_overrides) {
+      if (o.src >= n || o.dst >= n) problem("link override node out of range");
+      check_prob(o.drop, "link override drop");
+      check_prob(o.duplicate, "link override duplicate");
+      if (o.extra_latency < 0) {
+        problem("link override extra latency must be non-negative");
+      }
+    }
     windows.emplace_back(w.from, w.until);
   }
   std::sort(windows.begin(), windows.end());
@@ -153,6 +203,7 @@ Json ScenarioSpec::to_json() const {
   j.set("n", n);
   j.set("duration_ns", duration);
   j.set("drain_ns", drain);
+  j.set("engine", engine_name(engine));
   j.set("mechanism", mechanism_name(mechanism));
   j.set("initial_protocol", initial_protocol);
 
@@ -178,6 +229,15 @@ Json ScenarioSpec::to_json() const {
   }
   j.set("crashes", std::move(crash_list));
 
+  Json recover_list = Json::array();
+  for (const RecoverFault& rec : recoveries) {
+    Json e = Json::object();
+    e.set("at_ns", rec.at);
+    e.set("node", rec.node);
+    recover_list.push(std::move(e));
+  }
+  j.set("recoveries", std::move(recover_list));
+
   Json partition_list = Json::array();
   for (const PartitionFault& p : partitions) {
     Json e = Json::object();
@@ -197,6 +257,17 @@ Json ScenarioSpec::to_json() const {
     e.set("until_ns", w2.until);
     e.set("drop", w2.drop);
     e.set("duplicate", w2.duplicate);
+    Json overrides = Json::array();
+    for (const LinkOverride& o : w2.link_overrides) {
+      Json oe = Json::object();
+      oe.set("src", o.src);
+      oe.set("dst", o.dst);
+      oe.set("drop", o.drop);
+      oe.set("duplicate", o.duplicate);
+      oe.set("extra_latency_ns", o.extra_latency);
+      overrides.push(std::move(oe));
+    }
+    e.set("link_overrides", std::move(overrides));
     loss_list.push(std::move(e));
   }
   j.set("loss_windows", std::move(loss_list));
@@ -248,9 +319,9 @@ NodeId node_from(const Json& j) {
 ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   check_keys(j, "spec",
              {"name", "description", "n", "duration_ns", "drain_ns",
-              "mechanism", "initial_protocol", "net", "workload", "crashes",
-              "partitions", "loss_windows", "updates", "cost",
-              "max_retransmissions"});
+              "engine", "mechanism", "initial_protocol", "net", "workload",
+              "crashes", "recoveries", "partitions", "loss_windows",
+              "updates", "cost", "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("description")) spec.description = v->as_string();
@@ -259,6 +330,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   }
   if (const Json* v = j.find("duration_ns")) spec.duration = v->as_int();
   if (const Json* v = j.find("drain_ns")) spec.drain = v->as_int();
+  if (const Json* v = j.find("engine")) {
+    spec.engine = engine_from_name(v->as_string());
+  }
   if (const Json* v = j.find("mechanism")) {
     spec.mechanism = mechanism_from_name(v->as_string());
   }
@@ -301,6 +375,15 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
       spec.crashes.push_back(c);
     }
   }
+  if (const Json* list = j.find("recoveries")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "recovery", {"at_ns", "node"});
+      RecoverFault rec;
+      rec.at = e.at("at_ns").as_int();
+      rec.node = node_from(e.at("node"));
+      spec.recoveries.push_back(rec);
+    }
+  }
   if (const Json* list = j.find("partitions")) {
     for (const Json& e : list->items()) {
       check_keys(e, "partition", {"from_ns", "until_ns", "isolated"});
@@ -315,13 +398,32 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   }
   if (const Json* list = j.find("loss_windows")) {
     for (const Json& e : list->items()) {
-      check_keys(e, "loss window", {"from_ns", "until_ns", "drop", "duplicate"});
+      check_keys(e, "loss window",
+                 {"from_ns", "until_ns", "drop", "duplicate",
+                  "link_overrides"});
       LossWindow w;
       w.from = e.at("from_ns").as_int();
       w.until = e.at("until_ns").as_int();
       if (const Json* v = e.find("drop")) w.drop = v->as_double();
       if (const Json* v = e.find("duplicate")) w.duplicate = v->as_double();
-      spec.loss_windows.push_back(w);
+      if (const Json* list2 = e.find("link_overrides")) {
+        for (const Json& oe : list2->items()) {
+          check_keys(oe, "link override",
+                     {"src", "dst", "drop", "duplicate", "extra_latency_ns"});
+          LinkOverride o;
+          o.src = node_from(oe.at("src"));
+          o.dst = node_from(oe.at("dst"));
+          if (const Json* v = oe.find("drop")) o.drop = v->as_double();
+          if (const Json* v = oe.find("duplicate")) {
+            o.duplicate = v->as_double();
+          }
+          if (const Json* v = oe.find("extra_latency_ns")) {
+            o.extra_latency = v->as_int();
+          }
+          w.link_overrides.push_back(o);
+        }
+      }
+      spec.loss_windows.push_back(std::move(w));
     }
   }
   if (const Json* list = j.find("updates")) {

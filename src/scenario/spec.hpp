@@ -25,6 +25,20 @@
 
 namespace dpu::scenario {
 
+/// Which execution engine runs the scenario.  The simulator is the default:
+/// deterministic, byte-reproducible output, CI-gateable against baselines.
+/// The real-time engine runs the identical protocol code on one OS thread
+/// per stack; its runs are audited for the paper's properties but are never
+/// byte-reproducible (see README "Scenario campaigns").
+enum class Engine {
+  kSim,  ///< deterministic discrete-event simulator (src/sim)
+  kRt,   ///< real-thread engine, in-process transport (src/rt)
+};
+
+[[nodiscard]] const char* engine_name(Engine e);
+/// Inverse of engine_name; throws std::runtime_error on unknown names.
+[[nodiscard]] Engine engine_from_name(const std::string& name);
+
 /// Which machinery executes the protocol-update plan (cf. bench::Mode).
 enum class Mechanism {
   kNone,           ///< static stack; the update plan must be empty
@@ -57,6 +71,32 @@ struct CrashFault {
   friend bool operator==(const CrashFault&, const CrashFault&) = default;
 };
 
+/// Crash-recovery: restarts a previously crashed stack with a fresh
+/// protocol state (same node id, bumped incarnation).  The runner
+/// recomposes the stack's modules exactly like at world setup; the GM/FD
+/// layers re-admit the node (heartbeats rescind the suspicion) and the
+/// consensus catch-up resends the decisions the node missed, so it
+/// converges to the group's current protocol version.
+struct RecoverFault {
+  TimePoint at = 0;
+  NodeId node = 0;
+
+  friend bool operator==(const RecoverFault&, const RecoverFault&) = default;
+};
+
+/// Directional per-link override inside a loss window: link (src -> dst)
+/// uses these probabilities instead of the window's, plus extra one-way
+/// latency.  Lets partitions and lossy links be asymmetric.
+struct LinkOverride {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  Duration extra_latency = 0;
+
+  friend bool operator==(const LinkOverride&, const LinkOverride&) = default;
+};
+
 /// Transient partition: `isolated` forms one side, everyone else the other;
 /// cross-side packets are dropped during [from, until).
 struct PartitionFault {
@@ -68,12 +108,14 @@ struct PartitionFault {
                          const PartitionFault&) = default;
 };
 
-/// Window of elevated message loss/duplication on every link.
+/// Window of elevated message loss/duplication on every link, optionally
+/// with directional per-link overrides.
 struct LossWindow {
   TimePoint from = 0;
   TimePoint until = 0;
   double drop = 0.0;
   double duplicate = 0.0;
+  std::vector<LinkOverride> link_overrides;
 
   friend bool operator==(const LossWindow&, const LossWindow&) = default;
 };
@@ -104,6 +146,11 @@ struct ScenarioSpec {
   /// Extra virtual time after `duration` for in-flight traffic to settle.
   Duration drain = 30 * kSecond;
 
+  /// Execution engine ("sim" | "rt" in JSON).  Every curated scenario runs
+  /// on the simulator by default; campaigns flip this (or the CLI's
+  /// --engine does) to exercise the same spec on real threads.
+  Engine engine = Engine::kSim;
+
   Mechanism mechanism = Mechanism::kRepl;
   /// Initial protocol of the replaceable layer ("abcast.*", or
   /// "consensus.*" for kReplConsensus).
@@ -115,6 +162,7 @@ struct ScenarioSpec {
 
   WorkloadShape workload;
   std::vector<CrashFault> crashes;
+  std::vector<RecoverFault> recoveries;
   std::vector<PartitionFault> partitions;
   std::vector<LossWindow> loss_windows;
   std::vector<UpdateAction> updates;

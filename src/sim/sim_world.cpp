@@ -23,6 +23,20 @@ class SimWorld::SimHost final : public HostEnv {
   SimHost(SimWorld& world, NodeId node, std::uint64_t seed)
       : world_(&world), node_(node), rng_(Rng::substream(seed, node)) {}
 
+  /// Crash-recovery reset: the host object survives (HostEnv references
+  /// held by long-lived observers stay valid) but everything of the old
+  /// incarnation is dropped.  The caller must already have purged this
+  /// node's events from the world heap — otherwise a stale timer event
+  /// could resolve against a freshly armed cell of the new incarnation.
+  void reset_for_recovery(std::uint32_t incarnation, std::uint64_t seed) {
+    incarnation_ = incarnation;
+    timer_cells_.clear();
+    timer_free_.clear();
+    packet_handler_ = nullptr;
+    rng_ = Rng::substream(seed,
+                          incarnation_rng_substream(node_, incarnation_));
+  }
+
   [[nodiscard]] NodeId node_id() const override { return node_; }
   [[nodiscard]] std::size_t world_size() const override {
     return world_->hosts_.size();
@@ -86,6 +100,10 @@ class SimWorld::SimHost final : public HostEnv {
     return world_->crashed_[node_];
   }
 
+  [[nodiscard]] std::uint32_t incarnation() const override {
+    return incarnation_;
+  }
+
   void set_packet_handler(
       std::function<void(NodeId, const Payload&)> handler) override {
     packet_handler_ = std::move(handler);
@@ -123,6 +141,7 @@ class SimWorld::SimHost final : public HostEnv {
   SimWorld* world_;
   NodeId node_;
   Rng rng_;
+  std::uint32_t incarnation_ = 0;
   std::vector<TimerCell> timer_cells_;
   std::vector<std::uint32_t> timer_free_;
   std::function<void(NodeId, const Payload&)> packet_handler_;
@@ -134,7 +153,7 @@ class SimWorld::SimHost final : public HostEnv {
 
 SimWorld::SimWorld(SimConfig config, const ProtocolLibrary* library,
                    TraceSink* trace)
-    : config_(config) {
+    : config_(config), library_(library), trace_(trace) {
   const std::size_t n = config_.num_stacks;
   assert(n > 0);
   heap_.reserve(kHeapReserve);
@@ -192,12 +211,13 @@ SimWorld::Event SimWorld::pop_heap_top() {
   return top;
 }
 
-void SimWorld::push_event(TimePoint t, NodeId node, std::function<void()> fn) {
+void SimWorld::push_event(TimePoint t, NodeId node, std::function<void()> fn,
+                          EventKind kind) {
   Event ev{};
   ev.time = t;
   ev.seq = next_seq_++;
   ev.node = node;
-  ev.kind = EventKind::kClosure;
+  ev.kind = kind;
   ev.att.pool = closures_.acquire(std::move(fn));
   push_heap(ev);
 }
@@ -226,13 +246,19 @@ void SimWorld::push_timer_event(TimePoint t, NodeId node, TimerId id) {
 
 void SimWorld::at(TimePoint t, std::function<void()> fn) {
   assert(t >= now_);
-  push_event(t, kNoNode, std::move(fn));
+  push_event(t, kNoNode, std::move(fn), EventKind::kDriver);
 }
 
 void SimWorld::at_node(TimePoint t, NodeId node, std::function<void()> fn) {
   assert(t >= now_);
   assert(node < hosts_.size());
-  push_event(t, node, std::move(fn));
+  push_event(t, node, std::move(fn), EventKind::kDriver);
+}
+
+void SimWorld::run_on_node(NodeId node, std::function<void()> fn) {
+  assert(node < hosts_.size());
+  (void)node;
+  fn();  // single-threaded engine: the caller IS the executor
 }
 
 void SimWorld::crash(NodeId node) {
@@ -243,6 +269,51 @@ void SimWorld::crash(NodeId node) {
   DPU_LOG(kInfo, "sim") << "crash s" << node << " at t=" << now_;
 }
 
+/// Removes every heap event belonging to `node`'s dying incarnation: its
+/// timers and module-posted closures (their captures dangle once the Stack
+/// is destroyed — and a stale timer event could collide with a (slot,
+/// generation) pair the new incarnation hands out again) and packets in
+/// flight to it.  Driver control events (kDriver) are deliberately kept:
+/// they belong to the scenario schedule, not to the incarnation, so an
+/// update planned for after the recovery still fires.  Linear scan +
+/// re-heapify — recovery is a rare fault event, not a hot path.
+void SimWorld::purge_node_events(NodeId node) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].node == node && heap_[i].kind != EventKind::kDriver) {
+      discard(heap_[i]);
+    } else {
+      heap_[kept++] = heap_[i];
+    }
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+void SimWorld::recover(NodeId node) {
+  assert(node < hosts_.size());
+  assert(crashed_[node] && "recover() requires a crashed stack");
+  purge_node_events(node);
+  // Destroy the old incarnation's modules while the node still counts as
+  // crashed: anything a stop() handler tries to send is suppressed like the
+  // rest of the dead stack's output.
+  stacks_[node].reset();
+  // Incarnation stamps are world-global, not per-node: a recovering stack
+  // must start sequence epochs strictly above every epoch it ever *used* —
+  // including epochs it adopted from other restarted peers (rp2p epoch
+  // adoption) — and a world counter is the cheap way to guarantee that.
+  const std::uint32_t incarnation = next_incarnation_++;
+  hosts_[node]->reset_for_recovery(incarnation, config_.seed);
+  stacks_[node] = std::make_unique<Stack>(*hosts_[node], library_, trace_);
+  stacks_[node]->set_cost_model(config_.stack_cost);
+  busy_until_[node] = now_;
+  crashed_[node] = false;
+  stacks_[node]->trace(TraceKind::kStackRecovered, "", "",
+                       "incarnation=" + std::to_string(incarnation));
+  DPU_LOG(kInfo, "sim") << "recover s" << node << " at t=" << now_
+                        << " (incarnation " << incarnation << ")";
+}
+
 std::set<NodeId> SimWorld::crashed_set() const {
   std::set<NodeId> out;
   for (NodeId i = 0; i < crashed_.size(); ++i) {
@@ -251,8 +322,15 @@ std::set<NodeId> SimWorld::crashed_set() const {
   return out;
 }
 
+void SimWorld::set_link_fault(NodeId src, NodeId dst,
+                              std::optional<LinkFault> fault) {
+  assert(src < hosts_.size() && dst < hosts_.size());
+  link_faults_.set(hosts_.size(), src, dst, std::move(fault));
+}
+
 void SimWorld::do_send_packet(NodeId src, NodeId dst, Payload data) {
   assert(dst < hosts_.size());
+  if (src != kNoNode && crashed_[src]) return;  // dead stacks emit nothing
   ++packets_sent_;
   const auto& net = config_.net;
   // Sender-side CPU cost (serialization + syscall era-equivalent).
@@ -265,24 +343,31 @@ void SimWorld::do_send_packet(NodeId src, NodeId dst, Payload data) {
     ++packets_dropped_;
     return;
   }
+  // Directional per-link fault overrides replace the world-wide loss model
+  // for this link and delay every delivered copy.
+  const LinkFault* fault = link_faults_.find(hosts_.size(), src, dst);
+  const double drop_p = fault != nullptr ? fault->drop : net.drop_probability;
+  const double dup_p =
+      fault != nullptr ? fault->duplicate : net.duplicate_probability;
   Rng& rng = link_rng(src, dst);
-  if (rng.chance(net.drop_probability)) {
+  if (rng.chance(drop_p)) {
     ++packets_dropped_;
     return;
   }
-  const int copies = rng.chance(net.duplicate_probability) ? 2 : 1;
+  const int copies = rng.chance(dup_p) ? 2 : 1;
   // The datagram leaves once the sender's CPU has finished the work charged
   // so far in this event (store-and-forward processor model): CPU costs on
   // the send path are part of the message's latency, not just of later
   // events' queueing.
   const TimePoint departure = std::max(now_, busy_until_[src]);
+  const Duration extra = fault != nullptr ? fault->extra_latency : 0;
   for (int c = 0; c < copies; ++c) {
     const Duration latency =
         net.min_latency +
         static_cast<Duration>(rng.uniform_u64(static_cast<std::uint64_t>(
             net.max_latency - net.min_latency + 1)));
     // Duplicates share the same immutable buffer; no byte copy per copy.
-    push_packet_event(departure + latency, dst, src, data);
+    push_packet_event(departure + latency + extra, dst, src, data);
   }
 }
 
@@ -295,7 +380,8 @@ void SimWorld::dispatch(const Event& ev) {
   // Pool values are moved out *before* running handlers: a handler may push
   // new events, and an acquire can reallocate the pool's slot vector.
   switch (ev.kind) {
-    case EventKind::kClosure: {
+    case EventKind::kClosure:
+    case EventKind::kDriver: {
       const std::function<void()> fn = closures_.release(ev.att.pool);
       fn();
       break;
@@ -315,6 +401,7 @@ void SimWorld::dispatch(const Event& ev) {
 void SimWorld::discard(const Event& ev) {
   switch (ev.kind) {
     case EventKind::kClosure:
+    case EventKind::kDriver:
       (void)closures_.release(ev.att.pool);
       break;
     case EventKind::kPacket:

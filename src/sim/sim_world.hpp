@@ -6,23 +6,27 @@
 //  * an event heap ordered by (virtual time, insertion sequence) — fully
 //    deterministic given the world seed;
 //  * a network model: per-link latency drawn uniformly from a configured
-//    range, optional loss and duplication, and a pluggable link filter for
-//    partitions;
+//    range, optional loss and duplication, a pluggable link filter for
+//    partitions, and directional per-link fault overrides (asymmetric loss,
+//    slow links);
 //  * a processor model: every stack has a "busy-until" horizon; event
 //    handlers charge CPU costs (service hops, per-byte serialization) that
 //    push the horizon forward, so queueing delay — and therefore the
 //    latency-vs-load saturation the paper's Figure 6 shows — emerges from
 //    the model instead of being scripted;
-//  * fault injection: crash(node) and link filters (partitions).
+//  * fault injection: crash(node), crash-recovery (recover(node) restarts
+//    the stack with a bumped incarnation) and link filters (partitions).
 //
 // The engine runs on a single OS thread; all determinism derives from seeded
 // substreams (util/rng.hpp).  The same protocol code also runs on the
-// multi-threaded real-time engine in src/rt.
+// multi-threaded real-time engine in src/rt; drivers reach both through the
+// WorldControl interface (runtime/world.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <type_traits>
 #include <vector>
@@ -31,6 +35,7 @@
 #include "core/trace.hpp"
 #include "runtime/host.hpp"
 #include "runtime/time.hpp"
+#include "runtime/world.hpp"
 #include "util/rng.hpp"
 
 namespace dpu {
@@ -72,42 +77,58 @@ struct SimConfig {
   StackCostModel stack_cost;  ///< applied to every stack (service hop cost)
 };
 
-class SimWorld {
+class SimWorld final : public WorldControl {
  public:
   explicit SimWorld(SimConfig config, const ProtocolLibrary* library = nullptr,
                     TraceSink* trace = nullptr);
-  ~SimWorld();
+  ~SimWorld() override;
 
   SimWorld(const SimWorld&) = delete;
   SimWorld& operator=(const SimWorld&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
-  [[nodiscard]] Stack& stack(NodeId node) { return *stacks_[node]; }
-  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] std::size_t size() const override { return hosts_.size(); }
+  [[nodiscard]] Stack& stack(NodeId node) override { return *stacks_[node]; }
+  [[nodiscard]] TimePoint now() const override { return now_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
   // ---- Driver hooks --------------------------------------------------------
 
   /// Schedules a driver closure at absolute virtual time `t` (no CPU
   /// accounting; use for test/bench orchestration).
-  void at(TimePoint t, std::function<void()> fn);
+  void at(TimePoint t, std::function<void()> fn) override;
 
   /// Schedules a closure on `node`'s executor at time `t`; runs with that
   /// stack's busy-time accounting, as if triggered by a local event.
-  void at_node(TimePoint t, NodeId node, std::function<void()> fn);
+  void at_node(TimePoint t, NodeId node, std::function<void()> fn) override;
+
+  /// Single-threaded engine: runs `fn` immediately (with the stack's cost
+  /// accounting applying to whatever it charges).
+  void run_on_node(NodeId node, std::function<void()> fn) override;
 
   // ---- Fault injection ------------------------------------------------------
 
   /// Crashes a stack: all of its pending and future events are discarded and
-  /// packets addressed to it vanish.  Crash-stop, no recovery.
-  void crash(NodeId node);
+  /// packets addressed to it vanish.  Crash-stop until recover().
+  void crash(NodeId node) override;
 
-  [[nodiscard]] bool crashed(NodeId node) const { return crashed_[node]; }
-  [[nodiscard]] std::set<NodeId> crashed_set() const;
+  /// Crash-recovery: replaces the crashed stack with a fresh Stack on the
+  /// same node id.  The host keeps its identity but is reset — incarnation
+  /// bumped, timers/handlers cleared, RNG reseeded on an incarnation
+  /// substream — and every event of the old incarnation still in the heap
+  /// (timers, packets in flight to the node) is purged, so nothing of the
+  /// old life can fire into the new one.  The caller composes modules on
+  /// the fresh stack afterwards.
+  void recover(NodeId node) override;
+
+  [[nodiscard]] bool crashed(NodeId node) const override {
+    return crashed_[node];
+  }
+  [[nodiscard]] std::set<NodeId> crashed_set() const override;
 
   /// Installs a link filter: packets with filter(src,dst)==false are dropped.
   /// Used for partitions; pass nullptr to heal.
-  void set_link_filter(std::function<bool(NodeId, NodeId)> deliverable) {
+  void set_link_filter(
+      std::function<bool(NodeId, NodeId)> deliverable) override {
     link_filter_ = std::move(deliverable);
   }
 
@@ -115,10 +136,18 @@ class SimWorld {
   /// to packets sent from now on).  The scenario engine uses this for
   /// bounded lossy-link windows; draws stay on the per-link substreams, so
   /// runs remain deterministic.
-  void set_loss(double drop_probability, double duplicate_probability) {
+  void set_loss(double drop_probability,
+                double duplicate_probability) override {
     config_.net.drop_probability = drop_probability;
     config_.net.duplicate_probability = duplicate_probability;
   }
+
+  /// Directional per-link override of the loss model; also adds the fault's
+  /// extra_latency to every packet delivered on (src, dst).  Draws stay on
+  /// the per-link substream, so installing/clearing overrides preserves
+  /// determinism.
+  void set_link_fault(NodeId src, NodeId dst,
+                      std::optional<LinkFault> fault) override;
 
   // ---- Execution ------------------------------------------------------------
 
@@ -131,12 +160,23 @@ class SimWorld {
     return run_until(now_ + d, max_events);
   }
 
+  /// WorldControl::run — deterministic replay to `deadline`; `active_until`
+  /// and `quiesced` are rt concepts and ignored here (the heap draining IS
+  /// quiescence).
+  bool run(TimePoint /*active_until*/, TimePoint deadline,
+           std::uint64_t max_events,
+           const std::function<bool()>& /*quiesced*/ = nullptr) override {
+    return run_until(deadline, max_events);
+  }
+
   [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
   /// Events re-queued because their stack was busy (processor-model
   /// deferrals); a hot-loop health metric for benches.
   [[nodiscard]] std::uint64_t deferrals() const { return deferrals_; }
-  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
-  [[nodiscard]] std::uint64_t packets_dropped() const {
+  [[nodiscard]] std::uint64_t packets_sent() const override {
+    return packets_sent_;
+  }
+  [[nodiscard]] std::uint64_t packets_dropped() const override {
     return packets_dropped_;
   }
 
@@ -154,7 +194,11 @@ class SimWorld {
   /// shared_ptr/std::function move constructors, which is where a saturated
   /// run spends most of its time.  Payloads and closures live in free-list
   /// side pools indexed by `pool`.
-  enum class EventKind : std::uint8_t { kClosure, kPacket, kTimer };
+  /// kClosure = module-posted closure (dies with its incarnation);
+  /// kDriver = at()/at_node() control event (owned by the test/scenario
+  /// driver — survives a crash-recovery purge, so an update scheduled on a
+  /// node that recovers in between still fires).
+  enum class EventKind : std::uint8_t { kClosure, kDriver, kPacket, kTimer };
 
   struct Event {
     TimePoint time;
@@ -180,7 +224,8 @@ class SimWorld {
     }
   };
 
-  void push_event(TimePoint t, NodeId node, std::function<void()> fn);
+  void push_event(TimePoint t, NodeId node, std::function<void()> fn,
+                  EventKind kind = EventKind::kClosure);
   void push_packet_event(TimePoint t, NodeId dst, NodeId src, Payload payload);
   void push_timer_event(TimePoint t, NodeId node, TimerId id);
   void push_heap(Event ev);
@@ -188,6 +233,7 @@ class SimWorld {
   Event pop_heap_top();
   void dispatch(const Event& ev);
   void discard(const Event& ev);
+  void purge_node_events(NodeId node);
   void do_send_packet(NodeId src, NodeId dst, Payload data);
   void do_charge(NodeId node, Duration cost);
   Rng& link_rng(NodeId src, NodeId dst) {
@@ -224,6 +270,8 @@ class SimWorld {
   };
 
   SimConfig config_;
+  const ProtocolLibrary* library_ = nullptr;  // kept for recover()
+  TraceSink* trace_ = nullptr;                // kept for recover()
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
@@ -238,8 +286,13 @@ class SimWorld {
   std::vector<std::unique_ptr<Stack>> stacks_;
   std::vector<TimePoint> busy_until_;
   std::vector<bool> crashed_;
+  /// World-global incarnation stamp handed to the next recovery (see
+  /// recover(): stamps must outgrow every epoch any stack ever adopted).
+  std::uint32_t next_incarnation_ = 1;
   std::vector<Rng> link_rngs_;
   std::function<bool(NodeId, NodeId)> link_filter_;
+  /// Directional fault overrides (see LinkFaultTable).
+  LinkFaultTable link_faults_;
 };
 
 }  // namespace dpu

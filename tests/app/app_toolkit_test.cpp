@@ -46,9 +46,9 @@ TEST(Workload, FixedRateSendsExpectedCount) {
   struct Sink final : AbcastApi {
     std::uint64_t count = 0;
     std::vector<TimePoint> stamps;
-    void abcast(const Bytes& payload) override {
+    void abcast(Payload payload) override {
       ++count;
-      stamps.push_back(ProbePayload::parse(payload).send_time);
+      stamps.push_back(ProbePayload::parse(payload.to_bytes()).send_time);
     }
   };
   Sink sink;
@@ -77,7 +77,7 @@ TEST(Workload, PoissonRateApproximatesTarget) {
   Stack& stack = world.stack(0);
   struct Sink final : AbcastApi {
     std::uint64_t count = 0;
-    void abcast(const Bytes&) override { ++count; }
+    void abcast(Payload) override { ++count; }
   };
   Sink sink;
   struct SinkModule final : Module {

@@ -85,6 +85,103 @@ TEST(ScenarioRunner, PartitionBlocksAndHeals) {
   EXPECT_EQ(result.deliveries, result.messages_sent * spec.n);
 }
 
+TEST(ScenarioRunner, CrashRecoveryConvergesToNewProtocol) {
+  // Curated crash-recovery-switch: node 3 dies 5 ms into a replacement and
+  // restarts 2.5 s later with fresh protocol state.  The consensus catch-up
+  // must replay the missed history (including the switch marker) so the new
+  // incarnation re-performs the switch and the audit holds across the
+  // restart — the recovered node is a *correct* stack again.
+  const std::optional<ScenarioSpec> spec =
+      find_scenario("crash-recovery-switch");
+  ASSERT_TRUE(spec.has_value());
+  const ScenarioResult result = run_scenario(*spec, 17);
+  EXPECT_TRUE(result.abcast_report.ok) << result.abcast_report.summary();
+  EXPECT_TRUE(result.generic_report.ok) << result.generic_report.summary();
+  EXPECT_TRUE(result.crashed.empty());
+  EXPECT_EQ(result.recovered, std::set<NodeId>{3});
+  for (NodeId i = 0; i < spec->n; ++i) {
+    EXPECT_EQ(result.final_protocol[i], "abcast.ct") << "stack " << i;
+  }
+  // The recovered stack completed the switch too: the switch window closes
+  // only when the *last* stack finishes, which after a recovery is the
+  // replayed switch on the new incarnation (well after the request).
+  ASSERT_EQ(result.switch_windows.size(), 1u);
+  EXPECT_GE(result.switch_windows[0].second, spec->recoveries[0].at);
+}
+
+TEST(ScenarioRunner, CrashRecoveryWithoutUpdatesStaysClean) {
+  ScenarioSpec spec = small_spec("recover-plain");
+  spec.n = 3;
+  spec.crashes = {{kSecond, 2}};
+  spec.recoveries = {{2 * kSecond, 2}};
+  const ScenarioResult result = run_scenario(spec, 23);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_TRUE(result.crashed.empty());
+  EXPECT_EQ(result.recovered, std::set<NodeId>{2});
+  // The recovered node's replay resurfaces the full history: its live
+  // incarnation delivers everything any correct stack delivered (checked by
+  // the audit), and the per-node delivery totals stay exactly n per sent
+  // message *plus* the dead incarnation's deliveries.
+  EXPECT_GE(result.deliveries, result.messages_sent * spec.n);
+}
+
+TEST(ScenarioRunner, RecoveryIntoQuietGroupStillConverges) {
+  // The workload ends before the node recovers, so no new decisions ever
+  // arrive to reveal the gap: convergence rests entirely on the recovered
+  // incarnation's proactive start-time consensus_sync.  Agreement demands
+  // its live incarnation still deliver the full history.
+  ScenarioSpec spec = small_spec("recover-quiet");
+  spec.workload.stop_after = 1500 * kMillisecond;
+  spec.crashes = {{kSecond, 2}};
+  spec.recoveries = {{2500 * kMillisecond, 2}};
+  const ScenarioResult result = run_scenario(spec, 37);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_EQ(result.recovered, std::set<NodeId>{2});
+}
+
+TEST(ScenarioRunner, UpdateScheduledOnRecoveredInitiatorStillFires) {
+  // The update plan belongs to the scenario driver, not to a stack
+  // incarnation: a node that crashes and recovers *before* its scheduled
+  // update must still initiate it (the engine's recovery purge discards
+  // the dead incarnation's events, never driver control events).
+  ScenarioSpec spec = small_spec("recover-then-update");
+  spec.crashes = {{kSecond, 0}};
+  spec.recoveries = {{1500 * kMillisecond, 0}};
+  spec.updates = {{2500 * kMillisecond, 0, "abcast.ct"}};
+  const ScenarioResult result = run_scenario(spec, 31);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_EQ(result.recovered, std::set<NodeId>{0});
+  ASSERT_EQ(result.switch_windows.size(), 1u)
+      << "the update initiated by the recovered node never fired";
+  for (const std::string& protocol : result.final_protocol) {
+    EXPECT_EQ(protocol, "abcast.ct");
+  }
+}
+
+TEST(ScenarioRunner, LinkOverridesAreDirectional) {
+  // A window where only the 0 -> 1 direction is fully lossy.  Traffic still
+  // converges (rp2p retransmits after the window; 1 -> 0 stays clean), and
+  // the directional drop shows up in the packet counters.
+  ScenarioSpec spec = small_spec("asymmetric");
+  spec.loss_windows = {
+      {kSecond, 1500 * kMillisecond, 0.0, 0.0, {{0, 1, 1.0, 0.0, 0}}}};
+  const ScenarioResult result = run_scenario(spec, 29);
+  EXPECT_GT(result.packets_dropped, 0u);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary();
+
+  // Same window with zero drop but extra one-way latency: nothing dropped.
+  ScenarioSpec slow = small_spec("slow-link");
+  slow.loss_windows = {
+      {kSecond, 1500 * kMillisecond, 0.0, 0.0,
+       {{0, 1, 0.0, 0.0, 5 * kMillisecond}}}};
+  const ScenarioResult slow_result = run_scenario(slow, 29);
+  EXPECT_EQ(slow_result.packets_dropped, 0u);
+  EXPECT_TRUE(slow_result.ok()) << slow_result.abcast_report.summary();
+}
+
 TEST(ScenarioRunner, SameSeedReplaysToIdenticalJson) {
   const std::optional<ScenarioSpec> spec = find_scenario("lossy-link-switch");
   ASSERT_TRUE(spec.has_value());

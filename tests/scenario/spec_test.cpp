@@ -30,8 +30,14 @@ ScenarioSpec rich_spec() {
   spec.workload.start_after = 250 * kMillisecond;
   spec.workload.stop_after = 6 * kSecond;
   spec.crashes = {{3 * kSecond, 4}};
+  spec.recoveries = {{5 * kSecond, 4}};
   spec.partitions = {{kSecond, 2 * kSecond, {1, 2}}};
-  spec.loss_windows = {{500 * kMillisecond, 900 * kMillisecond, 0.2, 0.05}};
+  spec.loss_windows = {{500 * kMillisecond,
+                        900 * kMillisecond,
+                        0.2,
+                        0.05,
+                        {{0, 1, 0.5, 0.0, 2 * kMillisecond},
+                         {1, 0, 0.0, 0.1, 0}}}};
   spec.updates = {{2 * kSecond, 0, "abcast.seq"},
                   {4 * kSecond, 3, "abcast.ct"}};
   spec.hop_cost = 5 * kMicrosecond;
@@ -67,6 +73,17 @@ TEST(ScenarioSpec, UnknownKeysAreRejected) {
   EXPECT_THROW((void)ScenarioSpec::from_json_text(
                    R"({"name": "x", "workload": {"rate": 10}})"),
                std::runtime_error);
+}
+
+TEST(ScenarioSpec, EngineNamesRoundTrip) {
+  for (Engine e : {Engine::kSim, Engine::kRt}) {
+    EXPECT_EQ(engine_from_name(engine_name(e)), e);
+  }
+  EXPECT_THROW((void)engine_from_name("gpu"), std::runtime_error);
+  // The engine field survives the JSON round trip.
+  ScenarioSpec spec = rich_spec();
+  spec.engine = Engine::kRt;
+  EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()).engine, Engine::kRt);
 }
 
 TEST(ScenarioSpec, MechanismNamesRoundTrip) {
@@ -128,6 +145,31 @@ TEST(ScenarioSpec, ValidationCatchesBadSchedules) {
     ScenarioSpec s = rich_spec();
     s.updates = {{9 * kSecond, 0, "abcast.ct"}};  // after the workload window
     EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.recoveries = {{5 * kSecond, 2}};  // node 2 never crashed
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.recoveries = {{2 * kSecond, 4}};  // before the crash at 3 s
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.recoveries = {{4 * kSecond, 4}, {5 * kSecond, 4}};  // recovered twice
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.loss_windows[0].link_overrides = {{7, 0, 0.1, 0.0, 0}};  // src range
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.loss_windows[0].link_overrides = {{0, 1, 0.1, 0.0, -kSecond}};
+    EXPECT_FALSE(s.validate().empty());  // negative extra latency
   }
 }
 
