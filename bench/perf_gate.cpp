@@ -101,6 +101,15 @@ Json digest_campaign(const Json& doc) {
       if (const Json* r = counts.find("retransmissions")) {
         entry.set("retransmissions", r->as_int());
       }
+      // Per-update convergence latency (request -> last stack on the new
+      // version), in plan order; virtual-time, so exactly reproducible.
+      if (const Json* updates = run.find("updates")) {
+        Json conv = Json::array();
+        for (const Json& u : updates->items()) {
+          conv.push(u.at("convergence_ms").as_double());
+        }
+        entry.set("convergence_ms", std::move(conv));
+      }
       runs.push(std::move(entry));
     }
   }
@@ -157,6 +166,27 @@ int gate_campaign(const Json& baseline, const Json& current,
         where, "packets_sent",
         static_cast<double>(base.at("packets_sent").as_int()),
         static_cast<double>(counts.at("packets_sent").as_int()), count_tol);
+    if (const Json* base_conv = base.find("convergence_ms")) {
+      const Json* cur_updates = run->find("updates");
+      if (cur_updates == nullptr ||
+          cur_updates->size() != base_conv->size()) {
+        gate.fail(where,
+                  "update count changed (baseline " +
+                      std::to_string(base_conv->size()) + ", current " +
+                      std::to_string(cur_updates == nullptr
+                                         ? 0
+                                         : cur_updates->size()) +
+                      ")");
+      } else {
+        for (std::size_t k = 0; k < base_conv->size(); ++k) {
+          gate.check_band(
+              where, "convergence_ms[" + std::to_string(k) + "]",
+              base_conv->items()[k].as_double(),
+              cur_updates->items()[k].at("convergence_ms").as_double(),
+              latency_tol);
+        }
+      }
+    }
     const Json* base_retrans = base.find("retransmissions");
     const Json* cur_retrans = counts.find("retransmissions");
     if (base_retrans != nullptr && cur_retrans != nullptr) {

@@ -58,8 +58,11 @@ int main() {
   send(20 * kMillisecond, 1, "from");
   send(30 * kMillisecond, 2, "three stacks");
   world.at_node(40 * kMillisecond, 0, [&]() {
-    std::printf("--> stack 0 requests changeABcast(abcast.seq)\n");
-    stacks[0].repl->change_abcast("abcast.seq");
+    // The service-generic control plane: any replaceable service switches
+    // through the same call — request_update("consensus", "consensus.mr")
+    // would swap the consensus implementation instead.
+    std::printf("--> stack 0 requests update(abcast -> abcast.seq)\n");
+    stacks[0].update->request_update(kAbcastService, "abcast.seq");
   });
   send(41 * kMillisecond, 1, "switching");       // in flight during the switch
   send(60 * kMillisecond, 2, "now on the");
@@ -78,8 +81,10 @@ int main() {
   }
   std::printf("\nall stacks delivered the same sequence: %s\n",
               identical ? "yes" : "NO (bug!)");
-  std::printf("protocol after switch: %s (seqNumber=%llu)\n",
-              stacks[0].repl->current_protocol().c_str(),
-              static_cast<unsigned long long>(stacks[0].repl->seq_number()));
+  const UpdateStatus status =
+      stacks[0].update->current_version(kAbcastService);
+  std::printf("protocol after switch: %s (version=%llu)\n",
+              status.protocol.c_str(),
+              static_cast<unsigned long long>(status.version));
   return identical ? 0 : 1;
 }

@@ -20,6 +20,10 @@ ProtocolLibrary make_standard_library(const StandardStackOptions& options) {
   // The configured consensus provider answers recursive creation of the
   // "consensus" service.
   lib.set_default_provider(kConsensusService, options.consensus_protocol);
+  // The services the dynamic-update control plane may switch at runtime;
+  // everything else (transport, fd, ...) is pinned for the stack's lifetime.
+  lib.declare_replaceable(kAbcastService);
+  lib.declare_replaceable(kConsensusService);
   return lib;
 }
 
@@ -31,21 +35,33 @@ StandardStack build_standard_stack(Stack& stack,
   out.rbcast = RbcastModule::create(stack, kRbcastService, options.rbcast);
   out.fd = FdModule::create(stack, kFdService, options.fd);
 
-  const bool needs_consensus =
-      options.abcast_protocol == CtAbcastModule::kProtocolName;
-  if (options.eager_consensus || needs_consensus) {
-    if (options.consensus_protocol == CtConsensusModule::kProtocolName) {
-      out.consensus =
-          CtConsensusModule::create(stack, kConsensusService,
-                                    options.ct_consensus);
-    } else if (options.consensus_protocol ==
-               MrConsensusModule::kProtocolName) {
-      out.consensus =
-          MrConsensusModule::create(stack, kConsensusService,
-                                    options.mr_consensus);
-    } else {
-      throw std::logic_error("unknown consensus protocol '" +
-                             options.consensus_protocol + "'");
+  // The control plane goes in before any replacement layer: mechanisms
+  // self-register with it when they start.
+  if (options.with_update_manager) {
+    out.update = UpdateManagerModule::create(stack);
+  }
+
+  if (options.with_consensus_replacement) {
+    ReplConsensusModule::Config rc;
+    rc.initial_protocol = options.consensus_protocol;
+    out.repl_consensus = ReplConsensusModule::create(stack, rc);
+  } else {
+    const bool needs_consensus =
+        options.abcast_protocol == CtAbcastModule::kProtocolName;
+    if (options.eager_consensus || needs_consensus) {
+      if (options.consensus_protocol == CtConsensusModule::kProtocolName) {
+        out.consensus =
+            CtConsensusModule::create(stack, kConsensusService,
+                                      options.ct_consensus);
+      } else if (options.consensus_protocol ==
+                 MrConsensusModule::kProtocolName) {
+        out.consensus =
+            MrConsensusModule::create(stack, kConsensusService,
+                                      options.mr_consensus);
+      } else {
+        throw std::logic_error("unknown consensus protocol '" +
+                               options.consensus_protocol + "'");
+      }
     }
   }
 

@@ -31,6 +31,8 @@
 #include "net/rp2p.hpp"
 #include "net/udp_module.hpp"
 #include "repl/repl_abcast.hpp"
+#include "repl/repl_consensus.hpp"
+#include "repl/update.hpp"
 
 namespace dpu {
 
@@ -38,6 +40,15 @@ struct StandardStackOptions {
   /// Insert the Repl-ABcast indirection layer (paper §4).  When false, the
   /// ABcast protocol binds the "abcast" service directly.
   bool with_replacement_layer = true;
+  /// Insert the Repl-Consensus indirection layer: the consensus service is
+  /// provided by a facade and the real implementation ("consensus.ct" /
+  /// "consensus.mr") becomes hot-swappable through the UpdateApi, exactly
+  /// like the abcast layer.  Replaces the eager direct consensus module.
+  bool with_consensus_replacement = false;
+  /// Provide the "update" service (UpdateManagerModule): the service-generic
+  /// control plane every replacement layer of this stack registers with.
+  /// On by default — it costs one module and nothing at steady state.
+  bool with_update_manager = true;
   /// Initial ABcast provider: "abcast.ct", "abcast.seq" or "abcast.token".
   std::string abcast_protocol = CtAbcastModule::kProtocolName;
   /// Consensus provider backing CT-ABcast: "consensus.ct" or "consensus.mr".
@@ -72,7 +83,9 @@ struct StandardStack {
   RbcastModule* rbcast = nullptr;
   FdModule* fd = nullptr;
   ConsensusBase* consensus = nullptr;
+  UpdateManagerModule* update = nullptr;
   ReplAbcastModule* repl = nullptr;
+  ReplConsensusModule* repl_consensus = nullptr;
   TopicMuxModule* topics = nullptr;
   GmModule* gm = nullptr;
 };

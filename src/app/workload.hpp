@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "abcast/abcast.hpp"
 #include "app/probe.hpp"
@@ -15,9 +16,25 @@
 
 namespace dpu {
 
+/// One rate-shaping phase, relative to the module's start (like
+/// start_after/stop_after).  `ramp=false` multiplies the current rate by
+/// `value` inside [from, until); `ramp=true` interpolates the rate linearly
+/// toward `value` (an absolute rate) across the window and holds it after.
+struct WorkloadRatePhase {
+  bool ramp = false;
+  Duration from = 0;
+  Duration until = 0;
+  double value = 1.0;
+};
+
 struct WorkloadConfig {
   /// Messages per second issued by this stack.
   double rate_per_second = 100.0;
+  /// Ramp/burst schedule applied on top of `rate_per_second`, in list
+  /// order (empty = constant rate).  The effective rate is sampled at each
+  /// send's *intended* time, so a phase boundary takes effect within one
+  /// inter-send gap.
+  std::vector<WorkloadRatePhase> phases;
   /// Total wire size of each message (the probe header plus filler).
   std::size_t message_size = 64;
   /// Exponential inter-send gaps instead of a fixed period.
@@ -48,7 +65,11 @@ class WorkloadModule final : public Module {
 
   void start() override {
     start_time_ = env().now();
-    next_intended_ = start_time_ + config_.start_after + gap();
+    // Set the window start before drawing the first gap: gap() samples the
+    // phase schedule at next_intended_, and the first sample must land at
+    // elapsed start_after, not at a bogus negative elapsed.
+    next_intended_ = start_time_ + config_.start_after;
+    next_intended_ += gap();
     schedule_fire();
   }
 
@@ -57,8 +78,30 @@ class WorkloadModule final : public Module {
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
 
  private:
+  /// Effective rate at `elapsed` since module start, after applying the
+  /// phase schedule.  Validation guarantees the result stays positive.
+  [[nodiscard]] double rate_at(Duration elapsed) const {
+    double rate = config_.rate_per_second;
+    for (const WorkloadRatePhase& p : config_.phases) {
+      if (p.ramp) {
+        if (elapsed >= p.until) {
+          rate = p.value;
+        } else if (elapsed >= p.from && p.until > p.from) {
+          const double progress =
+              static_cast<double>(elapsed - p.from) /
+              static_cast<double>(p.until - p.from);
+          rate += (p.value - rate) * progress;
+        }
+      } else if (elapsed >= p.from && elapsed < p.until) {
+        rate *= p.value;
+      }
+    }
+    return rate;
+  }
+
   [[nodiscard]] Duration gap() {
-    const double mean_gap_s = 1.0 / config_.rate_per_second;
+    const double rate = rate_at(next_intended_ - start_time_);
+    const double mean_gap_s = 1.0 / rate;
     const double gap_s = config_.poisson
                              ? env().rng().exponential(mean_gap_s)
                              : mean_gap_s;

@@ -1,0 +1,164 @@
+// ProtocolRegistry: the factory-by-library-name registry behind dynamic
+// module creation, extracted from core/stack.hpp (where it started life as
+// `ProtocolLibrary`) so the dynamic-update control plane can reason about it
+// directly.
+//
+// The registry answers three questions:
+//  * "create the module for library name p" — Algorithm 1's create_module
+//    looks factories up here (Stack::create_module, lines 22-28);
+//  * "which protocol provides service s by default" — the recursive-creation
+//    step of the same algorithm (line 27);
+//  * "may service s be replaced at runtime, and by which libraries" — the
+//    declaration the service-generic UpdateApi (repl/update.hpp) validates
+//    update requests against.  A service that is never declared replaceable
+//    cannot be switched through the control plane, no matter which libraries
+//    could implement it.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dpu {
+
+class Module;
+class Stack;
+
+/// String key/value parameters handed to module factories (timeouts, batch
+/// sizes, protocol-specific knobs).  Kept as strings so parameters can ride
+/// inside replacement messages unchanged.
+class ModuleParams {
+ public:
+  ModuleParams() = default;
+
+  ModuleParams& set(const std::string& key, std::string value) {
+    kv_[key] = std::move(value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+  /// Integer view of a parameter.  Malformed or out-of-range values yield
+  /// `fallback` — parameters ride inside replacement messages from other
+  /// stacks, so garbage must not throw mid-switch.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const std::int64_t value = std::stoll(it->second, &consumed);
+      // Trailing garbage ("12abc") is malformed, not the number 12.
+      return consumed == it->second.size() ? value : fallback;
+    } catch (const std::invalid_argument&) {
+      return fallback;
+    } catch (const std::out_of_range&) {
+      return fallback;
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.count(key) != 0;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return kv_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Registry entry describing one protocol implementation.
+struct ProtocolInfo {
+  /// Registry key (the *library name*), e.g. "abcast.ct", "consensus.mr".
+  std::string protocol;
+  /// Service this protocol provides when no explicit name is given.
+  std::string default_service;
+  /// Public names of the services this protocol requires (paper Fig. 1:
+  /// the gray trapezoids).  Used by create_module's recursion.
+  std::vector<std::string> requires_services;
+  /// Creates the module inside `stack`, binds it to `provide_as`, and
+  /// returns it (non-owning; the stack owns it).
+  std::function<Module*(Stack& stack, const std::string& provide_as,
+                        const ModuleParams& params)>
+      factory;
+};
+
+/// Immutable (after setup) registry shared by all stacks of a world.  Maps
+/// library names to factories, services to their default provider — the
+/// "find a module q providing service s" step of Algorithm 1 line 27 — and
+/// declares which services are replaceable at runtime.
+class ProtocolRegistry {
+ public:
+  void register_protocol(ProtocolInfo info) {
+    assert(!info.protocol.empty());
+    const std::string service = info.default_service;
+    auto [it, inserted] = protocols_.emplace(info.protocol, std::move(info));
+    assert(inserted && "duplicate protocol registration");
+    (void)inserted;
+    // First registered provider becomes the service default.
+    if (!service.empty() && default_provider_.count(service) == 0) {
+      default_provider_[service] = it->second.protocol;
+    }
+  }
+
+  /// Overrides which protocol create_module picks for a required service.
+  void set_default_provider(const std::string& service,
+                            const std::string& protocol) {
+    assert(protocols_.count(protocol) != 0);
+    default_provider_[service] = protocol;
+  }
+
+  /// Declares `service` switchable through the dynamic-update control plane.
+  /// UpdateManagerModule::request_update rejects services never declared
+  /// here — replaceability is a composition decision, not a capability every
+  /// service silently has.
+  void declare_replaceable(const std::string& service) {
+    replaceable_.insert(service);
+  }
+
+  [[nodiscard]] bool replaceable(const std::string& service) const {
+    return replaceable_.count(service) != 0;
+  }
+
+  /// Library names that provide `service` as their default service — the
+  /// candidate targets of an update of that service, in registry order.
+  [[nodiscard]] std::vector<std::string> libraries_for(
+      const std::string& service) const {
+    std::vector<std::string> out;
+    for (const auto& [name, info] : protocols_) {
+      if (info.default_service == service) out.push_back(name);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const ProtocolInfo* find(const std::string& protocol) const {
+    auto it = protocols_.find(protocol);
+    return it == protocols_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const ProtocolInfo* default_provider(
+      const std::string& service) const {
+    auto it = default_provider_.find(service);
+    return it == default_provider_.end() ? nullptr : find(it->second);
+  }
+
+ private:
+  std::map<std::string, ProtocolInfo> protocols_;
+  std::map<std::string, std::string> default_provider_;
+  std::set<std::string> replaceable_;
+};
+
+/// Historical name, kept so module register_protocol signatures and existing
+/// composition code read unchanged.
+using ProtocolLibrary = ProtocolRegistry;
+
+}  // namespace dpu

@@ -19,118 +19,12 @@
 #include <vector>
 
 #include "core/module.hpp"
+#include "core/registry.hpp"
 #include "core/service.hpp"
 #include "core/trace.hpp"
 #include "runtime/host.hpp"
 
 namespace dpu {
-
-/// String key/value parameters handed to module factories (timeouts, batch
-/// sizes, protocol-specific knobs).  Kept as strings so parameters can ride
-/// inside replacement messages unchanged.
-class ModuleParams {
- public:
-  ModuleParams() = default;
-
-  ModuleParams& set(const std::string& key, std::string value) {
-    kv_[key] = std::move(value);
-    return *this;
-  }
-
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback = "") const {
-    auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : it->second;
-  }
-
-  /// Integer view of a parameter.  Malformed or out-of-range values yield
-  /// `fallback` — parameters ride inside replacement messages from other
-  /// stacks, so garbage must not throw mid-switch.
-  [[nodiscard]] std::int64_t get_int(const std::string& key,
-                                     std::int64_t fallback) const {
-    auto it = kv_.find(key);
-    if (it == kv_.end()) return fallback;
-    try {
-      std::size_t consumed = 0;
-      const std::int64_t value = std::stoll(it->second, &consumed);
-      // Trailing garbage ("12abc") is malformed, not the number 12.
-      return consumed == it->second.size() ? value : fallback;
-    } catch (const std::invalid_argument&) {
-      return fallback;
-    } catch (const std::out_of_range&) {
-      return fallback;
-    }
-  }
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return kv_.count(key) != 0;
-  }
-
-  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
-    return kv_;
-  }
-
- private:
-  std::map<std::string, std::string> kv_;
-};
-
-class Stack;
-
-/// Registry entry describing one protocol implementation.
-struct ProtocolInfo {
-  /// Registry key, e.g. "abcast.ct", "consensus.mr".
-  std::string protocol;
-  /// Service this protocol provides when no explicit name is given.
-  std::string default_service;
-  /// Public names of the services this protocol requires (paper Fig. 1:
-  /// the gray trapezoids).  Used by create_module's recursion.
-  std::vector<std::string> requires_services;
-  /// Creates the module inside `stack`, binds it to `provide_as`, and
-  /// returns it (non-owning; the stack owns it).
-  std::function<Module*(Stack& stack, const std::string& provide_as,
-                        const ModuleParams& params)>
-      factory;
-};
-
-/// Immutable (after setup) registry shared by all stacks of a world.  Maps
-/// protocol names to factories and services to their default provider — the
-/// "find a module q providing service s" step of Algorithm 1 line 27.
-class ProtocolLibrary {
- public:
-  void register_protocol(ProtocolInfo info) {
-    assert(!info.protocol.empty());
-    const std::string service = info.default_service;
-    auto [it, inserted] = protocols_.emplace(info.protocol, std::move(info));
-    assert(inserted && "duplicate protocol registration");
-    (void)inserted;
-    // First registered provider becomes the service default.
-    if (!service.empty() && default_provider_.count(service) == 0) {
-      default_provider_[service] = it->second.protocol;
-    }
-  }
-
-  /// Overrides which protocol create_module picks for a required service.
-  void set_default_provider(const std::string& service,
-                            const std::string& protocol) {
-    assert(protocols_.count(protocol) != 0);
-    default_provider_[service] = protocol;
-  }
-
-  [[nodiscard]] const ProtocolInfo* find(const std::string& protocol) const {
-    auto it = protocols_.find(protocol);
-    return it == protocols_.end() ? nullptr : &it->second;
-  }
-
-  [[nodiscard]] const ProtocolInfo* default_provider(
-      const std::string& service) const {
-    auto it = default_provider_.find(service);
-    return it == default_provider_.end() ? nullptr : find(it->second);
-  }
-
- private:
-  std::map<std::string, ProtocolInfo> protocols_;
-  std::map<std::string, std::string> default_provider_;
-};
 
 /// Per-call cost model (see DESIGN.md §8).  The simulator charges
 /// `service_hop_cost` of stack CPU time for every service call and every

@@ -42,6 +42,8 @@ GracefulSwitchModule::GracefulSwitchModule(Stack& stack,
       ctl_channel_(fnv1a64(Module::instance_name() + "/ctl")) {}
 
 void GracefulSwitchModule::start() {
+  manager_ = UpdateManagerModule::of(stack());
+  if (manager_ != nullptr) manager_->register_mechanism(this);
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(ctl_channel_,
                            [this](NodeId from, const Payload& data) {
@@ -49,6 +51,7 @@ void GracefulSwitchModule::start() {
                            });
   });
   cur_protocol_ = config_.initial_protocol;
+  active_protocol_ = config_.initial_protocol;
   // AAC version 0.
   ModuleParams params = config_.initial_params;
   params.set("instance", cur_protocol_ + "@aac#0");
@@ -57,6 +60,7 @@ void GracefulSwitchModule::start() {
 }
 
 void GracefulSwitchModule::stop() {
+  if (manager_ != nullptr) manager_->unregister_mechanism(this);
   rp2p_.call([this](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(ctl_channel_); });
   stack().unlisten<AbcastListener>(aac_service(version_), this);
 }
@@ -261,9 +265,13 @@ void GracefulSwitchModule::activate() {
   phase_ = Phase::kIdle;
   is_ca_ = false;
   ++switches_completed_;
+  active_protocol_ = cur_protocol_;
   total_queue_window_ += env().now() - queue_since_;
   stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
                 kTraceActivated);
+  if (manager_ != nullptr) {
+    manager_->notify_update_complete(*this, active_protocol_, version_);
+  }
   while (!queued_calls_.empty()) {
     Payload payload = std::move(queued_calls_.front());
     queued_calls_.pop_front();

@@ -34,6 +34,7 @@
 #include "core/module.hpp"
 #include "core/stack.hpp"
 #include "net/services.hpp"
+#include "repl/update.hpp"
 
 namespace dpu {
 
@@ -47,7 +48,8 @@ struct GracefulConfig {
 
 class GracefulSwitchModule final : public Module,
                                    public AbcastApi,
-                                   public AbcastListener {
+                                   public AbcastListener,
+                                   public UpdateMechanism {
  public:
   using Config = GracefulConfig;
 
@@ -69,6 +71,23 @@ class GracefulSwitchModule final : public Module,
   /// Graceful Adaptation restriction.
   void change_adaptation(const std::string& protocol,
                          const ModuleParams& params = ModuleParams());
+
+  // ---- UpdateMechanism (repl/update.hpp) -----------------------------------
+  [[nodiscard]] const std::string& update_service() const override {
+    return config_.facade_service;
+  }
+  [[nodiscard]] const char* update_mechanism_name() const override {
+    return "graceful";
+  }
+  void request_update(const std::string& protocol,
+                      const ModuleParams& params) override {
+    change_adaptation(protocol, params);
+  }
+  /// The *activated* AAC, not the prepared one: until barrier round 3 the
+  /// application still runs on the old protocol.
+  [[nodiscard]] UpdateStatus update_status() const override {
+    return UpdateStatus{active_protocol_, version_};
+  }
 
   [[nodiscard]] std::uint64_t switches_completed() const {
     return switches_completed_;
@@ -116,12 +135,14 @@ class GracefulSwitchModule final : public Module,
   Config config_;
   ServiceRef<Rp2pApi> rp2p_;
   UpcallRef<AbcastListener> up_;
+  UpdateManagerModule* manager_ = nullptr;  // null when composed standalone
   ChannelId ctl_channel_;
 
   std::uint64_t version_ = 0;  // active AAC version
   std::uint64_t next_local_ = 1;
   std::set<MsgId> in_flight_;  // own messages not yet self-delivered
-  std::string cur_protocol_;
+  std::string cur_protocol_;     // latest prepared AAC
+  std::string active_protocol_;  // AAC the application actually runs on
 
   Phase phase_ = Phase::kIdle;
   std::uint64_t switch_id_ = 0;  // == version_ + 1 while switching

@@ -43,6 +43,8 @@ MaestroSwitchModule::MaestroSwitchModule(Stack& stack,
       ready_channel_(fnv1a64(Module::instance_name() + "/ready")) {}
 
 void MaestroSwitchModule::start() {
+  manager_ = UpdateManagerModule::of(stack());
+  if (manager_ != nullptr) manager_->register_mechanism(this);
   stack().listen<AbcastListener>(config_.inner_service, this, this);
   rp2p_.call([this](Rp2pApi& rp2p) {
     rp2p.rp2p_bind_channel(ready_channel_,
@@ -61,6 +63,7 @@ void MaestroSwitchModule::start() {
 }
 
 void MaestroSwitchModule::stop() {
+  if (manager_ != nullptr) manager_->unregister_mechanism(this);
   stack().unlisten<AbcastListener>(config_.inner_service, this);
   rp2p_.call([this](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(ready_channel_); });
 }
@@ -190,6 +193,9 @@ void MaestroSwitchModule::maybe_unblock() {
   ++switches_completed_;
   stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
                 kTraceUnblocked);
+  if (manager_ != nullptr) {
+    manager_->notify_update_complete(*this, cur_protocol_, version_);
+  }
 
   // Re-issue in-flight messages lost with the old stack, then the calls
   // queued while blocked.

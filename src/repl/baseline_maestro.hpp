@@ -32,6 +32,7 @@
 #include "core/module.hpp"
 #include "core/stack.hpp"
 #include "net/services.hpp"
+#include "repl/update.hpp"
 
 namespace dpu {
 
@@ -46,7 +47,8 @@ struct MaestroConfig {
 
 class MaestroSwitchModule final : public Module,
                                   public AbcastApi,
-                                  public AbcastListener {
+                                  public AbcastListener,
+                                  public UpdateMechanism {
  public:
   using Config = MaestroConfig;
 
@@ -66,6 +68,21 @@ class MaestroSwitchModule final : public Module,
   /// Requests a full-stack switch to `protocol` (totally ordered cut).
   void change_stack(const std::string& protocol,
                     const ModuleParams& params = ModuleParams());
+
+  // ---- UpdateMechanism (repl/update.hpp) -----------------------------------
+  [[nodiscard]] const std::string& update_service() const override {
+    return config_.facade_service;
+  }
+  [[nodiscard]] const char* update_mechanism_name() const override {
+    return "maestro";
+  }
+  void request_update(const std::string& protocol,
+                      const ModuleParams& params) override {
+    change_stack(protocol, params);
+  }
+  [[nodiscard]] UpdateStatus update_status() const override {
+    return UpdateStatus{cur_protocol_, version_};
+  }
 
   [[nodiscard]] bool blocked() const { return blocked_; }
   [[nodiscard]] std::uint64_t switches_completed() const {
@@ -95,6 +112,7 @@ class MaestroSwitchModule final : public Module,
   ServiceRef<AbcastApi> inner_;
   ServiceRef<Rp2pApi> rp2p_;
   UpcallRef<AbcastListener> up_;
+  UpdateManagerModule* manager_ = nullptr;  // null when composed standalone
   ChannelId ready_channel_;
 
   std::uint64_t version_ = 0;  // sn: stamps messages; ++ at each stack switch

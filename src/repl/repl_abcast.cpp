@@ -44,6 +44,8 @@ ReplAbcastModule::ReplAbcastModule(Stack& stack, std::string instance_name,
 
 void ReplAbcastModule::start() {
   next_local_ = incarnation_seq_base(env().incarnation()) + 1;
+  manager_ = UpdateManagerModule::of(stack());
+  if (manager_ != nullptr) manager_->register_mechanism(this);
   // Intercept responses of whichever module is bound to the inner service.
   stack().listen<AbcastListener>(config_.inner_service, this, this);
   // Install the initial protocol (seqNumber 0).
@@ -55,6 +57,7 @@ void ReplAbcastModule::start() {
 }
 
 void ReplAbcastModule::stop() {
+  if (manager_ != nullptr) manager_->unregister_mechanism(this);
   stack().unlisten<AbcastListener>(config_.inner_service, this);
   retire_timers_.clear();
 }
@@ -189,6 +192,9 @@ void ReplAbcastModule::perform_switch(const std::string& protocol,
   stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
                 std::string(kTraceSwitchDone) + ":" + protocol + ":sn=" +
                     std::to_string(seq_number_));
+  if (manager_ != nullptr) {
+    manager_->notify_update_complete(*this, protocol, seq_number_);
+  }
 
   // Optional extension: retire the old module once the switch has settled.
   if (old_module != nullptr && config_.retire_after > 0) {

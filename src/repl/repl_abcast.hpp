@@ -39,6 +39,7 @@
 #include "abcast/abcast.hpp"
 #include "core/module.hpp"
 #include "core/stack.hpp"
+#include "repl/update.hpp"
 
 namespace dpu {
 
@@ -57,7 +58,8 @@ struct ReplAbcastConfig {
 
 class ReplAbcastModule final : public Module,
                                public AbcastApi,
-                               public AbcastListener {
+                               public AbcastListener,
+                               public UpdateMechanism {
  public:
   using Config = ReplAbcastConfig;
 
@@ -80,6 +82,22 @@ class ReplAbcastModule final : public Module,
   /// ABcast delivery order.
   void change_abcast(const std::string& protocol,
                      const ModuleParams& params = ModuleParams());
+
+  // ---- UpdateMechanism (repl/update.hpp): the same switch, driven through
+  // the service-generic control plane ----------------------------------------
+  [[nodiscard]] const std::string& update_service() const override {
+    return config_.facade_service;
+  }
+  [[nodiscard]] const char* update_mechanism_name() const override {
+    return "repl";
+  }
+  void request_update(const std::string& protocol,
+                      const ModuleParams& params) override {
+    change_abcast(protocol, params);
+  }
+  [[nodiscard]] UpdateStatus update_status() const override {
+    return UpdateStatus{cur_protocol_, seq_number_};
+  }
 
   // ---- Introspection --------------------------------------------------------
   [[nodiscard]] std::uint64_t seq_number() const { return seq_number_; }
@@ -113,6 +131,7 @@ class ReplAbcastModule final : public Module,
   Config config_;
   ServiceRef<AbcastApi> inner_;
   UpcallRef<AbcastListener> up_;
+  UpdateManagerModule* manager_ = nullptr;  // null when composed standalone
 
   std::uint64_t seq_number_ = 0;  // Algorithm 1 line 4
   std::uint64_t next_local_ = 1;  // id generator for this stack's messages

@@ -1,5 +1,7 @@
 #include "repl/repl_consensus.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace dpu {
@@ -86,6 +88,8 @@ ReplConsensusModule::ReplConsensusModule(Stack& stack,
       announce_channel_(fnv1a64(Module::instance_name() + "/switch")) {}
 
 void ReplConsensusModule::start() {
+  manager_ = UpdateManagerModule::of(stack());
+  if (manager_ != nullptr) manager_->register_mechanism(this);
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_bind_channel(announce_channel_,
                                [this](NodeId from, const Payload& data) {
@@ -96,9 +100,22 @@ void ReplConsensusModule::start() {
 }
 
 void ReplConsensusModule::stop() {
+  if (manager_ != nullptr) manager_->unregister_mechanism(this);
   rbcast_.call([this](RbcastApi& rbcast) {
     rbcast.rbcast_release_channel(announce_channel_);
   });
+}
+
+UpdateStatus ReplConsensusModule::update_status() const {
+  // The slowest routed stream defines the stack-wide version; with no
+  // routed streams the latest announced version rules (nothing is pinned to
+  // an older protocol).
+  std::uint32_t version = static_cast<std::uint32_t>(versions_.size()) - 1;
+  for (const auto& [stream, st] : streams_) {
+    (void)stream;
+    if (st.routed) version = std::min(version, st.auth);
+  }
+  return UpdateStatus{versions_[version].protocol, version};
 }
 
 std::uint32_t ReplConsensusModule::stream_version(StreamId stream) const {
@@ -164,10 +181,16 @@ void ReplConsensusModule::create_version(std::uint32_t version,
   assert(api != nullptr);
   versions_.push_back(VersionInfo{protocol, api});
   if (version > 0) {
-    // Version 0 is the initial composition, not a switch.
+    // Version 0 is the initial composition, not a switch.  Creation of the
+    // new inner module is the per-stack completion point (streams migrate
+    // lazily at their next decided instance, but from here on this stack
+    // routes fresh proposals through the new protocol).
     stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
                   std::string(kTraceVersionCreated) + ":" + protocol + ":v=" +
                       std::to_string(version));
+    if (manager_ != nullptr) {
+      manager_->notify_update_complete(*this, protocol, version);
+    }
   }
   DPU_LOG(kInfo, "repl-cons") << "s" << env().node_id()
                               << " consensus version " << version << " = "

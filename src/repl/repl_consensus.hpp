@@ -42,6 +42,7 @@
 #include "consensus/consensus.hpp"
 #include "core/module.hpp"
 #include "core/stack.hpp"
+#include "repl/update.hpp"
 
 namespace dpu {
 
@@ -53,7 +54,9 @@ struct ReplConsensusConfig {
   ModuleParams initial_params;
 };
 
-class ReplConsensusModule final : public Module, public ConsensusApi {
+class ReplConsensusModule final : public Module,
+                                  public ConsensusApi,
+                                  public UpdateMechanism {
  public:
   using Config = ReplConsensusConfig;
 
@@ -77,6 +80,22 @@ class ReplConsensusModule final : public Module, public ConsensusApi {
   /// each stream migrates at its next decided instance.
   void change_consensus(const std::string& protocol,
                         const ModuleParams& params = ModuleParams());
+
+  // ---- UpdateMechanism (repl/update.hpp) -----------------------------------
+  [[nodiscard]] const std::string& update_service() const override {
+    return config_.facade_service;
+  }
+  [[nodiscard]] const char* update_mechanism_name() const override {
+    return "repl-consensus";
+  }
+  void request_update(const std::string& protocol,
+                      const ModuleParams& params) override {
+    change_consensus(protocol, params);
+  }
+  /// Consensus migrates lazily per stream, so "the current version" is the
+  /// slowest routed stream's authoritative version: a stack reports the new
+  /// protocol only once every stream it serves has crossed its boundary.
+  [[nodiscard]] UpdateStatus update_status() const override;
 
   [[nodiscard]] std::size_t version_count() const { return versions_.size(); }
   [[nodiscard]] const std::string& protocol_of(std::size_t version) const {
@@ -126,6 +145,7 @@ class ReplConsensusModule final : public Module, public ConsensusApi {
 
   Config config_;
   ServiceRef<RbcastApi> rbcast_;
+  UpdateManagerModule* manager_ = nullptr;  // null when composed standalone
   ChannelId announce_channel_;
   std::vector<VersionInfo> versions_;
   std::map<StreamId, StreamState> streams_;

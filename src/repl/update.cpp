@@ -1,0 +1,130 @@
+#include "repl/update.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+UpdateManagerModule* UpdateManagerModule::create(Stack& stack) {
+  auto* m = stack.emplace_module<UpdateManagerModule>(stack, kInstanceName);
+  stack.bind<UpdateApi>(kUpdateService, m, m);
+  return m;
+}
+
+UpdateManagerModule* UpdateManagerModule::of(Stack& stack) {
+  return dynamic_cast<UpdateManagerModule*>(stack.find_module(kInstanceName));
+}
+
+UpdateManagerModule::UpdateManagerModule(Stack& stack,
+                                         std::string instance_name)
+    : Module(stack, std::move(instance_name)),
+      up_(stack.upcalls<UpdateListener>(kUpdateService)) {}
+
+// ---------------------------------------------------------------------------
+// UpdateApi
+// ---------------------------------------------------------------------------
+
+void UpdateManagerModule::request_update(const std::string& service,
+                                         const std::string& protocol,
+                                         const ModuleParams& params) {
+  const ProtocolRegistry* registry = stack().library();
+  if (registry == nullptr) {
+    throw std::invalid_argument(
+        "request_update: stack has no protocol registry");
+  }
+  const ProtocolInfo* info = registry->find(protocol);
+  if (info == nullptr) {
+    throw std::invalid_argument("request_update: unknown library '" +
+                                protocol + "'");
+  }
+  if (!registry->replaceable(service)) {
+    throw std::invalid_argument("request_update: service '" + service +
+                                "' is not declared replaceable");
+  }
+  if (info->default_service != service) {
+    throw std::invalid_argument("request_update: library '" + protocol +
+                                "' provides service '" +
+                                info->default_service + "', not '" + service +
+                                "'");
+  }
+  UpdateMechanism* mechanism = mechanism_for(service);
+  if (mechanism == nullptr) {
+    throw std::invalid_argument(
+        "request_update: no update mechanism manages service '" + service +
+        "' on this stack");
+  }
+  stack().trace(TraceKind::kCustom, kUpdateService, instance_name(),
+                std::string(kTraceRequested) + ":" + service + ":" + protocol);
+  mechanism->request_update(protocol, params);
+}
+
+UpdateStatus UpdateManagerModule::current_version(
+    const std::string& service) const {
+  UpdateMechanism* mechanism = mechanism_for(service);
+  if (mechanism == nullptr) {
+    throw std::invalid_argument(
+        "current_version: no update mechanism manages service '" + service +
+        "' on this stack");
+  }
+  return mechanism->update_status();
+}
+
+// ---------------------------------------------------------------------------
+// Mechanism side
+// ---------------------------------------------------------------------------
+
+void UpdateManagerModule::register_mechanism(UpdateMechanism* mechanism) {
+  const std::string& service = mechanism->update_service();
+  auto [it, inserted] = mechanisms_.emplace(service, mechanism);
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("update: two mechanisms registered for service '" +
+                           service + "'");
+  }
+}
+
+void UpdateManagerModule::unregister_mechanism(UpdateMechanism* mechanism) {
+  auto it = mechanisms_.find(mechanism->update_service());
+  if (it != mechanisms_.end() && it->second == mechanism) {
+    mechanisms_.erase(it);
+  }
+}
+
+void UpdateManagerModule::notify_update_complete(UpdateMechanism& mechanism,
+                                                 const std::string& protocol,
+                                                 std::uint64_t version) {
+  ++updates_completed_;
+  UpdateEvent event;
+  event.service = mechanism.update_service();
+  event.protocol = protocol;
+  event.mechanism = mechanism.update_mechanism_name();
+  event.version = version;
+  event.at = env().now();
+  stack().trace(TraceKind::kCustom, kUpdateService, instance_name(),
+                std::string(kTraceDone) + ":" + event.service + ":" +
+                    protocol + ":v=" + std::to_string(version));
+  up_.notify([&](UpdateListener& l) { l.on_update_complete(event); });
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> UpdateManagerModule::managed_services() const {
+  std::vector<std::string> out;
+  out.reserve(mechanisms_.size());
+  for (const auto& [service, mechanism] : mechanisms_) {
+    (void)mechanism;
+    out.push_back(service);
+  }
+  return out;
+}
+
+UpdateMechanism* UpdateManagerModule::mechanism_for(
+    const std::string& service) const {
+  auto it = mechanisms_.find(service);
+  return it == mechanisms_.end() ? nullptr : it->second;
+}
+
+}  // namespace dpu

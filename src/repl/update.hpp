@@ -1,0 +1,166 @@
+// UpdateApi — the service-generic dynamic-update control plane.
+//
+// The paper's claim is that dynamic protocol update needs only the
+// *specification* of the service being replaced; nothing about the approach
+// is specific to atomic broadcast.  This header makes that claim an API:
+//
+//  * `UpdateApi` (provided by `UpdateManagerModule` on the "update" service)
+//    is the single entry point applications and drivers use to switch any
+//    replaceable layer: `request_update(service, library, params)`,
+//    `current_version(service)`, and completion upcalls (`UpdateListener`).
+//  * `UpdateMechanism` is the strategy interface behind it.  Each of the
+//    four replacement machineries in this repo — Repl-ABcast (Algorithm 1),
+//    Repl-Consensus (the paper's future-work extension), and the Maestro /
+//    Graceful-Adaptation baselines — implements it, so "switch the abcast
+//    protocol via Algorithm 1" and "switch the consensus implementation
+//    underneath an unmodified CT-ABcast" are the same call with different
+//    `service` arguments.
+//  * The `ProtocolRegistry` (core/registry.hpp) supplies the static side:
+//    which services are declared replaceable and which library names
+//    implement them.  `request_update` validates against it, so a typo'd
+//    library or an update of a never-declared service fails fast at the
+//    control plane instead of deep inside a mechanism.
+//
+// The manager is deliberately thin: mechanisms keep owning their wire
+// protocols and switch algorithms; the manager owns validation, dispatch,
+// version bookkeeping and completion fan-out (listeners + the generic trace
+// markers the scenario engine's convergence measurement consumes).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+
+namespace dpu {
+
+inline constexpr char kUpdateService[] = "update";
+
+/// What a service is currently running, as seen by the local stack.
+struct UpdateStatus {
+  /// Library name of the running implementation (e.g. "consensus.mr").
+  std::string protocol;
+  /// Completed switches of this service on this stack (0 = initial).
+  std::uint64_t version = 0;
+};
+
+/// Completion record delivered to UpdateListeners when the *local* stack
+/// finishes running an update (every stack performs every update; listeners
+/// on different stacks fire at their own completion points).
+struct UpdateEvent {
+  std::string service;
+  std::string protocol;   ///< library now running
+  std::string mechanism;  ///< mechanism that executed the switch
+  std::uint64_t version = 0;
+  TimePoint at = 0;
+};
+
+/// Response interface of the "update" service.
+struct UpdateListener {
+  virtual ~UpdateListener() = default;
+  virtual void on_update_complete(const UpdateEvent& event) = 0;
+};
+
+/// Strategy interface: one replacement machinery managing one service.
+/// Implementations register with the stack's UpdateManagerModule at start
+/// (and unregister at stop), which is how the control plane learns what is
+/// switchable on this stack.
+class UpdateMechanism {
+ public:
+  virtual ~UpdateMechanism() = default;
+
+  /// The (facade) service this mechanism manages, e.g. "abcast".
+  [[nodiscard]] virtual const std::string& update_service() const = 0;
+
+  /// Stable mechanism identifier ("repl", "maestro", ...), for traces and
+  /// completion events.
+  [[nodiscard]] virtual const char* update_mechanism_name() const = 0;
+
+  /// Initiates a *global* switch of the managed service to `protocol` (a
+  /// registry library name).  Asynchronous: completion is reported per stack
+  /// through UpdateManagerModule::notify_update_complete.
+  virtual void request_update(const std::string& protocol,
+                              const ModuleParams& params) = 0;
+
+  /// Protocol/version the managed service currently runs on this stack.
+  [[nodiscard]] virtual UpdateStatus update_status() const = 0;
+};
+
+/// Call interface of the "update" service.
+struct UpdateApi {
+  virtual ~UpdateApi() = default;
+
+  /// Requests a global switch of `service` to `protocol`.  Validates against
+  /// the ProtocolRegistry (service declared replaceable, library known and
+  /// providing that service) and the registered mechanisms; throws
+  /// std::invalid_argument when validation fails.
+  virtual void request_update(const std::string& service,
+                              const std::string& protocol,
+                              const ModuleParams& params = ModuleParams()) = 0;
+
+  /// Current protocol/version of `service` on this stack.  Throws
+  /// std::invalid_argument when no mechanism manages `service`.
+  [[nodiscard]] virtual UpdateStatus current_version(
+      const std::string& service) const = 0;
+};
+
+/// Provides the UpdateApi on the "update" service.  Create it *before* the
+/// mechanism modules of the stack: mechanisms find it by instance name when
+/// they start and self-register.
+class UpdateManagerModule final : public Module, public UpdateApi {
+ public:
+  static constexpr char kInstanceName[] = "update-manager";
+
+  /// Trace markers (TraceKind::kCustom), emitted as
+  /// "update-requested:<service>:<protocol>" on the initiating stack and
+  /// "update-done:<service>:<protocol>:v=<n>" on every stack that finishes
+  /// an update.  The scenario engine derives switch windows and per-update
+  /// convergence latency from these, uniformly for every mechanism.
+  static constexpr char kTraceRequested[] = "update-requested";
+  static constexpr char kTraceDone[] = "update-done";
+
+  static UpdateManagerModule* create(Stack& stack);
+
+  /// The stack's manager, or nullptr when the stack was composed without
+  /// one (mechanisms then run standalone, as before this API existed).
+  [[nodiscard]] static UpdateManagerModule* of(Stack& stack);
+
+  UpdateManagerModule(Stack& stack, std::string instance_name);
+
+  // ---- UpdateApi ----------------------------------------------------------
+  void request_update(const std::string& service, const std::string& protocol,
+                      const ModuleParams& params = ModuleParams()) override;
+  [[nodiscard]] UpdateStatus current_version(
+      const std::string& service) const override;
+
+  // ---- Mechanism side -----------------------------------------------------
+  /// Called by mechanisms when they start/stop.  One mechanism per service;
+  /// registering a second for the same service throws (two replacement
+  /// machineries fighting over one layer is a composition bug).
+  void register_mechanism(UpdateMechanism* mechanism);
+  void unregister_mechanism(UpdateMechanism* mechanism);
+
+  /// Called by a mechanism when the local stack finishes a switch; fans out
+  /// to UpdateListeners and emits the generic completion trace marker.
+  void notify_update_complete(UpdateMechanism& mechanism,
+                              const std::string& protocol,
+                              std::uint64_t version);
+
+  // ---- Introspection ------------------------------------------------------
+  [[nodiscard]] std::vector<std::string> managed_services() const;
+  [[nodiscard]] std::uint64_t updates_completed() const {
+    return updates_completed_;
+  }
+
+ private:
+  [[nodiscard]] UpdateMechanism* mechanism_for(
+      const std::string& service) const;
+
+  UpcallRef<UpdateListener> up_;
+  std::map<std::string, UpdateMechanism*> mechanisms_;
+  std::uint64_t updates_completed_ = 0;
+};
+
+}  // namespace dpu

@@ -143,6 +143,38 @@ std::vector<ScenarioSpec> curated_scenarios() {
     out.push_back(std::move(s));
   }
   {
+    ScenarioSpec s = base("burst-under-switch",
+                          "Workload ramps from 20 to 60 msg/s per stack, "
+                          "then a 3x burst lands exactly across the "
+                          "replacement window: reissue and switch "
+                          "perturbation at peak load instead of the steady "
+                          "state.");
+    s.n = 5;
+    s.duration = 7 * kSecond;
+    s.workload.rate_per_stack = 20.0;
+    s.workload.phases = {
+        {WorkloadPhase::Kind::kRamp, kSecond, 3 * kSecond, 60.0},
+        {WorkloadPhase::Kind::kBurst, 3500 * kMillisecond, 5 * kSecond, 3.0},
+    };
+    s.updates = {{4 * kSecond, 0, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("consensus-switch-generic",
+                          "Service-generic control plane showcase: the same "
+                          "UpdateApi switches the consensus implementation "
+                          "(ct -> mr) underneath a replaceable Repl-ABcast, "
+                          "then the abcast protocol itself (ct -> seq), in "
+                          "one run — two hot-swappable layers, one API.");
+    s.n = 3;
+    s.duration = 8 * kSecond;
+    s.updates = {
+        {3 * kSecond, 0, "consensus.mr", "consensus", "repl-consensus"},
+        {5500 * kMillisecond, 1, "abcast.seq"},
+    };
+    out.push_back(std::move(s));
+  }
+  {
     ScenarioSpec s = base("consensus-switch-live",
                           "The paper's future-work extension: the consensus "
                           "protocol under an unmodified CT-ABcast is "

@@ -11,6 +11,7 @@
 #include "repl/baseline_maestro.hpp"
 #include "repl/repl_abcast.hpp"
 #include "repl/repl_consensus.hpp"
+#include "repl/update.hpp"
 #include "rt/rt_world.hpp"
 #include "runtime/world.hpp"
 #include "sim/sim_world.hpp"
@@ -29,8 +30,73 @@ Duration ScenarioResult::max_switch_downtime() const {
 // Switch-window extraction
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Splits an "update-requested:<service>:<protocol>[:...]" detail string
+/// after `marker`; false when the detail is some other marker.
+bool parse_update_marker(const std::string& detail, const char* marker,
+                         std::string& service, std::string& protocol) {
+  const std::string prefix = std::string(marker) + ":";
+  if (detail.rfind(prefix, 0) != 0) return false;
+  const std::size_t service_end = detail.find(':', prefix.size());
+  if (service_end == std::string::npos) return false;
+  service = detail.substr(prefix.size(), service_end - prefix.size());
+  const std::size_t protocol_end = detail.find(':', service_end + 1);
+  protocol = detail.substr(service_end + 1,
+                           protocol_end == std::string::npos
+                               ? std::string::npos
+                               : protocol_end - service_end - 1);
+  return true;
+}
+
+}  // namespace
+
+std::vector<UpdateOutcome> extract_update_outcomes(
+    const std::vector<TraceEvent>& events) {
+  std::vector<UpdateOutcome> outcomes;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceKind::kCustom) continue;
+    std::string service;
+    std::string protocol;
+    if (parse_update_marker(e.detail, UpdateManagerModule::kTraceRequested,
+                            service, protocol)) {
+      UpdateOutcome o;
+      o.service = std::move(service);
+      o.protocol = std::move(protocol);
+      o.requested = e.time;
+      o.converged = e.time;
+      outcomes.push_back(std::move(o));
+    } else if (parse_update_marker(e.detail, UpdateManagerModule::kTraceDone,
+                                   service, protocol)) {
+      // Attribute to the latest not-younger request of the same service;
+      // completions that replay before any request (a recovered stack
+      // catching up on a pre-crash switch) have no window to extend.
+      for (auto it = outcomes.rbegin(); it != outcomes.rend(); ++it) {
+        if (it->service != service || it->requested > e.time) continue;
+        it->converged = std::max(it->converged, e.time);
+        ++it->completions;
+        break;
+      }
+    }
+  }
+  return outcomes;
+}
+
 std::vector<std::pair<TimePoint, TimePoint>> extract_switch_windows(
     const std::vector<TraceEvent>& events, std::size_t n) {
+  // Generic control-plane markers rule when present (every mechanism emits
+  // them through the UpdateManagerModule).
+  const std::vector<UpdateOutcome> outcomes = extract_update_outcomes(events);
+  if (!outcomes.empty()) {
+    std::vector<std::pair<TimePoint, TimePoint>> windows;
+    windows.reserve(outcomes.size());
+    for (const UpdateOutcome& o : outcomes) {
+      windows.emplace_back(o.requested, o.converged);
+    }
+    return windows;
+  }
+
+  // Legacy per-mechanism markers (stacks composed without a manager).
   auto has_prefix = [](const std::string& s, const char* prefix) {
     return s.rfind(prefix, 0) == 0;
   };
@@ -77,9 +143,8 @@ void append(PropertyReport& into, const PropertyReport& from) {
   for (const std::string& v : from.violations) into.fail(v);
 }
 
-/// The communication substrate shared by every mechanism that composes its
-/// own replaceable layer (build_standard_stack covers kNone/kRepl).
-/// Returns the rp2p module so the runner can harvest transport counters.
+/// The communication substrate every composition shares.  Returns the rp2p
+/// module so the runner can harvest transport counters.
 Rp2pModule* install_substrate(Stack& stack,
                               const StandardStackOptions& options) {
   UdpModule::create(stack);
@@ -92,6 +157,7 @@ Rp2pModule* install_substrate(Stack& stack,
 /// Live module handles of one stack's current incarnation.  Recovery
 /// replaces every pointer (the old modules die with the old Stack).
 struct NodeModules {
+  UpdateManagerModule* update = nullptr;
   ReplAbcastModule* repl = nullptr;
   ReplConsensusModule* repl_cons = nullptr;
   MaestroSwitchModule* maestro = nullptr;
@@ -163,44 +229,70 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
   std::vector<TimePoint> recovery_time(spec.n, -1);
 
   // ---- Composition ---------------------------------------------------------
+  // The managed-service plan drives composition: every replaceable service
+  // of the spec gets its mechanism's facade, all behind one
+  // UpdateManagerModule per stack — there is no per-mechanism special case
+  // left, and one run may make several layers hot-swappable at once.
+  const std::map<std::string, Mechanism> managed = spec.managed_services();
+  const auto abcast_managed = managed.find(kAbcastService);
+  const Mechanism abcast_mech = abcast_managed == managed.end()
+                                    ? Mechanism::kNone
+                                    : abcast_managed->second;
+  const bool consensus_managed = managed.count(kConsensusService) != 0;
+  const bool consensus_layer = spec.mechanism == Mechanism::kReplConsensus;
+  const std::string consensus_initial =
+      consensus_layer ? spec.initial_protocol : spec.initial_consensus;
+  const std::string abcast_initial =
+      consensus_layer ? std::string(CtAbcastModule::kProtocolName)
+                      : spec.initial_protocol;
+
   // One closure builds (and re-builds, after recovery) a stack: the
-  // mechanism modules, the latency probe, the audit listener and the
-  // workload.  `since` is 0 at setup and the recovery time afterwards — it
-  // shifts the workload window, which is configured relative to module
-  // start.
+  // control plane, the mechanism facades, the latency probe, the audit
+  // listener and the workload.  `since` is 0 at setup and the recovery time
+  // afterwards — it shifts the workload window, which is configured
+  // relative to module start.
   auto compose = [&](NodeId i, TimePoint since) {
     Stack& stack = world.stack(i);
     NodeModules& m = nodes[i];
     m = NodeModules{};
-    switch (spec.mechanism) {
-      case Mechanism::kNone:
+    m.rp2p = install_substrate(stack, stack_options);
+    m.update = UpdateManagerModule::create(stack);
+    if (consensus_managed) {
+      // Consensus facade first: anything above that requires "consensus"
+      // binds against it instead of creating a pinned implementation.
+      ReplConsensusModule::Config rc;
+      rc.initial_protocol = consensus_initial;
+      m.repl_cons = ReplConsensusModule::create(stack, rc);
+    }
+    switch (abcast_mech) {
       case Mechanism::kRepl: {
-        StandardStack built = build_standard_stack(stack, stack_options);
-        m.repl = built.repl;
-        m.rp2p = built.rp2p;
-        break;
-      }
-      case Mechanism::kReplConsensus: {
-        m.rp2p = install_substrate(stack, stack_options);
-        ReplConsensusModule::Config rc;
-        rc.initial_protocol = spec.initial_protocol;
-        m.repl_cons = ReplConsensusModule::create(stack, rc);
-        CtAbcastModule::create(stack);
+        ReplAbcastModule::Config cfg;
+        cfg.initial_protocol = abcast_initial;
+        m.repl = ReplAbcastModule::create(stack, cfg);
         break;
       }
       case Mechanism::kMaestro: {
-        m.rp2p = install_substrate(stack, stack_options);
         MaestroSwitchModule::Config mc;
-        mc.initial_protocol = spec.initial_protocol;
+        mc.initial_protocol = abcast_initial;
+        mc.consensus_protocol = consensus_initial;
         m.maestro = MaestroSwitchModule::create(stack, mc);
         break;
       }
       case Mechanism::kGraceful: {
-        m.rp2p = install_substrate(stack, stack_options);
-        CtConsensusModule::create(stack);
+        // The Graceful Adaptation restriction forbids recursive creation,
+        // so its consensus substrate must exist before the first AAC.
+        stack.create_module(consensus_initial, kConsensusService);
         GracefulSwitchModule::Config gc;
-        gc.initial_protocol = spec.initial_protocol;
+        gc.initial_protocol = abcast_initial;
         m.graceful = GracefulSwitchModule::create(stack, gc);
+        break;
+      }
+      default: {
+        // ABcast is not replaceable in this run (mechanism "none", or only
+        // other layers are managed): bind the protocol directly.  Recursive
+        // creation supplies consensus when the protocol needs it and no
+        // facade is bound.
+        stack.create_module(abcast_initial, kAbcastService);
         break;
       }
     }
@@ -231,6 +323,25 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
       wc.poisson = spec.workload.poisson;
       wc.start_after = start_rel;
       wc.stop_after = stop_rel;
+      // Ramp/burst phases, shifted like the window for recovered
+      // incarnations; a phase fully in the pre-recovery past is dropped
+      // (ramps keep their target by clamping into a zero-length window).
+      for (const WorkloadPhase& p : spec.workload.phases) {
+        WorkloadRatePhase rp;
+        rp.ramp = p.kind == WorkloadPhase::Kind::kRamp;
+        rp.from = std::max<Duration>(p.from - since, 0);
+        rp.until = p.until - since;
+        rp.value = p.value;
+        if (rp.ramp) {
+          // A ramp that finished before the recovery still holds its
+          // target; clamp it into a zero-length window at start.
+          if (rp.until < 0) rp.until = 0;
+          if (rp.from > rp.until) rp.from = rp.until;
+        } else if (rp.until <= rp.from) {
+          continue;  // burst fully in the pre-recovery past
+        }
+        wc.phases.push_back(rp);
+      }
       if (options.with_audit) {
         wc.on_send = [&audit, i](const Bytes& payload) {
           audit.record_sent(i, payload);
@@ -312,25 +423,12 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
 
   // ---- Update plan --------------------------------------------------------
 
+  // Every mechanism behind one call: the service-generic control plane.
   for (const UpdateAction& u : spec.updates) {
     world.at_node(u.at, u.initiator, [&, u]() {
       if (world.crashed(u.initiator)) return;
-      switch (spec.mechanism) {
-        case Mechanism::kRepl:
-          nodes[u.initiator].repl->change_abcast(u.protocol);
-          break;
-        case Mechanism::kReplConsensus:
-          nodes[u.initiator].repl_cons->change_consensus(u.protocol);
-          break;
-        case Mechanism::kMaestro:
-          nodes[u.initiator].maestro->change_stack(u.protocol);
-          break;
-        case Mechanism::kGraceful:
-          nodes[u.initiator].graceful->change_adaptation(u.protocol);
-          break;
-        case Mechanism::kNone:
-          break;  // validate() rejects update plans without a mechanism
-      }
+      nodes[u.initiator].update->request_update(u.target_service(),
+                                                u.protocol);
     });
   }
 
@@ -400,8 +498,12 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
     result.calls_queued += acc.calls_queued;
   }
 
-  const StreamId abcast_stream =
-      fnv1a64(std::string(kAbcastService) + "/stream");
+  // The convergence witness: what the last-updated service actually runs on
+  // each stack at end of run, as reported by its update mechanism.
+  const std::string report_service =
+      spec.updates.empty()
+          ? (managed.empty() ? std::string() : managed.begin()->first)
+          : spec.updates.back().target_service();
   const std::string planned_final =
       spec.updates.empty() ? spec.initial_protocol
                            : spec.updates.back().protocol;
@@ -409,20 +511,29 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
     const NodeModules& m = nodes[i];
     if (result.crashed.count(i) != 0) {
       result.final_protocol.emplace_back();
-    } else if (m.repl != nullptr) {
-      result.final_protocol.push_back(m.repl->current_protocol());
-    } else if (m.repl_cons != nullptr) {
-      result.final_protocol.push_back(m.repl_cons->protocol_of(
-          m.repl_cons->stream_version(abcast_stream)));
+    } else if (!report_service.empty() && m.update != nullptr) {
+      result.final_protocol.push_back(
+          m.update->current_version(report_service).protocol);
     } else {
-      // Baselines expose no "current protocol" getter; report the plan's
-      // last target.
+      // Nothing replaceable in this run: the composition's initial protocol
+      // is, by construction, still running.
       result.final_protocol.push_back(planned_final);
     }
   }
 
   result.trace = trace_recorder.events();
-  result.switch_windows = extract_switch_windows(result.trace, spec.n);
+  result.updates = extract_update_outcomes(result.trace);
+  if (!result.updates.empty()) {
+    // switch_windows is the outcomes projected to [request, converged] —
+    // no second trace scan needed.
+    result.switch_windows.reserve(result.updates.size());
+    for (const UpdateOutcome& o : result.updates) {
+      result.switch_windows.emplace_back(o.requested, o.converged);
+    }
+  } else {
+    // Legacy per-mechanism markers (no manager-driven update ran).
+    result.switch_windows = extract_switch_windows(result.trace, spec.n);
+  }
 
   // Retransmission regression gate (crash-storm scenarios): a bounded
   // count proves crashed stacks stop attracting retransmissions.
@@ -485,16 +596,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
     throw std::invalid_argument(what);
   }
 
+  // The runner composes stacks itself (run_on_world); stack_options only
+  // carries the substrate tuning and the registry registration inputs.
   StandardStackOptions stack_options;
   stack_options.with_gm = false;
-  stack_options.with_replacement_layer = spec.mechanism == Mechanism::kRepl;
   if (spec.mechanism == Mechanism::kReplConsensus) {
-    // The replaceable layer is consensus; CT-ABcast rides on the facade.
+    // The primary replaceable layer is consensus; CT-ABcast rides on top.
     stack_options.abcast_protocol = CtAbcastModule::kProtocolName;
+    stack_options.consensus_protocol = spec.initial_protocol;
   } else {
     stack_options.abcast_protocol = spec.initial_protocol;
+    stack_options.consensus_protocol = spec.initial_consensus;
   }
-  ProtocolLibrary library = make_standard_library(stack_options);
+  ProtocolRegistry library = make_standard_library(stack_options);
   TraceRecorder trace_recorder;
 
   if (spec.engine == Engine::kRt) {
@@ -563,6 +677,21 @@ Json ScenarioResult::to_json() const {
   sw.set("windows", std::move(windows));
   sw.set("max_downtime_ms", to_millis(max_switch_downtime()));
   j.set("switch", std::move(sw));
+
+  // Per-update convergence: request -> last stack running the new version
+  // (the perf gate tracks convergence_ms drift per update).
+  Json update_list = Json::array();
+  for (const UpdateOutcome& o : updates) {
+    Json u = Json::object();
+    u.set("service", o.service);
+    u.set("protocol", o.protocol);
+    u.set("requested_ns", o.requested);
+    u.set("converged_ns", o.converged);
+    u.set("convergence_ms", to_millis(o.convergence()));
+    u.set("completions", o.completions);
+    update_list.push(std::move(u));
+  }
+  j.set("updates", std::move(update_list));
 
   Json counts = Json::object();
   counts.set("sent", messages_sent);

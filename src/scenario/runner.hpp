@@ -1,14 +1,18 @@
 // Scenario runner: executes one ScenarioSpec on either engine.
 //
-// The runner owns the whole lifecycle of a run: it assembles the stacks for
-// the spec's update mechanism (Repl-ABcast, Repl-Consensus, Maestro,
-// Graceful Adaptation, or a static stack), installs the workload and the
-// instrumentation (latency probes, the ABcast property audit, the trace
-// recorder), schedules every fault and update of the spec — including
-// crash-recoveries, which re-compose the recovered node's stack exactly
-// like at setup — runs the world to quiescence, and distills a
-// ScenarioResult: audit verdicts, latency percentiles, switch
-// windows/downtime, and raw counters.
+// The runner owns the whole lifecycle of a run: it assembles the stacks
+// from the spec's managed-service plan (every replaceable service gets its
+// declared mechanism's facade, behind one UpdateManagerModule per stack),
+// installs the workload and the instrumentation (latency probes, the ABcast
+// property audit, the trace recorder), schedules every fault and update of
+// the spec — including crash-recoveries, which re-compose the recovered
+// node's stack exactly like at setup — runs the world to quiescence, and
+// distills a ScenarioResult: audit verdicts, latency percentiles, switch
+// windows/downtime, per-update convergence, and raw counters.
+//
+// Updates are dispatched uniformly through the UpdateApi control plane
+// (repl/update.hpp): `request_update(service, protocol)` on the initiator's
+// stack, whatever the mechanism — the runner has no per-mechanism dispatch.
 //
 // Everything below the spec goes through WorldControl (runtime/world.hpp),
 // so the same code path drives the deterministic simulator (spec.engine ==
@@ -47,6 +51,20 @@ struct RunOptions {
   /// mistaken for quiescence.
   Duration rt_drain_cap = 10 * kSecond;
   Duration rt_quiesce_window = 1500 * kMillisecond;
+};
+
+/// One executed update, reconstructed from the generic control-plane trace
+/// markers: when it was requested and when the last stack (including late
+/// crash-recovery replays) finished running the new version.
+struct UpdateOutcome {
+  std::string service;
+  std::string protocol;
+  TimePoint requested = 0;
+  TimePoint converged = 0;     ///< last per-stack completion observed
+  std::size_t completions = 0;  ///< per-stack completion events counted
+
+  /// Convergence latency: request -> last stack running the new version.
+  [[nodiscard]] Duration convergence() const { return converged - requested; }
 };
 
 struct ScenarioResult {
@@ -88,6 +106,10 @@ struct ScenarioResult {
   /// Per executed update: [request time, time the last stack finished].
   std::vector<std::pair<TimePoint, TimePoint>> switch_windows;
 
+  /// Per executed update, with service/protocol identity and convergence
+  /// latency (the switch_windows data plus what the generic markers add).
+  std::vector<UpdateOutcome> updates;
+
   /// Longest single switch window ("switch downtime").
   [[nodiscard]] Duration max_switch_downtime() const;
 
@@ -98,8 +120,17 @@ struct ScenarioResult {
   [[nodiscard]] Json to_json() const;
 };
 
-/// Extracts [request, last-stack-done] switch windows from the trace
-/// markers emitted by the replacement modules (any mechanism).
+/// Reconstructs per-update outcomes from the UpdateManagerModule's generic
+/// "update-requested"/"update-done" markers.  Completions pair with the
+/// latest not-younger request of the same service, so back-to-back updates
+/// and crash-recovery replays attribute like the legacy extraction did.
+[[nodiscard]] std::vector<UpdateOutcome> extract_update_outcomes(
+    const std::vector<TraceEvent>& events);
+
+/// Extracts [request, last-stack-done] switch windows.  Prefers the generic
+/// control-plane markers; traces recorded without an UpdateManagerModule
+/// (mechanisms driven directly through their legacy entry points) fall back
+/// to the per-mechanism markers.
 [[nodiscard]] std::vector<std::pair<TimePoint, TimePoint>>
 extract_switch_windows(const std::vector<TraceEvent>& events, std::size_t n);
 

@@ -42,6 +42,43 @@ Mechanism mechanism_from_name(const std::string& name) {
 }
 
 // ---------------------------------------------------------------------------
+// Managed-service plan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Service the spec-level mechanism manages ("" for kNone).
+const char* primary_service(Mechanism m) {
+  switch (m) {
+    case Mechanism::kRepl:
+    case Mechanism::kMaestro:
+    case Mechanism::kGraceful:
+      return "abcast";
+    case Mechanism::kReplConsensus:
+      return "consensus";
+    case Mechanism::kNone:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::map<std::string, Mechanism> ScenarioSpec::managed_services() const {
+  std::map<std::string, Mechanism> managed;
+  const std::string primary = primary_service(mechanism);
+  if (!primary.empty()) managed[primary] = mechanism;
+  for (const UpdateAction& u : updates) {
+    try {
+      managed.emplace(u.target_service(), update_mechanism(u));
+    } catch (const std::runtime_error&) {
+      // Unknown mechanism name; validate() reports it.
+    }
+  }
+  return managed;
+}
+
+// ---------------------------------------------------------------------------
 // Validation
 // ---------------------------------------------------------------------------
 
@@ -73,6 +110,20 @@ std::vector<std::string> ScenarioSpec::validate() const {
   }
   if (workload.stop_after > duration) {
     problem("workload stop_after exceeds duration");
+  }
+  if (!workload.phases.empty() && workload.rate_per_stack <= 0) {
+    problem("workload phases require a positive base rate");
+  }
+  for (const WorkloadPhase& p : workload.phases) {
+    if (p.from < 0 || p.from >= p.until) {
+      problem("workload phase must satisfy 0 <= from < until");
+    }
+    if (p.until > duration) problem("workload phase outlives the workload");
+    if (p.value <= 0) {
+      problem(p.kind == WorkloadPhase::Kind::kBurst
+                  ? "burst factor must be positive"
+                  : "ramp target rate must be positive");
+    }
   }
 
   auto check_prob = [&problem](double p, const char* what) {
@@ -170,18 +221,64 @@ std::vector<std::string> ScenarioSpec::validate() const {
             mechanism_name(mechanism) + " (expected " + expected_prefix +
             "*)");
   }
-  if (mechanism == Mechanism::kNone && !updates.empty()) {
-    problem("mechanism 'none' cannot execute an update plan");
+  if (initial_consensus.rfind("consensus.", 0) != 0) {
+    problem("initial_consensus '" + initial_consensus +
+            "' must be a consensus.* library");
   }
+
+  // Update plan: every action resolves to a (service, mechanism) pair; one
+  // mechanism per service across the run.
+  std::map<std::string, Mechanism> managed;
+  const std::string primary = primary_service(mechanism);
+  if (!primary.empty()) managed[primary] = mechanism;
   for (const UpdateAction& u : updates) {
     if (u.initiator >= n) problem("update initiator out of range");
     if (u.at < 0 || u.at > duration) {
       problem("update time outside the workload window");
     }
-    if (u.protocol.rfind(expected_prefix, 0) != 0) {
+    Mechanism m = Mechanism::kNone;
+    try {
+      m = update_mechanism(u);
+    } catch (const std::runtime_error&) {
+      problem("update mechanism '" + u.mechanism + "' is unknown");
+      continue;
+    }
+    if (m == Mechanism::kNone) {
+      problem("update of '" + u.protocol +
+              "' has no mechanism (mechanism 'none' cannot execute an "
+              "update plan)");
+      continue;
+    }
+    const std::string svc = u.target_service();
+    const std::string mech_service = primary_service(m);
+    const std::string mech_prefix = mech_service + ".";
+    if (svc != mech_service) {
+      problem("update of service '" + svc + "' cannot use mechanism '" +
+              std::string(mechanism_name(m)) + "' (it manages '" +
+              mech_service + "')");
+    }
+    if (u.protocol.rfind(mech_prefix, 0) != 0) {
       problem("update target '" + u.protocol + "' does not match " +
-              mechanism_name(mechanism) + " (expected " + expected_prefix +
-              "*)");
+              mechanism_name(m) + " (expected " + mech_prefix + "*)");
+    }
+    auto [it, inserted] = managed.emplace(svc, m);
+    if (!inserted && it->second != m) {
+      problem("service '" + svc + "' is updated by both '" +
+              mechanism_name(it->second) + "' and '" + mechanism_name(m) +
+              "' — one mechanism per service");
+    }
+  }
+  {
+    // Maestro finalizes the whole protocol layer and Graceful Adaptation
+    // rebuilds its AAC's substrate expectations; both would destroy a
+    // consensus facade sitting underneath.  Only the paper's modular
+    // mechanism composes with consensus replacement.
+    auto abcast_it = managed.find("abcast");
+    if (managed.count("consensus") != 0 && abcast_it != managed.end() &&
+        abcast_it->second != Mechanism::kRepl) {
+      problem("consensus replacement combines only with abcast mechanism "
+              "'repl' (not '" +
+              std::string(mechanism_name(abcast_it->second)) + "')");
     }
   }
 
@@ -206,6 +303,7 @@ Json ScenarioSpec::to_json() const {
   j.set("engine", engine_name(engine));
   j.set("mechanism", mechanism_name(mechanism));
   j.set("initial_protocol", initial_protocol);
+  j.set("initial_consensus", initial_consensus);
 
   Json net = Json::object();
   net.set("drop", base_drop);
@@ -218,6 +316,18 @@ Json ScenarioSpec::to_json() const {
   w.set("poisson", workload.poisson);
   w.set("start_after_ns", workload.start_after);
   w.set("stop_after_ns", workload.stop_after);
+  Json phase_list = Json::array();
+  for (const WorkloadPhase& p : workload.phases) {
+    Json e = Json::object();
+    e.set("kind",
+          p.kind == WorkloadPhase::Kind::kBurst ? "burst" : "ramp");
+    e.set("from_ns", p.from);
+    e.set("until_ns", p.until);
+    e.set(p.kind == WorkloadPhase::Kind::kBurst ? "factor" : "to_rate",
+          p.value);
+    phase_list.push(std::move(e));
+  }
+  w.set("phases", std::move(phase_list));
   j.set("workload", std::move(w));
 
   Json crash_list = Json::array();
@@ -278,6 +388,10 @@ Json ScenarioSpec::to_json() const {
     e.set("at_ns", u.at);
     e.set("initiator", u.initiator);
     e.set("protocol", u.protocol);
+    // Defaulted fields stay off the wire, so pre-UpdateApi specs serialize
+    // exactly as they used to.
+    if (!u.service.empty()) e.set("service", u.service);
+    if (!u.mechanism.empty()) e.set("mechanism", u.mechanism);
     update_list.push(std::move(e));
   }
   j.set("updates", std::move(update_list));
@@ -319,9 +433,9 @@ NodeId node_from(const Json& j) {
 ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   check_keys(j, "spec",
              {"name", "description", "n", "duration_ns", "drain_ns",
-              "engine", "mechanism", "initial_protocol", "net", "workload",
-              "crashes", "recoveries", "partitions", "loss_windows",
-              "updates", "cost", "max_retransmissions"});
+              "engine", "mechanism", "initial_protocol", "initial_consensus",
+              "net", "workload", "crashes", "recoveries", "partitions",
+              "loss_windows", "updates", "cost", "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("description")) spec.description = v->as_string();
@@ -339,6 +453,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   if (const Json* v = j.find("initial_protocol")) {
     spec.initial_protocol = v->as_string();
   }
+  if (const Json* v = j.find("initial_consensus")) {
+    spec.initial_consensus = v->as_string();
+  }
   if (const Json* net = j.find("net")) {
     check_keys(*net, "net", {"drop", "duplicate"});
     if (const Json* v = net->find("drop")) spec.base_drop = v->as_double();
@@ -349,7 +466,7 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   if (const Json* w = j.find("workload")) {
     check_keys(*w, "workload",
                {"rate_per_stack", "message_size", "poisson", "start_after_ns",
-                "stop_after_ns"});
+                "stop_after_ns", "phases"});
     if (const Json* v = w->find("rate_per_stack")) {
       spec.workload.rate_per_stack = v->as_double();
     }
@@ -364,6 +481,28 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     }
     if (const Json* v = w->find("stop_after_ns")) {
       spec.workload.stop_after = v->as_int();
+    }
+    if (const Json* list = w->find("phases")) {
+      for (const Json& e : list->items()) {
+        check_keys(e, "workload phase",
+                   {"kind", "from_ns", "until_ns", "factor", "to_rate"});
+        WorkloadPhase p;
+        const std::string kind = e.at("kind").as_string();
+        if (kind == "burst") {
+          p.kind = WorkloadPhase::Kind::kBurst;
+        } else if (kind == "ramp") {
+          p.kind = WorkloadPhase::Kind::kRamp;
+        } else {
+          throw std::runtime_error("scenario: unknown workload phase kind '" +
+                                   kind + "'");
+        }
+        p.from = e.at("from_ns").as_int();
+        p.until = e.at("until_ns").as_int();
+        const char* value_key =
+            p.kind == WorkloadPhase::Kind::kBurst ? "factor" : "to_rate";
+        p.value = e.at(value_key).as_double();
+        spec.workload.phases.push_back(p);
+      }
     }
   }
   if (const Json* list = j.find("crashes")) {
@@ -428,11 +567,14 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   }
   if (const Json* list = j.find("updates")) {
     for (const Json& e : list->items()) {
-      check_keys(e, "update", {"at_ns", "initiator", "protocol"});
+      check_keys(e, "update",
+                 {"at_ns", "initiator", "protocol", "service", "mechanism"});
       UpdateAction u;
       u.at = e.at("at_ns").as_int();
       u.initiator = node_from(e.at("initiator"));
       u.protocol = e.at("protocol").as_string();
+      if (const Json* v = e.find("service")) u.service = v->as_string();
+      if (const Json* v = e.find("mechanism")) u.mechanism = v->as_string();
       spec.updates.push_back(std::move(u));
     }
   }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,22 @@ enum class Mechanism {
 /// Inverse of mechanism_name; throws std::runtime_error on unknown names.
 [[nodiscard]] Mechanism mechanism_from_name(const std::string& name);
 
+/// Time-varying load shaping: one phase modifies the workload rate inside
+/// (or from) its window.  Two kinds:
+///  * burst — multiply the current rate by `value` during [from, until);
+///  * ramp  — interpolate the rate linearly toward `value` (an absolute
+///    rate per stack) across [from, until), then hold it.
+/// Phases apply in list order, so a ramp's target can itself be burst.
+struct WorkloadPhase {
+  enum class Kind { kBurst, kRamp };
+  Kind kind = Kind::kBurst;
+  TimePoint from = 0;
+  TimePoint until = 0;
+  double value = 1.0;  ///< burst: rate multiplier; ramp: target rate/stack
+
+  friend bool operator==(const WorkloadPhase&, const WorkloadPhase&) = default;
+};
+
 /// Open-loop workload applied by every stack (see app/workload.hpp).
 struct WorkloadShape {
   double rate_per_stack = 50.0;  ///< messages per second per stack
@@ -59,6 +76,8 @@ struct WorkloadShape {
   bool poisson = true;
   Duration start_after = 0;
   Duration stop_after = 0;  ///< 0 = the spec's duration
+  /// Ramp/burst schedule (empty = constant rate).
+  std::vector<WorkloadPhase> phases;
 
   friend bool operator==(const WorkloadShape&, const WorkloadShape&) = default;
 };
@@ -120,13 +139,27 @@ struct LossWindow {
   friend bool operator==(const LossWindow&, const LossWindow&) = default;
 };
 
-/// One step of the protocol-update plan.
+/// One step of the protocol-update plan: switch `service` to library
+/// `protocol` via `mechanism`.  Service and mechanism are optional —
+/// `service` defaults to the library-name prefix ("abcast.seq" -> "abcast")
+/// and `mechanism` to the spec-level default — which is exactly the shape
+/// pre-UpdateApi specs had, so old JSON parses unchanged.
 struct UpdateAction {
   TimePoint at = 0;
   NodeId initiator = 0;
-  /// Library name of the target: "abcast.*" for kRepl/kMaestro/kGraceful,
-  /// "consensus.*" for kReplConsensus.
+  /// Library name of the target, e.g. "abcast.seq", "consensus.mr".
   std::string protocol;
+  /// Replaceable service to switch ("" = derive from the protocol prefix).
+  std::string service;
+  /// Mechanism executing this update ("" = the spec's `mechanism`).
+  std::string mechanism;
+
+  /// The service this update targets, after defaulting.
+  [[nodiscard]] std::string target_service() const {
+    if (!service.empty()) return service;
+    const std::size_t dot = protocol.find('.');
+    return dot == std::string::npos ? protocol : protocol.substr(0, dot);
+  }
 
   friend bool operator==(const UpdateAction&, const UpdateAction&) = default;
 };
@@ -151,10 +184,21 @@ struct ScenarioSpec {
   /// --engine does) to exercise the same spec on real threads.
   Engine engine = Engine::kSim;
 
+  /// Default mechanism of update actions that do not name their own; also
+  /// declares the primary replaceable layer of the composition (kRepl /
+  /// kMaestro / kGraceful manage "abcast", kReplConsensus manages
+  /// "consensus").  Update actions may add further managed services, e.g. a
+  /// "repl-consensus" update under a kRepl spec makes *both* layers
+  /// hot-swappable in one run.
   Mechanism mechanism = Mechanism::kRepl;
-  /// Initial protocol of the replaceable layer ("abcast.*", or
+  /// Initial protocol of the primary replaceable layer ("abcast.*", or
   /// "consensus.*" for kReplConsensus).
   std::string initial_protocol = "abcast.ct";
+  /// Initial consensus implementation, wherever the consensus layer comes
+  /// from (directly composed, recursively created, or the Repl-Consensus
+  /// facade's first version).  Ignored under kReplConsensus, where
+  /// `initial_protocol` plays this role.
+  std::string initial_consensus = "consensus.ct";
 
   /// Baseline network adversity, active for the whole run.
   double base_drop = 0.0;
@@ -179,9 +223,23 @@ struct ScenarioSpec {
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
+  /// Mechanism executing `u`, after defaulting to the spec's.  Throws
+  /// std::runtime_error on an unknown per-update mechanism name (validate()
+  /// reports the same condition as a problem instead).
+  [[nodiscard]] Mechanism update_mechanism(const UpdateAction& u) const {
+    return u.mechanism.empty() ? mechanism
+                               : mechanism_from_name(u.mechanism);
+  }
+
+  /// The composition plan: which services this spec makes replaceable and
+  /// by which mechanism (spec-level default layer plus every update's
+  /// target).  Only meaningful on a spec that validates.
+  [[nodiscard]] std::map<std::string, Mechanism> managed_services() const;
+
   /// Static well-formedness: node ids in range, windows ordered,
   /// probabilities in [0,1], a majority surviving all crashes, update
-  /// targets consistent with the mechanism, loss windows non-overlapping.
+  /// targets consistent with their mechanisms (one mechanism per service),
+  /// loss windows non-overlapping, workload phases ordered and positive.
   /// Returns human-readable problems; empty = valid.
   [[nodiscard]] std::vector<std::string> validate() const;
 

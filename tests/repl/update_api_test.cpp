@@ -1,0 +1,180 @@
+// UpdateApi — the service-generic dynamic-update control plane: registry
+// declarations, end-to-end switches of both replaceable layers through one
+// API, completion listeners, and the negative paths (unknown library,
+// non-replaceable service, unmanaged service).
+#include "repl/update.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/stack_builder.hpp"
+#include "app/workload.hpp"
+#include "common/consensus_rig.hpp"
+#include "sim/sim_world.hpp"
+
+namespace dpu {
+namespace {
+
+/// Collects UpdateListener upcalls of one stack.
+struct EventLog final : UpdateListener {
+  std::vector<UpdateEvent> events;
+  void on_update_complete(const UpdateEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+/// n stacks, each the full standard composition (substrate + update manager
+/// + Repl-ABcast, optionally the Repl-Consensus facade underneath).
+struct UpdateRig {
+  explicit UpdateRig(std::size_t n, bool consensus_replaceable) {
+    options.with_gm = false;
+    options.with_consensus_replacement = consensus_replaceable;
+    options.fd = testing::ConsensusRig::FastFd();
+    options.rp2p.retransmit_interval = 5 * kMillisecond;
+    library = make_standard_library(options);
+    world.emplace(SimConfig{.num_stacks = n, .seed = 42}, &library);
+    for (NodeId i = 0; i < world->size(); ++i) {
+      built.push_back(build_standard_stack(world->stack(i), options));
+      logs.push_back(std::make_unique<EventLog>());
+      world->stack(i).listen<UpdateListener>(kUpdateService, logs[i].get(),
+                                             nullptr);
+    }
+  }
+
+  [[nodiscard]] UpdateApi& api(NodeId i) { return *built[i].update; }
+
+  StandardStackOptions options;
+  ProtocolRegistry library;
+  std::optional<SimWorld> world;
+  std::vector<StandardStack> built;
+  std::vector<std::unique_ptr<EventLog>> logs;
+};
+
+TEST(ProtocolRegistry, DeclaresReplaceableServicesAndTheirLibraries) {
+  const ProtocolRegistry registry = make_standard_library();
+  EXPECT_TRUE(registry.replaceable(kAbcastService));
+  EXPECT_TRUE(registry.replaceable(kConsensusService));
+  EXPECT_FALSE(registry.replaceable(kRp2pService));
+  EXPECT_FALSE(registry.replaceable("no-such-service"));
+
+  const std::vector<std::string> abcast = registry.libraries_for(kAbcastService);
+  EXPECT_EQ(abcast, (std::vector<std::string>{"abcast.ct", "abcast.seq",
+                                              "abcast.token"}));
+  const std::vector<std::string> consensus =
+      registry.libraries_for(kConsensusService);
+  EXPECT_EQ(consensus,
+            (std::vector<std::string>{"consensus.ct", "consensus.mr"}));
+}
+
+TEST(UpdateApi, RejectsInvalidRequests) {
+  UpdateRig rig(3, /*consensus_replaceable=*/false);
+  // Unknown library name.
+  EXPECT_THROW(rig.api(0).request_update(kAbcastService, "abcast.nope"),
+               std::invalid_argument);
+  // Known library, but the service was never declared replaceable.
+  EXPECT_THROW(rig.api(0).request_update(kRp2pService, "rp2p"),
+               std::invalid_argument);
+  // Replaceable service, but the library provides a different one.
+  EXPECT_THROW(rig.api(0).request_update(kAbcastService, "consensus.mr"),
+               std::invalid_argument);
+  // Replaceable in the registry, but no mechanism manages it on this stack
+  // (consensus is a plain module here, not a facade).
+  EXPECT_THROW(rig.api(0).request_update(kConsensusService, "consensus.mr"),
+               std::invalid_argument);
+  EXPECT_THROW((void)rig.api(0).current_version(kConsensusService),
+               std::invalid_argument);
+  // Nothing above may have left a half-performed switch behind.
+  EXPECT_EQ(rig.api(0).current_version(kAbcastService).protocol, "abcast.ct");
+  EXPECT_EQ(rig.api(0).current_version(kAbcastService).version, 0u);
+}
+
+TEST(UpdateApi, SwitchesTheAbcastLayerEverywhere) {
+  UpdateRig rig(3, /*consensus_replaceable=*/false);
+  SimWorld& world = *rig.world;
+  world.at_node(kSecond, 0, [&]() {
+    rig.api(0).request_update(kAbcastService, "abcast.seq");
+  });
+  world.run_for(10 * kSecond);
+
+  for (NodeId i = 0; i < world.size(); ++i) {
+    const UpdateStatus status = rig.api(i).current_version(kAbcastService);
+    EXPECT_EQ(status.protocol, "abcast.seq") << "stack " << i;
+    EXPECT_EQ(status.version, 1u) << "stack " << i;
+    ASSERT_EQ(rig.logs[i]->events.size(), 1u) << "stack " << i;
+    const UpdateEvent& event = rig.logs[i]->events[0];
+    EXPECT_EQ(event.service, kAbcastService);
+    EXPECT_EQ(event.protocol, "abcast.seq");
+    EXPECT_EQ(event.mechanism, "repl");
+    EXPECT_EQ(event.version, 1u);
+    EXPECT_GE(event.at, kSecond);
+  }
+}
+
+TEST(UpdateApi, SwitchesTheConsensusLayerThroughTheSameApi) {
+  // The non-abcast hot swap: consensus.ct -> consensus.mr underneath an
+  // unmodified (and itself replaceable) Repl-ABcast, via the same
+  // request_update call — only the service argument differs.
+  UpdateRig rig(3, /*consensus_replaceable=*/true);
+  SimWorld& world = *rig.world;
+
+  // Live traffic across the switch keeps the consensus streams deciding,
+  // which is what carries every stream across its migration boundary.
+  std::vector<WorkloadModule*> workloads;
+  for (NodeId i = 0; i < world.size(); ++i) {
+    WorkloadConfig wc;
+    wc.rate_per_second = 25.0;
+    wc.stop_after = 4 * kSecond;
+    workloads.push_back(WorkloadModule::create(world.stack(i), wc));
+    world.stack(i).start_all();
+  }
+
+  world.at_node(2 * kSecond, 1, [&]() {
+    rig.api(1).request_update(kConsensusService, "consensus.mr");
+  });
+  world.run_for(40 * kSecond);
+
+  std::uint64_t delivered_after = 0;
+  for (NodeId i = 0; i < world.size(); ++i) {
+    const UpdateStatus status = rig.api(i).current_version(kConsensusService);
+    EXPECT_EQ(status.protocol, "consensus.mr") << "stack " << i;
+    EXPECT_EQ(status.version, 1u) << "stack " << i;
+    // The abcast layer is still at its initial version, untouched.
+    EXPECT_EQ(rig.api(i).current_version(kAbcastService).protocol,
+              "abcast.ct");
+    ASSERT_EQ(rig.logs[i]->events.size(), 1u) << "stack " << i;
+    EXPECT_EQ(rig.logs[i]->events[0].mechanism, "repl-consensus");
+    EXPECT_EQ(rig.logs[i]->events[0].service, kConsensusService);
+    delivered_after += rig.built[i].repl_consensus->decisions_delivered();
+  }
+  EXPECT_GT(delivered_after, 0u);
+  std::uint64_t sent = 0;
+  for (const WorkloadModule* w : workloads) sent += w->sent();
+  EXPECT_GT(sent, 0u);
+}
+
+TEST(UpdateApi, OneMechanismPerServiceIsEnforced) {
+  UpdateRig rig(1, /*consensus_replaceable=*/false);
+  // The standard stack already registered Repl-ABcast for "abcast"; a
+  // second machinery claiming the same service is a composition bug the
+  // manager rejects at registration.
+  struct FakeMechanism final : UpdateMechanism {
+    std::string service = kAbcastService;
+    [[nodiscard]] const std::string& update_service() const override {
+      return service;
+    }
+    [[nodiscard]] const char* update_mechanism_name() const override {
+      return "fake";
+    }
+    void request_update(const std::string&, const ModuleParams&) override {}
+    [[nodiscard]] UpdateStatus update_status() const override { return {}; }
+  } fake;
+  EXPECT_THROW(rig.built[0].update->register_mechanism(&fake),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dpu

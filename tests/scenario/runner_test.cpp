@@ -221,5 +221,62 @@ TEST(ScenarioRunner, BaselineMechanismsRunTheSamePlan) {
   }
 }
 
+TEST(ScenarioRunner, BurstAndRampPhasesShapeTheLoad) {
+  // Fixed-period workload so the send count is a pure function of the rate
+  // schedule.  Base 15 msg/s for 3 s; the ramp doubles the rate over the
+  // first second (avg 22.5) and holds 30, with a 3x burst on top of the
+  // ramped rate during the middle second (90): ~142.5 per stack against a
+  // flat 45 — a ratio just above 3.
+  ScenarioSpec flat = small_spec("flat");
+  flat.workload.poisson = false;
+  const ScenarioResult base = run_scenario(flat, 3);
+
+  ScenarioSpec shaped = flat;
+  shaped.name = "shaped";
+  shaped.workload.phases = {
+      {WorkloadPhase::Kind::kRamp, 0, kSecond, 30.0},
+      {WorkloadPhase::Kind::kBurst, kSecond, 2 * kSecond, 3.0}};
+  const ScenarioResult result = run_scenario(shaped, 3);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary();
+  EXPECT_GT(result.messages_sent, base.messages_sent * 3);
+  EXPECT_LT(result.messages_sent, (base.messages_sent * 7) / 2);
+  EXPECT_EQ(result.deliveries, result.messages_sent * shaped.n);
+}
+
+TEST(ScenarioRunner, DualServiceSwitchThroughOneControlPlane) {
+  // The tentpole end to end: one spec, two replaceable layers, every update
+  // dispatched through the same UpdateApi.  Consensus switches ct -> mr
+  // under a live CT-ABcast, then the abcast layer itself switches to the
+  // sequencer; both converge on every stack and the audit holds.
+  ScenarioSpec spec = small_spec("dual-switch");
+  spec.updates = {
+      {1200 * kMillisecond, 0, "consensus.mr", "consensus", "repl-consensus"},
+      {2200 * kMillisecond, 1, "abcast.seq"},
+  };
+  const ScenarioResult result = run_scenario(spec, 19);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_EQ(result.deliveries, result.messages_sent * spec.n);
+  ASSERT_EQ(result.updates.size(), 2u);
+  EXPECT_EQ(result.updates[0].service, "consensus");
+  EXPECT_EQ(result.updates[0].protocol, "consensus.mr");
+  EXPECT_EQ(result.updates[0].completions, spec.n);
+  EXPECT_EQ(result.updates[1].service, "abcast");
+  EXPECT_EQ(result.updates[1].protocol, "abcast.seq");
+  EXPECT_EQ(result.updates[1].completions, spec.n);
+  for (const UpdateOutcome& o : result.updates) {
+    EXPECT_GT(o.convergence(), 0) << o.service;
+  }
+  // final_protocol reports the last-updated service (abcast).
+  for (const std::string& protocol : result.final_protocol) {
+    EXPECT_EQ(protocol, "abcast.seq");
+  }
+  // The per-update records surface in the JSON document for the perf gate.
+  const Json doc = result.to_json();
+  EXPECT_EQ(doc.at("updates").size(), 2u);
+  EXPECT_EQ(doc.at("updates").items()[0].at("service").as_string(),
+            "consensus");
+}
+
 }  // namespace
 }  // namespace dpu::scenario

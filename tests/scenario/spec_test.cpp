@@ -29,6 +29,9 @@ ScenarioSpec rich_spec() {
   spec.workload.poisson = false;
   spec.workload.start_after = 250 * kMillisecond;
   spec.workload.stop_after = 6 * kSecond;
+  spec.workload.phases = {
+      {WorkloadPhase::Kind::kRamp, kSecond, 2 * kSecond, 80.0},
+      {WorkloadPhase::Kind::kBurst, 3 * kSecond, 4 * kSecond, 2.5}};
   spec.crashes = {{3 * kSecond, 4}};
   spec.recoveries = {{5 * kSecond, 4}};
   spec.partitions = {{kSecond, 2 * kSecond, {1, 2}}};
@@ -39,7 +42,11 @@ ScenarioSpec rich_spec() {
                         {{0, 1, 0.5, 0.0, 2 * kMillisecond},
                          {1, 0, 0.0, 0.1, 0}}}};
   spec.updates = {{2 * kSecond, 0, "abcast.seq"},
-                  {4 * kSecond, 3, "abcast.ct"}};
+                  {4 * kSecond, 3, "abcast.ct"},
+                  // Service-generic action: a consensus switch riding the
+                  // same plan via its own mechanism.
+                  {5 * kSecond, 1, "consensus.mr", "consensus",
+                   "repl-consensus"}};
   spec.hop_cost = 5 * kMicrosecond;
   spec.module_create_cost = 15 * kMillisecond;
   spec.max_retransmissions = 1234;
@@ -170,6 +177,68 @@ TEST(ScenarioSpec, ValidationCatchesBadSchedules) {
     ScenarioSpec s = rich_spec();
     s.loss_windows[0].link_overrides = {{0, 1, 0.1, 0.0, -kSecond}};
     EXPECT_FALSE(s.validate().empty());  // negative extra latency
+  }
+}
+
+TEST(ScenarioSpec, ValidationCoversServiceGenericUpdates) {
+  {
+    ScenarioSpec s = rich_spec();
+    s.updates[2].mechanism = "raft";  // unknown mechanism name
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    // Mechanism manages "abcast" but the action targets "consensus".
+    s.updates[2].mechanism = "maestro";
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    // Two mechanisms fighting over one service.
+    s.updates.push_back({5500 * kMillisecond, 0, "abcast.ct", "", "maestro"});
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    // Consensus replacement composes only with the modular abcast
+    // mechanism: a full-stack Maestro switch would destroy the facade.
+    ScenarioSpec s = rich_spec();
+    s.mechanism = Mechanism::kMaestro;
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.initial_consensus = "abcast.ct";  // not a consensus library
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    // target_service defaulting: the prefix rules the service.
+    UpdateAction u{kSecond, 0, "consensus.mr"};
+    EXPECT_EQ(u.target_service(), "consensus");
+    u.service = "abcast";
+    EXPECT_EQ(u.target_service(), "abcast");
+  }
+}
+
+TEST(ScenarioSpec, ValidationCoversWorkloadPhases) {
+  {
+    ScenarioSpec s = rich_spec();
+    s.workload.phases[0].until = s.workload.phases[0].from;  // empty window
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.workload.phases[1].value = 0.0;  // burst factor must be positive
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.workload.phases[1].until = s.duration + kSecond;  // outlives workload
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.workload.rate_per_stack = 0.0;  // phases atop a zero base rate
+    EXPECT_FALSE(s.validate().empty());
   }
 }
 
