@@ -1,0 +1,191 @@
+#include "app/policy.hpp"
+
+#include <stdexcept>
+
+#include "app/probe.hpp"
+#include "util/log.hpp"
+
+namespace dpu {
+
+PolicyEngineModule* PolicyEngineModule::create(Stack& stack, Config config) {
+  auto* m = stack.emplace_module<PolicyEngineModule>(stack, "policy",
+                                                     std::move(config));
+  return m;
+}
+
+PolicyEngineModule::PolicyEngineModule(Stack& stack, std::string instance_name,
+                                       Config config)
+    : Module(stack, std::move(instance_name)), config_(std::move(config)) {}
+
+bool PolicyEngineModule::needs_observation() const {
+  for (const PolicyRule& r : config_.rules) {
+    if (r.trigger != PolicyRule::Trigger::kFdSuspect) return true;
+  }
+  return false;
+}
+
+void PolicyEngineModule::start() {
+  manager_ = UpdateManagerModule::of(stack());
+  if (manager_ == nullptr) {
+    DPU_LOG(kError, "policy")
+        << "s" << env().node_id()
+        << " no update manager on this stack; rules are inert";
+  }
+  for (const PolicyRule& r : config_.rules) {
+    rules_.emplace_back(env(), r);
+  }
+  stack().listen<FdListener>(kFdService, this, this);
+  if (needs_observation()) {
+    observing_ = true;
+    stack().listen<AbcastListener>(config_.observe_service, this, this);
+  }
+  for (RuleState& st : rules_) {
+    if (st.rule.trigger != PolicyRule::Trigger::kFdSuspect) arm_window(st);
+  }
+}
+
+void PolicyEngineModule::stop() {
+  stack().unlisten<FdListener>(kFdService, this);
+  if (observing_) {
+    stack().unlisten<AbcastListener>(config_.observe_service, this);
+    observing_ = false;
+  }
+  for (RuleState& st : rules_) st.timer.cancel();
+}
+
+// ---------------------------------------------------------------------------
+// Observations
+// ---------------------------------------------------------------------------
+
+void PolicyEngineModule::on_suspect(NodeId node) {
+  for (RuleState& st : rules_) {
+    if (st.rule.trigger != PolicyRule::Trigger::kFdSuspect) continue;
+    if (st.rule.suspect_node != kNoNode && st.rule.suspect_node != node) {
+      continue;
+    }
+    maybe_fire(st, "fd-suspect");
+  }
+}
+
+void PolicyEngineModule::adeliver(NodeId /*sender*/, const Bytes& payload) {
+  // Non-probe payloads (topic frames once a GM layer is composed) count
+  // toward the delivered load but carry no timestamp, so they must not
+  // dilute the latency mean — probe samples keep their own count.
+  Duration latency = 0;
+  bool has_latency = false;
+  if (ProbePayload::is_probe(payload)) {
+    try {
+      const ProbePayload p = ProbePayload::parse(payload);
+      latency = env().busy_now() - p.send_time;
+      has_latency = true;
+    } catch (const CodecError&) {
+      // Magic collision on a truncated payload: treat as non-probe.
+    }
+  }
+  for (RuleState& st : rules_) {
+    if (st.rule.trigger == PolicyRule::Trigger::kFdSuspect) continue;
+    ++st.window_count;
+    if (has_latency) {
+      st.window_latency_sum += latency;
+      ++st.window_latency_samples;
+    }
+  }
+}
+
+void PolicyEngineModule::arm_window(RuleState& st) {
+  st.timer.schedule(st.rule.window, [this, &st]() {
+    evaluate_window(st);
+    st.window_count = 0;
+    st.window_latency_sum = 0;
+    st.window_latency_samples = 0;
+    arm_window(st);
+  });
+}
+
+void PolicyEngineModule::evaluate_window(RuleState& st) {
+  switch (st.rule.trigger) {
+    case PolicyRule::Trigger::kDeliveryLatency: {
+      if (st.window_latency_samples == 0) return;
+      const Duration mean = st.window_latency_sum /
+                            static_cast<Duration>(st.window_latency_samples);
+      if (mean >= st.rule.latency_threshold) maybe_fire(st, "latency");
+      return;
+    }
+    case PolicyRule::Trigger::kDeliveryRate: {
+      const double seconds = static_cast<double>(st.rule.window) /
+                             static_cast<double>(kSecond);
+      const double rate = static_cast<double>(st.window_count) / seconds;
+      if (rate >= st.rule.rate_threshold) maybe_fire(st, "rate");
+      return;
+    }
+    case PolicyRule::Trigger::kFdSuspect:
+      return;  // event-driven, not window-driven
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Firing
+// ---------------------------------------------------------------------------
+
+bool PolicyEngineModule::i_am_responsible() const {
+  FdApi* fd = stack().slot(kFdService).try_get<FdApi>();
+  if (fd == nullptr) return env().node_id() == 0;
+  for (NodeId i = 0; i < env().node_id(); ++i) {
+    if (!fd->fd_suspects(i)) return false;  // a lower live stack exists
+  }
+  return true;
+}
+
+void PolicyEngineModule::maybe_fire(RuleState& st, const char* reason) {
+  if (manager_ == nullptr) return;
+
+  UpdateStatus status;
+  try {
+    status = manager_->current_version(st.rule.service);
+  } catch (const std::invalid_argument& e) {
+    // Rule targets a service no mechanism manages on this stack.
+    ++policy_errors_;
+    DPU_LOG(kWarn, "policy") << "s" << env().node_id() << " rule '"
+                             << st.rule.name << "': " << e.what();
+    return;
+  }
+  if (!st.rule.when_protocol.empty() &&
+      status.protocol != st.rule.when_protocol) {
+    return;
+  }
+  if (status.protocol == st.rule.to_protocol) return;  // already there
+  // Debounce: one request per service version; re-arms when the service
+  // reaches the version the request targets.
+  if (st.fired_for_version == status.version + 1) return;
+  if (st.rule.cooldown > 0 && st.last_fired >= 0 &&
+      env().now() - st.last_fired < st.rule.cooldown) {
+    return;
+  }
+  if (!i_am_responsible()) return;
+
+  DPU_LOG(kInfo, "policy") << "s" << env().node_id() << " rule '"
+                           << st.rule.name << "' (" << reason << ") adapting "
+                           << st.rule.service << ": " << status.protocol
+                           << " -> " << st.rule.to_protocol;
+  try {
+    manager_->request_update(st.rule.service, st.rule.to_protocol,
+                             st.rule.to_params);
+  } catch (const std::invalid_argument& e) {
+    // A rejected request is not a firing: leave the debounce and the
+    // trigger count untouched so the (persistent) misconfiguration keeps
+    // surfacing as policy_errors instead of silencing the rule forever.
+    ++policy_errors_;
+    DPU_LOG(kWarn, "policy") << "s" << env().node_id() << " rule '"
+                             << st.rule.name << "' rejected: " << e.what();
+    return;
+  }
+  stack().trace(TraceKind::kCustom, st.rule.service, instance_name(),
+                std::string(kTraceFired) + ":" + st.rule.name + ":" +
+                    st.rule.service + ":" + st.rule.to_protocol);
+  st.fired_for_version = status.version + 1;
+  st.last_fired = env().now();
+  ++st.triggers;
+  ++triggers_;
+}
+
+}  // namespace dpu

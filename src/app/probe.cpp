@@ -5,6 +5,7 @@ namespace dpu {
 Bytes ProbePayload::make(TimePoint now, NodeId sender, std::uint64_t seq,
                          std::size_t size) {
   BufWriter w(size);
+  w.put_u32(kMagic);
   w.put_i64(now);
   w.put_u32(sender);
   w.put_varint(seq);
@@ -19,11 +20,21 @@ Bytes ProbePayload::make(TimePoint now, NodeId sender, std::uint64_t seq,
 
 ProbePayload ProbePayload::parse(const Bytes& payload) {
   BufReader r(payload);
+  if (r.get_u32() != kMagic) throw CodecError("not a probe payload");
   ProbePayload p;
   p.send_time = r.get_i64();
   p.sender = r.get_u32();
   p.seq = r.get_varint();
   return p;  // filler ignored
+}
+
+bool ProbePayload::is_probe(const Bytes& payload) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t head = (static_cast<std::uint32_t>(payload[0]) << 24) |
+                             (static_cast<std::uint32_t>(payload[1]) << 16) |
+                             (static_cast<std::uint32_t>(payload[2]) << 8) |
+                             static_cast<std::uint32_t>(payload[3]);
+  return head == kMagic;
 }
 
 }  // namespace dpu

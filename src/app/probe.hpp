@@ -17,17 +17,28 @@
 
 namespace dpu {
 
-/// Payload layout: [i64 send_time][u32 sender][varint seq][raw filler].
+/// Payload layout: [u32 magic][i64 send_time][u32 sender][varint seq]
+/// [raw filler].  The magic makes probe traffic self-identifying: on a
+/// facade that also carries other payloads (topic frames once a GM layer is
+/// composed), probes and audit taps must skip what they did not send —
+/// misparsing a topic frame as a timestamp once grew a latency time-series
+/// by a garbage bucket index.
 struct ProbePayload {
+  static constexpr std::uint32_t kMagic = 0x50726F62;  // "Prob"
+
   TimePoint send_time = 0;
   NodeId sender = kNoNode;
   std::uint64_t seq = 0;
 
-  /// Builds a payload of exactly `size` bytes (>= header size of 13..22).
+  /// Builds a payload of exactly `size` bytes (>= header size of 17..26).
   [[nodiscard]] static Bytes make(TimePoint now, NodeId sender,
                                   std::uint64_t seq, std::size_t size);
 
+  /// Throws CodecError when `payload` is not probe-stamped.
   [[nodiscard]] static ProbePayload parse(const Bytes& payload);
+
+  /// Cheap magic check (no full parse).
+  [[nodiscard]] static bool is_probe(const Bytes& payload);
 };
 
 /// Aggregates latency samples from all stacks of a world.  Thread-safe so
@@ -77,6 +88,9 @@ class LatencyProbe final : public AbcastListener {
       : collector_(&collector), host_(&host) {}
 
   void adeliver(NodeId /*sender*/, const Bytes& payload) override {
+    // Probe traffic only: the facade may also carry topic frames (GM ops,
+    // facade coordination) that this probe did not send.
+    if (!ProbePayload::is_probe(payload)) return;
     const ProbePayload p = ProbePayload::parse(payload);
     // busy_now(): include the CPU work spent on this delivery path during
     // the current event (see HostEnv::busy_now).

@@ -17,13 +17,16 @@ ProtocolLibrary make_standard_library(const StandardStackOptions& options) {
   TokenAbcastModule::register_protocol(lib, options.token_abcast);
   TopicMuxModule::register_protocol(lib, options.topics);
   GmModule::register_protocol(lib);
-  // The configured consensus provider answers recursive creation of the
-  // "consensus" service.
+  // The configured consensus/rbcast providers answer recursive creation of
+  // their services.
   lib.set_default_provider(kConsensusService, options.consensus_protocol);
+  lib.set_default_provider(kRbcastService, options.rbcast_protocol);
   // The services the dynamic-update control plane may switch at runtime;
   // everything else (transport, fd, ...) is pinned for the stack's lifetime.
   lib.declare_replaceable(kAbcastService);
   lib.declare_replaceable(kConsensusService);
+  lib.declare_replaceable(kRbcastService);
+  lib.declare_replaceable(kGmService);
   return lib;
 }
 
@@ -32,14 +35,26 @@ StandardStack build_standard_stack(Stack& stack,
   StandardStack out;
   out.udp = UdpModule::create(stack);
   out.rp2p = Rp2pModule::create(stack, kRp2pService, options.rp2p);
-  out.rbcast = RbcastModule::create(stack, kRbcastService, options.rbcast);
-  out.fd = FdModule::create(stack, kFdService, options.fd);
 
   // The control plane goes in before any replacement layer: mechanisms
-  // self-register with it when they start.
+  // self-register with it when they start.  (Creation order vs. the
+  // substrate below is irrelevant — registration happens at start().)
   if (options.with_update_manager) {
     out.update = UpdateManagerModule::create(stack);
   }
+
+  if (options.with_rbcast_replacement) {
+    ReplRbcastModule::Config rb;
+    rb.initial_protocol = options.rbcast_protocol;
+    out.repl_rbcast = ReplRbcastModule::create(stack, rb);
+  } else {
+    RbcastConfig rc = options.rbcast;
+    if (options.rbcast_protocol == RbcastModule::kProtocolNameNoRelay) {
+      rc.relay = false;
+    }
+    out.rbcast = RbcastModule::create(stack, kRbcastService, rc);
+  }
+  out.fd = FdModule::create(stack, kFdService, options.fd);
 
   if (options.with_consensus_replacement) {
     ReplConsensusModule::Config rc;
@@ -87,7 +102,11 @@ StandardStack build_standard_stack(Stack& stack,
 
   if (options.with_gm) {
     out.topics = TopicMuxModule::create(stack, kTopicsService, options.topics);
-    out.gm = GmModule::create(stack);
+    if (options.with_gm_replacement) {
+      out.repl_gm = ReplGmModule::create(stack);
+    } else {
+      out.gm = GmModule::create(stack);
+    }
   }
   stack.start_all();
   return out;

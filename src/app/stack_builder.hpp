@@ -32,6 +32,8 @@
 #include "net/udp_module.hpp"
 #include "repl/repl_abcast.hpp"
 #include "repl/repl_consensus.hpp"
+#include "repl/repl_gm.hpp"
+#include "repl/repl_rbcast.hpp"
 #include "repl/update.hpp"
 
 namespace dpu {
@@ -45,6 +47,14 @@ struct StandardStackOptions {
   /// "consensus.mr") becomes hot-swappable through the UpdateApi, exactly
   /// like the abcast layer.  Replaces the eager direct consensus module.
   bool with_consensus_replacement = false;
+  /// Insert the Repl-RBcast indirection layer: reliable broadcast is
+  /// provided by a facade and the real protocol ("rbcast.eager" /
+  /// "rbcast.norelay") becomes hot-swappable through the UpdateApi.
+  bool with_rbcast_replacement = false;
+  /// Insert the Repl-GM indirection layer (requires with_gm): group
+  /// membership is provided by a facade and "gm.abcast" instances become
+  /// hot-swappable through the UpdateApi.
+  bool with_gm_replacement = false;
   /// Provide the "update" service (UpdateManagerModule): the service-generic
   /// control plane every replacement layer of this stack registers with.
   /// On by default — it costs one module and nothing at steady state.
@@ -53,6 +63,8 @@ struct StandardStackOptions {
   std::string abcast_protocol = CtAbcastModule::kProtocolName;
   /// Consensus provider backing CT-ABcast: "consensus.ct" or "consensus.mr".
   std::string consensus_protocol = CtConsensusModule::kProtocolName;
+  /// Reliable-broadcast provider: "rbcast.eager" or "rbcast.norelay".
+  std::string rbcast_protocol = RbcastModule::kProtocolName;
   /// Create the consensus module eagerly even for non-consensus ABcast
   /// (false exercises Algorithm 1's recursive creation on a later switch).
   bool eager_consensus = true;
@@ -80,14 +92,16 @@ struct StandardStackOptions {
 struct StandardStack {
   UdpModule* udp = nullptr;
   Rp2pModule* rp2p = nullptr;
-  RbcastModule* rbcast = nullptr;
+  RbcastModule* rbcast = nullptr;  ///< null under with_rbcast_replacement
   FdModule* fd = nullptr;
   ConsensusBase* consensus = nullptr;
   UpdateManagerModule* update = nullptr;
   ReplAbcastModule* repl = nullptr;
   ReplConsensusModule* repl_consensus = nullptr;
+  ReplRbcastModule* repl_rbcast = nullptr;
   TopicMuxModule* topics = nullptr;
-  GmModule* gm = nullptr;
+  GmModule* gm = nullptr;  ///< null under with_gm_replacement
+  ReplGmModule* repl_gm = nullptr;
 };
 
 /// Builds the protocol library matching `options` (used by Algorithm 1's

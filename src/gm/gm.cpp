@@ -17,8 +17,9 @@ std::string View::str() const {
   return os.str();
 }
 
-GmModule* GmModule::create(Stack& stack, const std::string& service) {
-  auto* m = stack.emplace_module<GmModule>(stack, service, service);
+GmModule* GmModule::create(Stack& stack, const std::string& service,
+                           const std::string& topic) {
+  auto* m = stack.emplace_module<GmModule>(stack, service, service, topic);
   stack.bind<GmApi>(service, m, m);
   return m;
 }
@@ -29,15 +30,25 @@ void GmModule::register_protocol(ProtocolLibrary& library) {
       .default_service = kGmService,
       .requires_services = {kTopicsService},
       .factory = [](Stack& stack, const std::string& provide_as,
-                    const ModuleParams&) -> Module* {
-        return create(stack, provide_as);
+                    const ModuleParams& params) -> Module* {
+        // Dynamic instances publish on a per-version topic derived from the
+        // cross-stack-identical instance name, so coexisting replacement
+        // versions never share the ordered channel.
+        const std::string instance = params.get("instance");
+        if (instance.empty()) return create(stack, provide_as);
+        auto* m = stack.emplace_module<GmModule>(stack, instance, provide_as,
+                                                 instance);
+        stack.bind<GmApi>(provide_as, m, m);
+        return m;
       }});
 }
 
-GmModule::GmModule(Stack& stack, std::string instance_name, std::string service)
+GmModule::GmModule(Stack& stack, std::string instance_name, std::string service,
+                   std::string topic)
     : Module(stack, std::move(instance_name)),
       topics_(stack.require<TopicsApi>(kTopicsService)),
-      up_(stack.upcalls<GmListener>(service)) {}
+      up_(stack.upcalls<GmListener>(service)),
+      topic_(std::move(topic)) {}
 
 void GmModule::start() {
   // Initial view: the full static world (paper model: one module per
@@ -48,14 +59,14 @@ void GmModule::start() {
   history_.push_back(view_);
 
   topics_.call([this](TopicsApi& topics) {
-    topics.subscribe(kTopic, [this](NodeId sender, const Bytes& payload) {
+    topics.subscribe(topic_, [this](NodeId sender, const Bytes& payload) {
       on_op(sender, payload);
     });
   });
 }
 
 void GmModule::stop() {
-  topics_.call([](TopicsApi& topics) { topics.unsubscribe(kTopic); });
+  topics_.call([this](TopicsApi& topics) { topics.unsubscribe(topic_); });
 }
 
 void GmModule::gm_join(NodeId node) { publish_op(kJoin, node); }
@@ -66,8 +77,8 @@ void GmModule::publish_op(Op op, NodeId node) {
   BufWriter w(8);
   w.put_u8(op);
   w.put_u32(node);
-  topics_.call([bytes = w.take_payload()](TopicsApi& topics) mutable {
-    topics.publish(kTopic, std::move(bytes));
+  topics_.call([this, bytes = w.take_payload()](TopicsApi& topics) mutable {
+    topics.publish(topic_, std::move(bytes));
   });
 }
 

@@ -59,12 +59,19 @@ class GmModule final : public Module, public GmApi {
   static constexpr char kProtocolName[] = "gm.abcast";
   static constexpr char kTopic[] = "gm";
 
-  static GmModule* create(Stack& stack, const std::string& service = kGmService);
+  /// `topic` is the totally-ordered channel the instance publishes its ops
+  /// on.  Static compositions keep the default; dynamically created
+  /// instances (replacement versions) use their cross-stack-identical
+  /// instance name so two coexisting versions never share a topic.
+  static GmModule* create(Stack& stack, const std::string& service = kGmService,
+                          const std::string& topic = kTopic);
 
-  /// Registers "gm.abcast": requires topics.
+  /// Registers "gm.abcast": requires topics.  Dynamic instances take their
+  /// topic (and instance name) from the "instance" param.
   static void register_protocol(ProtocolLibrary& library);
 
-  GmModule(Stack& stack, std::string instance_name, std::string service);
+  GmModule(Stack& stack, std::string instance_name, std::string service,
+           std::string topic);
 
   void start() override;
   void stop() override;
@@ -86,6 +93,7 @@ class GmModule final : public Module, public GmApi {
 
   ServiceRef<TopicsApi> topics_;
   UpcallRef<GmListener> up_;
+  std::string topic_;
   View view_;
   std::vector<View> history_;
 };

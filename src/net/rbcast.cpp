@@ -5,21 +5,38 @@
 namespace dpu {
 
 RbcastModule* RbcastModule::create(Stack& stack, const std::string& service,
-                                   Config config) {
-  auto* m = stack.emplace_module<RbcastModule>(stack, service, config);
+                                   Config config,
+                                   const std::string& instance_name) {
+  auto* m = stack.emplace_module<RbcastModule>(
+      stack, instance_name.empty() ? service : instance_name, config);
   stack.bind<RbcastApi>(service, m, m);
   return m;
 }
 
 void RbcastModule::register_protocol(ProtocolLibrary& library, Config config) {
+  // Dynamically created instances (replacement versions) derive their rp2p
+  // channel from the cross-stack-identical "instance" param, so coexisting
+  // versions never share a channel (net/services.hpp multiplexing model).
+  auto factory_with = [config](bool relay) {
+    return [config, relay](Stack& stack, const std::string& provide_as,
+                           const ModuleParams& params) -> Module* {
+      Config c = config;
+      c.relay = relay;
+      const std::string instance = params.get("instance");
+      if (!instance.empty()) c.rp2p_channel = fnv1a64(instance + "/bcast");
+      return create(stack, provide_as, c, instance);
+    };
+  };
   library.register_protocol(ProtocolInfo{
       .protocol = kProtocolName,
       .default_service = kRbcastService,
       .requires_services = {kRp2pService},
-      .factory = [config](Stack& stack, const std::string& provide_as,
-                          const ModuleParams&) -> Module* {
-        return create(stack, provide_as, config);
-      }});
+      .factory = factory_with(/*relay=*/true)});
+  library.register_protocol(ProtocolInfo{
+      .protocol = kProtocolNameNoRelay,
+      .default_service = kRbcastService,
+      .requires_services = {kRp2pService},
+      .factory = factory_with(/*relay=*/false)});
 }
 
 RbcastModule::RbcastModule(Stack& stack, std::string instance_name,
@@ -32,7 +49,7 @@ void RbcastModule::start() {
   next_seq_ = incarnation_seq_base(env().incarnation()) + 1;
   seen_.assign(env().world_size(), OriginDedup{});
   rp2p_.call([this](Rp2pApi& rp2p) {
-    rp2p.rp2p_bind_channel(kRbcastChannel,
+    rp2p.rp2p_bind_channel(config_.rp2p_channel,
                            [this](NodeId from, const Payload& data) {
                              on_message(from, data);
                            });
@@ -40,7 +57,9 @@ void RbcastModule::start() {
 }
 
 void RbcastModule::stop() {
-  rp2p_.call([](Rp2pApi& rp2p) { rp2p.rp2p_release_channel(kRbcastChannel); });
+  rp2p_.call([this](Rp2pApi& rp2p) {
+    rp2p.rp2p_release_channel(config_.rp2p_channel);
+  });
   channels_.clear();
   pending_channel_.clear();
 }
@@ -81,8 +100,8 @@ void RbcastModule::rbcast_release_channel(ChannelId channel) {
 }
 
 void RbcastModule::send_to(NodeId dst, const Payload& wire) {
-  rp2p_.call([dst, wire](Rp2pApi& rp2p) mutable {
-    rp2p.rp2p_send(dst, kRbcastChannel, std::move(wire));
+  rp2p_.call([dst, wire, channel = config_.rp2p_channel](Rp2pApi& rp2p) mutable {
+    rp2p.rp2p_send(dst, channel, std::move(wire));
   });
 }
 

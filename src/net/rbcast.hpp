@@ -23,22 +23,34 @@ namespace dpu {
 struct RbcastConfig {
   /// Relay on first receipt.  Disabling reduces the message complexity
   /// from O(n^2) to O(n) but forfeits agreement when the origin crashes
-  /// mid-broadcast; the ablation bench measures the difference.
+  /// mid-broadcast; the ablation bench measures the difference, and the
+  /// "rbcast.norelay" library exposes it as a switchable protocol variant.
   bool relay = true;
   std::size_t max_pending_per_channel = 100'000;
+  /// RP2P channel this instance sends and receives on.  The default is the
+  /// singleton substrate channel; dynamically created instances (replacement
+  /// versions) derive a channel from their cross-stack-identical instance
+  /// name so two coexisting versions never share one.
+  ChannelId rp2p_channel = kRbcastChannel;
 };
 
 class RbcastModule final : public Module, public RbcastApi {
  public:
   using Config = RbcastConfig;
 
-  static constexpr char kProtocolName[] = "net.rbcast";
+  static constexpr char kProtocolName[] = "rbcast.eager";
+  static constexpr char kProtocolNameNoRelay[] = "rbcast.norelay";
 
+  /// `instance_name` defaults to the service name; dynamic instances pass
+  /// their cross-stack-identical versioned name for trace correlation.
   static RbcastModule* create(Stack& stack,
                               const std::string& service = kRbcastService,
-                              Config config = Config{});
+                              Config config = Config{},
+                              const std::string& instance_name = "");
 
-  /// Registers "net.rbcast": requires rp2p.
+  /// Registers "rbcast.eager" (relay-on-first-receipt) and "rbcast.norelay"
+  /// (O(n) messages, no crash agreement): both require rp2p.  Dynamic
+  /// instances take their rp2p channel from the "instance" param.
   static void register_protocol(ProtocolLibrary& library,
                                 Config config = Config{});
 

@@ -28,6 +28,7 @@ Rp2pModule::Rp2pModule(Stack& stack, std::string instance_name, Config config)
       udp_(stack.require<UdpApi>(kUdpService)),
       fd_(stack.require<FdApi>(kFdService)),
       ack_timer_(stack.host()),
+      nack_timer_(stack.host()),
       retransmit_timer_(stack.host()) {}
 
 void Rp2pModule::start() {
@@ -46,6 +47,8 @@ void Rp2pModule::start() {
 void Rp2pModule::stop() {
   retransmit_timer_.cancel();
   ack_timer_.cancel();
+  nack_timer_.cancel();
+  nack_queue_.clear();
   udp_.call([](UdpApi& udp) { udp.udp_release_port(kRp2pPort); });
   channels_.clear();
   pending_channel_.clear();
@@ -183,6 +186,68 @@ void Rp2pModule::flush_acks() {
   ack_queue_.clear();
 }
 
+void Rp2pModule::note_gap(NodeId src, PeerIn& peer) {
+  if (!config_.nack || peer.nack_pending) return;
+  peer.nack_pending = true;
+  nack_queue_.push_back(src);
+  if (!nack_timer_.pending()) {
+    nack_timer_.schedule(config_.nack_delay, [this]() { flush_nacks(); });
+  }
+}
+
+void Rp2pModule::flush_nacks() {
+  // Swap out: a still-open hole re-queues itself below, and in-order
+  // deliveries triggered by the NACKed retransmission may queue new gaps.
+  std::vector<NodeId> due;
+  due.swap(nack_queue_);
+  const TimePoint now = env().now();
+  for (const NodeId src : due) {
+    PeerIn& peer = in_[src];
+    peer.nack_pending = false;
+    if (peer.reorder.empty()) continue;  // hole closed by in-flight packets
+    const std::uint64_t gap_from = peer.next_expected;
+    const std::uint64_t gap_to = peer.reorder.begin()->first;
+    if (gap_to <= gap_from) continue;  // defensive
+    // Debounce per gap front: relays and duplicates re-detect the same gap
+    // many times within one round trip.
+    if (peer.last_nacked == gap_from && peer.last_nack_time >= 0 &&
+        now - peer.last_nack_time < config_.nack_min_interval) {
+      // Re-check later: the front may still be lost (NACK or retransmit
+      // dropped); the retransmission timer remains the backstop.
+      note_gap(src, peer);
+      continue;
+    }
+    peer.last_nacked = gap_from;
+    peer.last_nack_time = now;
+    ++nacks_sent_;
+    udp_.call([src, gap_from, gap_to](UdpApi& udp) {
+      BufWriter w = udp.udp_frame(kRp2pPort, 20);
+      w.put_u8(kNack);
+      w.put_varint(gap_from);
+      w.put_varint(gap_to);
+      udp.udp_send_frame(src, w.take_payload());
+    });
+  }
+  if (!nack_queue_.empty() && !nack_timer_.pending()) {
+    nack_timer_.schedule(config_.nack_delay, [this]() { flush_nacks(); });
+  }
+}
+
+void Rp2pModule::on_nack(NodeId src, std::uint64_t from, std::uint64_t to) {
+  if (src >= out_.size() || to <= from) return;
+  PeerOut& peer = out_[src];
+  // Retransmit exactly the reported hole, now: the receiver knows which
+  // packets it is missing, so no timer guesswork and no backoff wait.  The
+  // range is bounded by the receiver's reorder gap, so a forged/garbled
+  // range cannot trigger more sends than there are unacked packets.
+  for (auto it = peer.unacked.lower_bound(from);
+       it != peer.unacked.end() && it->first < to; ++it) {
+    ++retransmissions_;
+    ++fast_retransmits_;
+    transmit(src, it->second);
+  }
+}
+
 void Rp2pModule::deliver(NodeId src, ChannelId channel,
                          const Payload& payload) {
   if (const auto handler = channels_.find(channel)) {
@@ -213,6 +278,13 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
                          peer.unacked.lower_bound(cumulative));
       return;
     }
+    if (type == kNack) {
+      const std::uint64_t from = r.get_varint();
+      const std::uint64_t to = r.get_varint();
+      r.expect_done();
+      on_nack(src, from, to);
+      return;
+    }
     if (type != kData) throw CodecError("unknown rp2p message type");
     const std::uint64_t seq = r.get_varint();
     const ChannelId channel = r.get_u64();
@@ -231,8 +303,11 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
       return;
     }
     if (seq > peer.next_expected) {
-      // Out of order: hold for reassembly (duplicates overwrite harmlessly).
+      // Out of order: hold for reassembly (duplicates overwrite harmlessly)
+      // and queue a delayed gap check so the sender fast-retransmits real
+      // losses instead of waiting out its backed-off timer.
       peer.reorder.emplace(seq, std::make_pair(channel, std::move(payload)));
+      note_gap(src, peer);
       note_ack_due(src, peer);
       return;
     }
@@ -262,6 +337,8 @@ void Rp2pModule::adopt_peer_epoch(NodeId src, std::uint64_t epoch) {
   PeerIn& in = in_[src];
   in.reorder.clear();
   in.next_expected = (epoch << kIncarnationSeqShift) + 1;
+  in.last_nacked = 0;
+  in.last_nack_time = -1;
   // Send side: packets addressed to the dead incarnation are abandoned (a
   // restarted receiver is a fresh endpoint; reliability is owed to the new
   // incarnation only — upper layers re-converge via consensus catch-up).

@@ -47,6 +47,22 @@ struct Rp2pConfig {
   /// here.  Bounds the per-packet send rate into black holes (partitions,
   /// not-yet-suspected crashes) while keeping first recovery fast.
   Duration max_retransmit_backoff = 640 * kMillisecond;
+  /// NACK / fast retransmit: when the receive side detects a reorder gap (a
+  /// sequence beyond next_expected arrives), it reports the missing range to
+  /// the sender, which retransmits those packets immediately instead of
+  /// waiting out the (exponentially backed-off) retransmission timer.  This
+  /// claws back the loss-recovery latency that delayed acks + backoff cost,
+  /// without giving up ack coalescing.
+  bool nack = true;
+  /// Grace delay between detecting a gap and reporting it: benign network
+  /// reordering (in-flight packets with jittered latency) closes holes
+  /// within the jitter bound, so a NACK goes out only for holes that
+  /// persist — real losses.  Must exceed the network's reorder skew and
+  /// stay well below retransmit_interval.
+  Duration nack_delay = 2 * kMillisecond;
+  /// Debounce: the same gap front is re-NACKed at most once per interval
+  /// (relays/duplicates would otherwise turn one loss into a NACK burst).
+  Duration nack_min_interval = 5 * kMillisecond;
   /// Consult the "fd" service when one is bound: packets to a currently
   /// suspected peer are not retransmitted until the peer is trusted again.
   /// Safe for correct peers — a false suspicion only pauses (never drops)
@@ -88,6 +104,12 @@ class Rp2pModule final : public Module, public Rp2pApi {
     return retransmissions_;
   }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::uint64_t nacks_sent() const { return nacks_sent_; }
+  /// Retransmissions triggered by received NACKs (subset of
+  /// retransmissions()).
+  [[nodiscard]] std::uint64_t fast_retransmits() const {
+    return fast_retransmits_;
+  }
   /// Retransmit-tick skips of whole peers because the FD suspected them.
   [[nodiscard]] std::uint64_t suspected_skips() const {
     return suspected_skips_;
@@ -105,7 +127,7 @@ class Rp2pModule final : public Module, public Rp2pApi {
   }
 
  private:
-  enum MsgType : std::uint8_t { kData = 0, kAck = 1 };
+  enum MsgType : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
 
   struct OutPacket {
     /// Full engine-level datagram (UDP header + DATA frame), serialized
@@ -132,6 +154,11 @@ class Rp2pModule final : public Module, public Rp2pApi {
     std::uint64_t next_expected = 1;  // its epoch = the peer's stream epoch
     bool ack_due = false;
     std::map<std::uint64_t, std::pair<ChannelId, Payload>> reorder;
+    /// NACK state: whether a gap check is queued, the gap front last
+    /// reported, and when.
+    bool nack_pending = false;
+    std::uint64_t last_nacked = 0;
+    TimePoint last_nack_time = -1;
   };
 
   void on_datagram(NodeId src, const Payload& data);
@@ -144,6 +171,15 @@ class Rp2pModule final : public Module, public Rp2pApi {
   [[nodiscard]] Duration backoff_after(std::uint32_t attempts) const;
   void note_ack_due(NodeId src, PeerIn& peer);
   void flush_acks();
+  /// Queues a delayed gap check for `src` (sends nothing yet: benign
+  /// reordering closes most holes within the jitter bound).
+  void note_gap(NodeId src, PeerIn& peer);
+  /// Runs the queued gap checks; reports each still-open hole
+  /// [next_expected, first-buffered) to its sender, debounced per front.
+  void flush_nacks();
+  /// Sender side of a NACK: immediately retransmits the unacked packets of
+  /// [from, to).
+  void on_nack(NodeId src, std::uint64_t from, std::uint64_t to);
   void deliver(NodeId src, ChannelId channel, const Payload& payload);
   void on_retransmit_tick();
 
@@ -167,11 +203,16 @@ class Rp2pModule final : public Module, public Rp2pApi {
   /// vector, not map iteration, so ack emission order is deterministic
   /// across standard libraries).
   std::vector<NodeId> ack_queue_;
+  /// Peers with a queued gap check, in detection order (deterministic).
+  std::vector<NodeId> nack_queue_;
   TimerSlot ack_timer_;
+  TimerSlot nack_timer_;
   TimerSlot retransmit_timer_;
   std::uint64_t delivered_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
   std::uint64_t suspected_skips_ = 0;
 };
 

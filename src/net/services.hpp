@@ -81,6 +81,15 @@ class HandlerTable {
   /// Drops every entry (module stop()).
   void clear() { entries_.clear(); }
 
+  /// Visits the key of every bound entry (replacement facades re-attach all
+  /// client channels on a fresh inner version).
+  template <class Fn>
+  void for_each_key(Fn&& fn) const {
+    for (const auto& [k, slot] : entries_) {
+      if (slot != nullptr && *slot) fn(k);
+    }
+  }
+
  private:
   std::vector<std::pair<Key, Ref>> entries_;
 };

@@ -69,6 +69,11 @@ class GracefulSwitchModule final : public Module,
   /// Initiates the coordinated adaptation (this stack becomes the CA).
   /// Throws if `protocol` requires a service that is not bound — the
   /// Graceful Adaptation restriction.
+  ///
+  /// DEPRECATED: new code should use the service-generic control plane —
+  /// `UpdateApi::request_update("abcast", protocol, params)` — which
+  /// validates against the ProtocolRegistry and emits the generic
+  /// convergence markers (see README migration note).
   void change_adaptation(const std::string& protocol,
                          const ModuleParams& params = ModuleParams());
 

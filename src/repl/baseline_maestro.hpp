@@ -66,6 +66,11 @@ class MaestroSwitchModule final : public Module,
   void adeliver(NodeId sender, const Bytes& inner_payload) override;
 
   /// Requests a full-stack switch to `protocol` (totally ordered cut).
+  ///
+  /// DEPRECATED: new code should use the service-generic control plane —
+  /// `UpdateApi::request_update("abcast", protocol, params)` — which
+  /// validates against the ProtocolRegistry and emits the generic
+  /// convergence markers (see README migration note).
   void change_stack(const std::string& protocol,
                     const ModuleParams& params = ModuleParams());
 

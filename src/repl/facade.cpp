@@ -1,0 +1,256 @@
+#include "repl/facade.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+void encode_module_params(BufWriter& w, const ModuleParams& params) {
+  w.put_varint(params.entries().size());
+  for (const auto& [key, value] : params.entries()) {
+    w.put_string(key);
+    w.put_string(value);
+  }
+}
+
+ModuleParams decode_module_params(BufReader& r) {
+  ModuleParams params;
+  const std::uint64_t n = r.get_varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.get_string();
+    params.set(key, r.get_string());
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// CrossVersionDedup
+// ---------------------------------------------------------------------------
+
+void CrossVersionDedup::reset(std::size_t world) {
+  origins_.assign(world, Origin{});
+}
+
+bool CrossVersionDedup::mark_seen(const MsgId& id) {
+  auto mark_in_window = [](EpochWindow& w, std::uint64_t seq) {
+    if (seq < w.next) return false;
+    if (seq > w.next) return w.ahead.insert(seq).second;
+    ++w.next;
+    while (!w.ahead.empty() && *w.ahead.begin() == w.next) {
+      w.ahead.erase(w.ahead.begin());
+      ++w.next;
+    }
+    return true;
+  };
+  if (id.origin >= origins_.size()) return false;  // malformed origin
+  Origin& o = origins_[id.origin];
+  const std::uint64_t epoch = seq_epoch(id.seq);
+  if (epoch == o.epoch) return mark_in_window(o.cur, id.seq);
+  if (epoch > o.epoch) {
+    // The origin restarted: archive the dead incarnation's window (late
+    // copies of its messages must still dedup and deliver) and open the new
+    // epoch's.
+    o.old_epochs.emplace(o.epoch, std::move(o.cur));
+    o.epoch = epoch;
+    o.cur = EpochWindow{(epoch << kIncarnationSeqShift) + 1, {}};
+    return mark_in_window(o.cur, id.seq);
+  }
+  auto [it, inserted] = o.old_epochs.try_emplace(
+      epoch, EpochWindow{(epoch << kIncarnationSeqShift) + 1, {}});
+  (void)inserted;
+  return mark_in_window(it->second, id.seq);
+}
+
+// ---------------------------------------------------------------------------
+// ReplacementFacadeBase
+// ---------------------------------------------------------------------------
+
+ReplacementFacadeBase::ReplacementFacadeBase(Stack& stack,
+                                             std::string instance_name,
+                                             FacadeConfig config)
+    : Module(stack, std::move(instance_name)), fcfg_(std::move(config)) {}
+
+std::string ReplacementFacadeBase::inner_service_name(std::uint64_t sn) const {
+  if (!fcfg_.versioned_inner) return fcfg_.inner_service;
+  return fcfg_.inner_service + "#" + std::to_string(sn);
+}
+
+std::string ReplacementFacadeBase::versioned_instance(
+    const std::string& protocol, std::uint64_t sn) const {
+  return protocol + "@" + fcfg_.inner_service + "#" + std::to_string(sn);
+}
+
+void ReplacementFacadeBase::facade_start() {
+  next_local_ = incarnation_seq_base(env().incarnation()) + 1;
+  manager_ = UpdateManagerModule::of(stack());
+  if (manager_ != nullptr) manager_->register_mechanism(this);
+  // Install the initial protocol (seqNumber 0).
+  cur_protocol_ = fcfg_.initial_protocol;
+  ModuleParams params = fcfg_.initial_params;
+  params.set("instance", versioned_instance(cur_protocol_, seq_number_));
+  cur_module_ =
+      stack().create_module(cur_protocol_, inner_service_name(), params);
+  on_inner_installed(cur_module_, seq_number_);
+}
+
+void ReplacementFacadeBase::facade_stop() {
+  if (manager_ != nullptr) manager_->unregister_mechanism(this);
+  retire_timers_.clear();
+}
+
+void ReplacementFacadeBase::on_inner_installed(Module* /*created*/,
+                                               std::uint64_t /*sn*/) {}
+
+void ReplacementFacadeBase::on_inner_retired(Module* /*retired*/) {}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+Payload ReplacementFacadeBase::wrap_data(std::uint64_t sn, const MsgId& id,
+                                         const Payload& payload) {
+  BufWriter w(payload.size() + 24);
+  w.put_u8(kNil);
+  w.put_varint(sn);
+  id.encode(w);
+  w.put_blob(payload);
+  return w.take_payload();
+}
+
+Payload ReplacementFacadeBase::wrap_change(const std::string& protocol,
+                                           const ModuleParams& params) const {
+  BufWriter w(protocol.size() + 32);
+  w.put_u8(kNewProtocol);
+  w.put_varint(seq_number_);
+  w.put_string(protocol);
+  encode_module_params(w, params);
+  return w.take_payload();
+}
+
+namespace {
+
+ReplacementFacadeBase::Unwrapped unwrap_reader(
+    BufReader& r, std::uint8_t raw_tag) {
+  using Base = ReplacementFacadeBase;
+  Base::Unwrapped out;
+  const auto tag = static_cast<Base::Tag>(raw_tag);
+  out.sn = r.get_varint();
+  if (tag == Base::kNewProtocol) {
+    out.tag = Base::kNewProtocol;
+    out.protocol = r.get_string();
+    out.params = decode_module_params(r);
+    r.expect_done();
+    return out;
+  }
+  if (tag != Base::kNil) throw CodecError("unknown repl tag");
+  out.tag = Base::kNil;
+  out.id = MsgId::decode(r);
+  out.payload = r.get_blob();
+  r.expect_done();
+  return out;
+}
+
+}  // namespace
+
+ReplacementFacadeBase::Unwrapped ReplacementFacadeBase::unwrap(
+    const Bytes& wire) {
+  BufReader r(wire);
+  return unwrap_reader(r, r.get_u8());
+}
+
+ReplacementFacadeBase::Unwrapped ReplacementFacadeBase::unwrap(
+    const Payload& wire) {
+  BufReader r(wire);
+  return unwrap_reader(r, r.get_u8());
+}
+
+ReplacementFacadeBase::UnwrappedData ReplacementFacadeBase::unwrap_data(
+    const Payload& wire) {
+  BufReader r(wire);
+  if (static_cast<Tag>(r.get_u8()) != kNil) {
+    throw CodecError("expected a data wrapper");
+  }
+  UnwrappedData out;
+  out.sn = r.get_varint();
+  out.id = MsgId::decode(r);
+  out.payload = r.get_blob_payload();  // zero-copy slice of the wire buffer
+  r.expect_done();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 operations
+// ---------------------------------------------------------------------------
+
+void ReplacementFacadeBase::track_undelivered(const MsgId& id, Payload payload,
+                                              std::uint64_t ctx) {
+  undelivered_.emplace(id, UndeliveredEntry{std::move(payload), ctx});
+}
+
+bool ReplacementFacadeBase::settle_undelivered(const MsgId& id) {
+  return undelivered_.erase(id) != 0;
+}
+
+void ReplacementFacadeBase::request_change(const std::string& protocol,
+                                           const ModuleParams& params) {
+  if (stack().library() == nullptr ||
+      stack().library()->find(protocol) == nullptr) {
+    throw std::logic_error("request_change: unknown protocol '" + protocol +
+                           "'");
+  }
+  stack().trace(TraceKind::kCustom, fcfg_.facade_service, instance_name(),
+                std::string(change_requested_marker()) + ":" + protocol);
+  send_inner_change(wrap_change(protocol, params));  // line 6
+}
+
+void ReplacementFacadeBase::perform_switch(const std::string& protocol,
+                                           const ModuleParams& params) {
+  ++seq_number_;  // line 11
+  DPU_LOG(kInfo, "repl") << "s" << env().node_id() << " switching "
+                         << fcfg_.inner_service << " to " << protocol
+                         << " (sn=" << seq_number_ << ")";
+
+  // Line 12: unbind(cur).  The module stays in the stack and may still
+  // deliver (stale) responses.  Versioned inner slots skip the unbind: each
+  // version owns its own slot, and the old version's clients — none — would
+  // be the only reason to clear it.
+  Module* old_module = cur_module_;
+  if (!fcfg_.versioned_inner) stack().unbind(fcfg_.inner_service);
+
+  // Lines 13-14: create_module(prot); bind.  Stack::create_module implements
+  // lines 22-28 (recursive creation of providers for required services); the
+  // factory binds the module to the inner service.
+  ModuleParams create_params = params;
+  create_params.set("instance", versioned_instance(protocol, seq_number_));
+  cur_module_ =
+      stack().create_module(protocol, inner_service_name(), create_params);
+  cur_protocol_ = protocol;
+  on_inner_installed(cur_module_, seq_number_);
+
+  // Lines 15-16: re-issue all undelivered messages through the new protocol.
+  for (const auto& [id, entry] : undelivered_) {
+    ++reissued_total_;
+    send_inner_data(wrap_data(seq_number_, id, entry.payload), entry.ctx);
+  }
+
+  ++switches_completed_;
+  stack().trace(TraceKind::kCustom, fcfg_.facade_service, instance_name(),
+                std::string(switch_done_marker()) + ":" + protocol + ":sn=" +
+                    std::to_string(seq_number_));
+  if (manager_ != nullptr) {
+    manager_->notify_update_complete(*this, protocol, seq_number_);
+  }
+
+  // Optional extension: retire the old module once the switch has settled.
+  if (old_module != nullptr && fcfg_.retire_after > 0) {
+    auto timer = std::make_unique<TimerSlot>(env());
+    timer->schedule(fcfg_.retire_after, [this, old_module]() {
+      on_inner_retired(old_module);
+      stack().destroy_module(old_module);
+    });
+    retire_timers_.push_back(std::move(timer));
+  }
+}
+
+}  // namespace dpu

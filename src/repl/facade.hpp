@@ -1,0 +1,275 @@
+// Replacement substrate — the reusable facade/inner interception machinery
+// behind every "repl" mechanism (paper §4 structure, §5 Algorithm 1).
+//
+// The paper's central claim is that dynamic update is a *structural*
+// property of a service-based stack: the replacement module needs only the
+// *specification* of the service it replaces.  This header makes the
+// structure reusable: everything in Algorithm 1 that is not specific to
+// atomic broadcast lives here, and a per-service facade module supplies only
+// the service interface plumbing (how to transmit a wrapped payload through
+// the inner service, and what to do when a new inner version appears).
+//
+// Shared pieces:
+//  * `ReplacementFacadeBase` — Module + UpdateMechanism base holding the
+//    Algorithm-1 state (seqNumber, the undelivered set, the current inner
+//    module), the wrap/filter/unwrap wire format (byte-identical to the
+//    pre-extraction Repl-ABcast format), the switch sequencing of lines
+//    10-16 (unbind -> create_module -> bind -> reissue), version accounting,
+//    trace markers and UpdateApi registration.
+//  * `CrossVersionDedup` — per-origin duplicate suppression across protocol
+//    versions, for facades over services without a total order (rbcast):
+//    where Repl-ABcast can discard stale-version messages (the total order
+//    makes the discard consistent everywhere), an unordered service must
+//    accept any version's copy and deduplicate by message id instead.
+//
+// Three facades instantiate the substrate: `ReplAbcastModule`
+// (repl/repl_abcast.hpp, Algorithm 1 verbatim), `ReplRbcastModule`
+// (repl/repl_rbcast.hpp, reliable broadcast) and `ReplGmModule`
+// (repl/repl_gm.hpp, group membership).  `ReplConsensusModule` keeps its own
+// machinery: consensus is multi-stream and migrates lazily per stream, a
+// different algorithm (see repl/repl_consensus.hpp).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/stack.hpp"
+#include "repl/update.hpp"
+#include "util/ids.hpp"
+
+namespace dpu {
+
+/// Encodes ModuleParams into a change message so every stack creates the new
+/// protocol with identical parameters.
+void encode_module_params(BufWriter& w, const ModuleParams& params);
+[[nodiscard]] ModuleParams decode_module_params(BufReader& r);
+
+/// Per-origin duplicate suppression across protocol versions and
+/// incarnations.  Message ids from one origin are monotonically increasing
+/// within one incarnation epoch (the facade's id counter never resets on a
+/// switch), but may *arrive* out of order across versions — two inner
+/// protocol instances are independent transports, and reissued messages
+/// carry their original id.  A watermark (`next`) plus an ahead-set is both
+/// correct for that arrival order and bounded: `next` only advances through
+/// contiguously seen ids, so an id below it was definitely seen.
+class CrossVersionDedup {
+ public:
+  /// Sized for `world` origins; ids start at each origin's incarnation base.
+  void reset(std::size_t world);
+
+  /// Returns true on first sighting of `id`, false for a duplicate.
+  [[nodiscard]] bool mark_seen(const MsgId& id);
+
+ private:
+  struct EpochWindow {
+    std::uint64_t next = 1;         ///< lowest id not yet seen contiguously
+    std::set<std::uint64_t> ahead;  ///< seen ids beyond `next`
+  };
+  struct Origin {
+    std::uint64_t epoch = 0;
+    EpochWindow cur;
+    /// Earlier incarnations' windows: late cross-version copies of a dead
+    /// incarnation's messages must still dedup (and still deliver once).
+    std::map<std::uint64_t, EpochWindow> old_epochs;
+  };
+  std::vector<Origin> origins_;
+};
+
+/// Base of the per-service replacement facades: Algorithm 1's state and
+/// switch sequencing, generic over the intercepted service.
+///
+/// A facade module provides the *facade* service that applications and
+/// dependent protocols call, and requires the *inner* service that the real
+/// protocol binds to; inner protocol modules are completely unaware that
+/// replacement exists.  Subclasses implement the service-interface plumbing
+/// (the pure virtuals below); everything else — wrapping, the undelivered
+/// set, the totally-or-reliably-coordinated switch, reissue, version
+/// accounting, UpdateApi registration, retirement — is shared.
+class ReplacementFacadeBase : public Module, public UpdateMechanism {
+ public:
+  struct FacadeConfig {
+    /// Service name applications call (paper: the interface r-p).
+    std::string facade_service;
+    /// Service name (or, with `versioned_inner`, the name prefix) the real
+    /// protocol binds to (paper: p).
+    std::string inner_service;
+    /// When true, each version binds a fresh "<inner_service>#<sn>" slot
+    /// instead of rebinding one fixed slot.  Facades whose response
+    /// interface carries no version information (GM views) use this to
+    /// listen to exactly the current version's upcalls.
+    bool versioned_inner = false;
+    /// Protocol (library name) installed at start.
+    std::string initial_protocol;
+    ModuleParams initial_params;
+    /// If > 0, destroy a replaced module this long after the switch
+    /// (extension; 0 keeps old modules in the stack forever, like the
+    /// paper).
+    Duration retire_after = 0;
+  };
+
+  // ---- UpdateMechanism (repl/update.hpp) ----------------------------------
+  [[nodiscard]] const std::string& update_service() const override {
+    return fcfg_.facade_service;
+  }
+  void request_update(const std::string& protocol,
+                      const ModuleParams& params) override {
+    request_change(protocol, params);
+  }
+  [[nodiscard]] UpdateStatus update_status() const override {
+    return UpdateStatus{cur_protocol_, seq_number_};
+  }
+
+  // ---- Wire format --------------------------------------------------------
+  // Byte-identical to the pre-extraction Repl-ABcast format (public so tests
+  // can pin it and facades' free helpers can parse it):
+  //   data:   u8 kNil         | varint sn | MsgId | blob payload
+  //   change: u8 kNewProtocol | varint sn | string protocol | params
+  enum Tag : std::uint8_t { kNil = 0, kNewProtocol = 1 };
+
+  struct Unwrapped {
+    Tag tag = kNil;
+    std::uint64_t sn = 0;
+    // tag == kNil:
+    MsgId id;
+    Bytes payload;
+    // tag == kNewProtocol:
+    std::string protocol;
+    ModuleParams params;
+  };
+
+  /// Data wrapper parse result of the zero-copy variant: `payload` is a
+  /// slice of the wire buffer, not a copy.
+  struct UnwrappedData {
+    std::uint64_t sn = 0;
+    MsgId id;
+    Payload payload;
+  };
+
+  [[nodiscard]] static Payload wrap_data(std::uint64_t sn, const MsgId& id,
+                                         const Payload& payload);
+  /// Parses either message kind; throws CodecError on malformed input.
+  [[nodiscard]] static Unwrapped unwrap(const Bytes& wire);
+  [[nodiscard]] static Unwrapped unwrap(const Payload& wire);
+  /// Parses a data message without copying the payload (a slice of `wire`);
+  /// throws CodecError on malformed input or a change-message tag.
+  [[nodiscard]] static UnwrappedData unwrap_data(const Payload& wire);
+
+  // ---- Introspection ------------------------------------------------------
+  [[nodiscard]] std::uint64_t seq_number() const { return seq_number_; }
+  [[nodiscard]] const std::string& current_protocol() const {
+    return cur_protocol_;
+  }
+  [[nodiscard]] std::size_t undelivered_count() const {
+    return undelivered_.size();
+  }
+  [[nodiscard]] std::uint64_t switches_completed() const {
+    return switches_completed_;
+  }
+  [[nodiscard]] std::uint64_t stale_discarded() const {
+    return stale_discarded_;
+  }
+  [[nodiscard]] std::uint64_t reissued_total() const { return reissued_total_; }
+
+ protected:
+  ReplacementFacadeBase(Stack& stack, std::string instance_name,
+                        FacadeConfig config);
+
+  /// Change message under the current version number (Algorithm 1 line 6).
+  [[nodiscard]] Payload wrap_change(const std::string& protocol,
+                                    const ModuleParams& params) const;
+
+  // ---- Algorithm 1 operations ---------------------------------------------
+
+  /// Registers with the stack's update manager (when present) and installs
+  /// the initial protocol as version 0.  Call from the subclass's start().
+  void facade_start();
+  /// Unregisters and cancels retirement timers.  Call from stop().
+  void facade_stop();
+
+  /// Fresh globally-unique id for a facade message of this stack (line 8's
+  /// id; the counter is continuous across switches and starts at the
+  /// incarnation's epoch base).
+  [[nodiscard]] MsgId next_msg_id() { return MsgId{env().node_id(), next_local_++}; }
+
+  /// Lines 8 / 19-20: the undelivered set of this stack's own messages.
+  /// `ctx` is facade-defined per-message context carried to send_inner_data
+  /// on reissue (the rbcast facade stores the client channel; abcast passes
+  /// 0).
+  void track_undelivered(const MsgId& id, Payload payload, std::uint64_t ctx);
+  /// Removes `id` from the undelivered set; returns whether it was tracked.
+  bool settle_undelivered(const MsgId& id);
+
+  /// Lines 5-6: validates `protocol` against the registry, emits the
+  /// change-requested marker and transmits the change message through the
+  /// current inner version.  Any stack may call this; when/where the switch
+  /// happens is the coordination contract of the facade (total order for
+  /// abcast/gm, reliable delivery for rbcast).
+  void request_change(const std::string& protocol, const ModuleParams& params);
+
+  /// Lines 10-16: performs the switch on this stack — bump seqNumber, unbind
+  /// the old inner module (it stays in the stack and may still respond),
+  /// create_module the new protocol (recursively creating providers for
+  /// missing services, lines 22-28 live in Stack::create_module), let the
+  /// subclass re-attach (on_inner_installed), then re-issue every
+  /// undelivered message through the new version.
+  void perform_switch(const std::string& protocol, const ModuleParams& params);
+
+  /// Inner slot name of version `sn` ("<inner_service>" fixed, or
+  /// "<inner_service>#<sn>" when versioned).
+  [[nodiscard]] std::string inner_service_name(std::uint64_t sn) const;
+  /// Current version's inner slot name.
+  [[nodiscard]] std::string inner_service_name() const {
+    return inner_service_name(seq_number_);
+  }
+  /// Cross-stack-identical instance name of version `sn` of `protocol`.
+  [[nodiscard]] std::string versioned_instance(const std::string& protocol,
+                                               std::uint64_t sn) const;
+
+  // ---- Service-specific plumbing (subclass hooks) -------------------------
+
+  /// Transmits a change message through the current inner version (line 6).
+  virtual void send_inner_change(Payload wrapped) = 0;
+  /// Transmits a data message through the current inner version (lines 9 and
+  /// 16); `ctx` is whatever track_undelivered stored for this message.
+  virtual void send_inner_data(Payload wrapped, std::uint64_t ctx) = 0;
+  /// Called after a new inner version is created and bound, before the
+  /// undelivered set is reissued through it — re-attach listeners/channels
+  /// here.  `sn` is the new version, 0 for the initial installation.
+  virtual void on_inner_installed(Module* created, std::uint64_t sn);
+  /// Called right before a replaced inner module is destroyed (the
+  /// retire_after extension) — drop any direct references to it here.
+  virtual void on_inner_retired(Module* retired);
+  /// TraceKind::kCustom detail prefixes ("<marker>:<protocol>" on request,
+  /// "<marker>:<protocol>:sn=<n>" on completion); benches and the scenario
+  /// engine locate switch windows by scanning for these.
+  [[nodiscard]] virtual const char* change_requested_marker() const = 0;
+  [[nodiscard]] virtual const char* switch_done_marker() const = 0;
+
+  // ---- Shared state (subclass-visible) ------------------------------------
+  FacadeConfig fcfg_;
+  UpdateManagerModule* manager_ = nullptr;  // null when composed standalone
+
+  std::uint64_t seq_number_ = 0;  // Algorithm 1 line 4
+  std::string cur_protocol_;
+  Module* cur_module_ = nullptr;
+
+  std::uint64_t switches_completed_ = 0;
+  std::uint64_t stale_discarded_ = 0;
+  std::uint64_t reissued_total_ = 0;
+
+ private:
+  struct UndeliveredEntry {
+    Payload payload;
+    std::uint64_t ctx = 0;
+  };
+
+  std::uint64_t next_local_ = 1;  // id generator for this stack's messages
+  /// Algorithm 1 line 2: this stack's messages not yet delivered back to it.
+  std::map<MsgId, UndeliveredEntry> undelivered_;
+  std::vector<std::unique_ptr<TimerSlot>> retire_timers_;
+};
+
+}  // namespace dpu

@@ -6,24 +6,15 @@ namespace dpu {
 
 namespace {
 
-/// Encodes ModuleParams into a change message so every stack creates the new
-/// protocol with identical parameters.
-void encode_params(BufWriter& w, const ModuleParams& params) {
-  w.put_varint(params.entries().size());
-  for (const auto& [key, value] : params.entries()) {
-    w.put_string(key);
-    w.put_string(value);
-  }
-}
-
-ModuleParams decode_params(BufReader& r) {
-  ModuleParams params;
-  const std::uint64_t n = r.get_varint();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    std::string key = r.get_string();
-    params.set(key, r.get_string());
-  }
-  return params;
+ReplacementFacadeBase::FacadeConfig to_facade_config(
+    const ReplAbcastConfig& config) {
+  ReplacementFacadeBase::FacadeConfig f;
+  f.facade_service = config.facade_service;
+  f.inner_service = config.inner_service;
+  f.initial_protocol = config.initial_protocol;
+  f.initial_params = config.initial_params;
+  f.retire_after = config.retire_after;
+  return f;
 }
 
 }  // namespace
@@ -37,34 +28,20 @@ ReplAbcastModule* ReplAbcastModule::create(Stack& stack, Config config) {
 
 ReplAbcastModule::ReplAbcastModule(Stack& stack, std::string instance_name,
                                    Config config)
-    : Module(stack, std::move(instance_name)),
-      config_(config),
-      inner_(stack.require<AbcastApi>(config_.inner_service)),
-      up_(stack.upcalls<AbcastListener>(config_.facade_service)) {}
+    : ReplacementFacadeBase(stack, std::move(instance_name),
+                            to_facade_config(config)),
+      inner_(stack.require<AbcastApi>(fcfg_.inner_service)),
+      up_(stack.upcalls<AbcastListener>(fcfg_.facade_service)) {}
 
 void ReplAbcastModule::start() {
-  next_local_ = incarnation_seq_base(env().incarnation()) + 1;
-  manager_ = UpdateManagerModule::of(stack());
-  if (manager_ != nullptr) manager_->register_mechanism(this);
   // Intercept responses of whichever module is bound to the inner service.
-  stack().listen<AbcastListener>(config_.inner_service, this, this);
-  // Install the initial protocol (seqNumber 0).
-  cur_protocol_ = config_.initial_protocol;
-  ModuleParams params = config_.initial_params;
-  params.set("instance", versioned_instance(cur_protocol_, seq_number_));
-  cur_module_ = stack().create_module(cur_protocol_, config_.inner_service,
-                                      params);
+  stack().listen<AbcastListener>(fcfg_.inner_service, this, this);
+  facade_start();
 }
 
 void ReplAbcastModule::stop() {
-  if (manager_ != nullptr) manager_->unregister_mechanism(this);
-  stack().unlisten<AbcastListener>(config_.inner_service, this);
-  retire_timers_.clear();
-}
-
-std::string ReplAbcastModule::versioned_instance(const std::string& protocol,
-                                                 std::uint64_t sn) const {
-  return protocol + "@" + config_.inner_service + "#" + std::to_string(sn);
+  facade_stop();
+  stack().unlisten<AbcastListener>(fcfg_.inner_service, this);
 }
 
 // ---------------------------------------------------------------------------
@@ -72,35 +49,10 @@ std::string ReplAbcastModule::versioned_instance(const std::string& protocol,
 // ---------------------------------------------------------------------------
 
 void ReplAbcastModule::abcast(Payload payload) {
-  const MsgId id{env().node_id(), next_local_++};
-  undelivered_.emplace(id, payload);  // line 8 (shares the buffer)
-  BufWriter w(payload.size() + 24);
-  w.put_u8(kNil);
-  w.put_varint(seq_number_);
-  id.encode(w);
-  w.put_blob(payload);
-  inner_abcast(w.take_payload());  // line 9: ABcast(nil, seqNumber, m)
-}
-
-// ---------------------------------------------------------------------------
-// Algorithm 1 lines 5-6: changeABcast(prot)
-// ---------------------------------------------------------------------------
-
-void ReplAbcastModule::change_abcast(const std::string& protocol,
-                                     const ModuleParams& params) {
-  if (stack().library() == nullptr ||
-      stack().library()->find(protocol) == nullptr) {
-    throw std::logic_error("change_abcast: unknown protocol '" + protocol +
-                           "'");
-  }
-  stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
-                std::string(kTraceChangeRequested) + ":" + protocol);
-  BufWriter w(protocol.size() + 32);
-  w.put_u8(kNewAbcast);
-  w.put_varint(seq_number_);
-  w.put_string(protocol);
-  encode_params(w, params);
-  inner_abcast(w.take_payload());  // line 6: ABcast(newABcast, seqNumber, prot)
+  const MsgId id = next_msg_id();
+  Payload wrapped = wrap_data(seq_number_, id, payload);
+  track_undelivered(id, std::move(payload), 0);  // line 8 (shares the buffer)
+  inner_abcast(std::move(wrapped));  // line 9: ABcast(nil, seqNumber, m)
 }
 
 void ReplAbcastModule::inner_abcast(Payload wrapped) {
@@ -115,94 +67,34 @@ void ReplAbcastModule::inner_abcast(Payload wrapped) {
 
 void ReplAbcastModule::adeliver(NodeId /*sender*/, const Bytes& inner_payload) {
   try {
-    BufReader r(inner_payload);
-    const auto tag = static_cast<Tag>(r.get_u8());
-    const std::uint64_t sn = r.get_varint();
+    Unwrapped m = unwrap(inner_payload);
 
-    if (tag == kNewAbcast) {
+    if (m.tag == kNewProtocol) {
       // Lines 10-16.  Note: Algorithm 1 deliberately has no sn test here —
       // change messages are processed in delivery order wherever they come
       // from, which keeps concurrent/chained replacements consistent (every
       // stack sees them in the same total order).
-      (void)sn;
-      std::string protocol = r.get_string();
-      ModuleParams params = decode_params(r);
-      r.expect_done();
-      perform_switch(protocol, params);
+      perform_switch(m.protocol, m.params);
       return;
     }
-    if (tag != kNil) throw CodecError("unknown repl tag");
 
     // Lines 17-21.
-    const MsgId id = MsgId::decode(r);
-    Bytes payload = r.get_blob();
-    r.expect_done();
-    if (sn != seq_number_) {
+    if (m.sn != seq_number_) {
       // Line 18: a message issued under an older protocol version; its
       // origin re-issues it under the new version (line 16), so dropping it
       // here preserves validity while preventing duplicate delivery.
       ++stale_discarded_;
       return;
     }
-    if (id.origin == env().node_id()) {
-      undelivered_.erase(id);  // lines 19-20
+    if (m.id.origin == env().node_id()) {
+      settle_undelivered(m.id);  // lines 19-20
     }
     // Line 21: rAdeliver(m).
-    up_.notify([&](AbcastListener& l) { l.adeliver(id.origin, payload); });
+    up_.notify([&](AbcastListener& l) { l.adeliver(m.id.origin, m.payload); });
   } catch (const CodecError& e) {
     // Inner abcast is reliable: malformed wrappers indicate a bug, not loss.
     DPU_LOG(kError, "repl") << "s" << env().node_id()
                             << " malformed wrapped message: " << e.what();
-  }
-}
-
-void ReplAbcastModule::perform_switch(const std::string& protocol,
-                                      const ModuleParams& params) {
-  ++seq_number_;  // line 11
-  DPU_LOG(kInfo, "repl") << "s" << env().node_id() << " switching "
-                         << config_.inner_service << " to " << protocol
-                         << " (sn=" << seq_number_ << ")";
-
-  // Line 12: unbind(curABcast).  The module stays in the stack and may still
-  // deliver (stale) responses.
-  Module* old_module = cur_module_;
-  stack().unbind(config_.inner_service);
-
-  // Lines 13-14: create_module(prot); bind.  Stack::create_module implements
-  // lines 22-28 (recursive creation of providers for required services);
-  // the factory binds the module to the inner service.
-  ModuleParams create_params = params;
-  create_params.set("instance", versioned_instance(protocol, seq_number_));
-  cur_module_ =
-      stack().create_module(protocol, config_.inner_service, create_params);
-  cur_protocol_ = protocol;
-
-  // Lines 15-16: re-issue all undelivered messages through the new protocol.
-  for (const auto& [id, payload] : undelivered_) {
-    BufWriter w(payload.size() + 24);
-    w.put_u8(kNil);
-    w.put_varint(seq_number_);
-    id.encode(w);
-    w.put_blob(payload);
-    ++reissued_total_;
-    inner_abcast(w.take_payload());
-  }
-
-  ++switches_completed_;
-  stack().trace(TraceKind::kCustom, config_.facade_service, instance_name(),
-                std::string(kTraceSwitchDone) + ":" + protocol + ":sn=" +
-                    std::to_string(seq_number_));
-  if (manager_ != nullptr) {
-    manager_->notify_update_complete(*this, protocol, seq_number_);
-  }
-
-  // Optional extension: retire the old module once the switch has settled.
-  if (old_module != nullptr && config_.retire_after > 0) {
-    auto timer = std::make_unique<TimerSlot>(env());
-    timer->schedule(config_.retire_after, [this, old_module]() {
-      stack().destroy_module(old_module);
-    });
-    retire_timers_.push_back(std::move(timer));
   }
 }
 

@@ -11,21 +11,29 @@
 // only the abcast *specification* (§5.1) is assumed — the paper's modularity
 // claim versus Maestro and Graceful Adaptation.
 //
-// Algorithm 1 (code of stack i), mapped onto this class:
-//   1-4   state:            undelivered_, cur (the bound inner module),
-//                            seq_number_
+// The wrap/filter/unwrap plumbing, undelivered tracking, switch sequencing
+// and version accounting live in the shared replacement substrate
+// (repl/facade.hpp, ReplacementFacadeBase); this class supplies only the
+// abcast-specific parts of Algorithm 1 (code of stack i):
+//   1-4   state:            base (undelivered set, seq_number, cur module)
 //   5-6   changeABcast(p):  change_abcast()   -> inner ABcast(newABcast,sn,p)
-//   7-9   rABcast(m):       abcast(m)         -> undelivered_ += m;
+//   7-9   rABcast(m):       abcast(m)         -> undelivered += m;
 //                                                inner ABcast(nil,sn,m)
 //   10-16 Adeliver(newABcast,sn,prot):
-//                            adeliver(tag=kNewAbcast): ++seq_number_;
+//                            adeliver(tag=kNewProtocol): perform_switch —
 //                            unbind old; create_module(prot) (recursively
 //                            creating providers for missing services,
 //                            lines 22-28 live in Stack::create_module);
-//                            bind new; re-ABcast all undelivered_
+//                            bind new; re-ABcast all undelivered
 //   17-21 Adeliver(nil,sn,m):
 //                            adeliver(tag=kNil): discard if sn stale;
-//                            undelivered_ -= m; facade rAdeliver(m)
+//                            undelivered -= m; facade rAdeliver(m)
+//
+// The stale-discard of line 18 is sound *because* abcast is totally ordered:
+// every stack switches at the same point of the delivery order, so a message
+// that is stale here is stale everywhere, and its origin re-issues it under
+// the new version (line 16).  Facades over unordered services (repl_rbcast)
+// must deduplicate by message id instead.
 //
 // The old module stays in the stack after unbinding (it may still deliver
 // responses, which line 18 discards); `retire_after` optionally destroys it
@@ -33,12 +41,12 @@
 // default.
 #pragma once
 
-#include <map>
 #include <string>
 
 #include "abcast/abcast.hpp"
 #include "core/module.hpp"
 #include "core/stack.hpp"
+#include "repl/facade.hpp"
 #include "repl/update.hpp"
 
 namespace dpu {
@@ -56,10 +64,9 @@ struct ReplAbcastConfig {
   Duration retire_after = 0;
 };
 
-class ReplAbcastModule final : public Module,
+class ReplAbcastModule final : public ReplacementFacadeBase,
                                public AbcastApi,
-                               public AbcastListener,
-                               public UpdateMechanism {
+                               public AbcastListener {
  public:
   using Config = ReplAbcastConfig;
 
@@ -80,70 +87,45 @@ class ReplAbcastModule final : public Module,
   /// inner ABcast protocol to `protocol` (a library name).  Any stack may
   /// call this; every stack performs the switch at the same point of the
   /// ABcast delivery order.
+  ///
+  /// DEPRECATED: new code should use the service-generic control plane —
+  /// `UpdateApi::request_update("abcast", protocol, params)` on the stack's
+  /// "update" service — which validates against the ProtocolRegistry and
+  /// emits the generic convergence markers (see README migration note).
   void change_abcast(const std::string& protocol,
-                     const ModuleParams& params = ModuleParams());
+                     const ModuleParams& params = ModuleParams()) {
+    request_change(protocol, params);
+  }
 
   // ---- UpdateMechanism (repl/update.hpp): the same switch, driven through
   // the service-generic control plane ----------------------------------------
-  [[nodiscard]] const std::string& update_service() const override {
-    return config_.facade_service;
-  }
   [[nodiscard]] const char* update_mechanism_name() const override {
     return "repl";
   }
-  void request_update(const std::string& protocol,
-                      const ModuleParams& params) override {
-    change_abcast(protocol, params);
-  }
-  [[nodiscard]] UpdateStatus update_status() const override {
-    return UpdateStatus{cur_protocol_, seq_number_};
-  }
-
-  // ---- Introspection --------------------------------------------------------
-  [[nodiscard]] std::uint64_t seq_number() const { return seq_number_; }
-  [[nodiscard]] const std::string& current_protocol() const {
-    return cur_protocol_;
-  }
-  [[nodiscard]] std::size_t undelivered_count() const {
-    return undelivered_.size();
-  }
-  [[nodiscard]] std::uint64_t switches_completed() const {
-    return switches_completed_;
-  }
-  [[nodiscard]] std::uint64_t stale_discarded() const {
-    return stale_discarded_;
-  }
-  [[nodiscard]] std::uint64_t reissued_total() const { return reissued_total_; }
 
   /// Trace detail strings emitted as TraceKind::kCustom markers; benches
   /// locate switch windows by scanning for these.
   static constexpr char kTraceChangeRequested[] = "repl-change-requested";
   static constexpr char kTraceSwitchDone[] = "repl-switch-done";
 
+ protected:
+  // ---- ReplacementFacadeBase hooks ----------------------------------------
+  void send_inner_change(Payload wrapped) override { inner_abcast(std::move(wrapped)); }
+  void send_inner_data(Payload wrapped, std::uint64_t /*ctx*/) override {
+    inner_abcast(std::move(wrapped));
+  }
+  [[nodiscard]] const char* change_requested_marker() const override {
+    return kTraceChangeRequested;
+  }
+  [[nodiscard]] const char* switch_done_marker() const override {
+    return kTraceSwitchDone;
+  }
+
  private:
-  enum Tag : std::uint8_t { kNil = 0, kNewAbcast = 1 };
-
   void inner_abcast(Payload wrapped);
-  void perform_switch(const std::string& protocol, const ModuleParams& params);
-  [[nodiscard]] std::string versioned_instance(const std::string& protocol,
-                                               std::uint64_t sn) const;
 
-  Config config_;
   ServiceRef<AbcastApi> inner_;
   UpcallRef<AbcastListener> up_;
-  UpdateManagerModule* manager_ = nullptr;  // null when composed standalone
-
-  std::uint64_t seq_number_ = 0;  // Algorithm 1 line 4
-  std::uint64_t next_local_ = 1;  // id generator for this stack's messages
-  /// Algorithm 1 line 2: this stack's messages not yet rAdelivered locally.
-  std::map<MsgId, Payload> undelivered_;
-  std::string cur_protocol_;
-  Module* cur_module_ = nullptr;
-
-  std::uint64_t switches_completed_ = 0;
-  std::uint64_t stale_discarded_ = 0;
-  std::uint64_t reissued_total_ = 0;
-  std::vector<std::unique_ptr<TimerSlot>> retire_timers_;
 };
 
 }  // namespace dpu

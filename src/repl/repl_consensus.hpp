@@ -78,6 +78,11 @@ class ReplConsensusModule final : public Module,
 
   /// Requests a global switch of the consensus protocol.  Lazy per stream:
   /// each stream migrates at its next decided instance.
+  ///
+  /// DEPRECATED: new code should use the service-generic control plane —
+  /// `UpdateApi::request_update("consensus", protocol, params)` — which
+  /// validates against the ProtocolRegistry and emits the generic
+  /// convergence markers (see README migration note).
   void change_consensus(const std::string& protocol,
                         const ModuleParams& params = ModuleParams());
 

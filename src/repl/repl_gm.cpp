@@ -1,0 +1,163 @@
+#include "repl/repl_gm.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace dpu {
+
+namespace {
+
+ReplacementFacadeBase::FacadeConfig to_facade_config(
+    const ReplGmConfig& config) {
+  ReplacementFacadeBase::FacadeConfig f;
+  f.facade_service = config.facade_service;
+  f.inner_service = config.inner_service;
+  f.versioned_inner = true;
+  f.initial_protocol = config.initial_protocol;
+  f.initial_params = config.initial_params;
+  f.retire_after = config.retire_after;
+  return f;
+}
+
+}  // namespace
+
+ReplGmModule* ReplGmModule::create(Stack& stack, Config config) {
+  auto* m = stack.emplace_module<ReplGmModule>(
+      stack, "repl-" + config.facade_service, config);
+  stack.bind<GmApi>(config.facade_service, m, m);
+  return m;
+}
+
+ReplGmModule::ReplGmModule(Stack& stack, std::string instance_name,
+                           Config config)
+    : ReplacementFacadeBase(stack, std::move(instance_name),
+                            to_facade_config(config)),
+      topics_(stack.require<TopicsApi>(kTopicsService)),
+      up_(stack.upcalls<GmListener>(fcfg_.facade_service)),
+      switch_topic_(Module::instance_name() + "/switch") {}
+
+void ReplGmModule::start() {
+  // The facade's initial view mirrors a fresh GM instance's: the full
+  // static world, id 0 (gm/gm.cpp start()).
+  view_.id = 0;
+  view_.members.clear();
+  for (NodeId i = 0; i < env().world_size(); ++i) view_.members.push_back(i);
+  history_.push_back(view_);
+
+  topics_.call([this](TopicsApi& topics) {
+    topics.subscribe(switch_topic_,
+                     [this](NodeId sender, const Bytes& payload) {
+                       on_change_message(sender, payload);
+                     });
+  });
+  facade_start();  // installs version 0; on_inner_installed attaches it
+}
+
+void ReplGmModule::stop() {
+  facade_stop();
+  if (!listening_on_.empty()) {
+    stack().unlisten<GmListener>(listening_on_, this);
+    listening_on_.clear();
+  }
+  topics_.call([this](TopicsApi& topics) {
+    topics.unsubscribe(switch_topic_);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Facade GmApi: forward to the current inner version
+// ---------------------------------------------------------------------------
+
+template <class Fn>
+void ReplGmModule::call_inner(Fn&& fn) {
+  stack().slot(inner_service_name()).call_with<GmApi>(std::forward<Fn>(fn));
+}
+
+void ReplGmModule::gm_join(NodeId node) {
+  call_inner([node](GmApi& gm) { gm.gm_join(node); });
+}
+
+void ReplGmModule::gm_leave(NodeId node) {
+  call_inner([node](GmApi& gm) { gm.gm_leave(node); });
+}
+
+void ReplGmModule::gm_exclude(NodeId node) {
+  call_inner([node](GmApi& gm) { gm.gm_exclude(node); });
+}
+
+// ---------------------------------------------------------------------------
+// Inner views: renumber and forward
+// ---------------------------------------------------------------------------
+
+void ReplGmModule::on_view(const View& view) {
+  view_.members = view.members;
+  ++view_.id;  // continuous facade numbering across versions
+  history_.push_back(view_);
+  up_.notify([this](GmListener& l) { l.on_view(view_); });
+}
+
+// ---------------------------------------------------------------------------
+// ReplacementFacadeBase hooks
+// ---------------------------------------------------------------------------
+
+void ReplGmModule::send_inner_change(Payload wrapped) {
+  // The change rides the totally-ordered topic channel — not GM's own
+  // interface (join/leave/exclude cannot carry it) but the ordered layer GM
+  // itself is built on, so every stack still switches at one point of the
+  // total order relative to every membership op.
+  topics_.call([this, wrapped = std::move(wrapped)](TopicsApi& topics) mutable {
+    topics.publish(switch_topic_, std::move(wrapped));
+  });
+}
+
+void ReplGmModule::send_inner_data(Payload /*wrapped*/, std::uint64_t /*ctx*/) {
+  // GM requests are not tracked/reissued (the facade owes view consistency,
+  // not op delivery), so the undelivered set stays empty and the base never
+  // takes this path.
+  DPU_LOG(kError, "repl-gm") << "s" << env().node_id()
+                             << " unexpected data reissue";
+}
+
+void ReplGmModule::on_inner_installed(Module* /*created*/, std::uint64_t sn) {
+  // Listen to exactly the current version's views (the response interface
+  // carries no version information, hence the versioned inner slots).
+  if (!listening_on_.empty()) {
+    stack().unlisten<GmListener>(listening_on_, this);
+  }
+  listening_on_ = inner_service_name(sn);
+  stack().listen<GmListener>(listening_on_, this, this);
+
+  if (sn == 0) return;
+
+  // State continuity: the fresh instance boots with the full world; every
+  // stack deterministically re-excludes the non-members of the pre-switch
+  // view V (identical everywhere — the switch point is totally ordered).
+  // The n-fold duplicates are no-ops by GM's idempotence rule, so the view
+  // sequence stays identical on every stack.
+  for (NodeId node = 0; node < env().world_size(); ++node) {
+    if (!view_.contains(node)) {
+      call_inner([node](GmApi& gm) { gm.gm_exclude(node); });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Change messages (totally ordered)
+// ---------------------------------------------------------------------------
+
+void ReplGmModule::on_change_message(NodeId from, const Bytes& payload) {
+  (void)from;
+  try {
+    Unwrapped m = unwrap(payload);
+    if (m.tag != kNewProtocol) throw CodecError("data on the switch topic");
+    // Like Algorithm 1, no sn test: change messages are processed in
+    // delivery order, which keeps chained replacements consistent.
+    perform_switch(m.protocol, m.params);
+  } catch (const CodecError& e) {
+    DPU_LOG(kError, "repl-gm") << "s" << env().node_id()
+                               << " malformed change message: " << e.what();
+  }
+}
+
+}  // namespace dpu

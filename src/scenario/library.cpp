@@ -175,6 +175,75 @@ std::vector<ScenarioSpec> curated_scenarios() {
     out.push_back(std::move(s));
   }
   {
+    ScenarioSpec s = base("rbcast-switch-under-load",
+                          "The replacement substrate on the transport tier: "
+                          "reliable broadcast is hot-swapped (eager relay -> "
+                          "no-relay) through the UpdateApi while consensus "
+                          "and abcast traffic rides on it at full rate.");
+    s.n = 3;
+    s.workload.rate_per_stack = 60.0;
+    s.updates = {{3 * kSecond, 0, "rbcast.norelay"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("policy-failover-generic",
+                          "Closed-loop adaptation with no scripted updates: "
+                          "a PolicyEngine rule watches the SEQ sequencer via "
+                          "the failure detector; when a fault window "
+                          "isolates it, the policy requests the switch to "
+                          "the fault-tolerant CT protocol through the "
+                          "service-generic UpdateApi, and the switch "
+                          "completes once the window heals.");
+    s.n = 4;
+    s.initial_protocol = "abcast.seq";
+    s.workload.rate_per_stack = 15.0;
+    // Isolate the sequencer (node 0) in both directions for 1.5 s: long
+    // enough for the FD (200 ms initial timeout) to suspect it and the
+    // policy to fire, short enough that the switch completes after heal.
+    {
+      LossWindow w;
+      w.from = 1500 * kMillisecond;
+      w.until = 3 * kSecond;
+      for (NodeId peer = 1; peer < 4; ++peer) {
+        w.link_overrides.push_back({0, peer, 1.0, 0.0, 0});
+        w.link_overrides.push_back({peer, 0, 1.0, 0.0, 0});
+      }
+      s.loss_windows = {std::move(w)};
+    }
+    s.policies = {{"seq-failover", "abcast", "abcast.seq", "abcast.ct",
+                   "fd-suspect", 0, 0, 0.0, kSecond, 0}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("gm-switch",
+                          "The dependent layer itself is replaced: group "
+                          "membership is hot-swapped through the same "
+                          "facade/inner pattern, coordinated through the "
+                          "totally-ordered channel GM is built on, while "
+                          "the abcast workload continues underneath.");
+    s.n = 3;
+    s.updates = {{3 * kSecond, 0, "gm.abcast"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("triple-switch-generic",
+                          "One substrate for any service: a single run "
+                          "hot-swaps reliable broadcast (eager -> "
+                          "no-relay), consensus (ct -> mr) and atomic "
+                          "broadcast (ct -> seq) through the one "
+                          "request_update entry point — three distinct "
+                          "services, three facades, zero mechanism-specific "
+                          "driver code.");
+    s.n = 3;
+    s.duration = 8 * kSecond;
+    s.updates = {
+        {2500 * kMillisecond, 0, "rbcast.norelay"},
+        {4500 * kMillisecond, 1, "consensus.mr"},
+        {6500 * kMillisecond, 2, "abcast.seq"},
+    };
+    out.push_back(std::move(s));
+  }
+  {
     ScenarioSpec s = base("consensus-switch-live",
                           "The paper's future-work extension: the consensus "
                           "protocol under an unmodified CT-ABcast is "

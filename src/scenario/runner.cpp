@@ -5,12 +5,15 @@
 #include <stdexcept>
 
 #include "abcast/audit.hpp"
+#include "app/policy.hpp"
 #include "app/stack_builder.hpp"
 #include "app/workload.hpp"
 #include "repl/baseline_graceful.hpp"
 #include "repl/baseline_maestro.hpp"
 #include "repl/repl_abcast.hpp"
 #include "repl/repl_consensus.hpp"
+#include "repl/repl_gm.hpp"
+#include "repl/repl_rbcast.hpp"
 #include "repl/update.hpp"
 #include "rt/rt_world.hpp"
 #include "runtime/world.hpp"
@@ -143,15 +146,27 @@ void append(PropertyReport& into, const PropertyReport& from) {
   for (const std::string& v : from.violations) into.fail(v);
 }
 
-/// The communication substrate every composition shares.  Returns the rp2p
-/// module so the runner can harvest transport counters.
-Rp2pModule* install_substrate(Stack& stack,
+/// Audit tap on the abcast facade.  Records only workload (probe-stamped)
+/// deliveries: with a GM layer composed, topic frames ride the same facade
+/// but were never record_sent — auditing them would report phantom
+/// delivered-never-sent violations.
+struct ProbeAuditListener final : AbcastListener {
+  AbcastAudit* audit = nullptr;
+  NodeId node = 0;
+  ProbeAuditListener(AbcastAudit& a, NodeId n) : audit(&a), node(n) {}
+  void adeliver(NodeId /*sender*/, const Bytes& payload) override {
+    if (ProbePayload::is_probe(payload)) audit->record_delivery(node, payload);
+  }
+};
+
+/// The packet transport every composition shares.  Returns the rp2p module
+/// so the runner can harvest transport counters.  The rbcast layer and the
+/// failure detector are installed by the caller, in the standard order
+/// (rbcast may be a replacement facade).
+Rp2pModule* install_transport(Stack& stack,
                               const StandardStackOptions& options) {
   UdpModule::create(stack);
-  Rp2pModule* rp2p = Rp2pModule::create(stack, kRp2pService, options.rp2p);
-  RbcastModule::create(stack, kRbcastService, options.rbcast);
-  FdModule::create(stack, kFdService, options.fd);
-  return rp2p;
+  return Rp2pModule::create(stack, kRp2pService, options.rp2p);
 }
 
 /// Live module handles of one stack's current incarnation.  Recovery
@@ -160,8 +175,11 @@ struct NodeModules {
   UpdateManagerModule* update = nullptr;
   ReplAbcastModule* repl = nullptr;
   ReplConsensusModule* repl_cons = nullptr;
+  ReplRbcastModule* repl_rbcast = nullptr;
+  ReplGmModule* repl_gm = nullptr;
   MaestroSwitchModule* maestro = nullptr;
   GracefulSwitchModule* graceful = nullptr;
+  PolicyEngineModule* policy = nullptr;
   Rp2pModule* rp2p = nullptr;
   WorkloadModule* workload = nullptr;
   LatencyProbe* probe = nullptr;
@@ -196,6 +214,10 @@ void harvest_modules(NodeAccum& acc, const NodeModules& m) {
     acc.reissued += m.repl->reissued_total();
     acc.stale_discarded += m.repl->stale_discarded();
   }
+  if (m.repl_rbcast != nullptr) {
+    acc.reissued += m.repl_rbcast->reissued_total();
+    acc.stale_discarded += m.repl_rbcast->stale_discarded();
+  }
   if (m.repl_cons != nullptr) {
     acc.decisions_delivered += m.repl_cons->decisions_delivered();
   }
@@ -222,7 +244,7 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
   result.collector = std::make_unique<LatencyCollector>(options.bucket_width);
 
   AbcastAudit audit;
-  std::vector<std::unique_ptr<AbcastAudit::Listener>> audit_listeners;
+  std::vector<std::unique_ptr<ProbeAuditListener>> audit_listeners;
   std::vector<std::unique_ptr<LatencyProbe>> probes;
   std::vector<NodeModules> nodes(spec.n);
   std::vector<NodeAccum> accum(spec.n);
@@ -239,12 +261,24 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
                                     ? Mechanism::kNone
                                     : abcast_managed->second;
   const bool consensus_managed = managed.count(kConsensusService) != 0;
+  const bool rbcast_managed = managed.count(kRbcastService) != 0;
+  const bool gm_managed = managed.count(kGmService) != 0;
+  // The spec-level mechanism's own layer starts on initial_protocol; every
+  // other layer starts on its standard default.
   const bool consensus_layer = spec.mechanism == Mechanism::kReplConsensus;
+  const bool rbcast_layer = spec.mechanism == Mechanism::kReplRbcast;
+  const bool gm_layer = spec.mechanism == Mechanism::kReplGm;
   const std::string consensus_initial =
       consensus_layer ? spec.initial_protocol : spec.initial_consensus;
+  const std::string rbcast_initial =
+      rbcast_layer ? spec.initial_protocol
+                   : std::string(RbcastModule::kProtocolName);
+  const std::string gm_initial =
+      gm_layer ? spec.initial_protocol : std::string(GmModule::kProtocolName);
   const std::string abcast_initial =
-      consensus_layer ? std::string(CtAbcastModule::kProtocolName)
-                      : spec.initial_protocol;
+      (consensus_layer || rbcast_layer || gm_layer)
+          ? std::string(CtAbcastModule::kProtocolName)
+          : spec.initial_protocol;
 
   // One closure builds (and re-builds, after recovery) a stack: the
   // control plane, the mechanism facades, the latency probe, the audit
@@ -255,7 +289,17 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
     Stack& stack = world.stack(i);
     NodeModules& m = nodes[i];
     m = NodeModules{};
-    m.rp2p = install_substrate(stack, stack_options);
+    m.rp2p = install_transport(stack, stack_options);
+    if (rbcast_managed) {
+      // Rbcast facade below everything that broadcasts: consensus and the
+      // abcast protocols call "rbcast" and get the hot-swappable layer.
+      ReplRbcastModule::Config rb;
+      rb.initial_protocol = rbcast_initial;
+      m.repl_rbcast = ReplRbcastModule::create(stack, rb);
+    } else {
+      RbcastModule::create(stack, kRbcastService, stack_options.rbcast);
+    }
+    FdModule::create(stack, kFdService, stack_options.fd);
     m.update = UpdateManagerModule::create(stack);
     if (consensus_managed) {
       // Consensus facade first: anything above that requires "consensus"
@@ -297,13 +341,52 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
       }
     }
 
+    if (gm_managed) {
+      // The dependent layer of the paper's Figure 4, behind its own facade:
+      // the topic mux multiplexes the ordered channel, the GM facade makes
+      // the membership protocol hot-swappable.
+      TopicMuxModule::create(stack, kTopicsService, stack_options.topics);
+      ReplGmModule::Config gc;
+      gc.initial_protocol = gm_initial;
+      m.repl_gm = ReplGmModule::create(stack, gc);
+    }
+
+    if (!spec.policies.empty()) {
+      // Closed-loop adaptation: the PolicyEngine observes this stack and
+      // issues request_update through the same control plane the scripted
+      // update plan uses.
+      PolicyEngineConfig pc;
+      for (const PolicySpec& p : spec.policies) {
+        PolicyRule rule;
+        rule.name = p.name.empty()
+                        ? "policy-" + std::to_string(pc.rules.size())
+                        : p.name;
+        rule.service = p.service;
+        rule.when_protocol = p.when_protocol;
+        rule.to_protocol = p.to_protocol;
+        if (p.trigger == "latency") {
+          rule.trigger = PolicyRule::Trigger::kDeliveryLatency;
+        } else if (p.trigger == "load") {
+          rule.trigger = PolicyRule::Trigger::kDeliveryRate;
+        } else {
+          rule.trigger = PolicyRule::Trigger::kFdSuspect;
+        }
+        rule.suspect_node = p.node;
+        rule.latency_threshold = p.latency_threshold;
+        rule.rate_threshold = p.rate_threshold;
+        rule.window = p.window;
+        rule.cooldown = p.cooldown;
+        pc.rules.push_back(std::move(rule));
+      }
+      m.policy = PolicyEngineModule::create(stack, std::move(pc));
+    }
+
     probes.push_back(
         std::make_unique<LatencyProbe>(*result.collector, stack.host()));
     m.probe = probes.back().get();
     stack.listen<AbcastListener>(kAbcastService, m.probe, nullptr);
     if (options.with_audit) {
-      audit_listeners.push_back(
-          std::make_unique<AbcastAudit::Listener>(audit, i));
+      audit_listeners.push_back(std::make_unique<ProbeAuditListener>(audit, i));
       stack.listen<AbcastListener>(kAbcastService, audit_listeners.back().get(),
                                    nullptr);
     }
@@ -598,15 +681,26 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
 
   // The runner composes stacks itself (run_on_world); stack_options only
   // carries the substrate tuning and the registry registration inputs.
+  // initial_protocol configures the spec-level mechanism's own layer; the
+  // other layers keep their standard defaults.
   StandardStackOptions stack_options;
   stack_options.with_gm = false;
-  if (spec.mechanism == Mechanism::kReplConsensus) {
-    // The primary replaceable layer is consensus; CT-ABcast rides on top.
-    stack_options.abcast_protocol = CtAbcastModule::kProtocolName;
-    stack_options.consensus_protocol = spec.initial_protocol;
-  } else {
-    stack_options.abcast_protocol = spec.initial_protocol;
-    stack_options.consensus_protocol = spec.initial_consensus;
+  switch (spec.mechanism) {
+    case Mechanism::kReplConsensus:
+      // The primary replaceable layer is consensus; CT-ABcast rides on top.
+      stack_options.consensus_protocol = spec.initial_protocol;
+      break;
+    case Mechanism::kReplRbcast:
+      stack_options.rbcast_protocol = spec.initial_protocol;
+      stack_options.consensus_protocol = spec.initial_consensus;
+      break;
+    case Mechanism::kReplGm:
+      stack_options.consensus_protocol = spec.initial_consensus;
+      break;
+    default:
+      stack_options.abcast_protocol = spec.initial_protocol;
+      stack_options.consensus_protocol = spec.initial_consensus;
+      break;
   }
   ProtocolRegistry library = make_standard_library(stack_options);
   TraceRecorder trace_recorder;

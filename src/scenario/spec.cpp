@@ -26,6 +26,8 @@ const char* mechanism_name(Mechanism m) {
     case Mechanism::kNone: return "none";
     case Mechanism::kRepl: return "repl";
     case Mechanism::kReplConsensus: return "repl-consensus";
+    case Mechanism::kReplRbcast: return "repl-rbcast";
+    case Mechanism::kReplGm: return "repl-gm";
     case Mechanism::kMaestro: return "maestro";
     case Mechanism::kGraceful: return "graceful";
   }
@@ -34,11 +36,20 @@ const char* mechanism_name(Mechanism m) {
 
 Mechanism mechanism_from_name(const std::string& name) {
   for (Mechanism m : {Mechanism::kNone, Mechanism::kRepl,
-                      Mechanism::kReplConsensus, Mechanism::kMaestro,
+                      Mechanism::kReplConsensus, Mechanism::kReplRbcast,
+                      Mechanism::kReplGm, Mechanism::kMaestro,
                       Mechanism::kGraceful}) {
     if (name == mechanism_name(m)) return m;
   }
   throw std::runtime_error("scenario: unknown mechanism '" + name + "'");
+}
+
+Mechanism default_mechanism_for_service(const std::string& service) {
+  if (service == "abcast") return Mechanism::kRepl;
+  if (service == "consensus") return Mechanism::kReplConsensus;
+  if (service == "rbcast") return Mechanism::kReplRbcast;
+  if (service == "gm") return Mechanism::kReplGm;
+  return Mechanism::kNone;
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +67,10 @@ const char* primary_service(Mechanism m) {
       return "abcast";
     case Mechanism::kReplConsensus:
       return "consensus";
+    case Mechanism::kReplRbcast:
+      return "rbcast";
+    case Mechanism::kReplGm:
+      return "gm";
     case Mechanism::kNone:
       return "";
   }
@@ -63,6 +78,17 @@ const char* primary_service(Mechanism m) {
 }
 
 }  // namespace
+
+Mechanism ScenarioSpec::update_mechanism(const UpdateAction& u) const {
+  if (!u.mechanism.empty()) return mechanism_from_name(u.mechanism);
+  // A "none" spec stays none (validate() rejects its update plan outright).
+  if (mechanism == Mechanism::kNone) return mechanism;
+  const std::string svc = u.target_service();
+  if (svc == primary_service(mechanism)) return mechanism;
+  // A non-primary layer defaults to its repl-family facade; unknown services
+  // fall through to kNone, which validate() rejects.
+  return default_mechanism_for_service(svc);
+}
 
 std::map<std::string, Mechanism> ScenarioSpec::managed_services() const {
   std::map<std::string, Mechanism> managed;
@@ -74,6 +100,9 @@ std::map<std::string, Mechanism> ScenarioSpec::managed_services() const {
     } catch (const std::runtime_error&) {
       // Unknown mechanism name; validate() reports it.
     }
+  }
+  for (const PolicySpec& p : policies) {
+    managed.emplace(p.service, default_mechanism_for_service(p.service));
   }
   return managed;
 }
@@ -99,10 +128,10 @@ std::vector<std::string> ScenarioSpec::validate() const {
   const TimePoint horizon = duration + drain;
 
   if (workload.rate_per_stack < 0) problem("workload rate must be >= 0");
-  // ProbePayload::make needs room for its header (<= 22 bytes); the upper
+  // ProbePayload::make needs room for its header (<= 26 bytes); the upper
   // bound rejects size_t-wrapped negatives from JSON.
-  if (workload.message_size < 24 || workload.message_size > kMaxMessageSize) {
-    problem("message_size must be in [24, " +
+  if (workload.message_size < 32 || workload.message_size > kMaxMessageSize) {
+    problem("message_size must be in [32, " +
             std::to_string(kMaxMessageSize) + "]");
   }
   if (workload.start_after < 0 || workload.stop_after < 0) {
@@ -213,9 +242,11 @@ std::vector<std::string> ScenarioSpec::validate() const {
     }
   }
 
-  const bool consensus_layer = mechanism == Mechanism::kReplConsensus;
+  // The spec-level mechanism's own layer takes initial_protocol; a "none"
+  // composition still binds an abcast protocol directly.
+  const std::string primary_svc = primary_service(mechanism);
   const std::string expected_prefix =
-      consensus_layer ? "consensus." : "abcast.";
+      (primary_svc.empty() ? std::string("abcast") : primary_svc) + ".";
   if (initial_protocol.rfind(expected_prefix, 0) != 0) {
     problem("initial_protocol '" + initial_protocol + "' does not match " +
             mechanism_name(mechanism) + " (expected " + expected_prefix +
@@ -268,17 +299,80 @@ std::vector<std::string> ScenarioSpec::validate() const {
               "' — one mechanism per service");
     }
   }
+  // Adaptation policies: each rule resolves like an update target — the
+  // service gets its repl-family facade, one mechanism per service.
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const PolicySpec& p = policies[i];
+    const std::string label =
+        "policy " + (p.name.empty() ? std::to_string(i) : "'" + p.name + "'");
+    const Mechanism m = default_mechanism_for_service(p.service);
+    if (m == Mechanism::kNone) {
+      problem(label + ": service '" + p.service + "' is not replaceable");
+      continue;
+    }
+    const std::string svc_prefix = p.service + ".";
+    if (p.to_protocol.rfind(svc_prefix, 0) != 0) {
+      problem(label + ": target '" + p.to_protocol + "' does not provide '" +
+              p.service + "' (expected " + svc_prefix + "*)");
+    }
+    if (!p.when_protocol.empty() &&
+        p.when_protocol.rfind(svc_prefix, 0) != 0) {
+      problem(label + ": watched protocol '" + p.when_protocol +
+              "' does not provide '" + p.service + "'");
+    }
+    if (p.trigger == "fd-suspect") {
+      if (p.node != kNoNode && p.node >= n) {
+        problem(label + ": watched node out of range");
+      }
+    } else if (p.trigger == "latency") {
+      if (p.latency_threshold <= 0) {
+        problem(label + ": latency trigger needs a positive threshold");
+      }
+    } else if (p.trigger == "load") {
+      if (p.rate_threshold <= 0) {
+        problem(label + ": load trigger needs a positive rate threshold");
+      }
+    } else {
+      problem(label + ": unknown trigger '" + p.trigger + "'");
+    }
+    if (p.window <= 0) problem(label + ": window must be positive");
+    if (p.cooldown < 0) problem(label + ": cooldown must be non-negative");
+    auto [it, inserted] = managed.emplace(p.service, m);
+    if (!inserted && it->second != m) {
+      problem(label + ": service '" + p.service + "' is already managed by '" +
+              std::string(mechanism_name(it->second)) +
+              "' — one mechanism per service");
+    }
+  }
+
+  // A crash-recovered stack converges to missed switches by replaying the
+  // consensus history (which carries abcast switch markers); rbcast and gm
+  // switches have no equivalent history resend, so a recovered stack would
+  // diverge from a post-crash switch of those layers.  Recovery scenarios
+  // therefore pin them (documented in repl/repl_rbcast.hpp).
+  if (!recoveries.empty()) {
+    for (const char* svc : {"rbcast", "gm"}) {
+      if (managed.count(svc) != 0) {
+        problem(std::string("recoveries cannot combine with '") + svc +
+                "' replacement (no history replay for that layer)");
+      }
+    }
+  }
+
   {
     // Maestro finalizes the whole protocol layer and Graceful Adaptation
     // rebuilds its AAC's substrate expectations; both would destroy a
-    // consensus facade sitting underneath.  Only the paper's modular
-    // mechanism composes with consensus replacement.
+    // replacement facade composed for another layer.  Only the paper's
+    // modular mechanism composes with additional replaceable services.
     auto abcast_it = managed.find("abcast");
-    if (managed.count("consensus") != 0 && abcast_it != managed.end() &&
-        abcast_it->second != Mechanism::kRepl) {
-      problem("consensus replacement combines only with abcast mechanism "
-              "'repl' (not '" +
-              std::string(mechanism_name(abcast_it->second)) + "')");
+    if (abcast_it != managed.end() && abcast_it->second != Mechanism::kRepl) {
+      for (const auto& [svc, m] : managed) {
+        (void)m;
+        if (svc == "abcast") continue;
+        problem("replacement of '" + svc +
+                "' combines only with abcast mechanism 'repl' (not '" +
+                std::string(mechanism_name(abcast_it->second)) + "')");
+      }
     }
   }
 
@@ -396,6 +490,28 @@ Json ScenarioSpec::to_json() const {
   }
   j.set("updates", std::move(update_list));
 
+  Json policy_list = Json::array();
+  for (const PolicySpec& p : policies) {
+    Json e = Json::object();
+    if (!p.name.empty()) e.set("name", p.name);
+    e.set("service", p.service);
+    if (!p.when_protocol.empty()) e.set("when", p.when_protocol);
+    e.set("to", p.to_protocol);
+    e.set("trigger", p.trigger);
+    if (p.trigger == "fd-suspect") {
+      if (p.node != kNoNode) e.set("node", p.node);
+    } else if (p.trigger == "latency") {
+      e.set("latency_threshold_ns", p.latency_threshold);
+      e.set("window_ns", p.window);
+    } else {
+      e.set("rate", p.rate_threshold);
+      e.set("window_ns", p.window);
+    }
+    if (p.cooldown != 0) e.set("cooldown_ns", p.cooldown);
+    policy_list.push(std::move(e));
+  }
+  j.set("policies", std::move(policy_list));
+
   Json cost = Json::object();
   cost.set("hop_cost_ns", hop_cost);
   cost.set("module_create_cost_ns", module_create_cost);
@@ -435,7 +551,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
              {"name", "description", "n", "duration_ns", "drain_ns",
               "engine", "mechanism", "initial_protocol", "initial_consensus",
               "net", "workload", "crashes", "recoveries", "partitions",
-              "loss_windows", "updates", "cost", "max_retransmissions"});
+              "loss_windows", "updates", "policies", "cost",
+              "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("description")) spec.description = v->as_string();
@@ -576,6 +693,27 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
       if (const Json* v = e.find("service")) u.service = v->as_string();
       if (const Json* v = e.find("mechanism")) u.mechanism = v->as_string();
       spec.updates.push_back(std::move(u));
+    }
+  }
+  if (const Json* list = j.find("policies")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "policy",
+                 {"name", "service", "when", "to", "trigger", "node",
+                  "latency_threshold_ns", "rate", "window_ns", "cooldown_ns"});
+      PolicySpec p;
+      if (const Json* v = e.find("name")) p.name = v->as_string();
+      if (const Json* v = e.find("service")) p.service = v->as_string();
+      if (const Json* v = e.find("when")) p.when_protocol = v->as_string();
+      p.to_protocol = e.at("to").as_string();
+      if (const Json* v = e.find("trigger")) p.trigger = v->as_string();
+      if (const Json* v = e.find("node")) p.node = node_from(*v);
+      if (const Json* v = e.find("latency_threshold_ns")) {
+        p.latency_threshold = v->as_int();
+      }
+      if (const Json* v = e.find("rate")) p.rate_threshold = v->as_double();
+      if (const Json* v = e.find("window_ns")) p.window = v->as_int();
+      if (const Json* v = e.find("cooldown_ns")) p.cooldown = v->as_int();
+      spec.policies.push_back(std::move(p));
     }
   }
   if (const Json* cost = j.find("cost")) {

@@ -45,6 +45,8 @@ enum class Mechanism {
   kNone,           ///< static stack; the update plan must be empty
   kRepl,           ///< the paper's Repl-ABcast (Algorithm 1, "DPU")
   kReplConsensus,  ///< Repl-Consensus facade (the paper's future-work ext.)
+  kReplRbcast,     ///< Repl-RBcast facade (reliable broadcast, substrate)
+  kReplGm,         ///< Repl-GM facade (group membership, substrate)
   kMaestro,        ///< full-stack switch baseline
   kGraceful,       ///< barrier-switch baseline (Graceful Adaptation)
 };
@@ -52,6 +54,12 @@ enum class Mechanism {
 [[nodiscard]] const char* mechanism_name(Mechanism m);
 /// Inverse of mechanism_name; throws std::runtime_error on unknown names.
 [[nodiscard]] Mechanism mechanism_from_name(const std::string& name);
+
+/// The mechanism that manages `service` when none is named explicitly
+/// ("abcast" -> kRepl, "consensus" -> kReplConsensus, "rbcast" ->
+/// kReplRbcast, "gm" -> kReplGm); kNone for unknown services.
+[[nodiscard]] Mechanism default_mechanism_for_service(
+    const std::string& service);
 
 /// Time-varying load shaping: one phase modifies the workload rate inside
 /// (or from) its window.  Two kinds:
@@ -164,6 +172,29 @@ struct UpdateAction {
   friend bool operator==(const UpdateAction&, const UpdateAction&) = default;
 };
 
+/// One adaptation policy rule, instantiated as a PolicyEngine rule on every
+/// stack (app/policy.hpp): when `trigger` holds — the failure detector
+/// suspects `node` ("fd-suspect"), window-mean delivery latency reaches
+/// `latency_threshold` ("latency"), or the observed delivery rate reaches
+/// `rate_threshold` ("load") — and the service currently runs
+/// `when_protocol` (if set), the engine issues
+/// `request_update(service, to_protocol)`.  Closed-loop adaptation: no
+/// scripted `updates` entry needed.
+struct PolicySpec {
+  std::string name;            ///< trace/log label ("" = "policy-<index>")
+  std::string service = "abcast";
+  std::string when_protocol;   ///< fire only while this runs ("" = any)
+  std::string to_protocol;
+  std::string trigger = "fd-suspect";  ///< "fd-suspect" | "latency" | "load"
+  NodeId node = kNoNode;       ///< fd-suspect: watched node (kNoNode = any)
+  Duration latency_threshold = 0;      ///< latency: window-mean bound
+  double rate_threshold = 0.0;         ///< load: deliveries/sec bound
+  Duration window = kSecond;           ///< latency/load observation window
+  Duration cooldown = 0;               ///< re-arm delay after firing
+
+  friend bool operator==(const PolicySpec&, const PolicySpec&) = default;
+};
+
 /// Sanity ceilings enforced by ScenarioSpec::validate().  Generous for any
 /// realistic simulation; their real job is rejecting nonsense (including
 /// negative JSON integers wrapped through size_t) before it OOMs a run.
@@ -210,6 +241,9 @@ struct ScenarioSpec {
   std::vector<PartitionFault> partitions;
   std::vector<LossWindow> loss_windows;
   std::vector<UpdateAction> updates;
+  /// Closed-loop adaptation rules (PolicyEngine on every stack).  A policy's
+  /// service is composed with its replacement facade like an update target.
+  std::vector<PolicySpec> policies;
 
   /// DESIGN.md §8 cost-model knobs.
   Duration hop_cost = 8 * kMicrosecond;
@@ -223,17 +257,19 @@ struct ScenarioSpec {
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
-  /// Mechanism executing `u`, after defaulting to the spec's.  Throws
-  /// std::runtime_error on an unknown per-update mechanism name (validate()
-  /// reports the same condition as a problem instead).
-  [[nodiscard]] Mechanism update_mechanism(const UpdateAction& u) const {
-    return u.mechanism.empty() ? mechanism
-                               : mechanism_from_name(u.mechanism);
-  }
+  /// Mechanism executing `u`.  An explicit per-update name wins; otherwise
+  /// an update of the spec-level mechanism's own service uses that
+  /// mechanism, and an update of any *other* service defaults to the
+  /// service's repl-family facade ("consensus" -> repl-consensus, "rbcast"
+  /// -> repl-rbcast, "gm" -> repl-gm) — so multi-layer plans need no
+  /// per-update mechanism boilerplate.  Throws std::runtime_error on an
+  /// unknown per-update mechanism name (validate() reports the same
+  /// condition as a problem instead).
+  [[nodiscard]] Mechanism update_mechanism(const UpdateAction& u) const;
 
   /// The composition plan: which services this spec makes replaceable and
-  /// by which mechanism (spec-level default layer plus every update's
-  /// target).  Only meaningful on a spec that validates.
+  /// by which mechanism (spec-level default layer, every update's target,
+  /// and every policy's target).  Only meaningful on a spec that validates.
   [[nodiscard]] std::map<std::string, Mechanism> managed_services() const;
 
   /// Static well-formedness: node ids in range, windows ordered,

@@ -1,10 +1,13 @@
-// Unit tests for the failure-driven adaptation policy: trigger conditions,
-// responsibility election, and debouncing.
+// PolicyEngine — rule-driven adaptation: trigger conditions (fd suspicion,
+// delivery latency, delivered load), responsibility election, per-version
+// debouncing, and service-genericity (the same engine adapts non-abcast
+// layers through the UpdateApi).
 #include "app/policy.hpp"
 
 #include <gtest/gtest.h>
 
 #include "app/stack_builder.hpp"
+#include "app/workload.hpp"
 #include "sim/sim_world.hpp"
 
 namespace dpu {
@@ -19,39 +22,51 @@ StandardStackOptions seq_options() {
   return options;
 }
 
+PolicyRule seq_failover_rule() {
+  PolicyRule rule;
+  rule.name = "seq-failover";
+  rule.service = kAbcastService;
+  rule.when_protocol = "abcast.seq";
+  rule.to_protocol = "abcast.ct";
+  rule.trigger = PolicyRule::Trigger::kFdSuspect;
+  rule.suspect_node = 0;
+  return rule;
+}
+
 struct Rig {
   explicit Rig(std::uint64_t seed, std::size_t n = 3,
-               StandardStackOptions options = seq_options())
+               StandardStackOptions options = seq_options(),
+               PolicyRule rule = seq_failover_rule())
       : library(make_standard_library(options)),
         world(SimConfig{.num_stacks = n, .seed = seed}, &library) {
     for (NodeId i = 0; i < n; ++i) {
       stacks.push_back(build_standard_stack(world.stack(i), options));
-      FailoverPolicyConfig pc;
-      pc.watched_protocol = "abcast.seq";
-      pc.critical_node = 0;
-      pc.fallback_protocol = "abcast.ct";
-      policies.push_back(FailoverPolicyModule::create(world.stack(i),
-                                                      *stacks[i].repl, pc));
+      policies.push_back(PolicyEngineModule::create(
+          world.stack(i), PolicyEngineConfig{{rule}, kAbcastService}));
       world.stack(i).start_all();
     }
+  }
+
+  [[nodiscard]] const std::string& protocol(NodeId i) {
+    return stacks[i].repl->current_protocol();
   }
 
   ProtocolLibrary library;
   SimWorld world;
   std::vector<StandardStack> stacks;
-  std::vector<FailoverPolicyModule*> policies;
+  std::vector<PolicyEngineModule*> policies;
 };
 
 TEST(Policy, NoTriggerOnHealthyGroup) {
   Rig rig(1);
   rig.world.run_for(5 * kSecond);
   for (auto* p : rig.policies) EXPECT_EQ(p->triggers(), 0u);
-  EXPECT_EQ(rig.stacks[0].repl->current_protocol(), "abcast.seq");
+  EXPECT_EQ(rig.protocol(0), "abcast.seq");
 }
 
 TEST(Policy, NonCriticalSuspicionIgnored) {
   Rig rig(2);
-  // Stack 2 (not the sequencer) degrades; the policy watches node 0 only.
+  // Stack 2 (not the sequencer) degrades; the rule watches node 0 only.
   rig.world.at(kSecond, [&]() {
     rig.world.set_link_filter(
         [](NodeId src, NodeId dst) { return src != 2 && dst != 2; });
@@ -59,12 +74,12 @@ TEST(Policy, NonCriticalSuspicionIgnored) {
   rig.world.run_for(3 * kSecond);
   EXPECT_EQ(rig.policies[0]->triggers(), 0u);
   EXPECT_EQ(rig.policies[1]->triggers(), 0u);
-  EXPECT_EQ(rig.stacks[0].repl->current_protocol(), "abcast.seq");
+  EXPECT_EQ(rig.protocol(0), "abcast.seq");
 }
 
 TEST(Policy, NoTriggerWhenWatchedProtocolNotActive) {
   // Start on CT (watched protocol is SEQ): even if node 0 is suspected the
-  // policy must not fire.
+  // rule must not fire.
   StandardStackOptions options = seq_options();
   options.abcast_protocol = "abcast.ct";
   Rig rig(3, 3, options);
@@ -90,8 +105,7 @@ TEST(Policy, LowestLiveStackIsResponsible) {
   EXPECT_EQ(rig.policies[2]->triggers(), 0u);
   EXPECT_EQ(rig.policies[3]->triggers(), 0u);
   for (NodeId i = 0; i < 4; ++i) {
-    EXPECT_EQ(rig.stacks[i].repl->current_protocol(), "abcast.ct")
-        << "stack " << i;
+    EXPECT_EQ(rig.protocol(i), "abcast.ct") << "stack " << i;
   }
 }
 
@@ -111,6 +125,163 @@ TEST(Policy, DebounceFiresOncePerSwitch) {
   for (auto* p : rig.policies) total += p->triggers();
   EXPECT_EQ(total, 1u);
   EXPECT_EQ(rig.stacks[0].repl->seq_number(), 1u);
+}
+
+TEST(Policy, LoadRuleSwitchesWhenDeliveredRateExceedsThreshold) {
+  // Observed-load trigger: under heavy delivered load the rule trades the
+  // sequencer protocol for CT.  Every delivery on the facade counts, so the
+  // per-stack observed rate is ~ n * send rate.
+  PolicyRule rule;
+  rule.name = "shed-to-ct";
+  rule.service = kAbcastService;
+  rule.when_protocol = "abcast.seq";
+  rule.to_protocol = "abcast.ct";
+  rule.trigger = PolicyRule::Trigger::kDeliveryRate;
+  rule.rate_threshold = 120.0;  // deliveries/sec
+  rule.window = 500 * kMillisecond;
+  Rig rig(6, 3, seq_options(), rule);
+
+  // 60 msg/s per stack * 3 stacks = ~180 deliveries/sec observed.
+  std::vector<WorkloadModule*> workloads;
+  for (NodeId i = 0; i < 3; ++i) {
+    WorkloadConfig wc;
+    wc.rate_per_second = 60.0;
+    wc.stop_after = 3 * kSecond;
+    workloads.push_back(WorkloadModule::create(rig.world.stack(i), wc));
+    rig.world.stack(i).start_all();
+  }
+  rig.world.run_for(30 * kSecond);
+
+  std::uint64_t total = 0;
+  for (auto* p : rig.policies) total += p->triggers();
+  EXPECT_GE(total, 1u);
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.protocol(i), "abcast.ct") << "stack " << i;
+  }
+}
+
+TEST(Policy, LoadRuleStaysQuietBelowThreshold) {
+  PolicyRule rule;
+  rule.service = kAbcastService;
+  rule.to_protocol = "abcast.ct";
+  rule.trigger = PolicyRule::Trigger::kDeliveryRate;
+  rule.rate_threshold = 500.0;
+  rule.window = 500 * kMillisecond;
+  Rig rig(7, 3, seq_options(), rule);
+  std::vector<WorkloadModule*> workloads;
+  for (NodeId i = 0; i < 3; ++i) {
+    WorkloadConfig wc;
+    wc.rate_per_second = 20.0;
+    wc.stop_after = 3 * kSecond;
+    workloads.push_back(WorkloadModule::create(rig.world.stack(i), wc));
+    rig.world.stack(i).start_all();
+  }
+  rig.world.run_for(20 * kSecond);
+  for (auto* p : rig.policies) EXPECT_EQ(p->triggers(), 0u);
+  EXPECT_EQ(rig.protocol(0), "abcast.seq");
+}
+
+TEST(Policy, LatencyRuleReactsToDegradedDelivery) {
+  // Delivery-latency trigger: a lossy sequencer raises the window-mean
+  // latency past the threshold and the rule fails over — without the FD
+  // ever suspecting anyone.
+  PolicyRule rule;
+  rule.name = "latency-failover";
+  rule.service = kAbcastService;
+  rule.when_protocol = "abcast.seq";
+  rule.to_protocol = "abcast.ct";
+  rule.trigger = PolicyRule::Trigger::kDeliveryLatency;
+  rule.latency_threshold = 40 * kMillisecond;
+  rule.window = 500 * kMillisecond;
+  Rig rig(8, 3, seq_options(), rule);
+  std::vector<WorkloadModule*> workloads;
+  for (NodeId i = 0; i < 3; ++i) {
+    WorkloadConfig wc;
+    wc.rate_per_second = 30.0;
+    wc.stop_after = 5 * kSecond;
+    workloads.push_back(WorkloadModule::create(rig.world.stack(i), wc));
+    rig.world.stack(i).start_all();
+  }
+  // 60% loss on the sequencer's links: deliveries keep flowing (rp2p
+  // retransmits) but a large fraction eat one or more retransmission
+  // round-trips, dragging the window mean far above the healthy value.
+  rig.world.at(kSecond, [&]() {
+    rig.world.set_link_filter([&rig](NodeId src, NodeId dst) {
+      if (src != 0 && dst != 0) return true;
+      return rig.world.stack(1).host().rng().chance(0.4);
+    });
+  });
+  rig.world.at(4 * kSecond, [&]() { rig.world.set_link_filter(nullptr); });
+  rig.world.run_for(60 * kSecond);
+
+  std::uint64_t total = 0;
+  for (auto* p : rig.policies) total += p->triggers();
+  EXPECT_GE(total, 1u);
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.protocol(i), "abcast.ct") << "stack " << i;
+  }
+}
+
+TEST(Policy, GenericServiceRuleAdaptsConsensusLayer) {
+  // Service-genericity: the identical engine, pointed at the consensus
+  // layer, migrates consensus.ct -> consensus.mr on observed load — a
+  // switch the legacy FailoverPolicy could never express.
+  StandardStackOptions options;
+  options.with_gm = false;
+  options.with_consensus_replacement = true;
+  options.fd.heartbeat_interval = 20 * kMillisecond;
+  options.fd.initial_timeout = 100 * kMillisecond;
+  PolicyRule rule;
+  rule.name = "consensus-shed";
+  rule.service = kConsensusService;
+  rule.to_protocol = "consensus.mr";
+  rule.trigger = PolicyRule::Trigger::kDeliveryRate;
+  rule.rate_threshold = 50.0;
+  rule.window = 500 * kMillisecond;
+  Rig rig(9, 3, options, rule);
+  std::vector<WorkloadModule*> workloads;
+  for (NodeId i = 0; i < 3; ++i) {
+    WorkloadConfig wc;
+    wc.rate_per_second = 40.0;
+    wc.stop_after = 4 * kSecond;
+    workloads.push_back(WorkloadModule::create(rig.world.stack(i), wc));
+    rig.world.stack(i).start_all();
+  }
+  rig.world.run_for(60 * kSecond);
+
+  std::uint64_t total = 0;
+  for (auto* p : rig.policies) total += p->triggers();
+  EXPECT_GE(total, 1u);
+  for (NodeId i = 0; i < 3; ++i) {
+    const UpdateStatus s =
+        rig.stacks[i].update->current_version(kConsensusService);
+    EXPECT_EQ(s.protocol, "consensus.mr") << "stack " << i;
+  }
+}
+
+TEST(Policy, MisconfiguredRuleCountsErrorInsteadOfThrowing) {
+  // A rule for a service no mechanism manages must not crash the stack.
+  PolicyRule rule;
+  rule.service = "gm";  // replaceable in the registry, but no facade here
+  rule.to_protocol = "gm.abcast";
+  rule.trigger = PolicyRule::Trigger::kDeliveryRate;
+  rule.rate_threshold = 1.0;
+  rule.window = 200 * kMillisecond;
+  Rig rig(10, 3, seq_options(), rule);
+  std::vector<WorkloadModule*> workloads;
+  for (NodeId i = 0; i < 3; ++i) {
+    WorkloadConfig wc;
+    wc.rate_per_second = 30.0;
+    wc.stop_after = 2 * kSecond;
+    workloads.push_back(WorkloadModule::create(rig.world.stack(i), wc));
+    rig.world.stack(i).start_all();
+  }
+  rig.world.run_for(10 * kSecond);
+  for (auto* p : rig.policies) {
+    EXPECT_EQ(p->triggers(), 0u);
+    EXPECT_GE(p->policy_errors(), 1u);
+  }
+  EXPECT_EQ(rig.protocol(0), "abcast.seq");
 }
 
 }  // namespace

@@ -35,6 +35,9 @@ inline ProtocolLibrary make_full_library() {
   CtAbcastModule::register_protocol(lib);
   SeqAbcastModule::register_protocol(lib);
   TokenAbcastModule::register_protocol(lib);
+  lib.declare_replaceable(kAbcastService);
+  lib.declare_replaceable(kConsensusService);
+  lib.declare_replaceable(kRbcastService);
   return lib;
 }
 

@@ -111,21 +111,24 @@ TEST(FullStack, EverythingAtOnceStaysConsistent) {
 
 TEST(FullStack, PolicyFailsOverWhenSequencerDegrades) {
   // The adaptive-middleware loop: SEQ-ABcast is in use; the sequencer's
-  // links degrade badly enough for the FD to suspect it; the failover
-  // policy switches the group to CT-ABcast automatically.  Messages held up
-  // at the degraded sequencer are re-issued by Algorithm 1, so nothing is
-  // lost.
+  // links degrade badly enough for the FD to suspect it; a PolicyEngine
+  // rule switches the group to CT-ABcast through the UpdateApi
+  // automatically.  Messages held up at the degraded sequencer are
+  // re-issued by Algorithm 1, so nothing is lost.
   StandardStackOptions options = tuned_options();
   options.abcast_protocol = "abcast.seq";
   Rig rig(SimConfig{.num_stacks = 4, .seed = 2}, options);
-  std::vector<FailoverPolicyModule*> policies;
+  std::vector<PolicyEngineModule*> policies;
   for (NodeId i = 0; i < 4; ++i) {
-    FailoverPolicyConfig pc;
-    pc.watched_protocol = "abcast.seq";
-    pc.critical_node = 0;  // the sequencer
-    pc.fallback_protocol = "abcast.ct";
-    policies.push_back(FailoverPolicyModule::create(
-        rig.world.stack(i), *rig.stacks[i].repl, pc));
+    PolicyRule rule;
+    rule.name = "seq-failover";
+    rule.service = kAbcastService;
+    rule.when_protocol = "abcast.seq";
+    rule.to_protocol = "abcast.ct";
+    rule.trigger = PolicyRule::Trigger::kFdSuspect;
+    rule.suspect_node = 0;  // the sequencer
+    policies.push_back(PolicyEngineModule::create(
+        rig.world.stack(i), PolicyEngineConfig{{rule}, kAbcastService}));
     rig.world.stack(i).start_all();
   }
 

@@ -58,6 +58,8 @@ TEST(ProtocolRegistry, DeclaresReplaceableServicesAndTheirLibraries) {
   const ProtocolRegistry registry = make_standard_library();
   EXPECT_TRUE(registry.replaceable(kAbcastService));
   EXPECT_TRUE(registry.replaceable(kConsensusService));
+  EXPECT_TRUE(registry.replaceable(kRbcastService));
+  EXPECT_TRUE(registry.replaceable(kGmService));
   EXPECT_FALSE(registry.replaceable(kRp2pService));
   EXPECT_FALSE(registry.replaceable("no-such-service"));
 
@@ -68,6 +70,12 @@ TEST(ProtocolRegistry, DeclaresReplaceableServicesAndTheirLibraries) {
       registry.libraries_for(kConsensusService);
   EXPECT_EQ(consensus,
             (std::vector<std::string>{"consensus.ct", "consensus.mr"}));
+  const std::vector<std::string> rbcast =
+      registry.libraries_for(kRbcastService);
+  EXPECT_EQ(rbcast,
+            (std::vector<std::string>{"rbcast.eager", "rbcast.norelay"}));
+  EXPECT_EQ(registry.libraries_for(kGmService),
+            (std::vector<std::string>{"gm.abcast"}));
 }
 
 TEST(UpdateApi, RejectsInvalidRequests) {
@@ -82,10 +90,20 @@ TEST(UpdateApi, RejectsInvalidRequests) {
   EXPECT_THROW(rig.api(0).request_update(kAbcastService, "consensus.mr"),
                std::invalid_argument);
   // Replaceable in the registry, but no mechanism manages it on this stack
-  // (consensus is a plain module here, not a facade).
+  // (consensus is a plain module here, not a facade) — and likewise the
+  // rbcast and gm layers, composed directly in this rig.
   EXPECT_THROW(rig.api(0).request_update(kConsensusService, "consensus.mr"),
                std::invalid_argument);
   EXPECT_THROW((void)rig.api(0).current_version(kConsensusService),
+               std::invalid_argument);
+  EXPECT_THROW(rig.api(0).request_update(kRbcastService, "rbcast.norelay"),
+               std::invalid_argument);
+  EXPECT_THROW((void)rig.api(0).current_version(kRbcastService),
+               std::invalid_argument);
+  EXPECT_THROW(rig.api(0).request_update(kGmService, "gm.abcast"),
+               std::invalid_argument);
+  // A library that provides a different service than the one requested.
+  EXPECT_THROW(rig.api(0).request_update(kRbcastService, "gm.abcast"),
                std::invalid_argument);
   // Nothing above may have left a half-performed switch behind.
   EXPECT_EQ(rig.api(0).current_version(kAbcastService).protocol, "abcast.ct");

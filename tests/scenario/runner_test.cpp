@@ -278,5 +278,65 @@ TEST(ScenarioRunner, DualServiceSwitchThroughOneControlPlane) {
             "consensus");
 }
 
+TEST(ScenarioRunner, TripleServiceSwitchThroughOneControlPlane) {
+  // One substrate for any service: rbcast, consensus and abcast hot-swap in
+  // a single run through the same request_update entry point.
+  ScenarioSpec spec = small_spec("triple-switch");
+  spec.duration = 4 * kSecond;
+  spec.updates = {
+      {kSecond, 0, "rbcast.norelay"},
+      {2 * kSecond, 1, "consensus.mr"},
+      {3 * kSecond, 2, "abcast.seq"},
+  };
+  const ScenarioResult result = run_scenario(spec, 23);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  EXPECT_EQ(result.deliveries, result.messages_sent * spec.n);
+  ASSERT_EQ(result.updates.size(), 3u);
+  EXPECT_EQ(result.updates[0].service, "rbcast");
+  EXPECT_EQ(result.updates[0].protocol, "rbcast.norelay");
+  EXPECT_EQ(result.updates[0].completions, spec.n);
+  EXPECT_EQ(result.updates[1].service, "consensus");
+  EXPECT_EQ(result.updates[2].service, "abcast");
+  for (const UpdateOutcome& o : result.updates) {
+    EXPECT_EQ(o.completions, spec.n) << o.service;
+  }
+}
+
+TEST(ScenarioRunner, GmSwitchRunsThroughTheControlPlane) {
+  ScenarioSpec spec = small_spec("gm-swap");
+  spec.updates = {{1500 * kMillisecond, 0, "gm.abcast"}};
+  const ScenarioResult result = run_scenario(spec, 29);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  ASSERT_EQ(result.updates.size(), 1u);
+  EXPECT_EQ(result.updates[0].service, "gm");
+  EXPECT_EQ(result.updates[0].completions, spec.n);
+  for (const std::string& protocol : result.final_protocol) {
+    EXPECT_EQ(protocol, "gm.abcast");
+  }
+}
+
+TEST(ScenarioRunner, PolicyDrivesTheSwitchWithoutAScriptedUpdate) {
+  // Closed-loop adaptation: no `updates` entry; a PolicyEngine rule watches
+  // the SEQ sequencer and fails over to CT when a fault window isolates it.
+  const std::optional<ScenarioSpec> spec =
+      find_scenario("policy-failover-generic");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->updates.empty());
+  const ScenarioResult result = run_scenario(*spec, 13);
+  EXPECT_TRUE(result.ok()) << result.abcast_report.summary() << "\n"
+                           << result.generic_report.summary();
+  // The policy fired: a full update (request + n completions) shows up in
+  // the generic convergence records, and every stack ends on the fallback.
+  ASSERT_GE(result.updates.size(), 1u);
+  EXPECT_EQ(result.updates[0].service, "abcast");
+  EXPECT_EQ(result.updates[0].protocol, "abcast.ct");
+  EXPECT_EQ(result.updates[0].completions, spec->n);
+  for (const std::string& protocol : result.final_protocol) {
+    EXPECT_EQ(protocol, "abcast.ct");
+  }
+}
+
 }  // namespace
 }  // namespace dpu::scenario

@@ -47,6 +47,11 @@ ScenarioSpec rich_spec() {
                   // same plan via its own mechanism.
                   {5 * kSecond, 1, "consensus.mr", "consensus",
                    "repl-consensus"}};
+  spec.policies = {{"lat-failover", "abcast", "abcast.seq", "abcast.ct",
+                    "latency", kNoNode, 25 * kMillisecond, 0.0,
+                    500 * kMillisecond, kSecond},
+                   {"", "consensus", "", "consensus.mr", "fd-suspect", 1, 0,
+                    0.0, kSecond, 0}};
   spec.hop_cost = 5 * kMicrosecond;
   spec.module_create_cost = 15 * kMillisecond;
   spec.max_retransmissions = 1234;
@@ -95,7 +100,8 @@ TEST(ScenarioSpec, EngineNamesRoundTrip) {
 
 TEST(ScenarioSpec, MechanismNamesRoundTrip) {
   for (Mechanism m : {Mechanism::kNone, Mechanism::kRepl,
-                      Mechanism::kReplConsensus, Mechanism::kMaestro,
+                      Mechanism::kReplConsensus, Mechanism::kReplRbcast,
+                      Mechanism::kReplGm, Mechanism::kMaestro,
                       Mechanism::kGraceful}) {
     EXPECT_EQ(mechanism_from_name(mechanism_name(m)), m);
   }
@@ -140,7 +146,9 @@ TEST(ScenarioSpec, ValidationCatchesBadSchedules) {
   }
   {
     ScenarioSpec s = rich_spec();
-    s.updates = {{kSecond, 0, "consensus.mr"}};  // wrong layer for kRepl
+    // A protocol whose prefix names no replaceable service has no
+    // mechanism to default to.
+    s.updates = {{kSecond, 0, "paxos.mr"}};
     EXPECT_FALSE(s.validate().empty());
   }
   {
@@ -216,6 +224,83 @@ TEST(ScenarioSpec, ValidationCoversServiceGenericUpdates) {
     EXPECT_EQ(u.target_service(), "consensus");
     u.service = "abcast";
     EXPECT_EQ(u.target_service(), "abcast");
+  }
+  {
+    // Non-primary layers default to their repl-family facade, so a
+    // mechanism-less consensus/rbcast/gm action is valid under kRepl
+    // (rbcast/gm additionally require a recovery-free schedule).
+    ScenarioSpec s = rich_spec();
+    s.crashes.clear();
+    s.recoveries.clear();
+    s.updates = {{kSecond, 0, "consensus.mr"},
+                 {2 * kSecond, 0, "rbcast.norelay"},
+                 {3 * kSecond, 0, "gm.abcast"}};
+    EXPECT_TRUE(s.validate().empty());
+    EXPECT_EQ(s.update_mechanism(s.updates[0]), Mechanism::kReplConsensus);
+    EXPECT_EQ(s.update_mechanism(s.updates[1]), Mechanism::kReplRbcast);
+    EXPECT_EQ(s.update_mechanism(s.updates[2]), Mechanism::kReplGm);
+    const auto managed = s.managed_services();
+    EXPECT_EQ(managed.size(), 4u);  // + the spec-level abcast layer
+  }
+  {
+    // ...but not under a stack-destroying abcast mechanism.
+    ScenarioSpec s = rich_spec();
+    s.policies.clear();
+    s.crashes.clear();
+    s.recoveries.clear();
+    s.mechanism = Mechanism::kGraceful;
+    s.updates = {{kSecond, 0, "abcast.seq"},
+                 {2 * kSecond, 0, "rbcast.norelay"}};
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    // Crash-recovery combines only with layers that replay missed switches
+    // (abcast via the consensus catch-up); rbcast and gm have no history
+    // resend, so a recovering spec must pin them.
+    ScenarioSpec s = rich_spec();  // has a crash + recovery of node 4
+    s.updates.push_back({5500 * kMillisecond, 2, "rbcast.norelay"});
+    EXPECT_FALSE(s.validate().empty());
+  }
+}
+
+TEST(ScenarioSpec, ValidationCoversPolicies) {
+  {
+    ScenarioSpec s = rich_spec();  // two well-formed policies
+    EXPECT_TRUE(s.validate().empty());
+    // Policies contribute their services to the composition plan.
+    const auto managed = s.managed_services();
+    EXPECT_EQ(managed.at("consensus"), Mechanism::kReplConsensus);
+    EXPECT_EQ(managed.at("abcast"), Mechanism::kRepl);
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.policies[0].to_protocol = "consensus.mr";  // wrong service prefix
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.policies[0].trigger = "entropy";  // unknown trigger
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.policies[0].latency_threshold = 0;  // latency trigger needs one
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.policies[1].node = 9;  // watched node out of range (n = 5)
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.policies[0].service = "rp2p";  // not a replaceable service
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.policies[0].window = 0;
+    EXPECT_FALSE(s.validate().empty());
   }
 }
 
