@@ -18,8 +18,24 @@
 //       (generous: CI machines are slower and noisier than the machine the
 //       baseline was recorded on; see ci/README.md for refresh policy).
 //
+//   perf_gate curve   --baseline BASELINE.json --current BENCH_engine.json
+//                     [--count-tol 0.25] [--min-throughput-ratio 0.35]
+//                     [--min-batch-datagram-ratio 3.0] [--min-rt-speedup 1.5]
+//       Gate the --curve output (throughput vs node count, batched vs
+//       unbatched, sim + rt/socket engines).  The default saturate
+//       workload's unbatched/batched datagram ratio must clear the
+//       --min-batch-datagram-ratio floor.  Sim points: deterministic
+//       counters against the baseline band, wall-clock events/sec against
+//       the minimum ratio, per-point datagram ratio one-sided against the
+//       baseline's.  Rt points: the batched run must complete its fixed
+//       work, and the batched/unbatched deliveries/sec speedup must clear
+//       --min-rt-speedup at the largest node count (a generous floor
+//       applies at smaller counts, where the socket path is not the
+//       bottleneck).
+//
 // All comparisons are against *virtual-world* metrics except events_per_sec
 // / packets_per_sec, which are wall-clock.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -248,6 +264,155 @@ int gate_engine(const Json& baseline, const Json& current, double count_tol,
   return gate.failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// curve: throughput-vs-node-count sweep (sim + rt/socket, batched vs
+// unbatched) from bench_engine_throughput --curve.
+// ---------------------------------------------------------------------------
+
+/// Finds the curve point with the given node count in a point array.
+const Json* find_point(const Json& points, std::int64_t nodes) {
+  for (const Json& p : points.items()) {
+    if (p.at("nodes").as_int() == nodes) return &p;
+  }
+  return nullptr;
+}
+
+int gate_curve(const Json& baseline, const Json& current, double count_tol,
+               double min_ratio, double min_dgram_ratio,
+               double min_rt_speedup) {
+  Gate gate;
+  const Json* base_curve = baseline.find("curve");
+  const Json* cur_curve = current.find("curve");
+  if (base_curve == nullptr || cur_curve == nullptr) {
+    gate.fail("curve", base_curve == nullptr
+                           ? "baseline has no curve (regenerate with "
+                             "bench_engine_throughput --curve)"
+                           : "current results have no curve (run "
+                             "bench_engine_throughput --curve)");
+    return 1;
+  }
+
+  // Headline batching win: the default saturate workload must serialize at
+  // least --min-batch-datagram-ratio fewer DATA datagrams than its
+  // unbatched ablation.  Measured inside the current run (identical seeds),
+  // so a slow CI machine cannot mask a real regression.
+  {
+    const auto batched_dgrams = static_cast<double>(
+        current.at("workloads").at("saturate").at("data_datagrams").as_int());
+    const auto unbatched_dgrams =
+        static_cast<double>(current.at("workloads")
+                                .at("saturate_unbatched")
+                                .at("data_datagrams")
+                                .as_int());
+    const double ratio =
+        batched_dgrams > 0.0 ? unbatched_dgrams / batched_dgrams : 0.0;
+    if (ratio < min_dgram_ratio) {
+      gate.fail("workloads/saturate",
+                "batching datagram ratio " + std::to_string(ratio) +
+                    " below floor " + std::to_string(min_dgram_ratio));
+    } else {
+      std::fprintf(stderr,
+                   "OK   workloads/saturate: datagram ratio %.2fx "
+                   "(floor %.2fx)\n",
+                   ratio, min_dgram_ratio);
+    }
+  }
+
+  // Sim points: virtual-world counters are deterministic per seed, so both
+  // variants get the full tolerance-band treatment, plus the wall-clock
+  // floor and a one-sided check that each point's batching ratio does not
+  // fall below the baseline's.
+  for (const Json& bp : base_curve->at("sim").items()) {
+    const std::int64_t nodes = bp.at("nodes").as_int();
+    const std::string where = "curve.sim/n=" + std::to_string(nodes);
+    const Json* cp = find_point(cur_curve->at("sim"), nodes);
+    if (cp == nullptr) {
+      gate.fail(where, "node count missing from current curve");
+      continue;
+    }
+    for (const char* variant : {"batched", "unbatched"}) {
+      const Json& bv = bp.at(variant);
+      const Json& cv = cp->at(variant);
+      const std::string vwhere = where + "/" + variant;
+      for (const char* metric : {"events", "packets_sent", "deliveries",
+                                 "messages_sent", "data_datagrams"}) {
+        gate.check_band(vwhere, metric,
+                        static_cast<double>(bv.at(metric).as_int()),
+                        static_cast<double>(cv.at(metric).as_int()),
+                        count_tol);
+      }
+      const double base_tput = bv.at("events_per_sec").as_double();
+      const double cur_tput = cv.at("events_per_sec").as_double();
+      if (cur_tput < min_ratio * base_tput) {
+        gate.fail(vwhere, "events_per_sec " + std::to_string(cur_tput) +
+                              " below " + std::to_string(min_ratio) +
+                              "x baseline (" + std::to_string(base_tput) +
+                              ")");
+      }
+    }
+    // Per-point batching ratio, one-sided against the baseline's own ratio
+    // (the ratio grows with node count — relayed deliveries arrive in
+    // bursts and re-batch — so a flat floor would be wrong at the small
+    // end of the curve).
+    auto dgram_ratio = [](const Json& point) {
+      const auto b = static_cast<double>(
+          point.at("batched").at("data_datagrams").as_int());
+      const auto u = static_cast<double>(
+          point.at("unbatched").at("data_datagrams").as_int());
+      return b > 0.0 ? u / b : 0.0;
+    };
+    const double base_ratio = dgram_ratio(bp);
+    const double cur_ratio = dgram_ratio(*cp);
+    if (cur_ratio < (1.0 - count_tol) * base_ratio) {
+      gate.fail(where, "batching datagram ratio " +
+                           std::to_string(cur_ratio) + " fell below " +
+                           std::to_string(1.0 - count_tol) + "x baseline (" +
+                           std::to_string(base_ratio) + ")");
+    }
+  }
+
+  // Rt points: wall-clock over real sockets, so nothing is compared against
+  // the (machine-dependent) baseline numbers; the gate is internal to the
+  // current run.  Baseline only fixes WHICH node counts must be present.
+  std::int64_t largest = 0;
+  for (const Json& bp : base_curve->at("rt").items()) {
+    largest = std::max(largest, bp.at("nodes").as_int());
+  }
+  for (const Json& bp : base_curve->at("rt").items()) {
+    const std::int64_t nodes = bp.at("nodes").as_int();
+    const std::string where = "curve.rt/n=" + std::to_string(nodes);
+    const Json* cp = find_point(cur_curve->at("rt"), nodes);
+    if (cp == nullptr) {
+      gate.fail(where, "node count missing from current curve");
+      continue;
+    }
+    const Json& batched = cp->at("batched");
+    const Json& unbatched = cp->at("unbatched");
+    if (!batched.at("complete").as_bool()) {
+      gate.fail(where, "batched run hit the wall-clock cap before "
+                       "delivering its fixed work");
+    }
+    const double b = batched.at("deliveries_per_sec").as_double();
+    const double u = unbatched.at("deliveries_per_sec").as_double();
+    const double speedup = u > 0.0 ? b / u : 0.0;
+    // The headline requirement applies at the largest node count, where
+    // per-datagram overhead dominates; smaller points get a generous floor
+    // (batching must never make the socket path slower than ~noise).
+    const double floor =
+        nodes == largest ? min_rt_speedup : std::min(0.8, min_rt_speedup);
+    if (speedup < floor) {
+      gate.fail(where, "batched/unbatched speedup " +
+                           std::to_string(speedup) + " below " +
+                           std::to_string(floor));
+    } else {
+      std::fprintf(stderr, "OK   %s: speedup %.2fx (floor %.2fx)\n",
+                   where.c_str(), speedup, floor);
+    }
+  }
+  std::fprintf(stderr, "perf_gate curve: %d failure(s)\n", gate.failures);
+  return gate.failures == 0 ? 0 : 1;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
@@ -256,8 +421,11 @@ int usage(const char* argv0) {
       "  %s campaign --baseline BASELINE.json --current RESULTS.json\n"
       "              [--latency-tol F] [--count-tol F]\n"
       "  %s engine   --baseline BASELINE.json --current BENCH.json\n"
-      "              [--count-tol F] [--min-throughput-ratio F]\n",
-      argv0, argv0, argv0);
+      "              [--count-tol F] [--min-throughput-ratio F]\n"
+      "  %s curve    --baseline BASELINE.json --current BENCH.json\n"
+      "              [--count-tol F] [--min-throughput-ratio F]\n"
+      "              [--min-batch-datagram-ratio F] [--min-rt-speedup F]\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -270,6 +438,8 @@ int main(int argc, char** argv) {
   double latency_tol = 0.25;
   double count_tol = 0.25;
   double min_ratio = 0.35;
+  double min_dgram_ratio = 3.0;
+  double min_rt_speedup = 1.5;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
@@ -290,6 +460,10 @@ int main(int argc, char** argv) {
       count_tol = std::atof(v);
     } else if (arg == "--min-throughput-ratio" && (v = next_value())) {
       min_ratio = std::atof(v);
+    } else if (arg == "--min-batch-datagram-ratio" && (v = next_value())) {
+      min_dgram_ratio = std::atof(v);
+    } else if (arg == "--min-rt-speedup" && (v = next_value())) {
+      min_rt_speedup = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage(argv[0]);
@@ -315,7 +489,7 @@ int main(int argc, char** argv) {
                    digest.at("runs").size(), out_path.c_str());
       return 0;
     }
-    if (mode == "campaign" || mode == "engine") {
+    if (mode == "campaign" || mode == "engine" || mode == "curve") {
       if (baseline_path.empty() || current_path.empty()) return usage(argv[0]);
       std::optional<Json> baseline = load_json(baseline_path);
       std::optional<Json> current = load_json(current_path);
@@ -323,9 +497,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot read baseline/current file\n");
         return 2;
       }
-      return mode == "campaign"
-                 ? gate_campaign(*baseline, *current, latency_tol, count_tol)
-                 : gate_engine(*baseline, *current, count_tol, min_ratio);
+      if (mode == "campaign") {
+        return gate_campaign(*baseline, *current, latency_tol, count_tol);
+      }
+      if (mode == "engine") {
+        return gate_engine(*baseline, *current, count_tol, min_ratio);
+      }
+      return gate_curve(*baseline, *current, count_tol, min_ratio,
+                        min_dgram_ratio, min_rt_speedup);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perf_gate: %s\n", e.what());

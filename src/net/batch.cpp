@@ -1,0 +1,60 @@
+#include "net/batch.hpp"
+
+namespace dpu {
+
+namespace {
+
+/// LEB128 length of `v` (mirrors BufWriter::put_varint byte count).
+[[nodiscard]] std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t batch_message_wire_size(std::size_t payload_size) {
+  return sizeof(std::uint64_t) + varint_size(payload_size) + payload_size;
+}
+
+void encode_batch_frame(BufWriter& w,
+                        const std::vector<BatchMessage>& messages) {
+  w.put_u8(kBatchFrameVersion);
+  w.put_varint(messages.size());
+  for (const BatchMessage& m : messages) {
+    w.put_u64(m.channel);
+    w.put_blob(m.payload);
+  }
+}
+
+void decode_batch_frame(const Payload& body, std::vector<BatchMessage>& out) {
+  out.clear();
+  if (body.size() > kMaxBatchFrameBytes) {
+    throw CodecError("batch frame exceeds size ceiling");
+  }
+  BufReader r(body);
+  const std::uint8_t version = r.get_u8();
+  if (version != kBatchFrameVersion) {
+    throw CodecError("unknown batch frame version");
+  }
+  const std::uint64_t count = r.get_varint();
+  if (count == 0) throw CodecError("empty batch frame");
+  if (count > kMaxBatchMessages || count > r.remaining()) {
+    // Every message costs at least one byte on the wire, so a count larger
+    // than the remaining bytes is forged/corrupt — reject before reserving.
+    throw CodecError("batch frame count exceeds ceiling");
+  }
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BatchMessage m;
+    m.channel = r.get_u64();
+    m.payload = r.get_blob_payload();
+    out.push_back(std::move(m));
+  }
+  r.expect_done();
+}
+
+}  // namespace dpu

@@ -1,0 +1,63 @@
+// Multi-message batch frame codec — the wire format that lets one datagram
+// carry many app messages (ROADMAP open item 2(a): amortize per-datagram
+// syscall/event costs; the shilangyu listen_batch idiom generalized to a
+// byte budget instead of a fixed 8-per-packet count).
+//
+// A batch frame is the *body* of an rp2p DATA datagram (the rp2p header —
+// message type and datagram sequence number — stays outside, because
+// reliability is per datagram: one seq, one ack, one NACK hole, one
+// retransmission for the whole batch).  Layout, all integers in the repo's
+// standard codec (big-endian fixed width, LEB128 varints):
+//
+//   u8 version | varint count | count x (u64 channel | blob payload)
+//
+// The codec is engine-agnostic: the same bytes travel through the simulator
+// and through real UDP sockets on the rt engine, so both engines share this
+// one encoder/decoder.  Versioning: a decoder rejects frames whose version
+// it does not know; adding fields means bumping kBatchFrameVersion and
+// teaching the decoder both layouts during the rollout window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace dpu {
+
+/// Current (and only) batch frame layout version.
+inline constexpr std::uint8_t kBatchFrameVersion = 1;
+
+/// Hard decode ceilings, independent of any sender-side budget: a forged or
+/// corrupted header must not make the decoder allocate unbounded memory.
+/// kMaxBatchFrameBytes comfortably exceeds every sane batch_max_bytes while
+/// still rejecting nonsense (the engines carry at most 64 KiB datagrams).
+inline constexpr std::size_t kMaxBatchFrameBytes = 64 * 1024;
+inline constexpr std::size_t kMaxBatchMessages = 4096;
+
+/// One message inside a batch: the rp2p channel it is addressed to (a
+/// ChannelId; spelled as its underlying integer so this header does not
+/// drag in the service layer) and its payload (a zero-copy slice of the
+/// datagram buffer on the decode side).
+struct BatchMessage {
+  std::uint64_t channel = 0;
+  Payload payload;
+};
+
+/// Encoded size of one message inside a batch frame (channel + length
+/// prefix + payload bytes) — what the sender's byte budget accounts.
+[[nodiscard]] std::size_t batch_message_wire_size(std::size_t payload_size);
+
+/// Appends a version-1 batch frame (version, count, messages) to `w`.
+/// `messages` must be non-empty; a single message is the legal degenerate
+/// frame (count = 1).
+void encode_batch_frame(BufWriter& w, const std::vector<BatchMessage>& messages);
+
+/// Decodes the batch frame in `body` (everything after the rp2p seq) into
+/// `out`, replacing its contents.  Payloads are zero-copy slices of `body`.
+/// Throws CodecError on: unknown version, zero count, count/size beyond the
+/// hard ceilings, truncation, or trailing bytes — the caller treats all of
+/// them as a malformed datagram and drops it.
+void decode_batch_frame(const Payload& body, std::vector<BatchMessage>& out);
+
+}  // namespace dpu

@@ -29,6 +29,7 @@ Rp2pModule::Rp2pModule(Stack& stack, std::string instance_name, Config config)
       fd_(stack.require<FdApi>(kFdService)),
       ack_timer_(stack.host()),
       nack_timer_(stack.host()),
+      batch_timer_(stack.host()),
       retransmit_timer_(stack.host()) {}
 
 void Rp2pModule::start() {
@@ -45,9 +46,14 @@ void Rp2pModule::start() {
 }
 
 void Rp2pModule::stop() {
+  // Seal parked batches first (udp is still bound here): a message accepted
+  // by rp2p_send must have been transmitted at least once, exactly as on
+  // the unbatched path.
+  flush_batches();
   retransmit_timer_.cancel();
   ack_timer_.cancel();
   nack_timer_.cancel();
+  batch_timer_.cancel();
   nack_queue_.clear();
   udp_.call([](UdpApi& udp) { udp.udp_release_port(kRp2pPort); });
   channels_.clear();
@@ -76,15 +82,88 @@ void Rp2pModule::rp2p_send(NodeId dst, ChannelId channel, Payload payload) {
     }
   }
   PeerOut& peer = out_[dst];
+  ++messages_sent_;
+  if (!config_.batching) {
+    // Ablation path: one datagram per message, serialized exactly once;
+    // every (re)transmission re-sends this shared buffer.  This is the
+    // only copy of the payload below rbcast.
+    const std::uint64_t seq = peer.next_seq++;
+    BufWriter w = udp->udp_frame(kRp2pPort, payload.size() + 24);
+    w.put_u8(kData);
+    w.put_varint(seq);
+    w.put_u64(channel);
+    w.put_blob(payload);
+    ++data_datagrams_;
+    auto [it, inserted] =
+        peer.unacked.emplace(seq, OutPacket{w.take_payload()});
+    assert(inserted);
+    (void)inserted;
+    transmit(dst, it->second);
+    return;
+  }
+  // Batched path: park the message (no copy — the Payload moves into the
+  // batch) and flush when the byte budget fills or the flush timer fires.
+  // The sealed datagram gets the sequence number, so reliability stays
+  // per-datagram and a retransmission resends the whole batch once.
+  const std::size_t wire = batch_message_wire_size(payload.size());
+  if (!peer.pending.empty() &&
+      peer.pending_bytes + wire > config_.batch_max_bytes) {
+    flush_batch(dst, peer);  // would overflow: seal what is parked first
+  }
+  peer.pending.push_back(BatchMessage{channel, std::move(payload)});
+  peer.pending_bytes += wire;
+  if (peer.pending_bytes >= config_.batch_max_bytes ||
+      config_.batch_flush_ns <= 0) {
+    flush_batch(dst, peer);  // budget full (or an oversized single): go now
+  } else {
+    note_batch_due(dst, peer);
+  }
+}
+
+void Rp2pModule::note_batch_due(NodeId dst, PeerOut& peer) {
+  if (!peer.batch_queued) {
+    peer.batch_queued = true;
+    batch_queue_.push_back(dst);
+  }
+  if (!batch_timer_.pending()) {
+    batch_timer_.schedule(config_.batch_flush_ns,
+                          [this]() { flush_batches(); });
+  }
+}
+
+void Rp2pModule::flush_batches() {
+  // Swap out: handlers running under deliver() during a self-send flush (or
+  // a blocked-call replay) may park new batches while we iterate.
+  std::vector<NodeId> due;
+  due.swap(batch_queue_);
+  for (const NodeId dst : due) {
+    PeerOut& peer = out_[dst];
+    peer.batch_queued = false;
+    flush_batch(dst, peer);
+  }
+}
+
+void Rp2pModule::flush_batch(NodeId dst, PeerOut& peer) {
+  if (peer.pending.empty()) return;  // already sealed by a size flush
+  UdpApi* udp = udp_.try_get();
+  if (udp == nullptr) {
+    // Transport replacement window: keep the batch parked and re-flush via
+    // the blocked-call queue the moment a provider binds.
+    if (!peer.batch_queued) {
+      peer.batch_queued = true;
+      batch_queue_.push_back(dst);
+    }
+    udp_.call([this](UdpApi&) { flush_batches(); });
+    return;
+  }
   const std::uint64_t seq = peer.next_seq++;
-  // Serialize the whole datagram (UDP header + DATA frame) exactly once;
-  // every (re)transmission re-sends this shared buffer.  This is the only
-  // copy of the payload below rbcast.
-  BufWriter w = udp->udp_frame(kRp2pPort, payload.size() + 24);
-  w.put_u8(kData);
+  BufWriter w = udp->udp_frame(kRp2pPort, peer.pending_bytes + 16);
+  w.put_u8(kBatch);
   w.put_varint(seq);
-  w.put_u64(channel);
-  w.put_blob(payload);
+  encode_batch_frame(w, peer.pending);
+  peer.pending.clear();
+  peer.pending_bytes = 0;
+  ++data_datagrams_;
   auto [it, inserted] = peer.unacked.emplace(seq, OutPacket{w.take_payload()});
   assert(inserted);
   (void)inserted;
@@ -116,7 +195,12 @@ void Rp2pModule::rp2p_release_channel(ChannelId channel) {
 
 std::size_t Rp2pModule::unacked_total() const {
   std::size_t n = 0;
-  for (const PeerOut& peer : out_) n += peer.unacked.size();
+  for (const PeerOut& peer : out_) {
+    n += peer.unacked.size();
+    // A parked batch is a datagram-to-be: quiescence probes must not call
+    // the link drained while messages wait out the flush window.
+    if (!peer.pending.empty()) ++n;
+  }
   return n;
 }
 
@@ -126,6 +210,7 @@ std::size_t Rp2pModule::unacked_excluding(
   for (NodeId dst = 0; dst < out_.size(); ++dst) {
     if (excluded.count(dst) != 0) continue;
     n += out_[dst].unacked.size();
+    if (!out_[dst].pending.empty()) ++n;
   }
   return n;
 }
@@ -265,6 +350,35 @@ void Rp2pModule::deliver(NodeId src, ChannelId channel,
   queue.emplace_back(src, payload);
 }
 
+void Rp2pModule::deliver_frame(NodeId src, const ReorderEntry& entry) {
+  if (!entry.batch) {
+    deliver(src, entry.channel, entry.payload);
+    return;
+  }
+  // Swap the scratch out for the duration of the delivery loop: a handler
+  // may re-enter this module (bind a channel and drain its pending queue,
+  // send messages, ...) and must not clobber the list being delivered.
+  std::vector<BatchMessage> messages;
+  messages.swap(batch_scratch_);
+  try {
+    decode_batch_frame(entry.payload, messages);
+  } catch (const CodecError& e) {
+    // Unreachable for frames accepted by on_datagram (validated eagerly);
+    // kept as a guard so a logic slip degrades to a dropped frame.
+    DPU_LOG(kWarn, "rp2p") << "s" << env().node_id()
+                           << " malformed batch from s" << src << ": "
+                           << e.what();
+    messages.clear();
+    batch_scratch_.swap(messages);
+    return;
+  }
+  for (const BatchMessage& m : messages) {
+    deliver(src, m.channel, m.payload);
+  }
+  messages.clear();
+  batch_scratch_.swap(messages);
+}
+
 void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
   try {
     BufReader r(data);
@@ -285,11 +399,26 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
       on_nack(src, from, to);
       return;
     }
-    if (type != kData) throw CodecError("unknown rp2p message type");
+    if (type != kData && type != kBatch) {
+      throw CodecError("unknown rp2p message type");
+    }
     const std::uint64_t seq = r.get_varint();
-    const ChannelId channel = r.get_u64();
-    Payload payload = r.get_blob_payload();  // zero-copy slice of the frame
-    r.expect_done();
+    ReorderEntry entry;
+    entry.batch = (type == kBatch);
+    if (entry.batch) {
+      // Batch body = everything after the seq, as a zero-copy slice.
+      // Validate it eagerly (before the seq is consumed): a malformed batch
+      // is dropped like any other garbled datagram, and the normal loss
+      // machinery — NACK plus retransmission of the cached frame — can
+      // still repair the stream with an intact copy.
+      entry.payload = data.slice(data.size() - r.remaining());
+      decode_batch_frame(entry.payload, batch_scratch_);
+      batch_scratch_.clear();
+    } else {
+      entry.channel = r.get_u64();
+      entry.payload = r.get_blob_payload();  // zero-copy slice of the frame
+      r.expect_done();
+    }
 
     if (src >= in_.size()) in_.resize(src + 1);
     const std::uint64_t epoch = seq_epoch(seq);
@@ -305,20 +434,22 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
     if (seq > peer.next_expected) {
       // Out of order: hold for reassembly (duplicates overwrite harmlessly)
       // and queue a delayed gap check so the sender fast-retransmits real
-      // losses instead of waiting out its backed-off timer.
-      peer.reorder.emplace(seq, std::make_pair(channel, std::move(payload)));
+      // losses instead of waiting out its backed-off timer.  The gap is in
+      // datagram sequence numbers, so a missing batch is one hole and its
+      // fast retransmission is one datagram — never per-message duplicates.
+      peer.reorder.emplace(seq, std::move(entry));
       note_gap(src, peer);
       note_ack_due(src, peer);
       return;
     }
     // In-order: deliver, then drain the reorder buffer.
     ++peer.next_expected;
-    deliver(src, channel, payload);
+    deliver_frame(src, entry);
     while (!peer.reorder.empty() &&
            peer.reorder.begin()->first == peer.next_expected) {
       auto node = peer.reorder.extract(peer.reorder.begin());
       ++peer.next_expected;
-      deliver(src, node.mapped().first, node.mapped().second);
+      deliver_frame(src, node.mapped());
     }
     note_ack_due(src, peer);
   } catch (const CodecError& e) {
@@ -348,6 +479,9 @@ void Rp2pModule::adopt_peer_epoch(NodeId src, std::uint64_t epoch) {
     PeerOut& out = out_[src];
     if (seq_epoch(out.next_seq) < epoch) {
       out.unacked.clear();
+      // Parked batch messages were owed to the dead incarnation too.
+      out.pending.clear();
+      out.pending_bytes = 0;
       out.next_seq = (epoch << kIncarnationSeqShift) + 1;
     }
   }

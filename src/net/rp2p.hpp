@@ -11,6 +11,12 @@
 //  * The full DATA frame is serialized once per (packet, destination) and
 //    cached as a shared Payload, so retransmissions re-send the same buffer
 //    instead of re-encoding it.
+//  * Sends are batched (ROADMAP 2(a)): messages to the same destination
+//    pack into one datagram under a byte budget, flushed by size overflow
+//    or a short timer.  The *datagram* is the sequencing unit — one seq,
+//    one ack, one NACK hole, one retransmission per batch — so datagram,
+//    syscall and engine-event counts stop scaling with message count.
+//    See net/batch.hpp for the shared frame codec.
 //  * Cumulative acks are coalesced: deliveries mark the peer ack-due and a
 //    delayed-ack timer flushes one cumulative ack per dirty peer per
 //    window, instead of one ack datagram per in-order delivery.
@@ -29,6 +35,7 @@
 #include "core/module.hpp"
 #include "core/stack.hpp"
 #include "fd/fd.hpp"
+#include "net/batch.hpp"
 #include "net/services.hpp"
 
 namespace dpu {
@@ -70,6 +77,22 @@ struct Rp2pConfig {
   bool respect_fd = true;
   /// Max buffered deliveries for a channel nobody has bound yet.
   std::size_t max_pending_per_channel = 100'000;
+  /// Batched packet path: pack messages to the same destination into one
+  /// datagram (net/batch.hpp frame) under batch_max_bytes, flushing when
+  /// the budget fills or batch_flush_ns elapses.  Off = the pre-batching
+  /// one-datagram-per-message path (kept as an ablation for benches and
+  /// apples-to-apples comparisons).
+  bool batching = true;
+  /// Byte budget for the message section of one batch frame.  A single
+  /// message larger than the budget still goes out, alone, as an oversized
+  /// degenerate batch (the codec cannot split messages).
+  std::size_t batch_max_bytes = 1200;
+  /// How long the first message parked in an empty batch may wait for
+  /// company before the batch is flushed anyway.  Trades a bounded latency
+  /// bump for fewer datagrams; must stay well below ack_delay and the
+  /// network RTT so batching never masquerades as loss.  <= 0 flushes
+  /// every send immediately (batch framing without coalescing).
+  Duration batch_flush_ns = 100 * kMicrosecond;
 };
 
 class Rp2pModule final : public Module, public Rp2pApi {
@@ -100,6 +123,14 @@ class Rp2pModule final : public Module, public Rp2pApi {
 
   // Introspection for tests/benches.
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  /// App messages accepted by rp2p_send (before batching).
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  /// DATA datagrams serialized (each carries >= 1 message when batching;
+  /// exactly 1 otherwise).  messages_sent / data_datagrams_sent is the
+  /// achieved batching factor.
+  [[nodiscard]] std::uint64_t data_datagrams_sent() const {
+    return data_datagrams_;
+  }
   [[nodiscard]] std::uint64_t retransmissions() const {
     return retransmissions_;
   }
@@ -127,7 +158,7 @@ class Rp2pModule final : public Module, public Rp2pApi {
   }
 
  private:
-  enum MsgType : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
+  enum MsgType : std::uint8_t { kData = 0, kAck = 1, kNack = 2, kBatch = 3 };
 
   struct OutPacket {
     /// Full engine-level datagram (UDP header + DATA frame), serialized
@@ -148,12 +179,26 @@ class Rp2pModule final : public Module, public Rp2pApi {
   struct PeerOut {
     std::uint64_t next_seq = 1;  // re-based onto the epoch in start()
     std::map<std::uint64_t, OutPacket> unacked;  // seq -> packet
+    /// Messages parked for the next batch datagram (send order), their
+    /// accumulated wire size, and whether this peer is in batch_queue_.
+    /// No sequence number is assigned until the batch flushes.
+    std::vector<BatchMessage> pending;
+    std::size_t pending_bytes = 0;
+    bool batch_queued = false;
+  };
+
+  /// One buffered receive-side frame: either a single message (legacy kData)
+  /// or an encoded batch body, decoded only when it becomes deliverable.
+  struct ReorderEntry {
+    bool batch = false;
+    ChannelId channel = 0;  ///< unused for batch frames
+    Payload payload;        ///< message payload, or encoded batch body
   };
 
   struct PeerIn {
     std::uint64_t next_expected = 1;  // its epoch = the peer's stream epoch
     bool ack_due = false;
-    std::map<std::uint64_t, std::pair<ChannelId, Payload>> reorder;
+    std::map<std::uint64_t, ReorderEntry> reorder;
     /// NACK state: whether a gap check is queued, the gap front last
     /// reported, and when.
     bool nack_pending = false;
@@ -181,6 +226,15 @@ class Rp2pModule final : public Module, public Rp2pApi {
   /// [from, to).
   void on_nack(NodeId src, std::uint64_t from, std::uint64_t to);
   void deliver(NodeId src, ChannelId channel, const Payload& payload);
+  /// Delivers one in-order frame: a single message directly, a batch by
+  /// decoding its body and delivering each message in pack order.
+  void deliver_frame(NodeId src, const ReorderEntry& entry);
+  /// Queues `dst` for the next batch-flush tick (arming the timer if idle).
+  void note_batch_due(NodeId dst, PeerOut& peer);
+  /// Flushes the parked batches of every queued destination.
+  void flush_batches();
+  /// Seals `peer`'s parked batch into one DATA datagram and transmits it.
+  void flush_batch(NodeId dst, PeerOut& peer);
   void on_retransmit_tick();
 
   Config config_;
@@ -205,10 +259,19 @@ class Rp2pModule final : public Module, public Rp2pApi {
   std::vector<NodeId> ack_queue_;
   /// Peers with a queued gap check, in detection order (deterministic).
   std::vector<NodeId> nack_queue_;
+  /// Peers with a parked batch awaiting the flush tick, in first-message
+  /// order (deterministic flush order, like ack_queue_).
+  std::vector<NodeId> batch_queue_;
+  /// Decode scratch reused across batch deliveries (swapped out during the
+  /// delivery loop so re-entrant handlers cannot alias it).
+  std::vector<BatchMessage> batch_scratch_;
   TimerSlot ack_timer_;
   TimerSlot nack_timer_;
+  TimerSlot batch_timer_;
   TimerSlot retransmit_timer_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t data_datagrams_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t nacks_sent_ = 0;

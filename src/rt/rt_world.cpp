@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <future>
 
@@ -132,13 +133,20 @@ class RtWorld::RtHost final : public HostEnv {
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
 
-  void socket_send(std::uint16_t dst_port, const Bytes& data) const {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(dst_port);
-    ::sendto(fd_, data.data(), data.size(), 0,
-             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  /// Puts one datagram on the wire.  While the stack threads run, the
+  /// datagram is staged on the host's tx queue and flushed — together with
+  /// everything else the current event-loop iteration produced — by one
+  /// sendmmsg() call; before start()/after stop() it goes out inline.
+  void socket_send(std::uint16_t dst_port, const Bytes& data) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (running_.load()) {
+        tx_queue_.push_back(TxDatagram{dst_port, data});
+        cv_.notify_all();  // wake the loop thread to flush
+        return;
+      }
+    }
+    send_now(dst_port, data);
   }
 
   void start_threads(bool with_receiver, std::uint16_t base_port) {
@@ -180,6 +188,7 @@ class RtWorld::RtHost final : public HostEnv {
   void reset_for_recovery(std::uint32_t incarnation) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.clear();
+    tx_queue_.clear();
     timers_.clear();
     live_timers_.clear();
     packet_handler_ = nullptr;
@@ -194,6 +203,66 @@ class RtWorld::RtHost final : public HostEnv {
     TimerId id;
     std::function<void()> cb;
   };
+
+  struct TxDatagram {
+    std::uint16_t port;
+    Bytes data;
+  };
+
+  void send_now(std::uint16_t dst_port, const Bytes& data) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(dst_port);
+    ::sendto(fd_, data.data(), data.size(), 0,
+             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    world_->note_socket_tx(1, 1);
+  }
+
+  /// Drains the staged tx queue with as few syscalls as the platform
+  /// allows.  Runs on the loop thread (and once more on loop exit) with
+  /// mutex_ released; send failures get UDP loss semantics.
+  void flush_socket_tx() {
+    std::vector<TxDatagram> batch;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (tx_queue_.empty()) return;
+      batch.swap(tx_queue_);
+    }
+    if (fd_ < 0) return;
+#if defined(__linux__)
+    constexpr std::size_t kChunk = 64;  // well under the UIO_MAXIOV cap
+    std::array<sockaddr_in, kChunk> addrs{};
+    std::array<iovec, kChunk> iovs{};
+    std::array<mmsghdr, kChunk> msgs{};
+    for (std::size_t base = 0; base < batch.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, batch.size() - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        TxDatagram& d = batch[base + i];
+        addrs[i].sin_family = AF_INET;
+        addrs[i].sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addrs[i].sin_port = htons(d.port);
+        iovs[i].iov_base = d.data.data();
+        iovs[i].iov_len = d.data.size();
+        msgs[i].msg_hdr = msghdr{};
+        msgs[i].msg_hdr.msg_name = &addrs[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      std::size_t done = 0;
+      while (done < n) {
+        const int sent = ::sendmmsg(fd_, msgs.data() + done,
+                                    static_cast<unsigned>(n - done), 0);
+        world_->note_socket_tx(1, sent > 0 ? sent : 0);
+        if (sent <= 0) break;  // error: drop the rest of the chunk
+        done += static_cast<std::size_t>(sent);
+      }
+    }
+#else
+    for (const TxDatagram& d : batch) send_now(d.port, d.data);
+#endif
+  }
 
   void run_loop() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -216,9 +285,17 @@ class RtWorld::RtHost final : public HostEnv {
         lock.unlock();
         fn();
         lock.lock();
-        if (!running_.load() || crashed()) return;
+        if (!running_.load() || crashed()) break;
       }
-      if (!running_.load() || crashed()) return;
+      if (!running_.load() || crashed()) break;
+      // Everything this iteration's callbacks put on the wire goes out in
+      // one sendmmsg before the loop sleeps.
+      if (!tx_queue_.empty()) {
+        lock.unlock();
+        flush_socket_tx();
+        lock.lock();
+        continue;  // re-check timers/queue: the flush took real time
+      }
       // Sleep until the next timer or a new event.
       if (timers_.empty()) {
         cv_.wait(lock);
@@ -229,8 +306,65 @@ class RtWorld::RtHost final : public HostEnv {
         }
       }
     }
+    // Clean exit: do not strand staged datagrams (the tail of a drain —
+    // final acks and the like).  Crash exits fall through without this.
+    lock.unlock();
+    if (!crashed()) flush_socket_tx();
   }
 
+  /// Decodes the 4-byte source-id prefix (see RtWorld::route_packet) and
+  /// hands the body to the stack; returns false for runt datagrams.
+  static bool parse_framed(const std::uint8_t* buf, std::size_t n,
+                           NodeId& src, Payload& body) {
+    if (n < 4) return false;  // below the src-id header
+    src = (static_cast<NodeId>(buf[0]) << 24) |
+          (static_cast<NodeId>(buf[1]) << 16) |
+          (static_cast<NodeId>(buf[2]) << 8) | static_cast<NodeId>(buf[3]);
+    body = Payload(std::span<const std::uint8_t>(buf + 4, n - 4));
+    return true;
+  }
+
+#if defined(__linux__)
+  void run_receiver(std::uint16_t /*base_port*/) {
+    // Drain up to a whole burst per recvmmsg call and post it to the loop
+    // thread as one closure: one syscall and one lock/notify round per
+    // burst instead of per datagram.  MSG_WAITFORONE keeps the blocking
+    // semantics (and the SO_RCVTIMEO shutdown poll) of plain recvfrom.
+    constexpr std::size_t kRxBatch = 16;
+    std::vector<std::vector<std::uint8_t>> bufs(
+        kRxBatch, std::vector<std::uint8_t>(65536));
+    std::array<sockaddr_in, kRxBatch> from{};
+    std::array<iovec, kRxBatch> iovs{};
+    std::array<mmsghdr, kRxBatch> msgs{};
+    while (running_.load() && !crashed()) {
+      for (std::size_t i = 0; i < kRxBatch; ++i) {
+        iovs[i].iov_base = bufs[i].data();
+        iovs[i].iov_len = bufs[i].size();
+        msgs[i].msg_hdr = msghdr{};
+        msgs[i].msg_hdr.msg_name = &from[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(from[i]);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int n = ::recvmmsg(fd_, msgs.data(), kRxBatch, MSG_WAITFORONE,
+                               nullptr);
+      if (n <= 0) continue;  // timeout; recheck running flag
+      world_->note_socket_rx(1, static_cast<std::uint64_t>(n));
+      std::vector<std::pair<NodeId, Payload>> burst;
+      burst.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        NodeId src = kNoNode;
+        Payload body;
+        if (parse_framed(bufs[static_cast<std::size_t>(i)].data(),
+                         msgs[static_cast<std::size_t>(i)].msg_len, src,
+                         body)) {
+          burst.emplace_back(src, std::move(body));
+        }
+      }
+      enqueue_packet_burst(std::move(burst));
+    }
+  }
+#else
   void run_receiver(std::uint16_t /*base_port*/) {
     std::vector<std::uint8_t> buf(65536);
     while (running_.load() && !crashed()) {
@@ -240,16 +374,26 @@ class RtWorld::RtHost final : public HostEnv {
           ::recvfrom(fd_, buf.data(), buf.size(), 0,
                      reinterpret_cast<sockaddr*>(&from), &from_len);
       if (n < 0) continue;  // timeout; recheck running flag
-      if (n < 4) continue;  // below the src-id header
-      // First 4 bytes: source node id (see RtWorld::route_packet).
-      const NodeId src = (static_cast<NodeId>(buf[0]) << 24) |
-                         (static_cast<NodeId>(buf[1]) << 16) |
-                         (static_cast<NodeId>(buf[2]) << 8) |
-                         static_cast<NodeId>(buf[3]);
-      const std::span<const std::uint8_t> body(
-          buf.data() + 4, static_cast<std::size_t>(n) - 4);
-      enqueue_packet(src, Payload(body));
+      world_->note_socket_rx(1, 1);
+      NodeId src = kNoNode;
+      Payload body;
+      if (!parse_framed(buf.data(), static_cast<std::size_t>(n), src, body)) {
+        continue;
+      }
+      enqueue_packet(src, std::move(body));
     }
+  }
+#endif
+
+  /// Posts a whole received burst as one closure (one queue append, one
+  /// wakeup); the handler still runs once per datagram on the loop thread.
+  void enqueue_packet_burst(std::vector<std::pair<NodeId, Payload>> burst) {
+    if (burst.empty() || crashed()) return;
+    post([this, burst = std::move(burst)]() {
+      for (const auto& [src, payload] : burst) {
+        if (packet_handler_) packet_handler_(src, payload);
+      }
+    });
   }
 
   RtWorld* world_;
@@ -262,6 +406,8 @@ class RtWorld::RtHost final : public HostEnv {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  /// Outbound datagrams staged for the next sendmmsg flush (mutex_).
+  std::vector<TxDatagram> tx_queue_;
   std::multimap<TimePoint, TimerEntry> timers_;
   std::unordered_set<TimerId> live_timers_;
   TimerId next_timer_id_ = 0;

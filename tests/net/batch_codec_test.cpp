@@ -1,0 +1,151 @@
+// Tests for the multi-message batch frame codec (net/batch.hpp): round
+// trips, the degenerate single-message frame, budget accounting at the
+// boundary, and rejection of truncated/oversized/forged frames.
+#include "net/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dpu {
+namespace {
+
+[[nodiscard]] Payload make_payload(std::size_t size, std::uint8_t fill) {
+  BufWriter w(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    w.put_u8(static_cast<std::uint8_t>(fill + i));
+  }
+  return w.take_payload();
+}
+
+[[nodiscard]] Payload encode(const std::vector<BatchMessage>& messages) {
+  BufWriter w;
+  encode_batch_frame(w, messages);
+  return w.take_payload();
+}
+
+TEST(BatchCodec, RoundTripsMultipleMessages) {
+  std::vector<BatchMessage> in;
+  in.push_back({7, make_payload(16, 1)});
+  in.push_back({7, make_payload(0, 0)});  // empty payload is legal
+  in.push_back({99, make_payload(300, 5)});
+  const Payload body = encode(in);
+
+  std::vector<BatchMessage> out;
+  decode_batch_frame(body, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].channel, in[i].channel);
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+}
+
+TEST(BatchCodec, DecodedPayloadsAreZeroCopySlices) {
+  const Payload body = encode({{1, make_payload(32, 9)}});
+  std::vector<BatchMessage> out;
+  decode_batch_frame(body, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].payload.shares_buffer_with(body));
+}
+
+TEST(BatchCodec, SingleMessageDegenerateFrame) {
+  // count = 1 is the legal degenerate frame (oversized messages travel
+  // alone); it must round-trip like any other.
+  const Payload message = make_payload(2000, 3);
+  const Payload body = encode({{42, message}});
+  std::vector<BatchMessage> out;
+  decode_batch_frame(body, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].channel, 42u);
+  EXPECT_EQ(out[0].payload, message);
+}
+
+TEST(BatchCodec, WireSizeAccountingMatchesEncoderAtTheBoundary) {
+  // The sender's byte budget counts batch_message_wire_size per message;
+  // the encoded frame must be exactly header + that sum, so a budget-exact
+  // batch never overshoots the datagram it was sized for.
+  for (const std::size_t payload_size : {0UL, 1UL, 127UL, 128UL, 1200UL}) {
+    std::vector<BatchMessage> in;
+    std::size_t accounted = 0;
+    for (int i = 0; i < 3; ++i) {
+      in.push_back({5, make_payload(payload_size, 1)});
+      accounted += batch_message_wire_size(payload_size);
+    }
+    const Payload body = encode(in);
+    const std::size_t header = 1 /*version*/ + 1 /*varint count (< 128)*/;
+    EXPECT_EQ(body.size(), header + accounted) << "payload " << payload_size;
+  }
+}
+
+TEST(BatchCodec, RejectsTruncatedFrames) {
+  std::vector<BatchMessage> in;
+  in.push_back({1, make_payload(40, 2)});
+  in.push_back({2, make_payload(40, 7)});
+  const Payload body = encode(in);
+  // Any strict prefix must be rejected — header cuts, mid-channel cuts,
+  // mid-payload cuts.
+  std::vector<BatchMessage> out;
+  for (std::size_t keep = 0; keep < body.size(); ++keep) {
+    EXPECT_THROW(decode_batch_frame(body.slice(0, keep), out), CodecError)
+        << "prefix " << keep;
+  }
+}
+
+TEST(BatchCodec, RejectsTrailingGarbage) {
+  BufWriter w;
+  encode_batch_frame(w, {{1, make_payload(8, 1)}});
+  w.put_u8(0xEE);  // one stray byte after the last message
+  std::vector<BatchMessage> out;
+  EXPECT_THROW(decode_batch_frame(w.take_payload(), out), CodecError);
+}
+
+TEST(BatchCodec, RejectsUnknownVersion) {
+  BufWriter w;
+  w.put_u8(kBatchFrameVersion + 1);
+  w.put_varint(1);
+  w.put_u64(1);
+  w.put_varint(0);
+  std::vector<BatchMessage> out;
+  EXPECT_THROW(decode_batch_frame(w.take_payload(), out), CodecError);
+}
+
+TEST(BatchCodec, RejectsZeroCount) {
+  BufWriter w;
+  w.put_u8(kBatchFrameVersion);
+  w.put_varint(0);
+  std::vector<BatchMessage> out;
+  EXPECT_THROW(decode_batch_frame(w.take_payload(), out), CodecError);
+}
+
+TEST(BatchCodec, RejectsForgedCountBeyondCeiling) {
+  // A forged count must be rejected before any allocation sized from it.
+  BufWriter w;
+  w.put_u8(kBatchFrameVersion);
+  w.put_varint(kMaxBatchMessages + 1);
+  std::vector<BatchMessage> out;
+  EXPECT_THROW(decode_batch_frame(w.take_payload(), out), CodecError);
+
+  // Also a count that exceeds what the remaining bytes could possibly hold.
+  BufWriter w2;
+  w2.put_u8(kBatchFrameVersion);
+  w2.put_varint(100);
+  w2.put_u8(0);
+  std::vector<BatchMessage> out2;
+  EXPECT_THROW(decode_batch_frame(w2.take_payload(), out2), CodecError);
+}
+
+TEST(BatchCodec, RejectsOversizedFrame) {
+  // A datagram beyond the hard frame ceiling is rejected outright, before
+  // parsing (the engines never produce one; a forged length could).
+  BufWriter w(kMaxBatchFrameBytes + 64);
+  w.put_u8(kBatchFrameVersion);
+  w.put_varint(1);
+  w.put_u64(1);
+  w.put_varint(kMaxBatchFrameBytes);
+  for (std::size_t i = 0; i < kMaxBatchFrameBytes; ++i) w.put_u8(0);
+  std::vector<BatchMessage> out;
+  EXPECT_THROW(decode_batch_frame(w.take_payload(), out), CodecError);
+}
+
+}  // namespace
+}  // namespace dpu

@@ -52,6 +52,10 @@ TEST(Campaign, DocumentShapeAndVerdict) {
   EXPECT_EQ(Json::parse(doc.dump(2)).dump(2), doc.dump(2));
 }
 
+// Byte-identity across repeats and worker-thread counts.  Runs the
+// product-default stack configuration, so this also pins the batched
+// packet path: batch boundaries (and therefore every datagram, ack and
+// timer in the document) must fall identically run after run.
 TEST(Campaign, DeterministicAcrossRepeatsAndThreadCounts) {
   CampaignOptions serial;
   serial.seeds = {1, 2};
