@@ -37,6 +37,9 @@ int usage(const char* argv0) {
       "                       selected spec (default: each spec's own)\n"
       "  --seeds K            sweep seeds base..base+K-1 (default 3)\n"
       "  --seed-base B        first seed of the sweep (default 1)\n"
+      "  --repeat K           run the whole campaign K times and fail\n"
+      "                       unless every run's JSON document is\n"
+      "                       byte-identical (sim-engine specs only)\n"
       "  --threads T          worker threads (default: hardware)\n"
       "  --out FILE           write the results JSON there (default stdout)\n"
       "  --compact            compact JSON instead of pretty-printed\n",
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::uint64_t seed_count = 3;
   std::uint64_t seed_base = 1;
+  std::uint64_t repeat = 1;
   std::size_t threads = 0;
   int indent = 2;
   std::optional<Engine> engine_override;
@@ -95,6 +99,11 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
       seed_base = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--repeat") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      repeat = std::strtoull(v, nullptr, 10);
+      if (repeat == 0) return usage(argv[0]);
     } else if (arg == "--threads") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
@@ -151,6 +160,19 @@ int main(int argc, char** argv) {
     for (ScenarioSpec& spec : specs) spec.engine = *engine_override;
   }
 
+  if (repeat > 1) {
+    // The byte-identity gate only holds for the deterministic simulator:
+    // rt runs are wall-clock executions and never reproduce exactly.
+    for (const ScenarioSpec& spec : specs) {
+      if (spec.engine == Engine::kRt) {
+        std::fprintf(stderr,
+                     "--repeat needs sim-engine specs ('%s' runs on rt)\n",
+                     spec.name.c_str());
+        return 2;
+      }
+    }
+  }
+
   CampaignOptions options;
   options.seeds.clear();
   for (std::uint64_t k = 0; k < seed_count; ++k) {
@@ -160,6 +182,19 @@ int main(int argc, char** argv) {
 
   const CampaignOutcome outcome = run_campaign(specs, options);
   const std::string text = outcome.document.dump(indent) + "\n";
+  for (std::uint64_t r = 2; r <= repeat; ++r) {
+    // The campaign document is a pure function of (specs, seeds): any byte
+    // difference between repeats is a determinism regression.
+    const CampaignOutcome again = run_campaign(specs, options);
+    const std::string again_text = again.document.dump(indent) + "\n";
+    if (again_text != text) {
+      std::fprintf(stderr,
+                   "campaign: repeat %llu produced a different document — "
+                   "determinism violation\n",
+                   static_cast<unsigned long long>(r));
+      return 1;
+    }
+  }
   if (out_path.empty()) {
     std::fwrite(text.data(), 1, text.size(), stdout);
   } else {

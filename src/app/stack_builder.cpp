@@ -23,10 +23,15 @@ ProtocolLibrary make_standard_library(const StandardStackOptions& options) {
   lib.set_default_provider(kRbcastService, options.rbcast_protocol);
   // The services the dynamic-update control plane may switch at runtime;
   // everything else (transport, fd, ...) is pinned for the stack's lifetime.
-  lib.declare_replaceable(kAbcastService);
-  lib.declare_replaceable(kConsensusService);
-  lib.declare_replaceable(kRbcastService);
-  lib.declare_replaceable(kGmService);
+  // All four replacement layers support state transfer for recovering and
+  // late-joining stacks: abcast replays its delivered log, rbcast transfers
+  // version metadata, consensus resends decided history on demand, and gm
+  // recovers organically (its switch topic rides the abcast facade, so
+  // replayed history re-performs every gm switch).
+  lib.declare_replaceable(kAbcastService, {.state_transfer = true});
+  lib.declare_replaceable(kConsensusService, {.state_transfer = true});
+  lib.declare_replaceable(kRbcastService, {.state_transfer = true});
+  lib.declare_replaceable(kGmService, {.state_transfer = true});
   return lib;
 }
 

@@ -19,7 +19,8 @@ ConsensusBase::ConsensusBase(Stack& stack, std::string instance_name)
       fd_(stack.require<FdApi>(kFdService)),
       peer_channel_(fnv1a64(Module::instance_name() + "/msg")),
       decide_channel_(fnv1a64(Module::instance_name() + "/dec")),
-      sync_channel_(fnv1a64(Module::instance_name() + "/sync")) {}
+      sync_channel_(fnv1a64(Module::instance_name() + "/sync")),
+      sync_retry_timer_(stack.host()) {}
 
 void ConsensusBase::start() {
   rp2p_.call([this](Rp2pApi& rp2p) {
@@ -49,6 +50,8 @@ void ConsensusBase::stop() {
       [this](RbcastApi& rbcast) { rbcast.rbcast_release_channel(decide_channel_); });
   streams_.clear();
   pending_decisions_.clear();
+  pending_syncs_.clear();
+  sync_retry_timer_.cancel();
 }
 
 void ConsensusBase::propose(StreamId stream, InstanceId instance,
@@ -84,26 +87,70 @@ void ConsensusBase::consensus_sync(StreamId stream,
                                    InstanceId from_instance) {
   // One targeted request, not a broadcast: every peer holds the same
   // decided history (uniform agreement), so asking all of them would just
-  // deliver world_size-1 identical copies of the full decision log.  Pick
-  // the first peer the failure detector trusts; if that peer turns out to
-  // be behind too, the straggler path (late algorithm messages hitting
-  // decided instances at *any* peer) still covers us.
-  NodeId target = kNoNode;
+  // deliver world_size-1 identical copies of the full decision log.  But a
+  // single request can die with its target (the trusted peer may crash
+  // before responding), so the request stays pending and rotates to the
+  // next trusted peer on a timer until any decision of the stream arrives.
+  auto [it, inserted] =
+      pending_syncs_.try_emplace(stream, SyncPending{from_instance, 0});
+  if (!inserted) {
+    it->second.from_instance =
+        std::min(it->second.from_instance, from_instance);
+  }
+  send_sync_request(stream, it->second);
+  if (!sync_retry_timer_.pending()) {
+    sync_retry_timer_.schedule(kSyncRetryInterval,
+                               [this]() { on_sync_retry_tick(); });
+  }
+}
+
+NodeId ConsensusBase::pick_sync_target(std::uint32_t attempt) const {
   const FdApi* fd = fd_.try_get();
-  for (NodeId dst = 0; dst < env().world_size(); ++dst) {
+  const auto world = static_cast<NodeId>(env().world_size());
+  std::vector<NodeId> candidates;
+  for (NodeId dst = 0; dst < world; ++dst) {
     if (dst == env().node_id()) continue;
     if (fd != nullptr && fd->fd_suspects(dst)) continue;
-    target = dst;
-    break;
+    candidates.push_back(dst);
   }
-  if (target == kNoNode) return;  // nobody trusted: retried on the next gap
+  if (candidates.empty()) return kNoNode;  // nobody trusted: retried later
+  return candidates[attempt % candidates.size()];
+}
+
+void ConsensusBase::send_sync_request(StreamId stream,
+                                      const SyncPending& pending) {
+  const NodeId target = pick_sync_target(pending.attempt);
+  if (target == kNoNode) return;
   BufWriter w(24);
   w.put_u8(kSyncRequest);
   w.put_varint(stream);
-  w.put_varint(from_instance);
+  w.put_varint(pending.from_instance);
   rp2p_.call([this, target, wire = w.take_payload()](Rp2pApi& rp2p) mutable {
     rp2p.rp2p_send(target, sync_channel_, std::move(wire));
   });
+}
+
+void ConsensusBase::on_sync_retry_tick() {
+  const auto world = static_cast<std::uint32_t>(env().world_size());
+  const std::uint32_t max_attempts =
+      kSyncRetryRounds * (world > 1 ? world - 1 : 1);
+  for (auto it = pending_syncs_.begin(); it != pending_syncs_.end();) {
+    SyncPending& pending = it->second;
+    ++pending.attempt;
+    if (pending.attempt >= max_attempts) {
+      // Give up: the straggler path (late algorithm messages hitting
+      // decided instances at any peer) still covers the gap.
+      it = pending_syncs_.erase(it);
+      continue;
+    }
+    ++sync_retries_;
+    send_sync_request(it->first, pending);
+    ++it;
+  }
+  if (!pending_syncs_.empty()) {
+    sync_retry_timer_.schedule(kSyncRetryInterval,
+                               [this]() { on_sync_retry_tick(); });
+  }
 }
 
 void ConsensusBase::broadcast_decide(const Key& key, const Bytes& value) {
@@ -213,6 +260,8 @@ void ConsensusBase::on_sync_message(NodeId from, const Payload& data) {
 
 void ConsensusBase::ingest_decide(const Key& key, const Bytes& value) {
   if (!decided_.emplace(key, value).second) return;  // duplicate decide
+  // Progress on the stream answers (or obsoletes) a pending sync request.
+  pending_syncs_.erase(key.stream);
   auto [it, inserted] = max_decided_.emplace(key.stream, key.instance);
   if (!inserted && it->second < key.instance) it->second = key.instance;
   algo_on_decided(key);

@@ -83,6 +83,16 @@ class ConsensusBase : public Module, public ConsensusApi {
   [[nodiscard]] std::uint64_t decisions_delivered() const {
     return decisions_delivered_;
   }
+  /// consensus_sync requests re-sent to a rotated peer after the previous
+  /// target went unanswered.
+  [[nodiscard]] std::uint64_t sync_retries() const { return sync_retries_; }
+
+  /// Unanswered-sync retry cadence; each retry rotates to the next
+  /// fd-trusted peer (the one targeted peer can crash before responding).
+  static constexpr Duration kSyncRetryInterval = 250 * kMillisecond;
+  /// Rounds through the candidate list before giving up (the straggler path
+  /// still covers a gap that outlives every retry).
+  static constexpr std::uint32_t kSyncRetryRounds = 3;
 
  protected:
   struct Key {
@@ -145,6 +155,17 @@ class ConsensusBase : public Module, public ConsensusApi {
   void deliver_decision(const Key& key, const Bytes& value);
   void resend_decided(NodeId dst, StreamId stream, InstanceId from_instance);
 
+  /// An unanswered consensus_sync, retried against rotating trusted peers
+  /// until any decision of its stream arrives (progress) or the attempt
+  /// budget runs out.
+  struct SyncPending {
+    InstanceId from_instance = 0;
+    std::uint32_t attempt = 0;
+  };
+  void send_sync_request(StreamId stream, const SyncPending& pending);
+  [[nodiscard]] NodeId pick_sync_target(std::uint32_t attempt) const;
+  void on_sync_retry_tick();
+
   ChannelId peer_channel_;
   ChannelId decide_channel_;
   /// Point-to-point catch-up channel (sync requests + resent decisions).
@@ -167,6 +188,9 @@ class ConsensusBase : public Module, public ConsensusApi {
   std::map<std::pair<NodeId, StreamId>, ResendMark> resent_;
   std::map<StreamId, std::vector<std::pair<InstanceId, Bytes>>>
       pending_decisions_;
+  std::map<StreamId, SyncPending> pending_syncs_;
+  TimerSlot sync_retry_timer_;
+  std::uint64_t sync_retries_ = 0;
   std::uint64_t decisions_delivered_ = 0;
 };
 

@@ -54,26 +54,38 @@ PropertyReport check_strong_stack_well_formedness(
 
 PropertyReport check_protocol_operationability(
     const std::vector<TraceEvent>& events, std::size_t world_size,
-    const std::set<NodeId>& crashed) {
+    const std::set<NodeId>& crashed,
+    const std::vector<TimePoint>& join_time) {
   PropertyReport report;
   // Global protocol instances are identified by '@' in the instance name.
   std::set<std::string> bound_somewhere;
   std::map<std::string, std::set<NodeId>> created_on;
+  std::map<std::string, TimePoint> last_seen;
   for (const TraceEvent& e : events) {
     if (e.module.find('@') == std::string::npos) continue;
     if (e.kind == TraceKind::kServiceBound) bound_somewhere.insert(e.module);
     if (e.kind == TraceKind::kModuleCreated) created_on[e.module].insert(e.node);
+    if (e.kind == TraceKind::kServiceBound ||
+        e.kind == TraceKind::kModuleCreated) {
+      auto [it, inserted] = last_seen.emplace(e.module, e.time);
+      if (!inserted) it->second = std::max(it->second, e.time);
+    }
   }
   for (const std::string& name : bound_somewhere) {
     const auto& nodes = created_on[name];
     for (NodeId j = 0; j < world_size; ++j) {
       if (crashed.count(j) != 0) continue;
-      if (nodes.count(j) == 0) {
-        report.fail("protocol instance '" + name +
-                    "' was bound on some stack but never created on "
-                    "non-crashed stack " +
-                    std::to_string(j));
+      if (nodes.count(j) != 0) continue;
+      // A stack that (re-)joined after the instance was retired enters at
+      // the group's current version instead of re-living this one.
+      if (j < join_time.size() && join_time[j] >= 0 &&
+          last_seen[name] < join_time[j]) {
+        continue;
       }
+      report.fail("protocol instance '" + name +
+                  "' was bound on some stack but never created on "
+                  "non-crashed stack " +
+                  std::to_string(j));
     }
   }
   return report;

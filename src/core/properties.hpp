@@ -47,8 +47,16 @@ struct PropertyReport {
 /// "abcast.ct@2" created by the replacement algorithm).  For every such name
 /// bound on at least one stack, every non-crashed stack must have created a
 /// module with that name by the end of the trace.
+///
+/// `join_time` (optional, one entry per stack, -1 = up from the start)
+/// marks when a recovered or late-joining stack (re-)entered the group: an
+/// instance whose last create/bound event anywhere precedes that point was
+/// retired before the stack existed, so the stack is exempt from creating
+/// it — it enters at the group's current version via state transfer, not
+/// by re-living every superseded instance.
 [[nodiscard]] PropertyReport check_protocol_operationability(
     const std::vector<TraceEvent>& events, std::size_t world_size,
-    const std::set<NodeId>& crashed = {});
+    const std::set<NodeId>& crashed = {},
+    const std::vector<TimePoint>& join_time = {});
 
 }  // namespace dpu

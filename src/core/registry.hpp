@@ -18,7 +18,6 @@
 #include <cassert>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -117,16 +116,37 @@ class ProtocolRegistry {
     default_provider_[service] = protocol;
   }
 
+  /// Capabilities of a replaceable service beyond plain hot-swap, declared
+  /// at composition time alongside replaceability itself.
+  struct ReplaceableInfo {
+    /// The service's replacement layer answers state requests from a
+    /// recovering or late-joining stack (the facade substrate's snapshot +
+    /// replay-tail machinery, or an equivalent bespoke catch-up protocol).
+    /// Scenarios that crash-recover or late-join nodes while this service's
+    /// layer is managed require it.
+    bool state_transfer = false;
+  };
+
   /// Declares `service` switchable through the dynamic-update control plane.
   /// UpdateManagerModule::request_update rejects services never declared
   /// here — replaceability is a composition decision, not a capability every
   /// service silently has.
   void declare_replaceable(const std::string& service) {
-    replaceable_.insert(service);
+    replaceable_[service] = ReplaceableInfo{};
+  }
+  void declare_replaceable(const std::string& service, ReplaceableInfo info) {
+    replaceable_[service] = info;
   }
 
   [[nodiscard]] bool replaceable(const std::string& service) const {
     return replaceable_.count(service) != 0;
+  }
+
+  /// True iff `service` is replaceable and its layer declared the
+  /// state-transfer capability.
+  [[nodiscard]] bool state_transfer(const std::string& service) const {
+    auto it = replaceable_.find(service);
+    return it != replaceable_.end() && it->second.state_transfer;
   }
 
   /// Library names that provide `service` as their default service — the
@@ -154,7 +174,7 @@ class ProtocolRegistry {
  private:
   std::map<std::string, ProtocolInfo> protocols_;
   std::map<std::string, std::string> default_provider_;
-  std::set<std::string> replaceable_;
+  std::map<std::string, ReplaceableInfo> replaceable_;
 };
 
 /// Historical name, kept so module register_protocol signatures and existing

@@ -459,6 +459,17 @@ void Rp2pModule::on_datagram(NodeId src, const Payload& data) {
   }
 }
 
+void Rp2pModule::rp2p_note_peer_epoch(NodeId peer, std::uint64_t epoch) {
+  // Out-of-band restart notice (facade state transfer delivers it at the
+  // totally-ordered refresh-switch point).  Same state reset as observing a
+  // new-epoch datagram from the peer; stale notices (an epoch we already
+  // track or passed) are ignored so replayed markers cannot regress a link.
+  if (peer >= in_.size()) in_.resize(peer + 1);
+  if (epoch <= seq_epoch(in_[peer].next_expected)) return;
+  ++epoch_notes_;
+  adopt_peer_epoch(peer, epoch);
+}
+
 void Rp2pModule::adopt_peer_epoch(NodeId src, std::uint64_t epoch) {
   DPU_LOG(kInfo, "rp2p") << "s" << env().node_id() << " peer s" << src
                          << " entered stream epoch " << epoch

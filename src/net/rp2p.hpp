@@ -120,6 +120,7 @@ class Rp2pModule final : public Module, public Rp2pApi {
   void rp2p_send(NodeId dst, ChannelId channel, Payload payload) override;
   void rp2p_bind_channel(ChannelId channel, DatagramHandler handler) override;
   void rp2p_release_channel(ChannelId channel) override;
+  void rp2p_note_peer_epoch(NodeId peer, std::uint64_t epoch) override;
 
   // Introspection for tests/benches.
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
@@ -145,6 +146,9 @@ class Rp2pModule final : public Module, public Rp2pApi {
   [[nodiscard]] std::uint64_t suspected_skips() const {
     return suspected_skips_;
   }
+  /// Link resets triggered by out-of-band rp2p_note_peer_epoch notices
+  /// (subset of all epoch adoptions).
+  [[nodiscard]] std::uint64_t epoch_notes() const { return epoch_notes_; }
   [[nodiscard]] std::size_t unacked_total() const;
   /// Unacked packets, ignoring destinations in `excluded`.  A permanently
   /// crashed peer never acks (its entries are only abandoned on recovery),
@@ -277,6 +281,7 @@ class Rp2pModule final : public Module, public Rp2pApi {
   std::uint64_t nacks_sent_ = 0;
   std::uint64_t fast_retransmits_ = 0;
   std::uint64_t suspected_skips_ = 0;
+  std::uint64_t epoch_notes_ = 0;
 };
 
 }  // namespace dpu

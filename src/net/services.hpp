@@ -150,6 +150,20 @@ struct Rp2pApi {
   virtual void rp2p_bind_channel(ChannelId channel,
                                  DatagramHandler handler) = 0;
   virtual void rp2p_release_channel(ChannelId channel) = 0;
+  /// Out-of-band notice that `peer` restarted into incarnation `epoch`
+  /// (its streams now ride (epoch << kIncarnationSeqShift) sequence bases).
+  /// Implementations re-base their outgoing stream to the peer so its fresh
+  /// receive state accepts them in order; without the notice a sender only
+  /// learns of the restart from the peer's own datagrams, and everything it
+  /// sends before then is addressed to the dead incarnation.  The facade
+  /// state-transfer substrate (repl/facade.hpp) delivers this notice at the
+  /// totally-ordered refresh-switch point, making the switch the epoch-sync
+  /// barrier for a recovering stack.  Default: no-op (transports without
+  /// incarnation epochs need none).
+  virtual void rp2p_note_peer_epoch(NodeId peer, std::uint64_t epoch) {
+    (void)peer;
+    (void)epoch;
+  }
 };
 
 // ---------------------------------------------------------------------------

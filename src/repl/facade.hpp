@@ -15,7 +15,10 @@
 //    module), the wrap/filter/unwrap wire format (byte-identical to the
 //    pre-extraction Repl-ABcast format), the switch sequencing of lines
 //    10-16 (unbind -> create_module -> bind -> reissue), version accounting,
-//    trace markers and UpdateApi registration.
+//    trace markers, UpdateApi registration, and the state-transfer substrate
+//    (a bounded replay log plus a snapshot protocol that lets a recovering
+//    or late-joining stack obtain version metadata and delivered history
+//    from a peer — see the "State-transfer machinery" section below).
 //  * `CrossVersionDedup` — per-origin duplicate suppression across protocol
 //    versions, for facades over services without a total order (rbcast):
 //    where Repl-ABcast can discard stale-version messages (the total order
@@ -30,13 +33,16 @@
 // different algorithm (see repl/repl_consensus.hpp).
 #pragma once
 
+#include <deque>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/module.hpp"
 #include "core/stack.hpp"
+#include "fd/fd.hpp"
+#include "net/services.hpp"
 #include "repl/update.hpp"
 #include "util/ids.hpp"
 
@@ -57,22 +63,36 @@ void encode_module_params(BufWriter& w, const ModuleParams& params);
 /// contiguously seen ids, so an id below it was definitely seen.
 class CrossVersionDedup {
  public:
+  /// Archived windows kept per origin: a dead incarnation's window stays
+  /// queryable until this many newer incarnations supersede it; beyond that
+  /// its ids are treated as already seen (suppression errs on the safe,
+  /// no-duplicates side for relays that are several restarts stale).
+  static constexpr std::size_t kMaxOldEpochs = 4;
+
   /// Sized for `world` origins; ids start at each origin's incarnation base.
   void reset(std::size_t world);
 
   /// Returns true on first sighting of `id`, false for a duplicate.
   [[nodiscard]] bool mark_seen(const MsgId& id);
 
+  /// Retained state across all origins and epochs, in coalesced ahead-run
+  /// intervals (the memory bound under sustained churn; surfaced as the
+  /// `dedup_entries` scenario counter).
+  [[nodiscard]] std::size_t entries() const;
+
  private:
   struct EpochWindow {
-    std::uint64_t next = 1;         ///< lowest id not yet seen contiguously
-    std::set<std::uint64_t> ahead;  ///< seen ids beyond `next`
+    std::uint64_t next = 1;  ///< lowest id not yet seen contiguously
+    /// Seen ids beyond `next`, coalesced into [start, end) runs: memory
+    /// scales with arrival fragmentation, not with message count.
+    std::map<std::uint64_t, std::uint64_t> ahead;
   };
   struct Origin {
     std::uint64_t epoch = 0;
     EpochWindow cur;
-    /// Earlier incarnations' windows: late cross-version copies of a dead
-    /// incarnation's messages must still dedup (and still deliver once).
+    /// Earlier incarnations' windows (newest kMaxOldEpochs): late
+    /// cross-version copies of a dead incarnation's messages must still
+    /// dedup (and still deliver once).
     std::map<std::uint64_t, EpochWindow> old_epochs;
   };
   std::vector<Origin> origins_;
@@ -108,6 +128,31 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
     /// (extension; 0 keeps old modules in the stack forever, like the
     /// paper).
     Duration retire_after = 0;
+
+    /// What a state_request from a recovering or late-joining peer is
+    /// answered with (the per-service state-transfer contract).
+    enum class StateSync : std::uint8_t {
+      /// No state channel.  Recovery relies on the transport below the
+      /// facade replaying history *through* it (gm over a replayed abcast
+      /// re-performs every switch organically).
+      kNone,
+      /// Version metadata only (sn, protocol, params): services that owe no
+      /// delivered history — rbcast orders nothing and upper layers recover
+      /// what they need through their own catch-up.
+      kMetadata,
+      /// Metadata plus the delivered-history replay log: totally ordered
+      /// services whose audit contract makes a recovered stack re-deliver
+      /// the full history (abcast).
+      kLog,
+    };
+    StateSync state_sync = StateSync::kNone;
+    /// Requester-side retry: rotate to the next fd-trusted responder if a
+    /// requested snapshot has not completed within this window.
+    Duration sync_retry = 150 * kMillisecond;
+    /// Replay-log bound (kLog): entries beyond the cap are trimmed oldest
+    /// first; snapshots carry the trimmed count so a requester knows its
+    /// replay is partial (surfaced as the log_trimmed() counter).
+    std::size_t replay_log_cap = std::size_t{1} << 20;
   };
 
   // ---- UpdateMechanism (repl/update.hpp) ----------------------------------
@@ -125,9 +170,19 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
   // ---- Wire format --------------------------------------------------------
   // Byte-identical to the pre-extraction Repl-ABcast format (public so tests
   // can pin it and facades' free helpers can parse it):
-  //   data:   u8 kNil         | varint sn | MsgId | blob payload
-  //   change: u8 kNewProtocol | varint sn | string protocol | params
-  enum Tag : std::uint8_t { kNil = 0, kNewProtocol = 1 };
+  //   data:   u8 kNil             | varint sn | MsgId | blob payload
+  //   change: u8 kNewProtocol     | varint sn | string protocol | params
+  //   sync:   u8 kNewProtocolSync | varint sn | string protocol | params
+  //           | u32 responder | varint n | n x (u32 node, varint epoch)
+  // kNewProtocolSync is a *refresh* switch: the current protocol
+  // re-instantiated at the next version number, coordinated through the
+  // replaced service exactly like a real change, so a recovering or
+  // late-joining stack can enter at a clean instance boundary instead of
+  // joining a protocol instance mid-stream.  It additionally carries the
+  // requesters' incarnation epochs; every stack notes them to rp2p at its
+  // switch point, which makes the switch the epoch-sync barrier for the
+  // recovered stack's links (Rp2pApi::rp2p_note_peer_epoch).
+  enum Tag : std::uint8_t { kNil = 0, kNewProtocol = 1, kNewProtocolSync = 2 };
 
   struct Unwrapped {
     Tag tag = kNil;
@@ -135,9 +190,12 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
     // tag == kNil:
     MsgId id;
     Bytes payload;
-    // tag == kNewProtocol:
+    // tag == kNewProtocol / kNewProtocolSync:
     std::string protocol;
     ModuleParams params;
+    // tag == kNewProtocolSync:
+    NodeId responder = kNoNode;
+    std::vector<std::pair<NodeId, std::uint64_t>> sync_epochs;
   };
 
   /// Data wrapper parse result of the zero-copy variant: `payload` is a
@@ -172,6 +230,36 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
     return stale_discarded_;
   }
   [[nodiscard]] std::uint64_t reissued_total() const { return reissued_total_; }
+
+  // ---- State-transfer introspection ---------------------------------------
+  /// True while this stack waits for a snapshot from a responder.
+  [[nodiscard]] bool state_syncing() const { return syncing_; }
+  [[nodiscard]] std::uint64_t snapshots_served() const {
+    return snapshots_served_;
+  }
+  [[nodiscard]] std::uint64_t sync_retries() const { return sync_retries_; }
+  /// Refresh switches performed (kNewProtocolSync; not counted in
+  /// switches_completed()).
+  [[nodiscard]] std::uint64_t refresh_switches() const {
+    return refresh_switches_;
+  }
+  /// Refresh switches discarded because another switch was ordered between
+  /// their launch and their delivery (see perform_switch_from).
+  [[nodiscard]] std::uint64_t stale_syncs_dropped() const {
+    return stale_syncs_dropped_;
+  }
+  [[nodiscard]] std::size_t replay_log_size() const {
+    return replay_log_.size();
+  }
+  [[nodiscard]] std::uint64_t log_trimmed() const { return log_trimmed_; }
+  /// Data entries this stack re-delivered from a received snapshot.
+  [[nodiscard]] std::uint64_t replayed_from_snapshot() const {
+    return replayed_from_snapshot_;
+  }
+
+  /// Trace marker emitted when a snapshot finalizes
+  /// ("state-sync-done:<protocol>:sn=<n>:replayed=<k>").
+  static constexpr char kTraceStateSyncDone[] = "state-sync-done";
 
  protected:
   ReplacementFacadeBase(Stack& stack, std::string instance_name,
@@ -217,6 +305,29 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
   /// undelivered message through the new version.
   void perform_switch(const std::string& protocol, const ModuleParams& params);
 
+  // ---- State transfer (recovery / late join) ------------------------------
+
+  /// Routes a parsed change message to the right switch flavour:
+  /// kNewProtocol -> perform_switch; kNewProtocolSync -> refresh switch
+  /// (epoch notes, no done-marker/update-outcome, snapshot send when this
+  /// stack is the responder).  Facade delivery paths call this for any
+  /// non-kNil tag.
+  void perform_switch_from(const Unwrapped& u);
+
+  /// Appends one facade-level data delivery to the replay log (kLog mode;
+  /// no-op otherwise).  Call at the delivery point, before notifying the
+  /// client, so snapshot order equals delivery order.  `payload` is the
+  /// unwrapped inner blob (a slice of the wire buffer).
+  void log_delivered(const MsgId& id, const Payload& payload);
+
+  /// Replays one snapshot data entry to the client during sync finalize, in
+  /// snapshot (= original delivery) order.  kLog facades override; default
+  /// no-op.
+  virtual void replay_delivered(const MsgId& id, const Payload& payload);
+  /// Called after a snapshot finalizes, right before the undelivered set is
+  /// reissued under the synced version.  Default no-op.
+  virtual void on_state_sync_complete();
+
   /// Inner slot name of version `sn` ("<inner_service>" fixed, or
   /// "<inner_service>#<sn>" when versioned).
   [[nodiscard]] std::string inner_service_name(std::uint64_t sn) const;
@@ -254,6 +365,9 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
 
   std::uint64_t seq_number_ = 0;  // Algorithm 1 line 4
   std::string cur_protocol_;
+  /// Parameters the current version was created with (sans the generated
+  /// "instance" key); refresh switches and snapshots re-send them.
+  ModuleParams cur_params_;
   Module* cur_module_ = nullptr;
 
   std::uint64_t switches_completed_ = 0;
@@ -266,10 +380,125 @@ class ReplacementFacadeBase : public Module, public UpdateMechanism {
     std::uint64_t ctx = 0;
   };
 
+  // ---- State-transfer machinery -------------------------------------------
+  // A recovering or late-joining stack (incarnation > 0) does not install
+  // version 0: it asks an fd-trusted peer for the facade's state over a
+  // dedicated rp2p channel ("<instance>/state").  The responder coordinates
+  // a *refresh* switch (kNewProtocolSync) through the replaced service — the
+  // switch point is totally ordered (abcast) or reliably delivered (rbcast),
+  // every stack notes the requester's incarnation epoch to rp2p there, and
+  // the responder snapshots its replay log as of right before its own switch
+  // (the cut).  The requester installs the snapshot (replay + metadata),
+  // creates the post-switch inner instance — whose traffic rp2p buffered for
+  // it — and reissues its undelivered set.  Exactly-once falls out of the
+  // cut: snapshot entries are pre-switch history, the fresh instance carries
+  // everything after.
+  //
+  // State channel wire:
+  //   request: u8 kStateRequest | varint incarnation
+  //   decline: u8 kStateDecline
+  //   header:  u8 kStateHeader  | varint sn | string protocol | params
+  //            | varint entry_count | varint trimmed
+  //   chunk:   u8 kStateChunk   | varint n | n x entry
+  //   cancel:  u8 kStateCancel  | varint incarnation
+  //   entry:   u8 kLogData   | MsgId | blob
+  //          | u8 kLogSwitch | varint sn | string protocol
+  enum StateTag : std::uint8_t {
+    kStateRequest = 0,
+    kStateDecline = 1,
+    kStateHeader = 2,
+    kStateChunk = 3,
+    kStateCancel = 4,
+  };
+  enum LogKind : std::uint8_t { kLogData = 0, kLogSwitch = 1 };
+  struct LogEntry {
+    std::uint8_t kind = kLogData;
+    MsgId id;         // kLogData
+    Payload payload;  // kLogData: the inner blob (slice of the wire buffer)
+    std::uint64_t sn = 0;   // kLogSwitch
+    std::string protocol;   // kLogSwitch
+  };
+  struct StateRequest {
+    NodeId node = kNoNode;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Shared implementation of real and refresh switches; `sync` is non-null
+  /// for a refresh switch (the parsed kNewProtocolSync message).
+  void perform_switch_impl(const std::string& protocol,
+                           const ModuleParams& params, const Unwrapped* sync);
+
+  void on_state_datagram(NodeId src, const Payload& wire);
+  /// Requester: (re-)sends the state request to the next candidate and arms
+  /// the retry timer.  `rotate` advances past the current responder first.
+  void send_state_request(bool rotate);
+  [[nodiscard]] NodeId pick_responder() const;
+  void handle_state_request(NodeId src, std::uint64_t epoch);
+  /// Responder: a requester finalized elsewhere — forget its outstanding
+  /// requests (up to the given epoch) so no further refresh is launched for
+  /// them.
+  void handle_state_cancel(NodeId src, std::uint64_t epoch);
+  void handle_state_header(NodeId src, BufReader& r);
+  void handle_state_chunk(NodeId src, BufReader& r);
+  /// Requester: all snapshot entries arrived — install metadata, replay,
+  /// create the inner instance, reissue undelivered.
+  void finalize_state_sync();
+  /// Responder: coordinates one refresh switch covering every pending
+  /// request (at most one in flight; re-launched when more arrive).
+  void launch_refresh_switch();
+  /// Responder: sends header + chunked entries [0, cut) to `dst`.
+  void send_snapshot(NodeId dst, std::size_t cut);
+  /// Appends to the replay log, trimming to replay_log_cap (kLog only).
+  void push_log(LogEntry e);
+  [[nodiscard]] Payload wrap_change_sync() const;
+  static void encode_log_entry(BufWriter& w, const LogEntry& e);
+  [[nodiscard]] static LogEntry decode_log_entry(BufReader& r);
+
   std::uint64_t next_local_ = 1;  // id generator for this stack's messages
   /// Algorithm 1 line 2: this stack's messages not yet delivered back to it.
   std::map<MsgId, UndeliveredEntry> undelivered_;
   std::vector<std::unique_ptr<TimerSlot>> retire_timers_;
+
+  // State-transfer state (inert when state_sync == kNone).
+  ServiceRef<Rp2pApi> rp2p_;
+  ServiceRef<FdApi> fd_;
+  ChannelId state_channel_ = 0;
+  bool state_channel_bound_ = false;
+  std::deque<LogEntry> replay_log_;
+  std::uint64_t log_trimmed_ = 0;
+
+  // Requester side.
+  bool syncing_ = false;
+  std::uint32_t sync_attempt_ = 0;  // rotates the responder candidate
+  NodeId sync_responder_ = kNoNode;
+  /// Who the accepted snapshot header came from.  Any peer we asked may
+  /// answer — a late answer from a previous responder is still the earliest
+  /// refresh switch launched for us, and joining at the earliest one means
+  /// we create every inner instance the group binds from there on.
+  NodeId sync_source_ = kNoNode;
+  std::unique_ptr<TimerSlot> sync_timer_;
+  bool sync_header_seen_ = false;
+  std::size_t sync_progress_mark_ = 0;  // stall detection between retries
+  std::uint64_t sync_expected_ = 0;
+  std::uint64_t sync_sn_ = 0;
+  std::string sync_protocol_;
+  ModuleParams sync_params_;
+  std::uint64_t sync_trimmed_ = 0;
+  std::vector<LogEntry> sync_entries_;
+
+  /// Changes requested while syncing, transmitted once the sync finalizes.
+  std::vector<std::pair<std::string, ModuleParams>> deferred_changes_;
+
+  // Responder side.
+  std::vector<StateRequest> pending_requests_;
+  std::vector<StateRequest> inflight_requests_;
+  bool refresh_inflight_ = false;
+
+  std::uint64_t snapshots_served_ = 0;
+  std::uint64_t sync_retries_ = 0;
+  std::uint64_t refresh_switches_ = 0;
+  std::uint64_t stale_syncs_dropped_ = 0;
+  std::uint64_t replayed_from_snapshot_ = 0;
 };
 
 }  // namespace dpu

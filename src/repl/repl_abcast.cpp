@@ -14,6 +14,10 @@ ReplacementFacadeBase::FacadeConfig to_facade_config(
   f.initial_protocol = config.initial_protocol;
   f.initial_params = config.initial_params;
   f.retire_after = config.retire_after;
+  // Abcast owes a recovered stack the full delivered history: the total
+  // order makes every stack's log identical, so any peer's replay log is
+  // authoritative.
+  f.state_sync = ReplacementFacadeBase::FacadeConfig::StateSync::kLog;
   return f;
 }
 
@@ -50,6 +54,14 @@ void ReplAbcastModule::stop() {
 
 void ReplAbcastModule::abcast(Payload payload) {
   const MsgId id = next_msg_id();
+  if (state_syncing()) {
+    // No installed version to send under yet: track only.  The sync
+    // finalize reissues the whole undelivered set wrapped with the synced
+    // version number — sending now would queue a stale-sn wrapper on the
+    // unbound inner slot.
+    track_undelivered(id, std::move(payload), 0);
+    return;
+  }
   Payload wrapped = wrap_data(seq_number_, id, payload);
   track_undelivered(id, std::move(payload), 0);  // line 8 (shares the buffer)
   inner_abcast(std::move(wrapped));  // line 9: ABcast(nil, seqNumber, m)
@@ -69,12 +81,14 @@ void ReplAbcastModule::adeliver(NodeId /*sender*/, const Bytes& inner_payload) {
   try {
     Unwrapped m = unwrap(inner_payload);
 
-    if (m.tag == kNewProtocol) {
-      // Lines 10-16.  Note: Algorithm 1 deliberately has no sn test here —
-      // change messages are processed in delivery order wherever they come
-      // from, which keeps concurrent/chained replacements consistent (every
-      // stack sees them in the same total order).
-      perform_switch(m.protocol, m.params);
+    if (m.tag != kNil) {
+      // Lines 10-16 (kNewProtocol), or a refresh switch coordinated for a
+      // recovering peer (kNewProtocolSync).  Note: Algorithm 1 deliberately
+      // has no sn test here — change messages are processed in delivery
+      // order wherever they come from, which keeps concurrent/chained
+      // replacements consistent (every stack sees them in the same total
+      // order).
+      perform_switch_from(m);
       return;
     }
 
@@ -89,6 +103,9 @@ void ReplAbcastModule::adeliver(NodeId /*sender*/, const Bytes& inner_payload) {
     if (m.id.origin == env().node_id()) {
       settle_undelivered(m.id);  // lines 19-20
     }
+    // Record before notifying, so a snapshot replays in delivery order.
+    log_delivered(m.id, Payload::copy_of(
+                            {m.payload.data(), m.payload.size()}));
     // Line 21: rAdeliver(m).
     up_.notify([&](AbcastListener& l) { l.adeliver(m.id.origin, m.payload); });
   } catch (const CodecError& e) {
@@ -96,6 +113,12 @@ void ReplAbcastModule::adeliver(NodeId /*sender*/, const Bytes& inner_payload) {
     DPU_LOG(kError, "repl") << "s" << env().node_id()
                             << " malformed wrapped message: " << e.what();
   }
+}
+
+void ReplAbcastModule::replay_delivered(const MsgId& id,
+                                        const Payload& payload) {
+  const Bytes bytes = payload.to_bytes();
+  up_.notify([&](AbcastListener& l) { l.adeliver(id.origin, bytes); });
 }
 
 }  // namespace dpu

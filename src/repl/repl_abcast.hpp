@@ -114,6 +114,11 @@ class ReplAbcastModule final : public ReplacementFacadeBase,
   void send_inner_data(Payload wrapped, std::uint64_t /*ctx*/) override {
     inner_abcast(std::move(wrapped));
   }
+  /// Snapshot replay (state_sync = kLog): re-delivers the peer's recorded
+  /// history to this stack's clients in the original total order, so a
+  /// recovered incarnation's delivery sequence audits clean from the
+  /// beginning of history.
+  void replay_delivered(const MsgId& id, const Payload& payload) override;
   [[nodiscard]] const char* change_requested_marker() const override {
     return kTraceChangeRequested;
   }

@@ -150,10 +150,14 @@ void ReplGmModule::on_change_message(NodeId from, const Bytes& payload) {
   (void)from;
   try {
     Unwrapped m = unwrap(payload);
-    if (m.tag != kNewProtocol) throw CodecError("data on the switch topic");
+    if (m.tag == kNil) throw CodecError("data on the switch topic");
     // Like Algorithm 1, no sn test: change messages are processed in
-    // delivery order, which keeps chained replacements consistent.
-    perform_switch(m.protocol, m.params);
+    // delivery order, which keeps chained replacements consistent.  That
+    // same property is the GM recovery story (state_sync = kNone): the
+    // switch topic rides the abcast facade, so a recovered stack replaying
+    // abcast history re-delivers every change message in order and
+    // re-performs every gm switch organically.
+    perform_switch_from(m);
   } catch (const CodecError& e) {
     DPU_LOG(kError, "repl-gm") << "s" << env().node_id()
                                << " malformed change message: " << e.what();

@@ -14,6 +14,11 @@ ReplacementFacadeBase::FacadeConfig to_facade_config(
   f.initial_protocol = config.initial_protocol;
   f.initial_params = config.initial_params;
   f.retire_after = config.retire_after;
+  // Rbcast owes a recovered stack no delivered history (it orders nothing;
+  // upper layers recover what they need through their own catch-up), but it
+  // does owe the current version metadata so the stack re-enters at the
+  // live protocol/version instead of re-installing version 0.
+  f.state_sync = ReplacementFacadeBase::FacadeConfig::StateSync::kMetadata;
   return f;
 }
 
@@ -52,6 +57,12 @@ void ReplRbcastModule::stop() {
 
 void ReplRbcastModule::rbcast(ChannelId channel, Payload payload) {
   const MsgId id = next_msg_id();
+  if (state_syncing()) {
+    // No installed version yet (recovering/late-joining): track only; the
+    // sync finalize reissues under the synced version number.
+    track_undelivered(id, std::move(payload), channel);
+    return;
+  }
   Payload wrapped = wrap_data(seq_number_, id, payload);
   // The channel rides as the undelivered entry's context so a reissue after
   // a switch re-broadcasts on the message's own client channel.
@@ -146,12 +157,14 @@ void ReplRbcastModule::on_inner_message(ChannelId channel, NodeId /*from*/,
 void ReplRbcastModule::on_switch_message(NodeId from, const Payload& data) {
   try {
     Unwrapped m = unwrap(data);
-    if (m.tag != kNewProtocol) throw CodecError("data on the switch channel");
-    if (m.sn != seq_number_) {
+    if (m.tag == kNil) throw CodecError("data on the switch channel");
+    if (m.tag == kNewProtocol && m.sn != seq_number_) {
       // One-switch-at-a-time discipline: without an order there is no way to
       // serialize concurrent changes consistently, so a change targeting a
       // version we are no longer (or not yet) at is dropped — uniformly, on
-      // every stack that already switched.
+      // every stack that already switched.  Refresh switches (kNewProtocolSync)
+      // get the same sn test in perform_switch_from, which additionally
+      // requeues and relaunches the responder's unserved requests.
       ++changes_dropped_;
       DPU_LOG(kWarn, "repl-rbcast")
           << "s" << env().node_id() << " dropping change to " << m.protocol
@@ -159,7 +172,7 @@ void ReplRbcastModule::on_switch_message(NodeId from, const Payload& data) {
           << ")";
       return;
     }
-    perform_switch(m.protocol, m.params);
+    perform_switch_from(m);
   } catch (const CodecError& e) {
     DPU_LOG(kError, "repl-rbcast")
         << "s" << env().node_id() << " malformed change message: " << e.what();

@@ -31,10 +31,16 @@
 // Discipline (documented requirement, like Repl-Consensus's): one rbcast
 // replacement in flight at a time.  Concurrent change requests from
 // different stacks have no order to serialize them; the facade drops a
-// change whose version does not match its current one and logs it.  A
-// crash-recovered stack does not converge to a post-crash rbcast switch on
-// its own (rbcast has no history replay); recovery scenarios pin the rbcast
-// layer.
+// change whose version does not match its current one and logs it.
+//
+// Recovery and late join ride the substrate's state-transfer machinery in
+// kMetadata mode: a recovering stack obtains the current (protocol, version)
+// from a peer, which coordinates a refresh switch (kNewProtocolSync) through
+// the inner rbcast so every stack re-enters a fresh instance and notes the
+// recovered stack's incarnation epoch to rp2p at its own switch point.  No
+// delivered history is transferred — rbcast orders nothing and owes none;
+// upper layers (consensus, abcast) recover their state through their own
+// catch-up protocols.
 #pragma once
 
 #include <string>
@@ -100,6 +106,9 @@ class ReplRbcastModule final : public ReplacementFacadeBase, public RbcastApi {
   [[nodiscard]] std::uint64_t changes_dropped() const {
     return changes_dropped_;
   }
+  /// Retained dedup state (interval runs across all origins/epochs) — the
+  /// memory bound under sustained churn, surfaced as a scenario counter.
+  [[nodiscard]] std::size_t dedup_entries() const { return dedup_.entries(); }
 
   static constexpr char kTraceChangeRequested[] = "replr-change-requested";
   static constexpr char kTraceSwitchDone[] = "replr-switch-done";

@@ -130,14 +130,15 @@ std::vector<ScenarioSpec> curated_scenarios() {
     ScenarioSpec s = base("crash-recovery-switch",
                           "A stack crashes 5 ms after a replacement is "
                           "requested and recovers 2.5 s later with fresh "
-                          "protocol state: the consensus catch-up must "
+                          "protocol state: the facade state transfer must "
                           "replay the missed history — including the switch "
                           "marker — so the recovered stack converges to the "
-                          "new protocol version and the four ABcast "
+                          "new protocol version (a real CT -> SEQ change, "
+                          "not a same-protocol refresh) and the four ABcast "
                           "properties hold across the restart.");
     s.n = 5;
     s.duration = 8 * kSecond;
-    s.updates = {{2 * kSecond, 0, "abcast.ct"}};
+    s.updates = {{2 * kSecond, 0, "abcast.seq"}};
     s.crashes = {{2 * kSecond + 5 * kMillisecond, 3}};
     s.recoveries = {{4500 * kMillisecond, 3}};
     out.push_back(std::move(s));
@@ -271,6 +272,79 @@ std::vector<ScenarioSpec> curated_scenarios() {
     s.updates = {{2 * kSecond, 0, "consensus.mr"}};
     s.crashes = {{3 * kSecond, 4}};
     s.partitions = {{4500 * kMillisecond, 6 * kSecond, {2}}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("churn-abcast",
+                          "Churn campaign on the abcast layer: one stack "
+                          "crashes and recovers, another joins the run late, "
+                          "and the group hot-swaps CT -> SEQ -> CT through "
+                          "it all.  The recovering and late-joining stacks "
+                          "catch up through the facade's snapshot + replay "
+                          "log (full-history state transfer) and must "
+                          "converge to the final protocol audit-clean.");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.crashes = {{1500 * kMillisecond, 3}};
+    s.recoveries = {{3500 * kMillisecond, 3}};
+    s.late_joins = {{2500 * kMillisecond, 4}};
+    s.updates = {{3 * kSecond, 0, "abcast.seq"},
+                 {5 * kSecond, 1, "abcast.ct"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("churn-rbcast",
+                          "Churn campaign on the reliable-broadcast tier: "
+                          "crash-recovery and a late join while rbcast is "
+                          "hot-swapped eager -> no-relay -> eager under a "
+                          "plain CT-ABcast.  Recovery rides the substrate's "
+                          "kMetadata state transfer (version metadata only; "
+                          "upper layers re-sync through their own catch-up) "
+                          "plus the refresh switch that re-anchors every "
+                          "stack at a fresh inner instance.");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.mechanism = Mechanism::kReplRbcast;
+    s.initial_protocol = "rbcast.eager";
+    s.crashes = {{1500 * kMillisecond, 2}};
+    s.recoveries = {{3500 * kMillisecond, 2}};
+    s.late_joins = {{2500 * kMillisecond, 4}};
+    s.updates = {{3 * kSecond, 0, "rbcast.norelay"},
+                 {5 * kSecond, 1, "rbcast.eager"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("churn-double-layer",
+                          "Churn with two managed layers at once: rbcast and "
+                          "abcast are both behind replacement facades while "
+                          "a stack crash-recovers and another joins late — "
+                          "each recovery state-syncs both facades (metadata "
+                          "for rbcast, full history for abcast) before the "
+                          "next hot-swap lands.");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.crashes = {{1500 * kMillisecond, 3}};
+    s.recoveries = {{4 * kSecond, 3}};
+    s.late_joins = {{2500 * kMillisecond, 4}};
+    s.updates = {{3 * kSecond, 0, "rbcast.norelay"},
+                 {5500 * kMillisecond, 1, "abcast.seq"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = base("churn-gm",
+                          "Churn on the dependent layer: group membership is "
+                          "hot-swapped while a stack crash-recovers and "
+                          "another joins late.  GM recovers organically "
+                          "(state_sync none): its switch topic rides the "
+                          "abcast facade, so the recovered stack's replayed "
+                          "abcast history re-performs every gm switch in "
+                          "order.");
+    s.n = 5;
+    s.duration = 8 * kSecond;
+    s.crashes = {{1500 * kMillisecond, 3}};
+    s.recoveries = {{4 * kSecond, 3}};
+    s.late_joins = {{2500 * kMillisecond, 4}};
+    s.updates = {{3 * kSecond, 0, "gm.abcast"}};
     out.push_back(std::move(s));
   }
   return out;

@@ -195,6 +195,8 @@ struct NodeAccum {
   std::uint64_t reissued = 0;
   std::uint64_t stale_discarded = 0;
   std::uint64_t decisions_delivered = 0;
+  std::uint64_t snapshots_served = 0;
+  std::uint64_t state_replayed = 0;
   Duration app_blocked = 0;
   std::uint64_t calls_queued = 0;
 };
@@ -213,10 +215,18 @@ void harvest_modules(NodeAccum& acc, const NodeModules& m) {
   if (m.repl != nullptr) {
     acc.reissued += m.repl->reissued_total();
     acc.stale_discarded += m.repl->stale_discarded();
+    acc.snapshots_served += m.repl->snapshots_served();
+    acc.state_replayed += m.repl->replayed_from_snapshot();
   }
   if (m.repl_rbcast != nullptr) {
     acc.reissued += m.repl_rbcast->reissued_total();
     acc.stale_discarded += m.repl_rbcast->stale_discarded();
+    acc.snapshots_served += m.repl_rbcast->snapshots_served();
+    acc.state_replayed += m.repl_rbcast->replayed_from_snapshot();
+  }
+  if (m.repl_gm != nullptr) {
+    acc.snapshots_served += m.repl_gm->snapshots_served();
+    acc.state_replayed += m.repl_gm->replayed_from_snapshot();
   }
   if (m.repl_cons != nullptr) {
     acc.decisions_delivered += m.repl_cons->decisions_delivered();
@@ -442,11 +452,22 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
 
   // ---- Fault schedule -----------------------------------------------------
 
-  for (const CrashFault& c : spec.crashes) {
+  // A late join expands to a synthetic crash at 1ms plus the scheduled
+  // recovery: the node's incarnation 0 dies (effectively) at the start and
+  // the join rides the standard recovery path — same re-composition, same
+  // state transfer, same audit treatment.
+  std::vector<CrashFault> crashes = spec.crashes;
+  std::vector<RecoverFault> recoveries = spec.recoveries;
+  for (const LateJoin& lj : spec.late_joins) {
+    crashes.push_back(CrashFault{kMillisecond, lj.node});
+    recoveries.push_back(RecoverFault{lj.at, lj.node});
+  }
+
+  for (const CrashFault& c : crashes) {
     world.at(c.at, [&world, c]() { world.crash(c.node); });
   }
 
-  for (const RecoverFault& rec : spec.recoveries) {
+  for (const RecoverFault& rec : recoveries) {
     world.at(rec.at, [&, rec]() {
       if (!world.crashed(rec.node)) return;
       // Quiesce first: on rt this joins the dying loop thread, giving this
@@ -577,8 +598,15 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
     result.reissued += acc.reissued;
     result.stale_discarded += acc.stale_discarded;
     result.decisions_delivered += acc.decisions_delivered;
+    result.snapshots_served += acc.snapshots_served;
+    result.state_replayed += acc.state_replayed;
     result.app_blocked_total += acc.app_blocked;
     result.calls_queued += acc.calls_queued;
+    // Retained dedup state is a gauge, not a counter: only the live
+    // incarnation's interval runs still occupy memory.
+    if (result.crashed.count(i) == 0 && nodes[i].repl_rbcast != nullptr) {
+      result.dedup_entries += nodes[i].repl_rbcast->dedup_entries();
+    }
   }
 
   // The convergence witness: what the last-updated service actually runs on
@@ -653,7 +681,7 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
     if (spec.mechanism != Mechanism::kNone) {
       append(result.generic_report,
              check_protocol_operationability(result.trace, spec.n,
-                                             result.crashed));
+                                             result.crashed, recovery_time));
     }
     for (NodeId i = 0; i < spec.n; ++i) {
       if (result.crashed.count(i) != 0) continue;
@@ -703,6 +731,22 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
       break;
   }
   ProtocolRegistry library = make_standard_library(stack_options);
+
+  // Recovery/late-join scenarios need every managed layer to declare the
+  // state-transfer capability: validate() enforces the mechanism-level
+  // rules it can see, but whether a layer's replacement facade answers
+  // state requests is a composition fact only the registry records.
+  if (!spec.recoveries.empty() || !spec.late_joins.empty()) {
+    for (const auto& [svc, m] : spec.managed_services()) {
+      (void)m;
+      if (!library.state_transfer(svc)) {
+        throw std::invalid_argument(
+            "scenario '" + spec.name + "': recoveries/late joins require "
+            "the state_transfer capability on replaceable service '" + svc +
+            "'");
+      }
+    }
+  }
   TraceRecorder trace_recorder;
 
   if (spec.engine == Engine::kRt) {
@@ -793,6 +837,9 @@ Json ScenarioResult::to_json() const {
   counts.set("reissued", reissued);
   counts.set("stale_discarded", stale_discarded);
   counts.set("decisions_delivered", decisions_delivered);
+  counts.set("snapshots_served", snapshots_served);
+  counts.set("state_replayed", state_replayed);
+  counts.set("dedup_entries", dedup_entries);
   counts.set("app_blocked_ms", to_millis(app_blocked_total));
   counts.set("calls_queued", calls_queued);
   counts.set("packets_sent", packets_sent);

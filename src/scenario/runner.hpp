@@ -87,6 +87,11 @@ struct ScenarioResult {
   std::uint64_t reissued = 0;         ///< Repl-ABcast
   std::uint64_t stale_discarded = 0;  ///< Repl-ABcast
   std::uint64_t decisions_delivered = 0;  ///< Repl-Consensus
+  std::uint64_t snapshots_served = 0;   ///< facade state transfers answered
+  std::uint64_t state_replayed = 0;     ///< entries replayed from snapshots
+  /// Rbcast cross-version dedup state retained at end of run (interval runs
+  /// over live incarnations) — the memory bound under sustained churn.
+  std::uint64_t dedup_entries = 0;
   Duration app_blocked_total = 0;     ///< Maestro/Graceful
   std::uint64_t calls_queued = 0;     ///< Maestro/Graceful
   std::uint64_t packets_sent = 0;

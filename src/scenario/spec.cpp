@@ -169,12 +169,32 @@ std::vector<std::string> ScenarioSpec::validate() const {
     if (c.at < 0 || c.at > horizon) problem("crash time outside the run");
     if (!crashed.insert(c.node).second) problem("node crashed twice");
   }
+  std::set<NodeId> joining;
+  for (const LateJoin& lj : late_joins) {
+    if (lj.node >= n) {
+      problem("late-join node out of range");
+      continue;
+    }
+    // The runner realizes a late join as a crash at 1ms + a recovery at
+    // `at`, so the join must leave room for that synthetic crash.
+    if (lj.at <= kMillisecond || lj.at > horizon) {
+      problem("late-join time must be in (1ms, duration+drain]");
+    }
+    if (!joining.insert(lj.node).second) problem("node late-joins twice");
+    if (crashed.count(lj.node) != 0) {
+      problem("late-join node " + std::to_string(lj.node) +
+              " also appears in crashes (a late joiner is down from the "
+              "start already)");
+    }
+  }
   // The consensus substrate (and therefore every update mechanism) assumes
   // a correct majority; scenarios that kill one are specification bugs.
   // Recoveries do not relax the rule: between crash and recovery the
-  // crashed set must still leave a live majority.
-  if (crashed.size() * 2 >= n) {
-    problem("crashes must leave a strict majority of stacks alive");
+  // crashed set must still leave a live majority.  Late joiners count as
+  // down until they join, so they add to the crashed set here.
+  if ((crashed.size() + joining.size()) * 2 >= n) {
+    problem("crashes and late joins must leave a strict majority of "
+            "stacks alive");
   }
 
   std::set<NodeId> recovered;
@@ -186,6 +206,12 @@ std::vector<std::string> ScenarioSpec::validate() const {
     if (!recovered.insert(rec.node).second) problem("node recovered twice");
     if (rec.at < 0 || rec.at > horizon) {
       problem("recovery time outside the run");
+    }
+    if (joining.count(rec.node) != 0) {
+      problem("node " + std::to_string(rec.node) +
+              " both late-joins and recovers (a late join already expands "
+              "to crash + recovery)");
+      continue;
     }
     bool found = false;
     for (const CrashFault& c : crashes) {
@@ -345,16 +371,19 @@ std::vector<std::string> ScenarioSpec::validate() const {
     }
   }
 
-  // A crash-recovered stack converges to missed switches by replaying the
-  // consensus history (which carries abcast switch markers); rbcast and gm
-  // switches have no equivalent history resend, so a recovered stack would
-  // diverge from a post-crash switch of those layers.  Recovery scenarios
-  // therefore pin them (documented in repl/repl_rbcast.hpp).
-  if (!recoveries.empty()) {
-    for (const char* svc : {"rbcast", "gm"}) {
-      if (managed.count(svc) != 0) {
-        problem(std::string("recoveries cannot combine with '") + svc +
-                "' replacement (no history replay for that layer)");
+  // Recovery and late join need a state-transfer path back into the group:
+  // every repl-family facade provides one through the substrate (snapshot +
+  // replay tail, or the consensus decided-history resend), but the maestro
+  // and graceful baselines rebuild whole stacks with no such protocol.  The
+  // runner additionally checks the registry's state_transfer capability for
+  // each managed service (ProtocolRegistry::state_transfer) — a composition
+  // fact validate() has no access to.
+  if (!recoveries.empty() || !late_joins.empty()) {
+    for (const auto& [svc, m] : managed) {
+      if (m == Mechanism::kMaestro || m == Mechanism::kGraceful) {
+        problem("recoveries/late joins cannot combine with mechanism '" +
+                std::string(mechanism_name(m)) + "' on '" + svc +
+                "' (no state-transfer path)");
       }
     }
   }
@@ -441,6 +470,18 @@ Json ScenarioSpec::to_json() const {
     recover_list.push(std::move(e));
   }
   j.set("recoveries", std::move(recover_list));
+
+  // Off the wire when empty, so pre-late-join specs serialize unchanged.
+  if (!late_joins.empty()) {
+    Json join_list = Json::array();
+    for (const LateJoin& lj : late_joins) {
+      Json e = Json::object();
+      e.set("at_ns", lj.at);
+      e.set("node", lj.node);
+      join_list.push(std::move(e));
+    }
+    j.set("late_joins", std::move(join_list));
+  }
 
   Json partition_list = Json::array();
   for (const PartitionFault& p : partitions) {
@@ -550,8 +591,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   check_keys(j, "spec",
              {"name", "description", "n", "duration_ns", "drain_ns",
               "engine", "mechanism", "initial_protocol", "initial_consensus",
-              "net", "workload", "crashes", "recoveries", "partitions",
-              "loss_windows", "updates", "policies", "cost",
+              "net", "workload", "crashes", "recoveries", "late_joins",
+              "partitions", "loss_windows", "updates", "policies", "cost",
               "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
@@ -638,6 +679,15 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
       rec.at = e.at("at_ns").as_int();
       rec.node = node_from(e.at("node"));
       spec.recoveries.push_back(rec);
+    }
+  }
+  if (const Json* list = j.find("late_joins")) {
+    for (const Json& e : list->items()) {
+      check_keys(e, "late join", {"at_ns", "node"});
+      LateJoin lj;
+      lj.at = e.at("at_ns").as_int();
+      lj.node = node_from(e.at("node"));
+      spec.late_joins.push_back(lj);
     }
   }
   if (const Json* list = j.find("partitions")) {

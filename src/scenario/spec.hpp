@@ -111,6 +111,19 @@ struct RecoverFault {
   friend bool operator==(const RecoverFault&, const RecoverFault&) = default;
 };
 
+/// Late join: `node` sits out the run's beginning and boots fresh at `at`
+/// (incarnation 1, empty protocol state), catching up through the same
+/// state-transfer path as a crash-recovery.  The runner realizes it as a
+/// crash at t=1ms plus a recovery at `at`, so the node is down from
+/// (effectively) the start; the majority rule counts late joiners as down
+/// until they join.
+struct LateJoin {
+  TimePoint at = 0;
+  NodeId node = 0;
+
+  friend bool operator==(const LateJoin&, const LateJoin&) = default;
+};
+
 /// Directional per-link override inside a loss window: link (src -> dst)
 /// uses these probabilities instead of the window's, plus extra one-way
 /// latency.  Lets partitions and lossy links be asymmetric.
@@ -238,6 +251,8 @@ struct ScenarioSpec {
   WorkloadShape workload;
   std::vector<CrashFault> crashes;
   std::vector<RecoverFault> recoveries;
+  /// Nodes that join the run late instead of being present from the start.
+  std::vector<LateJoin> late_joins;
   std::vector<PartitionFault> partitions;
   std::vector<LossWindow> loss_windows;
   std::vector<UpdateAction> updates;

@@ -86,11 +86,12 @@ TEST(ScenarioRunner, PartitionBlocksAndHeals) {
 }
 
 TEST(ScenarioRunner, CrashRecoveryConvergesToNewProtocol) {
-  // Curated crash-recovery-switch: node 3 dies 5 ms into a replacement and
-  // restarts 2.5 s later with fresh protocol state.  The consensus catch-up
-  // must replay the missed history (including the switch marker) so the new
-  // incarnation re-performs the switch and the audit holds across the
-  // restart — the recovered node is a *correct* stack again.
+  // Curated crash-recovery-switch: node 3 dies 5 ms into a real CT->SEQ
+  // replacement and restarts 2.5 s later with fresh protocol state.  The
+  // facade state transfer must replay the missed history (including the
+  // switch marker) so the new incarnation re-performs the switch and the
+  // audit holds across the restart — the recovered node is a *correct*
+  // stack again.
   const std::optional<ScenarioSpec> spec =
       find_scenario("crash-recovery-switch");
   ASSERT_TRUE(spec.has_value());
@@ -100,7 +101,7 @@ TEST(ScenarioRunner, CrashRecoveryConvergesToNewProtocol) {
   EXPECT_TRUE(result.crashed.empty());
   EXPECT_EQ(result.recovered, std::set<NodeId>{3});
   for (NodeId i = 0; i < spec->n; ++i) {
-    EXPECT_EQ(result.final_protocol[i], "abcast.ct") << "stack " << i;
+    EXPECT_EQ(result.final_protocol[i], "abcast.seq") << "stack " << i;
   }
   // The recovered stack completed the switch too: the switch window closes
   // only when the *last* stack finishes, which after a recovery is the

@@ -34,6 +34,7 @@ ScenarioSpec rich_spec() {
       {WorkloadPhase::Kind::kBurst, 3 * kSecond, 4 * kSecond, 2.5}};
   spec.crashes = {{3 * kSecond, 4}};
   spec.recoveries = {{5 * kSecond, 4}};
+  spec.late_joins = {{4 * kSecond, 2}};
   spec.partitions = {{kSecond, 2 * kSecond, {1, 2}}};
   spec.loss_windows = {{500 * kMillisecond,
                         900 * kMillisecond,
@@ -227,11 +228,11 @@ TEST(ScenarioSpec, ValidationCoversServiceGenericUpdates) {
   }
   {
     // Non-primary layers default to their repl-family facade, so a
-    // mechanism-less consensus/rbcast/gm action is valid under kRepl
-    // (rbcast/gm additionally require a recovery-free schedule).
+    // mechanism-less consensus/rbcast/gm action is valid under kRepl.
     ScenarioSpec s = rich_spec();
     s.crashes.clear();
     s.recoveries.clear();
+    s.late_joins.clear();
     s.updates = {{kSecond, 0, "consensus.mr"},
                  {2 * kSecond, 0, "rbcast.norelay"},
                  {3 * kSecond, 0, "gm.abcast"}};
@@ -254,12 +255,69 @@ TEST(ScenarioSpec, ValidationCoversServiceGenericUpdates) {
     EXPECT_FALSE(s.validate().empty());
   }
   {
-    // Crash-recovery combines only with layers that replay missed switches
-    // (abcast via the consensus catch-up); rbcast and gm have no history
-    // resend, so a recovering spec must pin them.
+    // Crash-recovery now combines with every repl-family layer: the facade
+    // substrate's state transfer (snapshot + replay tail, or version
+    // metadata) replays/refreshes missed switches for rbcast and gm too.
     ScenarioSpec s = rich_spec();  // has a crash + recovery of node 4
     s.updates.push_back({5500 * kMillisecond, 2, "rbcast.norelay"});
+    EXPECT_TRUE(s.validate().empty());
+  }
+  {
+    // ...but the stack-rebuilding baselines have no state-transfer path, so
+    // recoveries and late joins reject them.
+    ScenarioSpec s = rich_spec();
+    s.updates.clear();
+    s.policies.clear();
+    s.mechanism = Mechanism::kMaestro;
+    EXPECT_FALSE(s.validate().empty());  // has a recovery and a late join
+    s.crashes.clear();
+    s.recoveries.clear();
+    s.late_joins.clear();
+    EXPECT_TRUE(s.validate().empty());
+  }
+}
+
+TEST(ScenarioSpec, ValidationCoversLateJoins) {
+  {
+    ScenarioSpec s = rich_spec();
+    s.late_joins = {{4 * kSecond, 9}};  // node out of range (n = 5)
     EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    // The synthetic crash lands at 1ms, so a join at or before that is
+    // impossible to realize.
+    s.late_joins = {{kMillisecond, 2}};
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.late_joins = {{3 * kSecond, 2}, {4 * kSecond, 2}};  // joined twice
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.late_joins = {{4 * kSecond, 4}};  // node 4 also crashes at 3 s
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    ScenarioSpec s = rich_spec();
+    s.recoveries.push_back({5 * kSecond, 2});  // node 2 already late-joins
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    // Late joiners count as down until they join: with node 4 crashed,
+    // joining nodes 1 and 2 late would leave only 2 of 5 alive.
+    ScenarioSpec s = rich_spec();
+    s.late_joins = {{4 * kSecond, 2}, {4500 * kMillisecond, 1}};
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {
+    // late_joins stay off the JSON wire when empty (old specs unchanged).
+    ScenarioSpec s = rich_spec();
+    s.late_joins.clear();
+    EXPECT_EQ(s.to_json().find("late_joins"), nullptr);
+    EXPECT_EQ(s, ScenarioSpec::from_json(s.to_json()));
   }
 }
 
