@@ -75,6 +75,17 @@ class LatencyCollector {
     return all_.count() ? static_cast<std::uint64_t>(all_.count()) : 0;
   }
 
+  /// Folds another collector's samples in.  The sharded simulator gives
+  /// every node its own collector (single-writer) and merges them post-run
+  /// in node order — OnlineStats accumulation is order-sensitive in the
+  /// last float bits, so a fixed merge order is what keeps result documents
+  /// byte-identical at every shard count.
+  void merge(const LatencyCollector& other) {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    all_.merge(other.all_);
+    series_.merge(other.series_);
+  }
+
  private:
   mutable std::mutex mutex_;
   Samples all_;

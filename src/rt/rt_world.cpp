@@ -108,15 +108,6 @@ class RtWorld::RtHost final : public HostEnv {
     });
   }
 
-  /// Per-link extra latency injection: parks the packet on this host's own
-  /// timer heap (thread-safe) and enqueues it when the delay expires.
-  void enqueue_packet_delayed(NodeId src, Payload data, Duration delay) {
-    if (crashed()) return;
-    set_timer(delay, [this, src, payload = std::move(data)]() {
-      if (packet_handler_) packet_handler_(src, payload);
-    });
-  }
-
   void open_socket(std::uint16_t port) {
     fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
     if (fd_ < 0) throw std::runtime_error("rt: socket() failed");
@@ -445,7 +436,13 @@ RtWorld::RtWorld(RtConfig config, const ProtocolLibrary* library,
   }
 }
 
-RtWorld::~RtWorld() { stop(); }
+RtWorld::~RtWorld() {
+  stop();
+  // Join the delay wheel before hosts_ is destroyed: its pending closures
+  // hold raw host pointers.  Anything still parked on it is dropped — a
+  // delayed datagram that was never "transmitted" was never on the wire.
+  if (wheel_ != nullptr) wheel_->stop();
+}
 
 TimePoint RtWorld::now() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -559,6 +556,13 @@ void RtWorld::set_loss(double drop_probability,
 
 void RtWorld::set_link_fault(NodeId src, NodeId dst,
                              std::optional<LinkFault> fault) {
+  // Create the delay wheel *before* the fault becomes visible: senders only
+  // reach for the wheel after reading extra_latency > 0 under fault_mutex_,
+  // and that read happens-after this install, which happens-after the
+  // wheel construction.
+  if (fault.has_value() && fault->extra_latency > 0 && wheel_ == nullptr) {
+    wheel_ = std::make_unique<DelayWheel>();
+  }
   const std::lock_guard<std::mutex> lock(fault_mutex_);
   faults_.link_faults.set(hosts_.size(), src, dst, std::move(fault));
 }
@@ -659,13 +663,15 @@ void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
     const auto port = static_cast<std::uint16_t>(config_.udp_base_port + dst);
     for (int c = 0; c < copies; ++c) {
       if (extra_latency > 0) {
-        // Slow-link fault: park the datagram on the sender's timer heap and
-        // put it on the wire when the delay expires (the fault models
-        // one-way path latency, so sender-side delay is equivalent).
-        hosts_[src]->set_timer(
-            extra_latency, [host = hosts_[src].get(), port, framed]() {
-              host->socket_send(port, framed);
-            });
+        // Slow-link fault: park the datagram on the delay wheel and put it
+        // on the wire when the delay expires (the fault models one-way
+        // path latency, so sender-side delay is equivalent).  The wheel —
+        // not the sender's timer heap — so the injected latency does not
+        // compete with protocol timers for the stack thread.
+        wheel_->schedule(extra_latency,
+                         [host = hosts_[src].get(), port, framed]() {
+                           host->socket_send(port, framed);
+                         });
       } else {
         hosts_[src]->socket_send(port, framed);
       }
@@ -674,7 +680,10 @@ void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
   }
   for (int c = 0; c < copies; ++c) {
     if (extra_latency > 0) {
-      hosts_[dst]->enqueue_packet_delayed(src, data, extra_latency);
+      wheel_->schedule(extra_latency,
+                       [host = hosts_[dst].get(), src, data]() {
+                         host->enqueue_packet(src, data);
+                       });
     } else {
       hosts_[dst]->enqueue_packet(src, data);
     }

@@ -41,6 +41,7 @@
 
 #include "core/stack.hpp"
 #include "core/trace.hpp"
+#include "rt/delay_wheel.hpp"
 #include "runtime/host.hpp"
 #include "runtime/world.hpp"
 
@@ -209,6 +210,11 @@ class RtWorld final : public WorldControl {
   };
   mutable std::mutex fault_mutex_;
   FaultModel faults_;
+  /// Dedicated thread for slow-link delay injection (see delay_wheel.hpp).
+  /// Created by set_link_fault before the first extra_latency fault becomes
+  /// visible; senders reach it only after observing such a fault under
+  /// fault_mutex_, so the pointer read is ordered.  Joined in ~RtWorld.
+  std::unique_ptr<DelayWheel> wheel_;
 
   void note_socket_tx(std::uint64_t syscalls, std::uint64_t datagrams) {
     socket_tx_syscalls_.fetch_add(syscalls, std::memory_order_relaxed);

@@ -35,6 +35,7 @@
 
 #include "runtime/time.hpp"
 #include "util/ids.hpp"
+#include "util/link_table.hpp"
 
 namespace dpu {
 
@@ -50,34 +51,32 @@ struct LinkFault {
   Duration extra_latency = 0;
 };
 
-/// Dense (src, dst) -> fault table shared by both engines.  Lazily
-/// allocated: stays empty (zero per-packet cost) until the first install;
-/// clearing against an empty table is a no-op.
+/// Dense (src, dst) -> fault table shared by both engines, on the shared
+/// LinkTable layout.  Lazily allocated: stays empty (zero per-packet cost)
+/// until the first install; clearing against an empty table is a no-op.
 class LinkFaultTable {
  public:
   void set(std::size_t world_size, NodeId src, NodeId dst,
            std::optional<LinkFault> fault) {
     if (faults_.empty()) {
       if (!fault.has_value()) return;
-      faults_.assign(world_size * world_size, std::nullopt);
+      faults_.reset(world_size);
     }
-    faults_[static_cast<std::size_t>(src) * world_size + dst] =
-        std::move(fault);
+    faults_.at(src, dst) = std::move(fault);
   }
 
   /// The fault installed on (src, dst), or nullptr.
-  [[nodiscard]] const LinkFault* find(std::size_t world_size, NodeId src,
+  [[nodiscard]] const LinkFault* find(std::size_t /*world_size*/, NodeId src,
                                       NodeId dst) const {
     if (faults_.empty()) return nullptr;
-    const auto& slot =
-        faults_[static_cast<std::size_t>(src) * world_size + dst];
+    const auto& slot = faults_.at(src, dst);
     return slot.has_value() ? &*slot : nullptr;
   }
 
   [[nodiscard]] bool empty() const { return faults_.empty(); }
 
  private:
-  std::vector<std::optional<LinkFault>> faults_;
+  LinkTable<std::optional<LinkFault>> faults_;
 };
 
 /// Driver-side control surface of an execution engine.

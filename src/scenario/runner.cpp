@@ -253,6 +253,17 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
   result.seed = seed;
   result.collector = std::make_unique<LatencyCollector>(options.bucket_width);
 
+  // One collector per node, merged into result.collector post-run in node
+  // order: probes then write single-writer state on the sharded simulator,
+  // and the fixed merge order keeps the float accumulation — and therefore
+  // the result document — byte-identical at every shard count.
+  std::vector<std::unique_ptr<LatencyCollector>> node_collectors;
+  node_collectors.reserve(spec.n);
+  for (NodeId i = 0; i < spec.n; ++i) {
+    node_collectors.push_back(
+        std::make_unique<LatencyCollector>(options.bucket_width));
+  }
+
   AbcastAudit audit;
   std::vector<std::unique_ptr<ProbeAuditListener>> audit_listeners;
   std::vector<std::unique_ptr<LatencyProbe>> probes;
@@ -392,7 +403,7 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
     }
 
     probes.push_back(
-        std::make_unique<LatencyProbe>(*result.collector, stack.host()));
+        std::make_unique<LatencyProbe>(*node_collectors[i], stack.host()));
     m.probe = probes.back().get();
     stack.listen<AbcastListener>(kAbcastService, m.probe, nullptr);
     if (options.with_audit) {
@@ -580,6 +591,10 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
 
   // ---- Harvest ------------------------------------------------------------
 
+  for (NodeId i = 0; i < spec.n; ++i) {
+    result.collector->merge(*node_collectors[i]);
+  }
+
   result.crashed = world.crashed_set();
   for (NodeId i = 0; i < spec.n; ++i) {
     if (recovery_time[i] >= 0 && result.crashed.count(i) == 0) {
@@ -764,13 +779,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
   SimConfig sim;
   sim.num_stacks = spec.n;
   sim.seed = seed;
+  sim.shards = options.sim_shards != 0 ? options.sim_shards : spec.sim_shards;
   sim.net.drop_probability = spec.base_drop;
   sim.net.duplicate_probability = spec.base_duplicate;
   sim.stack_cost.service_hop_cost = spec.hop_cost;
   sim.stack_cost.module_create_cost = spec.module_create_cost;
   SimWorld world(sim, &library, &trace_recorder);
-  return run_on_world(world, spec, seed, options, stack_options,
-                      trace_recorder);
+  ScenarioResult result = run_on_world(world, spec, seed, options,
+                                       stack_options, trace_recorder);
+  result.sim_window_barriers = world.window_barriers();
+  result.sim_merge_batches = world.merge_batches();
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -846,6 +865,8 @@ Json ScenarioResult::to_json() const {
   counts.set("packets_dropped", packets_dropped);
   counts.set("retransmissions", retransmissions);
   counts.set("acks_sent", acks_sent);
+  counts.set("sim_window_barriers", sim_window_barriers);
+  counts.set("sim_merge_batches", sim_merge_batches);
   counts.set("virtual_time_ns", total_virtual_time);
   j.set("counts", std::move(counts));
 

@@ -408,6 +408,12 @@ std::vector<std::string> ScenarioSpec::validate() const {
   if (hop_cost < 0 || module_create_cost < 0) {
     problem("cost-model durations must be non-negative");
   }
+
+  if (sim_shards == 0) problem("sim_shards must be >= 1 (use 1 for serial)");
+  if (sim_shards > n) {
+    problem("sim_shards exceeds n (shards own node subsets; extras would "
+            "idle)");
+  }
   return problems;
 }
 
@@ -558,6 +564,10 @@ Json ScenarioSpec::to_json() const {
   cost.set("module_create_cost_ns", module_create_cost);
   j.set("cost", std::move(cost));
 
+  // Off the wire at the default: sharding does not change results, and
+  // leaving it out keeps pre-existing spec documents byte-stable.
+  if (sim_shards != 1) j.set("sim_shards", sim_shards);
+
   j.set("max_retransmissions", max_retransmissions);
   return j;
 }
@@ -593,7 +603,7 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
               "engine", "mechanism", "initial_protocol", "initial_consensus",
               "net", "workload", "crashes", "recoveries", "late_joins",
               "partitions", "loss_windows", "updates", "policies", "cost",
-              "max_retransmissions"});
+              "sim_shards", "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("description")) spec.description = v->as_string();
@@ -772,6 +782,11 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     if (const Json* v = cost->find("module_create_cost_ns")) {
       spec.module_create_cost = v->as_int();
     }
+  }
+  if (const Json* v = j.find("sim_shards")) {
+    const std::int64_t raw = v->as_int();
+    if (raw < 1) throw std::runtime_error("scenario: sim_shards < 1");
+    spec.sim_shards = static_cast<std::size_t>(raw);
   }
   if (const Json* v = j.find("max_retransmissions")) {
     const std::int64_t raw = v->as_int();

@@ -93,6 +93,15 @@ class Samples {
 
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
+  /// Appends another sample set.  Percentiles are order-independent (the
+  /// values get re-sorted) but mean/stddev come from OnlineStats merging —
+  /// callers that need bit-reproducible output must merge in a fixed order.
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_ = false;
+    stats_.merge(other.stats_);
+  }
+
  private:
   void sort_once() {
     if (!sorted_) {
@@ -129,6 +138,17 @@ class TimeSeries {
   }
   [[nodiscard]] std::int64_t bucket_start(std::size_t i) const {
     return static_cast<std::int64_t>(i) * width_;
+  }
+
+  /// Bucket-wise merge of a series with the same bucket width.  Same
+  /// ordering caveat as Samples::merge.
+  void merge(const TimeSeries& other) {
+    if (buckets_.size() < other.buckets_.size()) {
+      buckets_.resize(other.buckets_.size());
+    }
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      buckets_[i].merge(other.buckets_[i]);
+    }
   }
 
  private:

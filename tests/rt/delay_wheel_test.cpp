@@ -1,0 +1,103 @@
+// The rt engine's slow-link delay wheel: ordering, stop semantics, and the
+// end-to-end extra_latency fault it implements.
+//
+// These tests use real time; generous margins keep them robust on loaded
+// CI machines (a sleep asserts a *lower* bound only — the wheel must not
+// deliver early — and upper bounds are multi-second).
+#include "rt/delay_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rt/rt_world.hpp"
+
+namespace dpu {
+namespace {
+
+TEST(DelayWheel, RunsClosuresInDueOrderNotScheduleOrder) {
+  DelayWheel wheel;
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  const auto note = [&](int id) {
+    const std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+    done.fetch_add(1);
+  };
+  // Scheduled longest-first: the wheel must reorder by due time.
+  wheel.schedule(120 * kMillisecond, [&] { note(3); });
+  wheel.schedule(60 * kMillisecond, [&] { note(2); });
+  wheel.schedule(10 * kMillisecond, [&] { note(1); });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (done.load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DelayWheel, StopDropsPendingAndIsIdempotent) {
+  std::atomic<bool> ran{false};
+  DelayWheel wheel;
+  wheel.schedule(10 * kSecond, [&] { ran.store(true); });
+  wheel.stop();
+  wheel.stop();  // second stop must be a no-op, not a double-join
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(DelayWheel, DelaysDeliveryByAtLeastTheScheduledAmount) {
+  DelayWheel wheel;
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<bool> fired{false};
+  std::chrono::steady_clock::duration elapsed{};
+  wheel.schedule(80 * kMillisecond, [&] {
+    elapsed = std::chrono::steady_clock::now() - start;
+    fired.store(true);
+  });
+  const auto deadline = start + std::chrono::seconds(5);
+  while (!fired.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(fired.load());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(80));
+}
+
+/// End-to-end: an extra_latency link fault on the rt engine routes packets
+/// through the wheel; the delayed copy must still arrive, and not before
+/// the configured delay.
+TEST(DelayWheel, RtExtraLatencyFaultDelaysButDelivers) {
+  RtWorld world(RtConfig{.num_stacks = 2, .seed = 1});
+  std::atomic<int> got{0};
+  std::chrono::steady_clock::time_point recv_at;
+  world.stack(1).host().set_packet_handler(
+      [&](NodeId, const Payload&) {
+        recv_at = std::chrono::steady_clock::now();
+        got.fetch_add(1);
+      });
+  world.start();
+
+  LinkFault fault;
+  fault.extra_latency = 100 * kMillisecond;
+  world.set_link_fault(0, 1, fault);
+
+  const auto sent_at = std::chrono::steady_clock::now();
+  world.post_to(0, [&world]() {
+    world.stack(0).host().send_packet(1, to_bytes("slow"));
+  });
+  const auto deadline = sent_at + std::chrono::seconds(5);
+  while (got.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(got.load(), 1);
+  EXPECT_GE(recv_at - sent_at, std::chrono::milliseconds(100));
+  world.stop();
+}
+
+}  // namespace
+}  // namespace dpu

@@ -1,0 +1,61 @@
+// Byte-identity of scenario results across simulator shard counts.
+//
+// The sharded engine's contract is that `sim_shards` never changes results:
+// the whole JSON result document — audit verdicts, latency statistics down
+// to the last float bit, counters, switch windows — must be byte-identical
+// whether a scenario runs serial or on 2/4/8 shards.  This parameterizes
+// over the entire curated library, so every workload shape the campaign
+// exercises (churn, partitions, loss windows, policies, recoveries) pins
+// the invariant.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/library.hpp"
+#include "scenario/runner.hpp"
+
+namespace dpu::scenario {
+namespace {
+
+class ShardIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardIdentity, ResultDocumentIdenticalAcrossShardCounts) {
+  const std::optional<ScenarioSpec> spec = find_scenario(GetParam());
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_EQ(spec->engine, Engine::kSim)
+      << "byte-identity only holds on the deterministic engine";
+
+  RunOptions options;
+  options.sim_shards = 1;
+  const std::string serial =
+      run_scenario(*spec, /*seed=*/1, options).to_json().dump(2);
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    options.sim_shards = shards;  // engine clamps to [1, n]
+    const std::string sharded =
+        run_scenario(*spec, /*seed=*/1, options).to_json().dump(2);
+    EXPECT_EQ(serial, sharded)
+        << "'" << spec->name << "' diverged at sim_shards=" << shards;
+  }
+}
+
+std::vector<std::string> curated_names() {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : curated_scenarios()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CuratedLibrary, ShardIdentity, ::testing::ValuesIn(curated_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string id = info.param;
+      for (char& c : id) {
+        if (c == '-') c = '_';
+      }
+      return id;
+    });
+
+}  // namespace
+}  // namespace dpu::scenario

@@ -1,0 +1,206 @@
+// Sharded engine: cross-shard mailbox merge ordering and byte-identity of
+// execution across shard counts.
+//
+// The engine's contract (sim_world.hpp header comment) is that the shard
+// count is *purely* a throughput knob: every observable — delivery order,
+// virtual timestamps, RNG draws, counters that enter result documents —
+// must be a pure function of (workload, seed).  These tests attack the
+// two spots where that can break: equal-time arrivals produced by
+// different shards in different windows (merge ordering), and state that
+// straddles shards (crash purges, busy-time, duplicates).
+#include "sim/sim_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace dpu {
+namespace {
+
+/// One observed delivery: (receiver, sender, virtual time, payload).
+using Delivery = std::tuple<NodeId, NodeId, TimePoint, std::string>;
+
+/// Runs `drive(world)` on a fresh world with `shards` and records every
+/// delivery on every node in that node's arrival order, then merges the
+/// per-node logs in node-major order (per-node order is the engine's
+/// guarantee; a global log would also have to fix an inter-node order,
+/// which no engine promises).
+std::vector<Delivery> run_and_log(
+    SimConfig config, std::size_t shards,
+    const std::function<void(SimWorld&)>& drive) {
+  config.shards = shards;
+  SimWorld world(config);
+  std::vector<std::vector<Delivery>> per_node(world.size());
+  for (NodeId i = 0; i < world.size(); ++i) {
+    world.stack(i).host().set_packet_handler(
+        [&per_node, &world, i](NodeId src, const Payload& data) {
+          per_node[i].emplace_back(i, src, world.now(), to_string(data));
+        });
+  }
+  drive(world);
+  world.run_for(10 * kSecond);
+  std::vector<Delivery> all;
+  for (const auto& log : per_node) {
+    all.insert(all.end(), log.begin(), log.end());
+  }
+  return all;
+}
+
+/// Adversarial interleaving: zero latency jitter and zero receive cost make
+/// every packet of a salvo arrive at node 0 at the *same* virtual instant,
+/// from senders that live on different shards at every shard count > 1.
+/// The merge key (deliver_time, src, dst, link_seq) — never thread arrival
+/// order — must therefore fully decide the delivery order.
+TEST(ShardMerge, EqualTimeArrivalsOrderIdenticallyAcrossShardCounts) {
+  SimConfig config{.num_stacks = 8, .seed = 42};
+  config.net.min_latency = 50 * kMicrosecond;
+  config.net.max_latency = 50 * kMicrosecond;  // no jitter: forced collisions
+  config.net.recv_cost_fixed = 0;
+  config.net.recv_cost_per_byte_ns = 0;
+  config.net.send_cost_per_byte_ns = 0;
+
+  const auto drive = [](SimWorld& world) {
+    // Three salvos; within each, every node (node 0 included — self-sends
+    // take the mailbox path too) fires several packets at node 0 at the
+    // same instant.  Decreasing sender order makes "sorted by src" a real
+    // assertion rather than an accident of scheduling.
+    for (int salvo = 0; salvo < 3; ++salvo) {
+      const TimePoint t = (salvo + 1) * kMillisecond;
+      for (int s = 7; s >= 0; --s) {
+        const NodeId src = static_cast<NodeId>(s);
+        world.at_node(t, src, [&world, src, salvo]() {
+          for (int k = 0; k < 4; ++k) {
+            world.stack(src).host().send_packet(
+                0, to_bytes("s" + std::to_string(salvo) + "k" +
+                            std::to_string(k)));
+          }
+        });
+      }
+    }
+  };
+
+  const std::vector<Delivery> serial = run_and_log(config, 1, drive);
+  ASSERT_EQ(serial.size(), 3u * 8u * 4u);
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, run_and_log(config, shards, drive))
+        << "delivery order diverged at shards=" << shards;
+  }
+}
+
+/// Same collision setup plus certain duplication: the two copies of one
+/// send share (time, src, dst) and are ordered by link_seq alone.
+TEST(ShardMerge, DuplicateCopiesKeepLinkSequenceOrder) {
+  SimConfig config{.num_stacks = 4, .seed = 11};
+  config.net.min_latency = 50 * kMicrosecond;
+  config.net.max_latency = 50 * kMicrosecond;
+  config.net.duplicate_probability = 1.0;
+  config.net.recv_cost_fixed = 0;
+  config.net.recv_cost_per_byte_ns = 0;
+
+  const auto drive = [](SimWorld& world) {
+    for (NodeId src = 0; src < 4; ++src) {
+      world.at_node(kMillisecond, src, [&world, src]() {
+        world.stack(src).host().send_packet(1, to_bytes("dup"));
+        world.stack(src).host().send_packet(1, to_bytes("dup2"));
+      });
+    }
+  };
+
+  const std::vector<Delivery> serial = run_and_log(config, 1, drive);
+  ASSERT_EQ(serial.size(), 4u * 2u * 2u);  // every send delivered twice
+  for (const std::size_t shards : {2u, 4u}) {
+    EXPECT_EQ(serial, run_and_log(config, shards, drive));
+  }
+}
+
+/// A lossy all-to-all workload with per-link RNG draws, driver-scheduled
+/// crash and recovery: the full observable surface (deliveries, RNG-driven
+/// drops, purge scope, counters that enter result documents) must match the
+/// serial run at every shard count.
+TEST(ShardMerge, LossyChurnWorkloadIsShardCountInvariant) {
+  SimConfig config{.num_stacks = 6, .seed = 7};
+  config.net.drop_probability = 0.15;
+  config.net.duplicate_probability = 0.05;
+
+  const auto drive = [](SimWorld& world) {
+    for (int k = 0; k < 120; ++k) {
+      const NodeId src = static_cast<NodeId>(k % 6);
+      const NodeId dst = static_cast<NodeId>((k * 5 + 1) % 6);
+      world.at_node(k * 100 * kMicrosecond, src, [&world, src, dst, k]() {
+        world.stack(src).host().send_packet(
+            dst, to_bytes("m" + std::to_string(k)));
+      });
+    }
+    world.at(4 * kMillisecond, [&world]() { world.crash(3); });
+    world.at(8 * kMillisecond, [&world]() {
+      world.recover(3);
+      world.stack(3).host().set_packet_handler([](NodeId, const Payload&) {});
+    });
+  };
+
+  struct Observed {
+    std::vector<Delivery> deliveries;
+    std::uint64_t packets_sent;
+    std::uint64_t packets_dropped;
+    std::uint64_t window_barriers;
+    std::uint64_t merge_batches;
+  };
+  const auto observe = [&](std::size_t shards) {
+    SimConfig c = config;
+    c.shards = shards;
+    SimWorld world(c);
+    std::vector<std::vector<Delivery>> per_node(world.size());
+    for (NodeId i = 0; i < world.size(); ++i) {
+      world.stack(i).host().set_packet_handler(
+          [&per_node, &world, i](NodeId src, const Payload& data) {
+            per_node[i].emplace_back(i, src, world.now(), to_string(data));
+          });
+    }
+    drive(world);
+    world.run_for(10 * kSecond);
+    Observed o;
+    for (const auto& log : per_node) {
+      o.deliveries.insert(o.deliveries.end(), log.begin(), log.end());
+    }
+    o.packets_sent = world.packets_sent();
+    o.packets_dropped = world.packets_dropped();
+    o.window_barriers = world.window_barriers();
+    o.merge_batches = world.merge_batches();
+    return o;
+  };
+
+  const Observed serial = observe(1);
+  EXPECT_GT(serial.deliveries.size(), 0u);
+  for (const std::size_t shards : {2u, 3u, 6u}) {
+    const Observed sharded = observe(shards);
+    EXPECT_EQ(serial.deliveries, sharded.deliveries)
+        << "deliveries diverged at shards=" << shards;
+    EXPECT_EQ(serial.packets_sent, sharded.packets_sent);
+    EXPECT_EQ(serial.packets_dropped, sharded.packets_dropped);
+    // These two enter byte-compared result documents, so grouping
+    // independence is part of their contract, not a nice-to-have.
+    EXPECT_EQ(serial.window_barriers, sharded.window_barriers)
+        << "window_barriers diverged at shards=" << shards;
+    EXPECT_EQ(serial.merge_batches, sharded.merge_batches)
+        << "merge_batches diverged at shards=" << shards;
+  }
+}
+
+/// Shard count is clamped to the node count and exposed back.
+TEST(ShardMerge, ShardCountClampedToNodes) {
+  SimConfig config{.num_stacks = 3, .seed = 1};
+  config.shards = 16;
+  SimWorld world(config);
+  EXPECT_EQ(world.num_shards(), 3u);
+  SimConfig zero{.num_stacks = 3, .seed = 1};
+  zero.shards = 0;
+  SimWorld world2(zero);
+  EXPECT_EQ(world2.num_shards(), 1u);
+}
+
+}  // namespace
+}  // namespace dpu
