@@ -1,28 +1,35 @@
-// scenario_campaign — runs fault/upgrade scenario campaigns and emits the
-// machine-readable JSON artifact CI gates on.
+// cluster_campaign — runs scenario campaigns as real OS processes.
 //
-//   scenario_campaign                        # curated library, seeds 1..3
-//   scenario_campaign --list                 # print the curated names
-//   scenario_campaign --scenario large-n-churn --seeds 5
-//   scenario_campaign --spec my_scenario.json --out results.json
-//   scenario_campaign --engine rt --scenario clean-switch
-//                                            # same spec, real-thread engine
+//   cluster_campaign                          # curated proc library, seed 1
+//   cluster_campaign --list                   # print the proc scenario names
+//   cluster_campaign --scenario proc-churn-50 --seeds 2
+//   cluster_campaign --spec my_scenario.json --out results.json
+//   cluster_campaign --engine sim --scenario proc-churn-50
+//                                             # same spec, in-process engine
+//
+// Engine-proc specs run through the ClusterSupervisor: one dpu_node process
+// per node over UDP sockets, crashes by SIGKILL, recoveries by respawn,
+// partitions installed in each agent's socket receive path.  Specs on sim/rt
+// (or forced there with --engine) run in-process exactly like
+// scenario_campaign — the output document format is identical either way.
 //
 // Exit status: 0 when every run passes the property audits, 1 otherwise,
-// 2 on usage/IO errors, 3 when interrupted (SIGINT/SIGTERM: workers stop
-// claiming runs and the partial document is still flushed, marked
-// "interrupted").
+// 2 on usage/IO errors, 3 when interrupted (SIGINT/SIGTERM: children are
+// killed and the partial document is still flushed, marked "interrupted").
 #include <signal.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <optional>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cluster/supervisor.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/library.hpp"
 
@@ -39,24 +46,34 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --list               print curated scenario names and exit\n"
-      "  --scenario NAME      run one curated scenario (repeatable)\n"
+      "  --list               print curated proc scenario names and exit\n"
+      "  --scenario NAME      run one curated scenario (repeatable; both\n"
+      "                       libraries are searched)\n"
       "  --spec FILE.json     run a spec loaded from JSON (repeatable)\n"
-      "  --engine sim|rt      override the execution engine of every\n"
+      "  --engine sim|rt|proc override the execution engine of every\n"
       "                       selected spec (default: each spec's own)\n"
-      "  --seeds K            sweep seeds base..base+K-1 (default 3)\n"
+      "  --seeds K            sweep seeds base..base+K-1 (default 1)\n"
       "  --seed-base B        first seed of the sweep (default 1)\n"
-      "  --repeat K           run the whole campaign K times and fail\n"
-      "                       unless every run's JSON document is\n"
-      "                       byte-identical (sim-engine specs only)\n"
-      "  --sim-shards S       override simulator event-engine shards for\n"
-      "                       every sim run (results are byte-identical at\n"
-      "                       every value; default: each spec's own)\n"
-      "  --threads T          worker threads (default: hardware)\n"
+      "  --threads T          worker threads for in-process runs (proc\n"
+      "                       runs always execute one at a time)\n"
+      "  --node-binary PATH   dpu_node binary (default: next to this one)\n"
+      "  --results-dir DIR    per-run scratch root (default:\n"
+      "                       cluster-results)\n"
+      "  --base-port P        first data-plane UDP port (default 21000)\n"
+      "  --keep               keep per-node scratch files after each run\n"
       "  --out FILE           write the results JSON there (default stdout)\n"
       "  --compact            compact JSON instead of pretty-printed\n",
       argv0);
   return 2;
+}
+
+/// dpu_node lives next to this binary unless overridden.
+std::string default_node_binary() {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len <= 0) return "dpu_node";
+  buf[len] = '\0';
+  return (std::filesystem::path(buf).parent_path() / "dpu_node").string();
 }
 
 }  // namespace
@@ -66,13 +83,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> wanted;
   std::vector<std::string> spec_files;
   std::string out_path;
-  std::uint64_t seed_count = 3;
+  std::uint64_t seed_count = 1;
   std::uint64_t seed_base = 1;
-  std::uint64_t repeat = 1;
   std::size_t threads = 0;
-  std::size_t sim_shards = 0;  // 0: each spec's own
   int indent = 2;
   std::optional<Engine> engine_override;
+  cluster::SupervisorOptions sup;
+  sup.node_binary = default_node_binary();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,7 +98,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--list") {
-      for (const ScenarioSpec& spec : curated_scenarios()) {
+      for (const ScenarioSpec& spec : curated_proc_scenarios()) {
         std::printf("%-28s %s\n", spec.name.c_str(),
                     spec.description.c_str());
       }
@@ -112,20 +129,24 @@ int main(int argc, char** argv) {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
       seed_base = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--repeat") {
-      const char* v = next_value();
-      if (v == nullptr) return usage(argv[0]);
-      repeat = std::strtoull(v, nullptr, 10);
-      if (repeat == 0) return usage(argv[0]);
-    } else if (arg == "--sim-shards") {
-      const char* v = next_value();
-      if (v == nullptr) return usage(argv[0]);
-      sim_shards = std::strtoull(v, nullptr, 10);
-      if (sim_shards == 0) return usage(argv[0]);
     } else if (arg == "--threads") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
       threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--node-binary") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      sup.node_binary = v;
+    } else if (arg == "--results-dir") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      sup.results_dir = v;
+    } else if (arg == "--base-port") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      sup.base_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--keep") {
+      sup.keep_artifacts = true;
     } else if (arg == "--out") {
       const char* v = next_value();
       if (v == nullptr) return usage(argv[0]);
@@ -138,8 +159,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Assemble the spec list: named curated scenarios, file-loaded specs, or
-  // (default) the whole curated library.
   for (const std::string& name : wanted) {
     std::optional<ScenarioSpec> spec = find_scenario(name);
     if (!spec.has_value()) {
@@ -173,64 +192,45 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (specs.empty()) specs = curated_scenarios();
+  if (specs.empty()) specs = curated_proc_scenarios();
   if (engine_override.has_value()) {
     for (ScenarioSpec& spec : specs) spec.engine = *engine_override;
   }
-  // Checked after the override so `--engine sim` reruns a proc spec here.
+
+  bool any_proc = false;
   for (const ScenarioSpec& spec : specs) {
-    if (spec.engine == Engine::kProc) {
-      std::fprintf(stderr,
-                   "'%s' uses engine \"proc\" (real OS processes): run it "
-                   "with cluster_campaign, or override with --engine "
-                   "sim|rt\n",
-                   spec.name.c_str());
-      return 2;
-    }
+    if (spec.engine == Engine::kProc) any_proc = true;
   }
 
-  if (repeat > 1) {
-    // The byte-identity gate only holds for the deterministic simulator:
-    // rt runs are wall-clock executions and never reproduce exactly.
-    for (const ScenarioSpec& spec : specs) {
-      if (spec.engine != Engine::kSim) {
-        std::fprintf(stderr,
-                     "--repeat needs sim-engine specs ('%s' runs on %s)\n",
-                     spec.name.c_str(), engine_name(spec.engine));
-        return 2;
-      }
-    }
-  }
-
+  // Clean interrupt: children are killed (the supervisor polls the flag and
+  // its teardown reaps them; PR_SET_PDEATHSIG backstops even a hard death)
+  // and the partial document still reaches --out.
   struct sigaction sa{};
   sa.sa_handler = on_signal;
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+
+  sup.cancel = &g_cancel;
+  cluster::ClusterSupervisor supervisor(sup);
 
   CampaignOptions options;
   options.seeds.clear();
   for (std::uint64_t k = 0; k < seed_count; ++k) {
     options.seeds.push_back(seed_base + k);
   }
-  options.threads = threads;
-  options.run.sim_shards = sim_shards;
+  // Proc runs share the data-plane port range and saturate the machine with
+  // n processes each — they must not overlap.  In-process cells may still
+  // sweep in parallel when no proc spec is selected.
+  options.threads = any_proc ? 1 : threads;
   options.cancel = &g_cancel;
+  options.run_fn = [&supervisor](const ScenarioSpec& spec,
+                                 std::uint64_t seed) -> ScenarioResult {
+    if (spec.engine == Engine::kProc) return supervisor.run(spec, seed);
+    return run_scenario(spec, seed, RunOptions{});
+  };
 
   const CampaignOutcome outcome = run_campaign(specs, options);
   const std::string text = outcome.document.dump(indent) + "\n";
-  for (std::uint64_t r = 2; r <= repeat; ++r) {
-    // The campaign document is a pure function of (specs, seeds): any byte
-    // difference between repeats is a determinism regression.
-    const CampaignOutcome again = run_campaign(specs, options);
-    const std::string again_text = again.document.dump(indent) + "\n";
-    if (again_text != text) {
-      std::fprintf(stderr,
-                   "campaign: repeat %llu produced a different document — "
-                   "determinism violation\n",
-                   static_cast<unsigned long long>(r));
-      return 1;
-    }
-  }
   if (out_path.empty()) {
     std::fwrite(text.data(), 1, text.size(), stdout);
   } else {

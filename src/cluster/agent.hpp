@@ -1,0 +1,44 @@
+// Node agent: one full protocol stack as one OS process.
+//
+// The agent is what dpu_node (bench/dpu_node.cpp) runs: it boots the stack
+// of exactly one node of a ScenarioSpec on a real UDP port (RtWorld agent
+// mode), journals audit evidence crash-durably (cluster/journal.hpp),
+// registers with the supervisor over the control channel and then obeys it:
+// fault-state installs, status probes, the final harvest.  Crashes are not
+// the agent's business — the supervisor SIGKILLs it and later respawns a
+// fresh process with a bumped incarnation; the dead incarnation's journal
+// survives in the page cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/hosts.hpp"
+#include "scenario/spec.hpp"
+
+namespace dpu::cluster {
+
+struct AgentConfig {
+  scenario::ScenarioSpec spec;
+  HostsFile hosts;
+  NodeId node = 0;
+  /// 0 on first spawn; the supervisor's global incarnation counter value on
+  /// a respawn (and for the first spawn of a late joiner).
+  std::uint32_t incarnation = 0;
+  /// Shared campaign timebase (see RtConfig::epoch_ns).
+  std::int64_t epoch_ns = 0;
+  std::uint64_t seed = 1;
+  std::string supervisor_host = "127.0.0.1";
+  std::uint16_t supervisor_port = 0;
+  /// Directory for the audit journal and the node result JSON.
+  std::string results_dir = ".";
+  /// Give up when the supervisor stays silent this long (belt and braces
+  /// under PR_SET_PDEATHSIG).
+  Duration supervisor_silence_limit = 60 * kSecond;
+};
+
+/// Runs the agent to completion.  Returns the process exit code: 0 after a
+/// clean harvest, 1 on setup failure, 2 when the supervisor vanished.
+[[nodiscard]] int run_agent(const AgentConfig& config);
+
+}  // namespace dpu::cluster

@@ -1,0 +1,84 @@
+#include "cluster/control.hpp"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace dpu::cluster {
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("cluster: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+ControlSocket::ControlSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("cluster: control socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("cluster: control bind() failed on port " +
+                             std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+}
+
+ControlSocket::~ControlSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ControlSocket::send(const sockaddr_in& to, const Json& message) const {
+  const std::string wire = message.dump(-1);
+  ::sendto(fd_, wire.data(), wire.size(), 0,
+           reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+}
+
+bool ControlSocket::receive(Json& message, sockaddr_in& from,
+                            Duration timeout) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  std::vector<char> buf(65536);
+  for (;;) {
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining.count() <= 0) return false;
+    timeval tv{};
+    const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                          remaining)
+                          .count();
+    tv.tv_sec = static_cast<time_t>(usec / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(usec % 1'000'000);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) continue;  // timeout or EINTR: re-check the deadline
+    try {
+      message = Json::parse(std::string(buf.data(), static_cast<size_t>(n)));
+    } catch (const scenario::JsonParseError&) {
+      continue;  // garbage datagram: keep waiting
+    }
+    from = peer;
+    return true;
+  }
+}
+
+}  // namespace dpu::cluster

@@ -1,0 +1,65 @@
+// Supervisor <-> agent control channel: JSON datagrams over a dedicated
+// UDP socket, one message per datagram.
+//
+// The channel is deliberately primitive — UDP on the same network the data
+// plane uses, with sender-side retry and receiver-side idempotent handling
+// instead of a reliability layer.  Message flow:
+//
+//   agent -> supervisor   hello   {type, node, incarnation, pid}
+//   supervisor -> agent   fault   {type, seq, drop, duplicate, isolated,
+//                                  link_overrides}     (full current state)
+//   supervisor -> agent   status  {type, seq}
+//   agent -> supervisor   report  {type, seq, node, deliveries, unacked,
+//                                  pending_calls}
+//   supervisor -> agent   harvest {type, seq}
+//   agent -> supervisor   ack     {type, seq, node}
+//
+// Every supervisor->agent message carries a seq the agent echoes; resends
+// are filtered by seq, and `fault` carries the *entire* current fault
+// state, so applying a stale resend twice is harmless.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/time.hpp"
+#include "scenario/json.hpp"
+
+namespace dpu::cluster {
+
+using scenario::Json;
+
+/// IPv4 address helper; throws std::invalid_argument on a bad dotted quad.
+[[nodiscard]] sockaddr_in make_address(const std::string& host,
+                                       std::uint16_t port);
+
+/// One bound UDP socket speaking newline-free JSON datagrams.
+class ControlSocket {
+ public:
+  /// Binds 0.0.0.0:`port`; port 0 picks an ephemeral port.  Throws
+  /// std::runtime_error when the bind fails.
+  explicit ControlSocket(std::uint16_t port = 0);
+  ~ControlSocket();
+
+  ControlSocket(const ControlSocket&) = delete;
+  ControlSocket& operator=(const ControlSocket&) = delete;
+
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+  /// Fire-and-forget datagram send (compact JSON encoding).
+  void send(const sockaddr_in& to, const Json& message) const;
+
+  /// Blocks up to `timeout` for one well-formed JSON datagram; malformed
+  /// datagrams are skipped without consuming the remaining budget being
+  /// reset.  Returns false on timeout.
+  [[nodiscard]] bool receive(Json& message, sockaddr_in& from,
+                             Duration timeout) const;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+};
+
+}  // namespace dpu::cluster

@@ -1,0 +1,103 @@
+#include "cluster/hosts.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dpu::cluster {
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& line,
+                           const std::string& why) {
+  throw std::invalid_argument("hosts file line " + std::to_string(line_no) +
+                              " (\"" + line + "\"): " + why);
+}
+
+}  // namespace
+
+HostsFile HostsFile::parse(const std::string& text) {
+  HostsFile file;
+  std::set<NodeId> seen;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    std::string body = hash == std::string::npos ? line : line.substr(0, hash);
+    std::istringstream fields(body);
+    long long node = -1;
+    std::string host;
+    long long port = -1;
+    if (!(fields >> node)) continue;  // blank / comment-only line
+    if (node < 0) bad_line(line_no, line, "negative node id");
+    if (!(fields >> host >> port)) {
+      bad_line(line_no, line, "expected '<node> <host> <port>'");
+    }
+    std::string extra;
+    if (fields >> extra) bad_line(line_no, line, "trailing field");
+    if (port <= 0 || port > 65535) {
+      bad_line(line_no, line, "port out of range (1..65535)");
+    }
+    const auto id = static_cast<NodeId>(node);
+    if (!seen.insert(id).second) {
+      bad_line(line_no, line,
+               "duplicate node id " + std::to_string(node));
+    }
+    file.entries.push_back(
+        HostEntry{id, host, static_cast<std::uint16_t>(port)});
+  }
+  return file;
+}
+
+HostsFile HostsFile::generate(std::size_t n, const std::string& host,
+                              std::uint16_t base_port) {
+  HostsFile file;
+  file.entries.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    file.entries.push_back(HostEntry{
+        i, host, static_cast<std::uint16_t>(base_port + i)});
+  }
+  return file;
+}
+
+std::string HostsFile::format() const {
+  std::string out;
+  for (const HostEntry& e : entries) {
+    out += std::to_string(e.node) + " " + e.host + " " +
+           std::to_string(e.port) + "\n";
+  }
+  return out;
+}
+
+const HostEntry& HostsFile::at(NodeId node) const {
+  for (const HostEntry& e : entries) {
+    if (e.node == node) return e;
+  }
+  throw std::invalid_argument("hosts file: node " + std::to_string(node) +
+                              " missing");
+}
+
+std::vector<RtPeer> HostsFile::peers(std::size_t n) const {
+  std::vector<RtPeer> out(n);
+  std::vector<bool> present(n, false);
+  for (const HostEntry& e : entries) {
+    if (e.node >= n) {
+      throw std::invalid_argument(
+          "hosts file: node " + std::to_string(e.node) +
+          " outside the scenario's 0.." + std::to_string(n - 1) + " range");
+    }
+    present[e.node] = true;
+    out[e.node] = RtPeer{e.host, e.port};
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (!present[i]) {
+      throw std::invalid_argument("hosts file: node " + std::to_string(i) +
+                                  " missing");
+    }
+  }
+  return out;
+}
+
+}  // namespace dpu::cluster

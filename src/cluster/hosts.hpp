@@ -1,0 +1,55 @@
+// Cluster hosts file: the node-id -> UDP endpoint map every agent and the
+// supervisor share.
+//
+// Plain text, one node per line:
+//
+//     # comments and blank lines are ignored
+//     0 127.0.0.1 21000
+//     1 127.0.0.1 38001
+//
+// Every node of the scenario must appear exactly once; parse() rejects
+// duplicate ids, malformed lines and out-of-range ports, and ordered()
+// rejects a file that does not cover 0..n-1 — an agent booting with a hole
+// in its peer table would silently blackhole traffic to the missing node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/rt_world.hpp"
+#include "util/ids.hpp"
+
+namespace dpu::cluster {
+
+struct HostEntry {
+  NodeId node = 0;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct HostsFile {
+  std::vector<HostEntry> entries;  ///< file order (not necessarily by id)
+
+  /// Parses the text format above.  Throws std::invalid_argument naming
+  /// the offending line on malformed input, bad ports (0, > 65535,
+  /// non-numeric) and duplicate node ids.
+  [[nodiscard]] static HostsFile parse(const std::string& text);
+
+  /// All-loopback table for n nodes on consecutive ports from base_port.
+  [[nodiscard]] static HostsFile generate(std::size_t n,
+                                          const std::string& host,
+                                          std::uint16_t base_port);
+
+  /// Renders back to the text format (stable: one line per entry).
+  [[nodiscard]] std::string format() const;
+
+  /// The entry for `node`; throws std::invalid_argument when missing.
+  [[nodiscard]] const HostEntry& at(NodeId node) const;
+
+  /// The full peer table in node-id order, validated to cover exactly
+  /// 0..n-1; throws std::invalid_argument on a missing or surplus node.
+  [[nodiscard]] std::vector<RtPeer> peers(std::size_t n) const;
+};
+
+}  // namespace dpu::cluster

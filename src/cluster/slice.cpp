@@ -1,0 +1,25 @@
+#include "cluster/slice.hpp"
+
+#include <algorithm>
+
+namespace dpu::cluster {
+
+NodeSlice slice_for_node(const scenario::ScenarioSpec& spec, NodeId node) {
+  NodeSlice slice;
+  slice.node = node;
+  for (const scenario::LateJoin& lj : spec.late_joins) {
+    if (lj.node == node) {
+      slice.late_join = true;
+      slice.join_at = lj.at;
+    }
+  }
+  for (const scenario::UpdateAction& u : spec.updates) {
+    if (u.initiator == node) slice.updates.push_back(u);
+  }
+  std::stable_sort(slice.updates.begin(), slice.updates.end(),
+                   [](const scenario::UpdateAction& a,
+                      const scenario::UpdateAction& b) { return a.at < b.at; });
+  return slice;
+}
+
+}  // namespace dpu::cluster

@@ -1,0 +1,32 @@
+// Per-node slice of a ScenarioSpec for the process-per-node runner.
+//
+// Agents receive the *full* spec (they need n, the workload shape and the
+// protocol plan to compose their stack), but responsibility for the fault
+// and update plan splits: the supervisor owns everything that manipulates
+// processes or links (crashes = SIGKILL, recoveries/late joins = respawn,
+// partitions/loss = control-channel fault state), while each agent fires
+// the update actions *it* initiates — request_update must run on the
+// initiator's own stack, which lives in the agent's process.
+#pragma once
+
+#include "scenario/spec.hpp"
+#include "util/ids.hpp"
+
+namespace dpu::cluster {
+
+struct NodeSlice {
+  NodeId node = 0;
+  /// True when this node late-joins: the supervisor does not spawn it at
+  /// boot; it first appears as a respawn at join_at.
+  bool late_join = false;
+  TimePoint join_at = 0;
+  /// Update actions this node initiates, in time order.
+  std::vector<scenario::UpdateAction> updates;
+};
+
+/// The slice for `node`.  Pure function of the spec — supervisor and agent
+/// compute it independently and agree.
+[[nodiscard]] NodeSlice slice_for_node(const scenario::ScenarioSpec& spec,
+                                       NodeId node);
+
+}  // namespace dpu::cluster

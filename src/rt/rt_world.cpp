@@ -9,6 +9,7 @@
 #include <array>
 #include <cstring>
 #include <future>
+#include <utility>
 
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -108,12 +109,12 @@ class RtWorld::RtHost final : public HostEnv {
     });
   }
 
-  void open_socket(std::uint16_t port) {
+  void open_socket(std::uint16_t port, bool any_addr = false) {
     fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
     if (fd_ < 0) throw std::runtime_error("rt: socket() failed");
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_addr.s_addr = htonl(any_addr ? INADDR_ANY : INADDR_LOOPBACK);
     addr.sin_port = htons(port);
     if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       throw std::runtime_error("rt: bind() failed on port " +
@@ -128,16 +129,16 @@ class RtWorld::RtHost final : public HostEnv {
   /// datagram is staged on the host's tx queue and flushed — together with
   /// everything else the current event-loop iteration produced — by one
   /// sendmmsg() call; before start()/after stop() it goes out inline.
-  void socket_send(std::uint16_t dst_port, const Bytes& data) {
+  void socket_send(const sockaddr_in& dst, const Bytes& data) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (running_.load()) {
-        tx_queue_.push_back(TxDatagram{dst_port, data});
+        tx_queue_.push_back(TxDatagram{dst, data});
         cv_.notify_all();  // wake the loop thread to flush
         return;
       }
     }
-    send_now(dst_port, data);
+    send_now(dst, data);
   }
 
   void start_threads(bool with_receiver, std::uint16_t base_port) {
@@ -189,6 +190,17 @@ class RtWorld::RtHost final : public HostEnv {
     crashed_.store(false, std::memory_order_relaxed);
   }
 
+  /// Agent-mode boot stamp: a respawned process starts life at the
+  /// incarnation the supervisor assigned, with the same RNG substream a
+  /// same-numbered in-process recovery would use.  Call before start.
+  void set_initial_incarnation(std::uint32_t incarnation) {
+    incarnation_.store(incarnation, std::memory_order_relaxed);
+    if (incarnation > 0) {
+      rng_ = Rng::substream(seed_,
+                            incarnation_rng_substream(node_, incarnation));
+    }
+  }
+
  private:
   struct TimerEntry {
     TimerId id;
@@ -196,15 +208,11 @@ class RtWorld::RtHost final : public HostEnv {
   };
 
   struct TxDatagram {
-    std::uint16_t port;
+    sockaddr_in addr;
     Bytes data;
   };
 
-  void send_now(std::uint16_t dst_port, const Bytes& data) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(dst_port);
+  void send_now(const sockaddr_in& addr, const Bytes& data) {
     ::sendto(fd_, data.data(), data.size(), 0,
              reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
     world_->note_socket_tx(1, 1);
@@ -230,9 +238,7 @@ class RtWorld::RtHost final : public HostEnv {
       const std::size_t n = std::min(kChunk, batch.size() - base);
       for (std::size_t i = 0; i < n; ++i) {
         TxDatagram& d = batch[base + i];
-        addrs[i].sin_family = AF_INET;
-        addrs[i].sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addrs[i].sin_port = htons(d.port);
+        addrs[i] = d.addr;
         iovs[i].iov_base = d.data.data();
         iovs[i].iov_len = d.data.size();
         msgs[i].msg_hdr = msghdr{};
@@ -251,7 +257,7 @@ class RtWorld::RtHost final : public HostEnv {
       }
     }
 #else
-    for (const TxDatagram& d : batch) send_now(d.port, d.data);
+    for (const TxDatagram& d : batch) send_now(d.addr, d.data);
 #endif
   }
 
@@ -349,7 +355,7 @@ class RtWorld::RtHost final : public HostEnv {
         if (parse_framed(bufs[static_cast<std::size_t>(i)].data(),
                          msgs[static_cast<std::size_t>(i)].msg_len, src,
                          body)) {
-          burst.emplace_back(src, std::move(body));
+          ingress(src, std::move(body), burst);
         }
       }
       enqueue_packet_burst(std::move(burst));
@@ -371,10 +377,39 @@ class RtWorld::RtHost final : public HostEnv {
       if (!parse_framed(buf.data(), static_cast<std::size_t>(n), src, body)) {
         continue;
       }
-      enqueue_packet(src, std::move(body));
+      std::vector<std::pair<NodeId, Payload>> burst;
+      ingress(src, std::move(body), burst);
+      enqueue_packet_burst(std::move(burst));
     }
   }
 #endif
+
+  /// Receive-path fault gate.  In-process worlds already applied the fault
+  /// model at egress (route_packet), so this forwards unconditionally; in
+  /// agent mode the supervisor-installed model is consulted here — the
+  /// only point this process sees the remote sender's traffic.  Delayed
+  /// copies bypass `burst` and ride the delay wheel straight to the queue.
+  void ingress(NodeId src, Payload body,
+               std::vector<std::pair<NodeId, Payload>>& burst) {
+    if (!world_->agent_mode()) {
+      burst.emplace_back(src, std::move(body));
+      return;
+    }
+    const IngressDecision d = world_->ingress_decision(src, node_);
+    if (d.drop) {
+      world_->packets_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (int c = 0; c < d.copies; ++c) {
+      if (d.extra_latency > 0) {
+        world_->wheel_->schedule(d.extra_latency, [this, src, body]() {
+          enqueue_packet(src, body);
+        });
+      } else {
+        burst.emplace_back(src, body);
+      }
+    }
+  }
 
   /// Posts a whole received burst as one closure (one queue append, one
   /// wakeup); the handler still runs once per datagram on the loop thread.
@@ -416,12 +451,51 @@ class RtWorld::RtHost final : public HostEnv {
 
 RtWorld::RtWorld(RtConfig config, const ProtocolLibrary* library,
                  TraceSink* trace)
-    : config_(config), library_(library), trace_(trace),
+    : config_(std::move(config)), library_(library), trace_(trace),
       epoch_(SteadyClock::now()) {
   {
     const std::lock_guard<std::mutex> lock(fault_mutex_);
     faults_.drop = config_.drop_probability;
     faults_.duplicate = config_.duplicate_probability;
+  }
+  if (agent_mode()) {
+    // One real stack, full-size tables: modules see the true world size,
+    // every other slot stays null.  The transport is necessarily sockets.
+    config_.transport = RtTransport::kUdpSockets;
+    if (config_.peers.size() != config_.num_stacks) {
+      throw std::invalid_argument("rt agent mode: peers must map every node");
+    }
+    if (config_.local_node >= config_.num_stacks) {
+      throw std::invalid_argument("rt agent mode: local_node out of range");
+    }
+    if (config_.epoch_ns != 0) {
+      epoch_ = SteadyClock::time_point(
+          std::chrono::duration_cast<SteadyClock::duration>(
+              std::chrono::nanoseconds(config_.epoch_ns)));
+    }
+    peer_addrs_.resize(config_.peers.size());
+    for (std::size_t i = 0; i < config_.peers.size(); ++i) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(config_.peers[i].port);
+      if (::inet_pton(AF_INET, config_.peers[i].host.c_str(),
+                      &addr.sin_addr) != 1) {
+        throw std::invalid_argument("rt agent mode: bad peer address '" +
+                                    config_.peers[i].host + "'");
+      }
+      peer_addrs_[i] = addr;
+    }
+    hosts_.resize(config_.num_stacks);
+    stacks_.resize(config_.num_stacks);
+    const NodeId local = config_.local_node;
+    hosts_[local] = std::make_unique<RtHost>(*this, local, config_.seed);
+    hosts_[local]->set_epoch(epoch_);
+    hosts_[local]->set_initial_incarnation(config_.initial_incarnation);
+    stacks_[local] =
+        std::make_unique<Stack>(*hosts_[local], library, trace);
+    hosts_[local]->open_socket(config_.peers[local].port,
+                               /*any_addr=*/true);
+    return;
   }
   for (NodeId i = 0; i < config_.num_stacks; ++i) {
     hosts_.push_back(std::make_unique<RtHost>(*this, i, config_.seed));
@@ -455,12 +529,14 @@ void RtWorld::start() {
   started_ = true;
   const bool with_receiver = config_.transport == RtTransport::kUdpSockets;
   for (auto& host : hosts_) {
-    host->start_threads(with_receiver, config_.udp_base_port);
+    if (host != nullptr) host->start_threads(with_receiver, config_.udp_base_port);
   }
 }
 
 void RtWorld::stop() {
-  for (auto& host : hosts_) host->stop_and_join();
+  for (auto& host : hosts_) {
+    if (host != nullptr) host->stop_and_join();
+  }
   started_ = false;
 }
 
@@ -530,13 +606,15 @@ void RtWorld::recover(NodeId node) {
 }
 
 bool RtWorld::crashed(NodeId node) const {
-  return hosts_[node]->crashed();
+  // Agent mode holds no state for remote nodes (the supervisor tracks
+  // their liveness): report them not-crashed.
+  return hosts_[node] != nullptr && hosts_[node]->crashed();
 }
 
 std::set<NodeId> RtWorld::crashed_set() const {
   std::set<NodeId> out;
   for (NodeId i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i]->crashed()) out.insert(i);
+    if (hosts_[i] != nullptr && hosts_[i]->crashed()) out.insert(i);
   }
   return out;
 }
@@ -588,7 +666,7 @@ bool RtWorld::run(TimePoint active_until, TimePoint deadline,
     sleep_until_world_time(ev.at);
     if (ev.node == kNoNode) {
       ev.fn();  // driver event (crash/recover/partition/loss) — runs here
-    } else if (!hosts_[ev.node]->crashed()) {
+    } else if (hosts_[ev.node] != nullptr && !hosts_[ev.node]->crashed()) {
       post_to(ev.node, std::move(ev.fn));
     }
   }
@@ -611,10 +689,75 @@ bool RtWorld::run(TimePoint active_until, TimePoint deadline,
   return true;
 }
 
+sockaddr_in RtWorld::peer_sockaddr(NodeId dst) const {
+  if (agent_mode()) return peer_addrs_[dst];
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(config_.udp_base_port + dst));
+  return addr;
+}
+
+RtWorld::IngressDecision RtWorld::ingress_decision(NodeId src, NodeId dst) {
+  IngressDecision d;
+  const std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (faults_.link_filter && !faults_.link_filter(src, dst)) {
+    d.drop = true;
+    return d;
+  }
+  double drop_p = faults_.drop;
+  double dup_p = faults_.duplicate;
+  if (const LinkFault* fault =
+          faults_.link_faults.find(hosts_.size(), src, dst)) {
+    drop_p = fault->drop;
+    dup_p = fault->duplicate;
+    d.extra_latency = fault->extra_latency;
+  }
+  if (drop_p > 0.0 || dup_p > 0.0) {
+    // Same synchronized-stream rationale as route_packet: the receiver
+    // thread decides concurrently with control-thread fault updates.
+    static thread_local Rng drop_rng(0xD0D0'CAFE ^ config_.seed);
+    if (drop_rng.chance(drop_p)) {
+      d.drop = true;
+    } else if (drop_rng.chance(dup_p)) {
+      d.copies = 2;
+    }
+  }
+  // Delayed ingress copies need the wheel; create it lazily here the same
+  // way set_link_fault does for egress (we hold fault_mutex_, and the
+  // receiver only dereferences after observing extra_latency > 0).
+  if (d.extra_latency > 0 && wheel_ == nullptr) {
+    wheel_ = std::make_unique<DelayWheel>();
+  }
+  return d;
+}
+
 void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
   if (dst >= hosts_.size()) return;
   if (hosts_[src]->crashed()) return;  // dead stacks emit nothing
   packets_sent_.fetch_add(1, std::memory_order_relaxed);
+
+  if (agent_mode()) {
+    // Egress applies no faults in agent mode: drops, duplicates, partitions
+    // and slow links are the *receiver's* ingress decision (each agent gets
+    // the model from the supervisor), so a fault installed on one side
+    // cannot double-fire.  Frame with the source id and resolve the peer.
+    if (dst == config_.local_node) {
+      // Self-addressed traffic short-circuits the wire, like in-proc.
+      hosts_[dst]->enqueue_packet(src, std::move(data));
+      return;
+    }
+    Bytes framed;
+    framed.reserve(data.size() + 4);
+    framed.push_back(static_cast<std::uint8_t>(src >> 24));
+    framed.push_back(static_cast<std::uint8_t>(src >> 16));
+    framed.push_back(static_cast<std::uint8_t>(src >> 8));
+    framed.push_back(static_cast<std::uint8_t>(src));
+    framed.insert(framed.end(), data.span().begin(), data.span().end());
+    hosts_[src]->socket_send(peer_sockaddr(dst), framed);
+    return;
+  }
 
   // Snapshot the fault decision under the lock; deliver outside it.
   bool drop = false;
@@ -660,7 +803,7 @@ void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
     framed.push_back(static_cast<std::uint8_t>(src >> 8));
     framed.push_back(static_cast<std::uint8_t>(src));
     framed.insert(framed.end(), data.span().begin(), data.span().end());
-    const auto port = static_cast<std::uint16_t>(config_.udp_base_port + dst);
+    const sockaddr_in addr = peer_sockaddr(dst);
     for (int c = 0; c < copies; ++c) {
       if (extra_latency > 0) {
         // Slow-link fault: park the datagram on the delay wheel and put it
@@ -669,11 +812,11 @@ void RtWorld::route_packet(NodeId src, NodeId dst, Payload data) {
         // not the sender's timer heap — so the injected latency does not
         // compete with protocol timers for the stack thread.
         wheel_->schedule(extra_latency,
-                         [host = hosts_[src].get(), port, framed]() {
-                           host->socket_send(port, framed);
+                         [host = hosts_[src].get(), addr, framed]() {
+                           host->socket_send(addr, framed);
                          });
       } else {
-        hosts_[src]->socket_send(port, framed);
+        hosts_[src]->socket_send(addr, framed);
       }
     }
     return;

@@ -27,6 +27,8 @@
 // the simulator.
 #pragma once
 
+#include <netinet/in.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -35,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -52,6 +55,12 @@ enum class RtTransport {
   kUdpSockets,  ///< real UDP datagrams over 127.0.0.1
 };
 
+/// One node's real UDP endpoint (agent mode; see RtConfig::peers).
+struct RtPeer {
+  std::string host;  ///< IPv4 dotted quad, e.g. "127.0.0.1"
+  std::uint16_t port = 0;
+};
+
 struct RtConfig {
   std::size_t num_stacks = 3;
   std::uint64_t seed = 1;
@@ -62,6 +71,27 @@ struct RtConfig {
   double drop_probability = 0.0;
   /// In-proc transport duplication injection (0 = none).
   double duplicate_probability = 0.0;
+
+  // ---- Agent mode (process-per-node cluster runner, src/cluster) ----------
+  /// When != kNoNode, this process hosts exactly one stack — `local_node` —
+  /// and the world holds null slots for every other id (size() still
+  /// reports the full num_stacks, which is what modules ask for).  Implies
+  /// kUdpSockets; outbound datagrams resolve through `peers`, and the
+  /// fault model is applied on the *receive* path (the supervisor installs
+  /// it per-agent over the control channel — egress emits everything).
+  NodeId local_node = kNoNode;
+  /// Real endpoint per node id, size num_stacks (agent mode only).
+  std::vector<RtPeer> peers;
+  /// Incarnation stamp for the local host at boot: 0 for a first spawn,
+  /// the supervisor's global counter value for a respawn — mirroring what
+  /// recover() stamps in-process, so rp2p epoch adoption works unchanged.
+  std::uint32_t initial_incarnation = 0;
+  /// Shared campaign timebase: CLOCK_MONOTONIC nanoseconds at which world
+  /// time 0 falls.  CLOCK_MONOTONIC is machine-wide on Linux, so every
+  /// agent passed the same value reports directly comparable now()s
+  /// (negative before the epoch, which is harmless).  0 = epoch at
+  /// construction (the in-process default).
+  std::int64_t epoch_ns = 0;
 };
 
 class RtWorld final : public WorldControl {
@@ -175,15 +205,36 @@ class RtWorld final : public WorldControl {
     return socket_rx_datagrams_.load(std::memory_order_relaxed);
   }
 
+  /// Agent mode: this process hosts only config.local_node's stack.
+  [[nodiscard]] bool agent_mode() const {
+    return config_.local_node != kNoNode;
+  }
+
  private:
   class RtHost;
   friend class RtHost;
 
   void route_packet(NodeId src, NodeId dst, Payload data);
 
+  /// One receive-path fault verdict (agent mode): the same model
+  /// route_packet applies at egress in-process, applied at ingress here
+  /// because a real remote sender cannot consult this process's faults.
+  struct IngressDecision {
+    bool drop = false;
+    int copies = 1;
+    Duration extra_latency = 0;
+  };
+  [[nodiscard]] IngressDecision ingress_decision(NodeId src, NodeId dst);
+
+  /// Destination address of `dst`'s socket: the peer table in agent mode,
+  /// loopback base+dst otherwise.
+  [[nodiscard]] sockaddr_in peer_sockaddr(NodeId dst) const;
+
   RtConfig config_;
   const ProtocolLibrary* library_ = nullptr;  // kept for recover()
   TraceSink* trace_ = nullptr;                // kept for recover()
+  /// Resolved config_.peers (agent mode; empty otherwise).
+  std::vector<sockaddr_in> peer_addrs_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<RtHost>> hosts_;
   std::vector<std::unique_ptr<Stack>> stacks_;

@@ -11,21 +11,31 @@ CampaignOutcome run_campaign(const std::vector<ScenarioSpec>& specs,
   struct Cell {
     Json result;
     bool ok = false;
+    bool ran = false;
   };
   const std::size_t per_spec = options.seeds.size();
   std::vector<Cell> cells(specs.size() * per_spec);
+
+  auto canceled = [&options]() {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
 
   // Work queue over the (spec, seed) cross product.
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
+      if (canceled()) return;
       const std::size_t idx = next.fetch_add(1);
       if (idx >= cells.size()) return;
       const ScenarioSpec& spec = specs[idx / per_spec];
       const std::uint64_t seed = options.seeds[idx % per_spec];
       Cell& cell = cells[idx];
+      cell.ran = true;
       try {
-        const ScenarioResult result = run_scenario(spec, seed, options.run);
+        const ScenarioResult result =
+            options.run_fn ? options.run_fn(spec, seed)
+                           : run_scenario(spec, seed, options.run);
         cell.result = result.to_json();
         cell.ok = result.ok();
       } catch (const std::exception& e) {
@@ -64,20 +74,25 @@ CampaignOutcome run_campaign(const std::vector<ScenarioSpec>& specs,
     entry.set("name", specs[s].name);
     entry.set("spec", specs[s].to_json());
     bool spec_ok = true;
+    std::size_t ran = 0;
     Json runs = Json::array();
     for (std::size_t k = 0; k < per_spec; ++k) {
       Cell& cell = cells[s * per_spec + k];
+      if (!cell.ran) continue;  // canceled before this cell started
+      ++ran;
       spec_ok = spec_ok && cell.ok;
       if (!cell.ok) ++outcome.failed_runs;
       runs.push(std::move(cell.result));
     }
-    entry.set("ok", spec_ok);
+    entry.set("ok", spec_ok && ran == per_spec);
     entry.set("runs", std::move(runs));
     scenarios.push(std::move(entry));
+    outcome.runs += ran;
   }
 
-  outcome.runs = cells.size();
-  outcome.ok = outcome.failed_runs == 0 && !cells.empty();
+  const bool interrupted = canceled();
+  outcome.ok =
+      outcome.failed_runs == 0 && outcome.runs == cells.size() && !cells.empty();
 
   Json doc = Json::object();
   Json meta = Json::object();
@@ -87,6 +102,7 @@ CampaignOutcome run_campaign(const std::vector<ScenarioSpec>& specs,
   doc.set("campaign", std::move(meta));
   doc.set("scenarios", std::move(scenarios));
   doc.set("failed_runs", outcome.failed_runs);
+  if (interrupted) doc.set("interrupted", true);
   doc.set("ok", outcome.ok);
   outcome.document = std::move(doc);
   return outcome;

@@ -9,7 +9,9 @@
 // an artifact and fails the build when any run reports an audit violation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "scenario/runner.hpp"
@@ -23,6 +25,15 @@ struct CampaignOptions {
   RunOptions run;
   /// Worker threads; 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Executes one (spec, seed) cell.  Null = run_scenario with `run` — the
+  /// in-process engines.  cluster_campaign injects the ClusterSupervisor
+  /// here, so the proc engine reuses the whole campaign pipeline (sweep,
+  /// document assembly, verdict roll-up) unchanged.
+  std::function<ScenarioResult(const ScenarioSpec&, std::uint64_t)> run_fn;
+  /// Cooperative cancellation (signal handlers flip it): workers stop
+  /// claiming cells, the document marks itself "interrupted" and unrun
+  /// cells are omitted.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct CampaignOutcome {

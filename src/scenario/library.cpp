@@ -350,8 +350,106 @@ std::vector<ScenarioSpec> curated_scenarios() {
   return out;
 }
 
+namespace {
+
+/// Common base of the process-per-node deployments: real-process scale
+/// needs a stretched failure detector (heartbeats are all-to-all) and the
+/// O(n) no-relay broadcast, and the workload is per-stack — 50 stacks at
+/// 2 msg/s are already 100 aggregated sends/s, every one delivered n times.
+ScenarioSpec proc_base(std::string name, std::string description,
+                       std::size_t n) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.engine = Engine::kProc;
+  spec.n = n;
+  spec.duration = 5 * kSecond;
+  spec.drain = 30 * kSecond;  // proc/rt drains stop at quiescence anyway
+  spec.workload.rate_per_stack = 2.0;
+  spec.workload.message_size = 48;
+  spec.fd_heartbeat = 500 * kMillisecond;
+  spec.fd_timeout = 2 * kSecond;
+  spec.rbcast_relay = false;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> curated_proc_scenarios() {
+  std::vector<ScenarioSpec> out;
+
+  {
+    ScenarioSpec s = proc_base(
+        "proc-flood-50",
+        "Fifty OS processes on UDP sockets under steady load, one CT -> SEQ "
+        "replacement mid-run: the baseline deployment shape.",
+        50);
+    s.updates = {{2500 * kMillisecond, 0, "abcast.seq"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = proc_base(
+        "proc-churn-50",
+        "Fifty processes with the full churn repertoire executed for real: "
+        "a mid-run SIGKILL crash, a respawn recovery with state transfer, a "
+        "late-joining process, a two-node partition installed in the socket "
+        "receive path, and a CT -> SEQ switch through it all.",
+        50);
+    s.crashes = {{1500 * kMillisecond, 7}};
+    s.recoveries = {{3500 * kMillisecond, 7}};
+    s.late_joins = {{2500 * kMillisecond, 49}};
+    s.partitions = {{1800 * kMillisecond, 2600 * kMillisecond, {3, 4}}};
+    s.updates = {{3 * kSecond, 0, "abcast.seq"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = proc_base(
+        "proc-switch-partition-50",
+        "A replacement is requested while one process is partitioned away "
+        "at the socket layer; the partition heals mid-window and the "
+        "isolated process must still converge to the new version.",
+        50);
+    s.partitions = {{2 * kSecond, 3200 * kMillisecond, {11}}};
+    s.updates = {{2500 * kMillisecond, 0, "abcast.seq"}};
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = proc_base(
+        "proc-flood-200",
+        "Two hundred processes, static SEQ stack at minimum per-stack load: "
+        "the scale ceiling run (not in CI; heartbeats stretched to 2 s, "
+        "no-relay broadcast, ~200 aggregated sends/s).",
+        200);
+    s.mechanism = Mechanism::kNone;
+    s.initial_protocol = "abcast.seq";
+    s.duration = 4 * kSecond;
+    s.workload.rate_per_stack = 1.0;
+    s.fd_heartbeat = 2 * kSecond;
+    s.fd_timeout = 5 * kSecond;
+    out.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s = proc_base(
+        "proc-orphan-mini",
+        "Three processes, a few seconds of load and one switch: the "
+        "smoke-sized deployment the orphan/interrupt tests drive.",
+        3);
+    s.duration = 3 * kSecond;
+    s.workload.rate_per_stack = 5.0;
+    s.fd_heartbeat = 0;  // library defaults are fine at n=3
+    s.fd_timeout = 0;
+    s.rbcast_relay = true;
+    s.updates = {{1500 * kMillisecond, 0, "abcast.seq"}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::optional<ScenarioSpec> find_scenario(const std::string& name) {
   for (ScenarioSpec& spec : curated_scenarios()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  for (ScenarioSpec& spec : curated_proc_scenarios()) {
     if (spec.name == name) return std::move(spec);
   }
   return std::nullopt;

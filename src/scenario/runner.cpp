@@ -17,6 +17,7 @@
 #include "repl/update.hpp"
 #include "rt/rt_world.hpp"
 #include "runtime/world.hpp"
+#include "scenario/compose.hpp"
 #include "sim/sim_world.hpp"
 
 namespace dpu::scenario {
@@ -159,88 +160,6 @@ struct ProbeAuditListener final : AbcastListener {
   }
 };
 
-/// The packet transport every composition shares.  Returns the rp2p module
-/// so the runner can harvest transport counters.  The rbcast layer and the
-/// failure detector are installed by the caller, in the standard order
-/// (rbcast may be a replacement facade).
-Rp2pModule* install_transport(Stack& stack,
-                              const StandardStackOptions& options) {
-  UdpModule::create(stack);
-  return Rp2pModule::create(stack, kRp2pService, options.rp2p);
-}
-
-/// Live module handles of one stack's current incarnation.  Recovery
-/// replaces every pointer (the old modules die with the old Stack).
-struct NodeModules {
-  UpdateManagerModule* update = nullptr;
-  ReplAbcastModule* repl = nullptr;
-  ReplConsensusModule* repl_cons = nullptr;
-  ReplRbcastModule* repl_rbcast = nullptr;
-  ReplGmModule* repl_gm = nullptr;
-  MaestroSwitchModule* maestro = nullptr;
-  GracefulSwitchModule* graceful = nullptr;
-  PolicyEngineModule* policy = nullptr;
-  Rp2pModule* rp2p = nullptr;
-  WorkloadModule* workload = nullptr;
-  LatencyProbe* probe = nullptr;
-};
-
-/// Counters harvested from incarnations that died (crash-recovery): the
-/// final tallies are accumulated-over-incarnations plus the live modules.
-struct NodeAccum {
-  std::uint64_t sent = 0;
-  std::uint64_t deliveries = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t acks_sent = 0;
-  std::uint64_t reissued = 0;
-  std::uint64_t stale_discarded = 0;
-  std::uint64_t decisions_delivered = 0;
-  std::uint64_t snapshots_served = 0;
-  std::uint64_t state_replayed = 0;
-  Duration app_blocked = 0;
-  std::uint64_t calls_queued = 0;
-};
-
-/// Folds one incarnation's module counters into the accumulator — used
-/// both when an incarnation dies (recovery) and at end of run for the live
-/// one, so a counter added here is counted across recoveries by
-/// construction.
-void harvest_modules(NodeAccum& acc, const NodeModules& m) {
-  if (m.workload != nullptr) acc.sent += m.workload->sent();
-  if (m.probe != nullptr) acc.deliveries += m.probe->deliveries();
-  if (m.rp2p != nullptr) {
-    acc.retransmissions += m.rp2p->retransmissions();
-    acc.acks_sent += m.rp2p->acks_sent();
-  }
-  if (m.repl != nullptr) {
-    acc.reissued += m.repl->reissued_total();
-    acc.stale_discarded += m.repl->stale_discarded();
-    acc.snapshots_served += m.repl->snapshots_served();
-    acc.state_replayed += m.repl->replayed_from_snapshot();
-  }
-  if (m.repl_rbcast != nullptr) {
-    acc.reissued += m.repl_rbcast->reissued_total();
-    acc.stale_discarded += m.repl_rbcast->stale_discarded();
-    acc.snapshots_served += m.repl_rbcast->snapshots_served();
-    acc.state_replayed += m.repl_rbcast->replayed_from_snapshot();
-  }
-  if (m.repl_gm != nullptr) {
-    acc.snapshots_served += m.repl_gm->snapshots_served();
-    acc.state_replayed += m.repl_gm->replayed_from_snapshot();
-  }
-  if (m.repl_cons != nullptr) {
-    acc.decisions_delivered += m.repl_cons->decisions_delivered();
-  }
-  if (m.maestro != nullptr) {
-    acc.app_blocked += m.maestro->total_blocked_time();
-    acc.calls_queued += m.maestro->calls_queued_while_blocked();
-  }
-  if (m.graceful != nullptr) {
-    acc.app_blocked += m.graceful->total_queueing_window();
-    acc.calls_queued += m.graceful->calls_queued_during_switch();
-  }
-}
-
 /// Drives one scenario on an already-constructed world.  Everything here
 /// speaks WorldControl; engine differences (determinism, drain style) are
 /// confined to run_scenario below.
@@ -272,188 +191,29 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
   std::vector<TimePoint> recovery_time(spec.n, -1);
 
   // ---- Composition ---------------------------------------------------------
-  // The managed-service plan drives composition: every replaceable service
-  // of the spec gets its mechanism's facade, all behind one
-  // UpdateManagerModule per stack — there is no per-mechanism special case
-  // left, and one run may make several layers hot-swappable at once.
-  const std::map<std::string, Mechanism> managed = spec.managed_services();
-  const auto abcast_managed = managed.find(kAbcastService);
-  const Mechanism abcast_mech = abcast_managed == managed.end()
-                                    ? Mechanism::kNone
-                                    : abcast_managed->second;
-  const bool consensus_managed = managed.count(kConsensusService) != 0;
-  const bool rbcast_managed = managed.count(kRbcastService) != 0;
-  const bool gm_managed = managed.count(kGmService) != 0;
-  // The spec-level mechanism's own layer starts on initial_protocol; every
-  // other layer starts on its standard default.
-  const bool consensus_layer = spec.mechanism == Mechanism::kReplConsensus;
-  const bool rbcast_layer = spec.mechanism == Mechanism::kReplRbcast;
-  const bool gm_layer = spec.mechanism == Mechanism::kReplGm;
-  const std::string consensus_initial =
-      consensus_layer ? spec.initial_protocol : spec.initial_consensus;
-  const std::string rbcast_initial =
-      rbcast_layer ? spec.initial_protocol
-                   : std::string(RbcastModule::kProtocolName);
-  const std::string gm_initial =
-      gm_layer ? spec.initial_protocol : std::string(GmModule::kProtocolName);
-  const std::string abcast_initial =
-      (consensus_layer || rbcast_layer || gm_layer)
-          ? std::string(CtAbcastModule::kProtocolName)
-          : spec.initial_protocol;
+  // The composition plan and the stack assembly live in scenario/compose.*:
+  // the process-per-node agent (src/cluster) composes the very same stack
+  // from the same spec, so the three engines cannot drift apart.
+  const CompositionPlan plan = CompositionPlan::from_spec(spec);
 
-  // One closure builds (and re-builds, after recovery) a stack: the
-  // control plane, the mechanism facades, the latency probe, the audit
-  // listener and the workload.  `since` is 0 at setup and the recovery time
-  // afterwards — it shifts the workload window, which is configured
-  // relative to module start.
+  // One closure builds (and re-builds, after recovery) a stack.  `since` is
+  // 0 at setup and the recovery time afterwards — it shifts the workload
+  // window, which is configured relative to module start.
   auto compose = [&](NodeId i, TimePoint since) {
     Stack& stack = world.stack(i);
-    NodeModules& m = nodes[i];
-    m = NodeModules{};
-    m.rp2p = install_transport(stack, stack_options);
-    if (rbcast_managed) {
-      // Rbcast facade below everything that broadcasts: consensus and the
-      // abcast protocols call "rbcast" and get the hot-swappable layer.
-      ReplRbcastModule::Config rb;
-      rb.initial_protocol = rbcast_initial;
-      m.repl_rbcast = ReplRbcastModule::create(stack, rb);
-    } else {
-      RbcastModule::create(stack, kRbcastService, stack_options.rbcast);
-    }
-    FdModule::create(stack, kFdService, stack_options.fd);
-    m.update = UpdateManagerModule::create(stack);
-    if (consensus_managed) {
-      // Consensus facade first: anything above that requires "consensus"
-      // binds against it instead of creating a pinned implementation.
-      ReplConsensusModule::Config rc;
-      rc.initial_protocol = consensus_initial;
-      m.repl_cons = ReplConsensusModule::create(stack, rc);
-    }
-    switch (abcast_mech) {
-      case Mechanism::kRepl: {
-        ReplAbcastModule::Config cfg;
-        cfg.initial_protocol = abcast_initial;
-        m.repl = ReplAbcastModule::create(stack, cfg);
-        break;
-      }
-      case Mechanism::kMaestro: {
-        MaestroSwitchModule::Config mc;
-        mc.initial_protocol = abcast_initial;
-        mc.consensus_protocol = consensus_initial;
-        m.maestro = MaestroSwitchModule::create(stack, mc);
-        break;
-      }
-      case Mechanism::kGraceful: {
-        // The Graceful Adaptation restriction forbids recursive creation,
-        // so its consensus substrate must exist before the first AAC.
-        stack.create_module(consensus_initial, kConsensusService);
-        GracefulSwitchModule::Config gc;
-        gc.initial_protocol = abcast_initial;
-        m.graceful = GracefulSwitchModule::create(stack, gc);
-        break;
-      }
-      default: {
-        // ABcast is not replaceable in this run (mechanism "none", or only
-        // other layers are managed): bind the protocol directly.  Recursive
-        // creation supplies consensus when the protocol needs it and no
-        // facade is bound.
-        stack.create_module(abcast_initial, kAbcastService);
-        break;
-      }
-    }
-
-    if (gm_managed) {
-      // The dependent layer of the paper's Figure 4, behind its own facade:
-      // the topic mux multiplexes the ordered channel, the GM facade makes
-      // the membership protocol hot-swappable.
-      TopicMuxModule::create(stack, kTopicsService, stack_options.topics);
-      ReplGmModule::Config gc;
-      gc.initial_protocol = gm_initial;
-      m.repl_gm = ReplGmModule::create(stack, gc);
-    }
-
-    if (!spec.policies.empty()) {
-      // Closed-loop adaptation: the PolicyEngine observes this stack and
-      // issues request_update through the same control plane the scripted
-      // update plan uses.
-      PolicyEngineConfig pc;
-      for (const PolicySpec& p : spec.policies) {
-        PolicyRule rule;
-        rule.name = p.name.empty()
-                        ? "policy-" + std::to_string(pc.rules.size())
-                        : p.name;
-        rule.service = p.service;
-        rule.when_protocol = p.when_protocol;
-        rule.to_protocol = p.to_protocol;
-        if (p.trigger == "latency") {
-          rule.trigger = PolicyRule::Trigger::kDeliveryLatency;
-        } else if (p.trigger == "load") {
-          rule.trigger = PolicyRule::Trigger::kDeliveryRate;
-        } else {
-          rule.trigger = PolicyRule::Trigger::kFdSuspect;
-        }
-        rule.suspect_node = p.node;
-        rule.latency_threshold = p.latency_threshold;
-        rule.rate_threshold = p.rate_threshold;
-        rule.window = p.window;
-        rule.cooldown = p.cooldown;
-        pc.rules.push_back(std::move(rule));
-      }
-      m.policy = PolicyEngineModule::create(stack, std::move(pc));
-    }
-
-    probes.push_back(
-        std::make_unique<LatencyProbe>(*node_collectors[i], stack.host()));
-    m.probe = probes.back().get();
-    stack.listen<AbcastListener>(kAbcastService, m.probe, nullptr);
+    ComposeHooks hooks;
+    hooks.collector = node_collectors[i].get();
     if (options.with_audit) {
       audit_listeners.push_back(std::make_unique<ProbeAuditListener>(audit, i));
-      stack.listen<AbcastListener>(kAbcastService, audit_listeners.back().get(),
-                                   nullptr);
+      hooks.extra_listener = audit_listeners.back().get();
+      hooks.on_send = [&audit, i](const Bytes& payload) {
+        audit.record_sent(i, payload);
+      };
     }
-
-    // Workload window, shifted for recovered incarnations: the module
-    // interprets start_after/stop_after relative to its own start.
-    const Duration stop_abs =
-        spec.workload.stop_after > 0 ? spec.workload.stop_after
-                                     : spec.duration;
-    const Duration start_rel = std::max<Duration>(
-        spec.workload.start_after - since, 0);
-    const Duration stop_rel = stop_abs - since;
-    if (stop_rel > start_rel) {
-      WorkloadConfig wc;
-      wc.rate_per_second = spec.workload.rate_per_stack;
-      wc.message_size = spec.workload.message_size;
-      wc.poisson = spec.workload.poisson;
-      wc.start_after = start_rel;
-      wc.stop_after = stop_rel;
-      // Ramp/burst phases, shifted like the window for recovered
-      // incarnations; a phase fully in the pre-recovery past is dropped
-      // (ramps keep their target by clamping into a zero-length window).
-      for (const WorkloadPhase& p : spec.workload.phases) {
-        WorkloadRatePhase rp;
-        rp.ramp = p.kind == WorkloadPhase::Kind::kRamp;
-        rp.from = std::max<Duration>(p.from - since, 0);
-        rp.until = p.until - since;
-        rp.value = p.value;
-        if (rp.ramp) {
-          // A ramp that finished before the recovery still holds its
-          // target; clamp it into a zero-length window at start.
-          if (rp.until < 0) rp.until = 0;
-          if (rp.from > rp.until) rp.from = rp.until;
-        } else if (rp.until <= rp.from) {
-          continue;  // burst fully in the pre-recovery past
-        }
-        wc.phases.push_back(rp);
-      }
-      if (options.with_audit) {
-        wc.on_send = [&audit, i](const Bytes& payload) {
-          audit.record_sent(i, payload);
-        };
-      }
-      m.workload = WorkloadModule::create(stack, wc);
-    }
-    stack.start_all();
+    ComposedStack composed =
+        compose_stack(stack, spec, plan, stack_options, since, hooks);
+    nodes[i] = composed.modules;
+    probes.push_back(std::move(composed.probe));
   };
 
   // Initial composition runs on the driver thread: on the simulator that is
@@ -628,7 +388,8 @@ ScenarioResult run_on_world(WorldControl& world, const ScenarioSpec& spec,
   // each stack at end of run, as reported by its update mechanism.
   const std::string report_service =
       spec.updates.empty()
-          ? (managed.empty() ? std::string() : managed.begin()->first)
+          ? (plan.managed.empty() ? std::string()
+                                  : plan.managed.begin()->first)
           : spec.updates.back().target_service();
   const std::string planned_final =
       spec.updates.empty() ? spec.initial_protocol
@@ -722,29 +483,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
     throw std::invalid_argument(what);
   }
 
+  // A proc spec is executed by real OS processes: the supervisor/agent pair
+  // in src/cluster owns the lifecycle (spawn, SIGKILL, respawn, harvest).
+  // run_scenario stays the in-process entry point.
+  if (spec.engine == Engine::kProc) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': engine \"proc\" runs as real "
+        "processes; use cluster_campaign (ClusterSupervisor), or override "
+        "the engine with --engine sim|rt");
+  }
+
   // The runner composes stacks itself (run_on_world); stack_options only
   // carries the substrate tuning and the registry registration inputs.
-  // initial_protocol configures the spec-level mechanism's own layer; the
-  // other layers keep their standard defaults.
-  StandardStackOptions stack_options;
-  stack_options.with_gm = false;
-  switch (spec.mechanism) {
-    case Mechanism::kReplConsensus:
-      // The primary replaceable layer is consensus; CT-ABcast rides on top.
-      stack_options.consensus_protocol = spec.initial_protocol;
-      break;
-    case Mechanism::kReplRbcast:
-      stack_options.rbcast_protocol = spec.initial_protocol;
-      stack_options.consensus_protocol = spec.initial_consensus;
-      break;
-    case Mechanism::kReplGm:
-      stack_options.consensus_protocol = spec.initial_consensus;
-      break;
-    default:
-      stack_options.abcast_protocol = spec.initial_protocol;
-      stack_options.consensus_protocol = spec.initial_consensus;
-      break;
-  }
+  const StandardStackOptions stack_options = stack_options_for_spec(spec);
   ProtocolRegistry library = make_standard_library(stack_options);
 
   // Recovery/late-join scenarios need every managed layer to declare the
@@ -768,12 +519,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::uint64_t seed,
     RtConfig rt;
     rt.num_stacks = spec.n;
     rt.seed = seed;
-    rt.transport = RtTransport::kInproc;
+    rt.transport =
+        spec.rt_sockets ? RtTransport::kUdpSockets : RtTransport::kInproc;
     rt.drop_probability = spec.base_drop;
     rt.duplicate_probability = spec.base_duplicate;
     RtWorld world(rt, &library, &trace_recorder);
-    return run_on_world(world, spec, seed, options, stack_options,
-                        trace_recorder);
+    ScenarioResult result = run_on_world(world, spec, seed, options,
+                                         stack_options, trace_recorder);
+    result.socket_tx_syscalls = world.socket_tx_syscalls();
+    result.socket_tx_datagrams = world.socket_tx_datagrams();
+    result.socket_rx_syscalls = world.socket_rx_syscalls();
+    result.socket_rx_datagrams = world.socket_rx_datagrams();
+    return result;
   }
 
   SimConfig sim;
@@ -865,6 +622,10 @@ Json ScenarioResult::to_json() const {
   counts.set("packets_dropped", packets_dropped);
   counts.set("retransmissions", retransmissions);
   counts.set("acks_sent", acks_sent);
+  counts.set("socket_tx_syscalls", socket_tx_syscalls);
+  counts.set("socket_tx_datagrams", socket_tx_datagrams);
+  counts.set("socket_rx_syscalls", socket_rx_syscalls);
+  counts.set("socket_rx_datagrams", socket_rx_datagrams);
   counts.set("sim_window_barriers", sim_window_barriers);
   counts.set("sim_merge_batches", sim_merge_batches);
   counts.set("virtual_time_ns", total_virtual_time);
@@ -881,6 +642,14 @@ Json ScenarioResult::to_json() const {
   Json finals = Json::array();
   for (const std::string& p : final_protocol) finals.push(p);
   j.set("final_protocol", std::move(finals));
+
+  if (!node_reports.empty()) {
+    // Per-node agent reports (proc engine only): absent otherwise, so the
+    // sim/rt documents stay byte-identical to the pre-cluster format.
+    Json nodes = Json::array();
+    for (const Json& report : node_reports) nodes.push(report);
+    j.set("nodes", std::move(nodes));
+  }
   return j;
 }
 

@@ -104,6 +104,13 @@ struct ScenarioResult {
   std::uint64_t packets_dropped = 0;
   std::uint64_t retransmissions = 0;  ///< rp2p, summed over stacks
   std::uint64_t acks_sent = 0;        ///< rp2p coalesced cumulative acks
+  /// Real-socket transport counters (rt with rt_sockets, and the proc
+  /// engine; 0 on the simulator and in-proc rt).  Syscalls vs datagrams
+  /// exposes the sendmmsg/recvmmsg batching ratio — the congestion story.
+  std::uint64_t socket_tx_syscalls = 0;
+  std::uint64_t socket_tx_datagrams = 0;
+  std::uint64_t socket_rx_syscalls = 0;
+  std::uint64_t socket_rx_datagrams = 0;
   /// Sharded-simulator round counters (0 on rt runs).  Both are pure
   /// functions of event timings — identical at every shard count — which
   /// is why they may live in the byte-compared result document.
@@ -130,6 +137,11 @@ struct ScenarioResult {
   [[nodiscard]] Duration max_switch_downtime() const;
 
   std::vector<TraceEvent> trace;
+
+  /// Proc engine only: one report object per node (socket counters, packet
+  /// tallies, incarnation) as harvested from the agent processes.  Empty on
+  /// sim/rt, and then absent from the JSON document.
+  std::vector<Json> node_reports;
 
   /// Structured result record (see README "Scenario campaigns").  Contains
   /// only deterministic data — no wall-clock timestamps.

@@ -10,12 +10,13 @@ const char* engine_name(Engine e) {
   switch (e) {
     case Engine::kSim: return "sim";
     case Engine::kRt: return "rt";
+    case Engine::kProc: return "proc";
   }
   return "?";
 }
 
 Engine engine_from_name(const std::string& name) {
-  for (Engine e : {Engine::kSim, Engine::kRt}) {
+  for (Engine e : {Engine::kSim, Engine::kRt, Engine::kProc}) {
     if (name == engine_name(e)) return e;
   }
   throw std::runtime_error("scenario: unknown engine '" + name + "'");
@@ -409,6 +410,14 @@ std::vector<std::string> ScenarioSpec::validate() const {
     problem("cost-model durations must be non-negative");
   }
 
+  if (fd_heartbeat < 0 || fd_timeout < 0) {
+    problem("fd_heartbeat/fd_timeout must be non-negative (0 = default)");
+  }
+  if (fd_heartbeat > 0 && fd_timeout > 0 && fd_timeout <= fd_heartbeat) {
+    problem("fd_timeout must exceed fd_heartbeat (a timeout shorter than "
+            "one heartbeat interval suspects every correct peer)");
+  }
+
   if (sim_shards == 0) problem("sim_shards must be >= 1 (use 1 for serial)");
   if (sim_shards > n) {
     problem("sim_shards exceeds n (shards own node subsets; extras would "
@@ -564,6 +573,13 @@ Json ScenarioSpec::to_json() const {
   cost.set("module_create_cost_ns", module_create_cost);
   j.set("cost", std::move(cost));
 
+  // Deployment-scale knobs: off the wire at their defaults, so pre-cluster
+  // spec documents (and their digests) stay byte-stable.
+  if (fd_heartbeat != 0) j.set("fd_heartbeat_ns", fd_heartbeat);
+  if (fd_timeout != 0) j.set("fd_timeout_ns", fd_timeout);
+  if (!rbcast_relay) j.set("rbcast_relay", rbcast_relay);
+  if (rt_sockets) j.set("rt_sockets", rt_sockets);
+
   // Off the wire at the default: sharding does not change results, and
   // leaving it out keeps pre-existing spec documents byte-stable.
   if (sim_shards != 1) j.set("sim_shards", sim_shards);
@@ -603,7 +619,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
               "engine", "mechanism", "initial_protocol", "initial_consensus",
               "net", "workload", "crashes", "recoveries", "late_joins",
               "partitions", "loss_windows", "updates", "policies", "cost",
-              "sim_shards", "max_retransmissions"});
+              "fd_heartbeat_ns", "fd_timeout_ns", "rbcast_relay",
+              "rt_sockets", "sim_shards", "max_retransmissions"});
   ScenarioSpec spec;
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("description")) spec.description = v->as_string();
@@ -783,6 +800,14 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
       spec.module_create_cost = v->as_int();
     }
   }
+  if (const Json* v = j.find("fd_heartbeat_ns")) {
+    spec.fd_heartbeat = v->as_int();
+  }
+  if (const Json* v = j.find("fd_timeout_ns")) spec.fd_timeout = v->as_int();
+  if (const Json* v = j.find("rbcast_relay")) {
+    spec.rbcast_relay = v->as_bool();
+  }
+  if (const Json* v = j.find("rt_sockets")) spec.rt_sockets = v->as_bool();
   if (const Json* v = j.find("sim_shards")) {
     const std::int64_t raw = v->as_int();
     if (raw < 1) throw std::runtime_error("scenario: sim_shards < 1");

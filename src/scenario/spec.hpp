@@ -32,8 +32,9 @@ namespace dpu::scenario {
 /// per stack; its runs are audited for the paper's properties but are never
 /// byte-reproducible (see README "Scenario campaigns").
 enum class Engine {
-  kSim,  ///< deterministic discrete-event simulator (src/sim)
-  kRt,   ///< real-thread engine, in-process transport (src/rt)
+  kSim,   ///< deterministic discrete-event simulator (src/sim)
+  kRt,    ///< real-thread engine, in-process transport (src/rt)
+  kProc,  ///< process-per-node cluster runner over UDP sockets (src/cluster)
 };
 
 [[nodiscard]] const char* engine_name(Engine e);
@@ -211,7 +212,7 @@ struct PolicySpec {
 /// Sanity ceilings enforced by ScenarioSpec::validate().  Generous for any
 /// realistic simulation; their real job is rejecting nonsense (including
 /// negative JSON integers wrapped through size_t) before it OOMs a run.
-inline constexpr std::size_t kMaxStacks = 128;
+inline constexpr std::size_t kMaxStacks = 512;
 inline constexpr std::size_t kMaxMessageSize = 1 << 20;
 
 struct ScenarioSpec {
@@ -263,6 +264,25 @@ struct ScenarioSpec {
   /// DESIGN.md §8 cost-model knobs.
   Duration hop_cost = 8 * kMicrosecond;
   Duration module_create_cost = 20 * kMillisecond;
+
+  /// Failure-detector tuning (0 = the library default, 50ms/200ms).  Large
+  /// deployments must stretch both: heartbeats are all-to-all, so at n=200
+  /// the default 50ms interval alone is ~800k datagrams/sec.  Off the wire
+  /// when 0 to keep existing spec documents byte-stable.
+  Duration fd_heartbeat = 0;
+  Duration fd_timeout = 0;
+
+  /// Relay-on-first-receipt in the directly-composed rbcast substrate
+  /// (ignored when the rbcast layer is a replacement facade — its protocol
+  /// name selects the variant).  Disabling drops broadcast complexity from
+  /// O(n^2) to O(n), which is what makes 200+ stack floods feasible.  Off
+  /// the wire when true (the default) to keep existing documents stable.
+  bool rbcast_relay = true;
+
+  /// Real-thread engine transport: real UDP sockets on loopback instead of
+  /// in-process queues.  Makes the rt socket counters meaningful, so rt and
+  /// proc runs report comparable transport stats.  Off the wire when false.
+  bool rt_sockets = false;
 
   /// Simulator event-engine shards (kSim only; rt ignores it).  Results are
   /// byte-identical at every value, so this is purely a throughput knob; the

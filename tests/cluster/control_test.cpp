@@ -1,0 +1,74 @@
+// Control channel: loopback JSON datagram round trips, timeout behavior,
+// and resilience against malformed datagrams.
+#include "cluster/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace dpu::cluster {
+namespace {
+
+TEST(ControlSocket, RoundTripsJsonOnLoopback) {
+  ControlSocket a;
+  ControlSocket b;
+  ASSERT_NE(a.local_port(), 0);
+  ASSERT_NE(b.local_port(), 0);
+
+  Json msg = Json::object();
+  msg.set("type", "hello");
+  msg.set("node", 7);
+  a.send(make_address("127.0.0.1", b.local_port()), msg);
+
+  Json got;
+  sockaddr_in from{};
+  ASSERT_TRUE(b.receive(got, from, kSecond));
+  EXPECT_EQ(got.at("type").as_string(), "hello");
+  EXPECT_EQ(got.at("node").as_int(), 7);
+  // The receiver learns the sender's address — replying there must work.
+  Json reply = Json::object();
+  reply.set("type", "hello_ack");
+  b.send(from, reply);
+  ASSERT_TRUE(a.receive(got, from, kSecond));
+  EXPECT_EQ(got.at("type").as_string(), "hello_ack");
+}
+
+TEST(ControlSocket, ReceiveTimesOutWhenSilent) {
+  ControlSocket sock;
+  Json msg;
+  sockaddr_in from{};
+  EXPECT_FALSE(sock.receive(msg, from, 50 * kMillisecond));
+}
+
+TEST(ControlSocket, SkipsMalformedDatagrams) {
+  ControlSocket rx;
+  ControlSocket tx;
+  const sockaddr_in to = make_address("127.0.0.1", rx.local_port());
+
+  // Raw garbage straight through a plain socket: not JSON.
+  const int raw = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(raw, 0);
+  const char garbage[] = "{not json";
+  ::sendto(raw, garbage, sizeof(garbage), 0,
+           reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+  Json good = Json::object();
+  good.set("type", "fault");
+  tx.send(to, good);
+
+  Json got;
+  sockaddr_in from{};
+  ASSERT_TRUE(rx.receive(got, from, kSecond));
+  EXPECT_EQ(got.at("type").as_string(), "fault");
+  ::close(raw);
+}
+
+TEST(ControlSocket, MakeAddressRejectsBadHosts) {
+  EXPECT_THROW(make_address("not-a-dotted-quad", 1234),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpu::cluster

@@ -1,0 +1,133 @@
+// Hosts-file parsing edge cases and per-node spec slicing — the proc
+// engine's plumbing that supervisor and agent must agree on byte-for-byte.
+#include "cluster/hosts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/slice.hpp"
+#include "scenario/library.hpp"
+
+namespace dpu::cluster {
+namespace {
+
+TEST(HostsFile, ParsesCommentsBlanksAndEntries) {
+  const HostsFile file = HostsFile::parse(
+      "# header comment\n"
+      "\n"
+      "0 127.0.0.1 38000\n"
+      "2 10.0.0.7 40000   # inline comment\n"
+      "1 127.0.0.1 38001\n");
+  ASSERT_EQ(file.entries.size(), 3u);
+  EXPECT_EQ(file.at(0).port, 38000);
+  EXPECT_EQ(file.at(2).host, "10.0.0.7");
+  EXPECT_EQ(file.at(1).port, 38001);
+}
+
+TEST(HostsFile, GenerateFormatParseRoundTrip) {
+  const HostsFile file = HostsFile::generate(5, "127.0.0.1", 38000);
+  const HostsFile again = HostsFile::parse(file.format());
+  ASSERT_EQ(again.entries.size(), 5u);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(again.at(i).host, "127.0.0.1");
+    EXPECT_EQ(again.at(i).port, 38000 + i);
+  }
+}
+
+TEST(HostsFile, RejectsDuplicateNodeId) {
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1 38000\n"
+                                "0 127.0.0.1 38001\n"),
+               std::invalid_argument);
+}
+
+TEST(HostsFile, RejectsBadPorts) {
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1 0\n"), std::invalid_argument);
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1 70000\n"), std::invalid_argument);
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1 -5\n"), std::invalid_argument);
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1 port\n"), std::invalid_argument);
+}
+
+TEST(HostsFile, RejectsMalformedLines) {
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1\n"), std::invalid_argument);
+  EXPECT_THROW(HostsFile::parse("-1 127.0.0.1 38000\n"),
+               std::invalid_argument);
+  EXPECT_THROW(HostsFile::parse("0 127.0.0.1 38000 extra\n"),
+               std::invalid_argument);
+}
+
+TEST(HostsFile, AtThrowsOnMissingNode) {
+  const HostsFile file = HostsFile::parse("0 127.0.0.1 38000\n");
+  EXPECT_THROW(file.at(3), std::invalid_argument);
+}
+
+TEST(HostsFile, PeersRequireExactCoverage) {
+  // Hole in 0..n-1: node 1 missing.
+  const HostsFile holey = HostsFile::parse("0 127.0.0.1 38000\n"
+                                           "2 127.0.0.1 38002\n");
+  EXPECT_THROW(holey.peers(3), std::invalid_argument);
+
+  // Surplus node outside the range.
+  const HostsFile surplus = HostsFile::parse("0 127.0.0.1 38000\n"
+                                             "1 127.0.0.1 38001\n"
+                                             "7 127.0.0.1 38007\n");
+  EXPECT_THROW(surplus.peers(2), std::invalid_argument);
+
+  const std::vector<RtPeer> peers =
+      HostsFile::generate(3, "127.0.0.1", 38000).peers(3);
+  ASSERT_EQ(peers.size(), 3u);
+  EXPECT_EQ(peers[2].port, 38002);
+}
+
+// ---------------------------------------------------------------------------
+// Per-node slicing
+// ---------------------------------------------------------------------------
+
+TEST(NodeSlice, SplitsUpdatesByInitiatorInTimeOrder) {
+  scenario::ScenarioSpec spec;
+  spec.n = 4;
+  spec.updates = {
+      {5 * kSecond, 1, "abcast.ct"},
+      {2 * kSecond, 0, "abcast.seq"},
+      {3 * kSecond, 1, "abcast.token"},
+  };
+  const NodeSlice zero = slice_for_node(spec, 0);
+  ASSERT_EQ(zero.updates.size(), 1u);
+  EXPECT_EQ(zero.updates[0].protocol, "abcast.seq");
+  EXPECT_FALSE(zero.late_join);
+
+  const NodeSlice one = slice_for_node(spec, 1);
+  ASSERT_EQ(one.updates.size(), 2u);
+  EXPECT_EQ(one.updates[0].protocol, "abcast.token");  // sorted by time
+  EXPECT_EQ(one.updates[1].protocol, "abcast.ct");
+
+  EXPECT_TRUE(slice_for_node(spec, 2).updates.empty());
+}
+
+TEST(NodeSlice, MarksLateJoiners) {
+  scenario::ScenarioSpec spec;
+  spec.n = 3;
+  spec.late_joins = {{2500 * kMillisecond, 2}};
+  const NodeSlice late = slice_for_node(spec, 2);
+  EXPECT_TRUE(late.late_join);
+  EXPECT_EQ(late.join_at, 2500 * kMillisecond);
+  EXPECT_FALSE(slice_for_node(spec, 1).late_join);
+}
+
+TEST(NodeSlice, CuratedProcScenariosSliceConsistently) {
+  // Every curated proc scenario validates, and its slices partition the
+  // update plan exactly (each update appears in exactly one slice).
+  for (const scenario::ScenarioSpec& spec :
+       scenario::curated_proc_scenarios()) {
+    EXPECT_TRUE(spec.validate().empty()) << spec.name;
+    EXPECT_EQ(spec.engine, scenario::Engine::kProc) << spec.name;
+    std::size_t sliced = 0;
+    for (NodeId i = 0; i < spec.n; ++i) {
+      sliced += slice_for_node(spec, i).updates.size();
+    }
+    EXPECT_EQ(sliced, spec.updates.size()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace dpu::cluster

@@ -1,0 +1,132 @@
+// Randomized fuzz for the batch frame decoder (net/batch.hpp): the decoder
+// faces bytes straight off a real UDP socket on the rt and proc engines, so
+// for ANY input it must either decode cleanly or throw CodecError — never
+// crash, never allocate unbounded memory, never read out of bounds.
+//
+// Three generators, all driven by a fixed-seed Rng (deterministic, so a
+// failure reproduces): valid frames (must round-trip exactly), single-byte
+// mutations/truncations/extensions of valid frames (accept-or-clean-reject),
+// and unstructured random buffers (almost always clean-reject).
+#include "net/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dpu {
+namespace {
+
+constexpr int kRounds = 400;
+
+[[nodiscard]] Payload random_payload(Rng& rng, std::size_t max_size) {
+  const std::size_t size = rng.uniform_u64(max_size + 1);
+  BufWriter w(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    w.put_u8(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  return w.take_payload();
+}
+
+[[nodiscard]] std::vector<BatchMessage> random_batch(Rng& rng) {
+  const std::size_t count = 1 + rng.uniform_u64(20);
+  std::vector<BatchMessage> messages;
+  messages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    messages.push_back({rng.next_u64() >> rng.uniform_u64(64),
+                        random_payload(rng, 200)});
+  }
+  return messages;
+}
+
+[[nodiscard]] Bytes encode_bytes(const std::vector<BatchMessage>& messages) {
+  BufWriter w;
+  encode_batch_frame(w, messages);
+  const Payload body = w.take_payload();
+  return Bytes(body.data(), body.data() + body.size());
+}
+
+/// The accept-or-clean-reject contract: decode either succeeds (and every
+/// decoded payload is readable in full) or throws CodecError.
+void expect_clean_decode(const Bytes& bytes) {
+  const Payload body{bytes};
+  std::vector<BatchMessage> out;
+  try {
+    decode_batch_frame(body, out);
+  } catch (const CodecError&) {
+    return;  // clean reject
+  }
+  // Accepted: the decoded slices must be fully readable and in bounds.
+  ASSERT_LE(out.size(), kMaxBatchMessages);
+  std::uint64_t checksum = 0;
+  for (const BatchMessage& m : out) {
+    ASSERT_LE(m.payload.size(), bytes.size());
+    for (std::size_t i = 0; i < m.payload.size(); ++i) {
+      checksum += m.payload.data()[i];
+    }
+    checksum += m.channel;
+  }
+  (void)checksum;
+}
+
+TEST(BatchFuzz, ValidFramesAlwaysRoundTrip) {
+  Rng rng(0xBA7C4F00D);
+  for (int round = 0; round < kRounds; ++round) {
+    const std::vector<BatchMessage> in = random_batch(rng);
+    const Bytes bytes = encode_bytes(in);
+    const Payload body{bytes};
+    std::vector<BatchMessage> out;
+    ASSERT_NO_THROW(decode_batch_frame(body, out));
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(out[i].channel, in[i].channel);
+      EXPECT_EQ(out[i].payload, in[i].payload);
+    }
+  }
+}
+
+TEST(BatchFuzz, MutatedFramesAcceptOrCleanReject) {
+  Rng rng(0xDEC0DE42);
+  for (int round = 0; round < kRounds; ++round) {
+    Bytes bytes = encode_bytes(random_batch(rng));
+    // 1-4 random single-byte mutations: header, varints, lengths, payload.
+    const std::size_t flips = 1 + rng.uniform_u64(4);
+    for (std::size_t f = 0; f < flips && !bytes.empty(); ++f) {
+      bytes[rng.uniform_u64(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    expect_clean_decode(bytes);
+  }
+}
+
+TEST(BatchFuzz, TruncatedAndExtendedFramesAcceptOrCleanReject) {
+  Rng rng(0x7521CA7E);
+  for (int round = 0; round < kRounds; ++round) {
+    Bytes bytes = encode_bytes(random_batch(rng));
+    if (rng.chance(0.5)) {
+      bytes.resize(rng.uniform_u64(bytes.size() + 1));  // truncate
+    } else {
+      const std::size_t extra = 1 + rng.uniform_u64(16);
+      for (std::size_t i = 0; i < extra; ++i) {  // trailing junk
+        bytes.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+    }
+    expect_clean_decode(bytes);
+  }
+}
+
+TEST(BatchFuzz, RandomBuffersNeverCrash) {
+  Rng rng(0xF00DFACE);
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t size = rng.uniform_u64(513);
+    Bytes bytes(size);
+    for (std::uint8_t& byte : bytes) {
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    expect_clean_decode(bytes);
+  }
+}
+
+}  // namespace
+}  // namespace dpu

@@ -55,6 +55,10 @@ ScenarioSpec rich_spec() {
                     0.0, kSecond, 0}};
   spec.hop_cost = 5 * kMicrosecond;
   spec.module_create_cost = 15 * kMillisecond;
+  spec.fd_heartbeat = 300 * kMillisecond;
+  spec.fd_timeout = 1200 * kMillisecond;
+  spec.rbcast_relay = false;
+  spec.rt_sockets = true;
   spec.max_retransmissions = 1234;
   return spec;
 }
@@ -89,7 +93,7 @@ TEST(ScenarioSpec, UnknownKeysAreRejected) {
 }
 
 TEST(ScenarioSpec, EngineNamesRoundTrip) {
-  for (Engine e : {Engine::kSim, Engine::kRt}) {
+  for (Engine e : {Engine::kSim, Engine::kRt, Engine::kProc}) {
     EXPECT_EQ(engine_from_name(engine_name(e)), e);
   }
   EXPECT_THROW((void)engine_from_name("gpu"), std::runtime_error);
@@ -97,6 +101,42 @@ TEST(ScenarioSpec, EngineNamesRoundTrip) {
   ScenarioSpec spec = rich_spec();
   spec.engine = Engine::kRt;
   EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()).engine, Engine::kRt);
+  spec.engine = Engine::kProc;
+  EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()).engine, Engine::kProc);
+}
+
+TEST(ScenarioSpec, DeploymentKnobsStayOffTheWireAtDefaults) {
+  // fd tuning, relay and rt_sockets serialize only when set: existing spec
+  // documents (and their campaign digests) must stay byte-stable.
+  ScenarioSpec plain;
+  plain.name = "plain";
+  const Json j = plain.to_json();
+  EXPECT_EQ(j.find("fd_heartbeat_ns"), nullptr);
+  EXPECT_EQ(j.find("fd_timeout_ns"), nullptr);
+  EXPECT_EQ(j.find("rbcast_relay"), nullptr);
+  EXPECT_EQ(j.find("rt_sockets"), nullptr);
+  EXPECT_EQ(plain, ScenarioSpec::from_json(j));
+
+  // And each knob round-trips exactly once set.
+  ScenarioSpec tuned = plain;
+  tuned.fd_heartbeat = 500 * kMillisecond;
+  tuned.fd_timeout = 2 * kSecond;
+  tuned.rbcast_relay = false;
+  tuned.rt_sockets = true;
+  const Json tj = tuned.to_json();
+  EXPECT_NE(tj.find("fd_heartbeat_ns"), nullptr);
+  EXPECT_NE(tj.find("rbcast_relay"), nullptr);
+  EXPECT_EQ(tuned, ScenarioSpec::from_json(tj));
+}
+
+TEST(ScenarioSpec, ValidationCoversFdTuning) {
+  ScenarioSpec spec = rich_spec();
+  spec.fd_heartbeat = kSecond;
+  spec.fd_timeout = 500 * kMillisecond;  // timeout <= heartbeat: nonsense
+  EXPECT_FALSE(spec.validate().empty());
+  spec.fd_timeout = 0;
+  spec.fd_heartbeat = -kSecond;
+  EXPECT_FALSE(spec.validate().empty());
 }
 
 TEST(ScenarioSpec, MechanismNamesRoundTrip) {
